@@ -1,0 +1,50 @@
+// Command fenceprof regenerates Figure 1: single-threaded execution time
+// of the CilkPlus benchmarks with the take() fence removed, normalized to
+// the fenced THE baseline.
+//
+// Usage:
+//
+//	fenceprof [-size test|bench]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fenceprof: ")
+	sizeFlag := flag.String("size", "bench", "input scale: test or bench")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of the table")
+	flag.Parse()
+
+	size := apps.SizeBench
+	switch *sizeFlag {
+	case "bench":
+	case "test":
+		size = apps.SizeTest
+	default:
+		log.Fatalf("unknown -size %q", *sizeFlag)
+	}
+
+	rows, err := expt.Figure1(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := expt.WriteFigure1JSON(os.Stdout, rows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	expt.RenderFigure1(os.Stdout, rows)
+	fmt.Println()
+	fmt.Println("Paper reference (Haswell): Fib ~75%, Jacobi ~93%, QuickSort ~89%,")
+	fmt.Println("Matmul ~95%, Integrate ~80%, knapsack ~78%, cholesky ~97%.")
+}

@@ -1,0 +1,56 @@
+// Command graphbench regenerates Figure 11: parallel transitive closure
+// over the K-graph, random graph and torus inputs, comparing the Chase-Lev
+// baseline against FF-CL and the idempotent queues, reporting normalized
+// run time (11a) and percent of work obtained by stealing (11b).
+//
+// Usage:
+//
+//	graphbench [-scale 2000] [-runs 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphbench: ")
+	scale := flag.Int("scale", 2000, "graph scale: K-graph/random get 2*scale nodes (paper: 10^6)")
+	runs := flag.Int("runs", 5, "scheduler seeds per cell (paper: 10 timing runs)")
+	workload := flag.String("workload", "closure", "closure or spanning (the paper reports closure; \"spanning tree results are similar\")")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of the table")
+	flag.Parse()
+
+	problem := expt.ProblemTransitiveClosure
+	switch *workload {
+	case "closure":
+	case "spanning":
+		problem = expt.ProblemSpanningTree
+	default:
+		log.Fatalf("unknown -workload %q", *workload)
+	}
+
+	start := time.Now()
+	res, err := expt.Figure11Problem(expt.ScaledHaswell(), problem, *scale, *runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := expt.WriteFigure11JSON(os.Stdout, res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	expt.RenderFigure11(os.Stdout, res)
+	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println("Paper reference: all three fence-free queues perform comparably,")
+	fmt.Println("~17% faster than Chase-Lev on average (torus gains most, ~33%), and")
+	fmt.Println("the stolen-work fraction stays well under 1% on random/torus inputs —")
+	fmt.Println("the worker's path, not the thief's, is what matters.")
+}

@@ -1,0 +1,58 @@
+// Command litmus regenerates Figures 8 and 9: the TSO[S] litmus grid. It
+// runs the Figure 9 program (worker and thief emptying an FF-THE queue)
+// across the paper's (L, δ) sweep on the Westmere model, then prints the
+// same runs interpreted under an assumed bound of S=32 (Figure 8a, showing
+// the failures caused by the drain-stage entry) and S=33 (Figure 8b,
+// correct except the L=0 coalescing case).
+//
+// Usage:
+//
+//	litmus [-tasks 512] [-seeds 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/litmus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("litmus: ")
+	tasks := flag.Int("tasks", 512, "queue prefill size (paper: 512)")
+	seeds := flag.Int("seeds", 60, "chaos seeds per drain bias per point")
+	flag.Parse()
+
+	opts := litmus.Options{
+		Tasks:       *tasks,
+		Seeds:       *seeds,
+		DrainBiases: []float64{0.02, 0.15, 0.4},
+	}
+	start := time.Now()
+	res := expt.Figure8(opts)
+
+	fmt.Printf("Figure 9 litmus program: %d-task FF-THE queue, worker with L scratch stores\n", *tasks)
+	fmt.Printf("per take vs thief with candidate delta; %d runs per point.\n\n", *seeds*len(opts.DrainBiases))
+
+	expt.RenderFigure8Panel(os.Stdout, "Figure 8a", 32, res.PanelA)
+	expt.RenderFigure8Panel(os.Stdout, "Figure 8b", 33, res.PanelB)
+
+	fmt.Println("Expected: 8a shows INCORRECT points on the delta >= alpha line where")
+	fmt.Println("ceil(32/(L+1)) divides evenly (the true bound is 33); 8b is correct on")
+	fmt.Println("and above the line except alpha=33 (L=0), where drain-stage coalescing")
+	fmt.Println("of back-to-back stores to T defeats any delta.")
+	fmt.Printf("\n(%d litmus runs in %v)\n", totalRuns(res.Raw), time.Since(start).Round(time.Millisecond))
+}
+
+func totalRuns(rs []litmus.Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Runs
+	}
+	return n
+}

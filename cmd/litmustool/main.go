@@ -1,0 +1,99 @@
+// Command litmustool runs memory-model litmus tests on the abstract
+// TSO[S]/PSO machine by exhaustive schedule exploration. With no
+// arguments it runs the built-in library of classic tests (SB, MP, LB,
+// CoRR, 2+2W, S, R, WRC, fence/CAS variants) and checks each literature
+// verdict; given file paths it runs those tests instead.
+//
+// Usage:
+//
+//	litmustool [-list] [-max 2000000] [file.litmus ...]
+//
+// See internal/litmusdsl for the file format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/litmusdsl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("litmustool: ")
+	list := flag.Bool("list", false, "print the built-in library and exit")
+	maxSched := flag.Int("max", 2_000_000, "schedule-exploration cap per test")
+	verbose := flag.Bool("v", false, "print every distinct outcome per test")
+	witness := flag.Bool("witness", false, "for allowed tests, print one schedule reaching the condition")
+	flag.Parse()
+
+	if *list {
+		for _, src := range litmusdsl.Library {
+			fmt.Println(src)
+			fmt.Println()
+		}
+		return
+	}
+
+	var tests []*litmusdsl.Test
+	if flag.NArg() == 0 {
+		for _, src := range litmusdsl.Library {
+			t, err := litmusdsl.Parse(src)
+			if err != nil {
+				log.Fatalf("built-in library: %v", err)
+			}
+			tests = append(tests, t)
+		}
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := litmusdsl.Parse(string(data))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		tests = append(tests, t)
+	}
+
+	failures := 0
+	for _, t := range tests {
+		start := time.Now()
+		res, err := litmusdsl.Run(t, litmusdsl.RunOptions{MaxSchedules: *maxSched, Witness: *witness})
+		if err != nil {
+			log.Fatalf("%s: %v", t.Name, err)
+		}
+		status := "ok  "
+		if !res.Ok() {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-14s model=%-3s verdict=%-10s expect=%-9s schedules=%-7d complete=%-5v %v\n",
+			status, t.Name, t.Model, res.Verdict, t.Expect, res.Schedules, res.Complete,
+			time.Since(start).Round(time.Millisecond))
+		if *verbose {
+			keys := make([]string, 0, len(res.Outcomes))
+			for o := range res.Outcomes {
+				keys = append(keys, o)
+			}
+			sort.Strings(keys)
+			for _, o := range keys {
+				fmt.Printf("       %6d  %s\n", res.Outcomes[o], o)
+			}
+		}
+		if *witness && len(res.Witness) > 0 {
+			fmt.Println("       witness schedule:")
+			for _, line := range res.Witness {
+				fmt.Println("         " + line)
+			}
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d test(s) FAILED", failures)
+	}
+}

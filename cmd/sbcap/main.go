@@ -1,0 +1,45 @@
+// Command sbcap regenerates Figures 6 and 7: the store-buffer capacity
+// measurement. It sweeps store-sequence lengths on the simulated platform
+// and reports the cycles-per-iteration curve, whose knee is the observable
+// store-buffer capacity (33 on the Westmere-EX model, 43 on Haswell).
+//
+// Usage:
+//
+//	sbcap [-platform westmere|haswell] [-csv]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sbcap: ")
+	platform := flag.String("platform", "westmere", "machine model: westmere or haswell")
+	csv := flag.Bool("csv", false, "emit the raw curve as CSV instead of a table")
+	flag.Parse()
+
+	var p expt.Platform
+	switch *platform {
+	case "westmere":
+		p = expt.Westmere()
+	case "haswell":
+		p = expt.HaswellP()
+	default:
+		log.Fatalf("unknown -platform %q", *platform)
+	}
+
+	res, err := expt.Figure7(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		expt.RenderCapacityCSV(os.Stdout, res.Points)
+		return
+	}
+	expt.RenderFigure7(os.Stdout, res)
+}

@@ -1,0 +1,88 @@
+// Command wsbench regenerates Figure 10 (and documents Table 1): the
+// CilkPlus benchmark suite on the scaled Westmere-EX and Haswell models,
+// comparing THE against FF-THE and THEP at the paper's δ settings.
+//
+// Usage:
+//
+//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wsbench: ")
+	platform := flag.String("platform", "both", "westmere, haswell or both")
+	runs := flag.Int("runs", 5, "scheduler seeds per configuration (paper: 10 timing runs)")
+	sizeFlag := flag.String("size", "bench", "input scale: test or bench")
+	table1 := flag.Bool("table1", false, "print Table 1 (the benchmark list) and exit")
+	ht := flag.Bool("ht", false, "enable hyperthreading: 2x threads, pairs sharing cores (§8.1)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
+	flag.Parse()
+
+	if *table1 {
+		printTable1()
+		return
+	}
+
+	size := apps.SizeBench
+	if *sizeFlag == "test" {
+		size = apps.SizeTest
+	}
+
+	var platforms []expt.Platform
+	switch *platform {
+	case "westmere":
+		platforms = []expt.Platform{expt.ScaledWestmere()}
+	case "haswell":
+		platforms = []expt.Platform{expt.ScaledHaswell()}
+	case "both":
+		platforms = []expt.Platform{expt.ScaledWestmere(), expt.ScaledHaswell()}
+	default:
+		log.Fatalf("unknown -platform %q", *platform)
+	}
+
+	for _, p := range platforms {
+		if *ht {
+			p = expt.HT(p)
+		}
+		start := time.Now()
+		res, err := expt.Figure10(p, size, *runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			if err := expt.WriteFigure10JSON(os.Stdout, res); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		expt.RenderFigure10(os.Stdout, res)
+		fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		return
+	}
+	fmt.Println("Paper reference: THEP improves 8-9 of 11 programs by up to 23%")
+	fmt.Println("(11-13% average) and FF-THE's default delta collapses several programs")
+	fmt.Println("to near-serial speed, recovering with delta=4.")
+}
+
+func printTable1() {
+	fmt.Println("Table 1: CilkPlus benchmark applications")
+	fmt.Println()
+	rows := make([][]string, 0, 11)
+	for _, a := range apps.All() {
+		rows = append(rows, []string{a.Name, a.Desc, a.PaperInput})
+	}
+	expt.WriteTable(os.Stdout, []string{"Benchmark", "Description", "Input size (paper -> here)"}, rows)
+}

@@ -1,0 +1,22 @@
+// Package repro is a from-scratch Go reproduction of Morrison & Afek,
+// "Fence-Free Work Stealing on Bounded TSO Processors" (ASPLOS 2014).
+//
+// The root package only anchors the module and the figure-level benchmark
+// harness (bench_test.go); the system lives in the internal packages:
+//
+//   - internal/tso      — executable abstract TSO[S] machine (chaos and
+//     timed engines) with the §7.3 drain-stage/coalescing model
+//   - internal/core     — THE, FF-THE, THEP, Chase-Lev, FF-CL and the
+//     idempotent queues, transcribed from Figures 2–5
+//   - internal/sched    — the CilkPlus-equivalent work-stealing runtime
+//   - internal/apps     — the Table 1 benchmark suite
+//   - internal/graph    — the §8.2 transitive-closure/spanning-tree workloads
+//   - internal/measure  — the Figure 6/7 store-buffer capacity measurement
+//   - internal/litmus   — the Figure 8/9 TSO[S] litmus grid
+//   - internal/expt     — drivers that regenerate every figure
+//   - internal/native   — a real Go work-stealing library (Chase-Lev deque
+//     and goroutine pool), the adoptable artifact
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

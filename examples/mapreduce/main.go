@@ -1,0 +1,131 @@
+// MapReduce: the intro's other motivating domain ("…as well as in
+// (multicore) MapReduce") on the native work-stealing pool: a word-count
+// over synthetic documents, with parallel map, per-worker combiners, and a
+// parallel reduce over the partitioned key space.
+//
+// Run with:
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/native"
+)
+
+const shards = 64
+
+// shardMap is a sharded concurrent counter: word → count, hashed across
+// independently locked shards so mapper tasks rarely contend.
+type shardMap struct {
+	mu     [shards]sync.Mutex
+	counts [shards]map[string]int
+}
+
+func newShardMap() *shardMap {
+	s := &shardMap{}
+	for i := range s.counts {
+		s.counts[i] = map[string]int{}
+	}
+	return s
+}
+
+func (s *shardMap) add(word string, n int) {
+	h := fnv(word) % shards
+	s.mu[h].Lock()
+	s.counts[h][word] += n
+	s.mu[h].Unlock()
+}
+
+func fnv(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func main() {
+	docs := synthesize(2000)
+	pool := native.NewPool(native.Options{Workers: 4})
+	defer pool.Close()
+
+	// Map phase: one task per document, sharded combiner.
+	counts := newShardMap()
+	native.For(pool, 0, len(docs), 8, func(i int) {
+		for _, w := range strings.Fields(docs[i]) {
+			counts.add(w, 1)
+		}
+	})
+
+	// Reduce phase: fold the shards in parallel into (word, count) pairs.
+	type kv struct {
+		word  string
+		count int
+	}
+	shardsOut := native.Map(pool, counts.counts[:], 4, func(m map[string]int) []kv {
+		out := make([]kv, 0, len(m))
+		for w, c := range m {
+			out = append(out, kv{w, c})
+		}
+		return out
+	})
+	var all []kv
+	for _, s := range shardsOut {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].word < all[j].word
+	})
+
+	perWord := native.Map(pool, all, 32, func(e kv) int { return e.count })
+	total := native.Reduce(pool, perWord, 32, 0, func(a, b int) int { return a + b })
+
+	fmt.Printf("%d documents, %d distinct words, %d total words\n", len(docs), len(all), total)
+	fmt.Println("top 5:")
+	for _, e := range all[:5] {
+		fmt.Printf("  %-12s %d\n", e.word, e.count)
+	}
+
+	// Verify against a serial count.
+	serial := map[string]int{}
+	st := 0
+	for _, d := range docs {
+		for _, w := range strings.Fields(d) {
+			serial[w]++
+			st++
+		}
+	}
+	if st != total || len(serial) != len(all) {
+		log.Fatalf("mismatch: parallel %d/%d vs serial %d/%d", total, len(all), st, len(serial))
+	}
+	fmt.Println("verified against serial word count")
+}
+
+var vocabulary = strings.Fields(`work stealing deque fence store buffer load
+reorder tso bound thief worker task queue steal take put cilk spawn sync
+memory model drain coalesce echo abort delta capacity haswell westmere`)
+
+func synthesize(n int) []string {
+	r := rand.New(rand.NewSource(7))
+	docs := make([]string, n)
+	for i := range docs {
+		var b strings.Builder
+		words := 20 + r.Intn(60)
+		for w := 0; w < words; w++ {
+			b.WriteString(vocabulary[r.Intn(len(vocabulary))])
+			b.WriteByte(' ')
+		}
+		docs[i] = b.String()
+	}
+	return docs
+}

@@ -1,0 +1,55 @@
+// Quickstart: the native work-stealing pool.
+//
+// This example uses the repository's adoptable artifact — the Chase-Lev
+// deque pool in internal/native — to parallelize a simple divide-and-
+// conquer sum. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"repro/internal/native"
+)
+
+func main() {
+	pool := native.NewPool(native.Options{Workers: 4})
+	defer pool.Close()
+
+	// Sum 1..10_000_000 by recursive splitting: each task either splits
+	// its range or accumulates it directly.
+	var total atomic.Int64
+	var sum func(lo, hi int64) native.Task
+	sum = func(lo, hi int64) native.Task {
+		return func(c *native.Context) {
+			if hi-lo <= 100_000 {
+				s := int64(0)
+				for i := lo; i < hi; i++ {
+					s += i
+				}
+				total.Add(s)
+				return
+			}
+			mid := (lo + hi) / 2
+			c.Spawn(sum(lo, mid))
+			c.Spawn(sum(mid, hi))
+		}
+	}
+
+	const n = 10_000_001
+	if err := pool.Submit(sum(1, n)); err != nil {
+		log.Fatal(err)
+	}
+	pool.Wait()
+
+	want := int64(n-1) * int64(n) / 2
+	fmt.Printf("sum(1..%d) = %d (want %d)\n", n-1, total.Load(), want)
+	executed, steals, _ := pool.Stats()
+	fmt.Printf("tasks executed: %d, obtained by stealing: %d\n", executed, steals)
+	if total.Load() != want {
+		log.Fatal("wrong sum")
+	}
+}

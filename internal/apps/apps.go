@@ -1,0 +1,112 @@
+// Package apps implements the paper's benchmark suite (Table 1) as
+// task-parallel programs over the internal/sched runtime: Fib, Jacobi,
+// QuickSort, Matmul, Integrate, knapsack, cholesky, Heat, LUD, strassen and
+// fft — the eleven CilkPlus programs of §8.1.
+//
+// Each app performs its real computation (scaled-down inputs) in meta-level
+// Go state and additionally charges Work cycles to the simulated machine to
+// model the computation's cost; the per-task granularities are calibrated
+// so the suite spans the same fine-grained (Fib) to coarse-grained
+// (cholesky) spectrum that gives Figure 1 its shape. Every app returns a
+// verifier, so scheduler or queue bugs that corrupt the task graph are
+// caught as wrong numeric output, not just wrong timing.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// Size selects input scale.
+type Size int
+
+const (
+	// SizeTest is small enough for chaos-engine correctness runs.
+	SizeTest Size = iota
+	// SizeBench is the scale used to regenerate the paper's figures.
+	SizeBench
+)
+
+// App is one benchmark program.
+type App struct {
+	// Name matches the paper's Table 1 row.
+	Name string
+	// Desc is Table 1's description.
+	Desc string
+	// PaperInput records the input size the paper used, for EXPERIMENTS.md.
+	PaperInput string
+	// build constructs a fresh root task and result verifier.
+	build func(size Size) (sched.TaskFunc, func() error)
+}
+
+// Build returns a fresh root task and a verifier to call after the pool
+// run completes. Each call creates independent state, so an App can be run
+// many times.
+func (a App) Build(size Size) (sched.TaskFunc, func() error) {
+	return a.build(size)
+}
+
+// All lists the suite in the paper's Figure 10 order.
+func All() []App {
+	return []App{
+		fibApp(),
+		jacobiApp(),
+		quickSortApp(),
+		matmulApp(),
+		integrateApp(),
+		knapsackApp(),
+		choleskyApp(),
+		heatApp(),
+		ludApp(),
+		strassenApp(),
+		fftApp(),
+	}
+}
+
+// Figure1Apps lists the seven-program subset shown in Figure 1.
+func Figure1Apps() []App {
+	byName := map[string]App{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	names := []string{"Fib", "Jacobi", "QuickSort", "Matmul", "Integrate", "knapsack", "cholesky"}
+	out := make([]App, len(names))
+	for i, n := range names {
+		out[i] = byName[n]
+	}
+	return out
+}
+
+// ByName finds an app by its Table 1 name.
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// approxEqual compares floats to a relative-ish tolerance suitable for the
+// small linear-algebra kernels here.
+func approxEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func verifyGrid(name string, got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: result length %d want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if !approxEqual(got[i], want[i], tol) {
+			return fmt.Errorf("%s: element %d = %g want %g", name, i, got[i], want[i])
+		}
+	}
+	return nil
+}

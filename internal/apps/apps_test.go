@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tso"
+)
+
+// TestAllAppsSerialReference sanity-checks each app's verifier against a
+// purely meta-level run: the root task executed by a 1-worker pool on the
+// baseline queue must produce the reference answer.
+func TestAllAppsSerialReference(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 8, Seed: 1, DrainBias: 0.4})
+			p := sched.NewPool(m, sched.Options{Algo: core.AlgoTHE, Seed: 1})
+			root, verify := app.Build(SizeTest)
+			if _, err := p.Run(root); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllAppsMultiWorkerChaos runs every app with 3 workers under
+// adversarial schedules on the fence-free queues with a sound δ: results
+// must still verify and no task may run twice.
+func TestAllAppsMultiWorkerChaos(t *testing.T) {
+	algos := []core.Algo{core.AlgoTHE, core.AlgoFFTHE, core.AlgoTHEP, core.AlgoChaseLev, core.AlgoFFCL}
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			for i, algo := range algos {
+				seed := int64(i*17 + 3)
+				m := tso.NewMachine(tso.Config{Threads: 3, BufferSize: 4, Seed: seed, DrainBias: 0.2})
+				// δ = ⌈4/2⌉ = 2 is sound: the pool does one post-take store.
+				p := sched.NewPool(m, sched.Options{Algo: algo, Delta: 2, Seed: seed})
+				root, verify := app.Build(SizeTest)
+				st, err := p.Run(root)
+				if err != nil {
+					t.Fatalf("%v: %v", algo, err)
+				}
+				if st.Duplicates != 0 {
+					t.Fatalf("%v: %d duplicate executions", algo, st.Duplicates)
+				}
+				if err := verify(); err != nil {
+					t.Fatalf("%v: %v", algo, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAllAppsTimedEngine runs every app on the performance engine and
+// checks both the result and that the run consumed virtual time.
+func TestAllAppsTimedEngine(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			m := tso.NewTimedMachine(tso.Config{Threads: 4, BufferSize: 33})
+			p := sched.NewPool(m, sched.Options{Algo: core.AlgoTHE, Seed: 2})
+			root, verify := app.Build(SizeTest)
+			st, err := p.Run(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify(); err != nil {
+				t.Fatal(err)
+			}
+			if st.Elapsed == 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+		})
+	}
+}
+
+func TestFigure1AppsSubset(t *testing.T) {
+	apps := Figure1Apps()
+	if len(apps) != 7 {
+		t.Fatalf("Figure 1 subset has %d apps want 7", len(apps))
+	}
+	want := []string{"Fib", "Jacobi", "QuickSort", "Matmul", "Integrate", "knapsack", "cholesky"}
+	for i, a := range apps {
+		if a.Name != want[i] {
+			t.Fatalf("Figure 1 app %d = %q want %q", i, a.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Fib"); !ok {
+		t.Fatal("Fib not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus app found")
+	}
+	if got := len(All()); got != 11 {
+		t.Fatalf("suite has %d apps want 11 (Table 1)", got)
+	}
+}
+
+// TestBuildIsFresh ensures repeated Build calls give independent state.
+func TestBuildIsFresh(t *testing.T) {
+	app, _ := ByName("QuickSort")
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 8, Seed: 9})
+	p := sched.NewPool(m, sched.Options{Algo: core.AlgoTHE, Seed: 9})
+	for round := 0; round < 2; round++ {
+		root, verify := app.Build(SizeTest)
+		if _, err := p.Run(root); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestHelperReferences(t *testing.T) {
+	if fibSerial(10) != 55 {
+		t.Fatalf("fibSerial(10) = %d", fibSerial(10))
+	}
+	if knapsackDP([]ksItem{{2, 3}, {3, 4}, {4, 5}}, 5) != 7 {
+		t.Fatal("knapsackDP reference wrong")
+	}
+	x := dftDirect([]complex128{1, 0, 0, 0})
+	for _, v := range x {
+		if !approxEqual(real(v), 1, 1e-9) || !approxEqual(imag(v), 0, 1e-9) {
+			t.Fatalf("dft of impulse not flat: %v", x)
+		}
+	}
+}

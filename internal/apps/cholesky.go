@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// choleskyApp is Table 1's "cholesky: Cholesky factorization, 4000×4000,
+// 40000 nonzeros". Blocked right-looking factorization: per step k, a
+// diagonal factor task, a fork of column-panel updates, then a fork of
+// trailing-submatrix updates, then the next step. Tasks are O(b³) —
+// the coarsest in the suite (~3% fence share in Figure 1).
+func choleskyApp() App {
+	return App{
+		Name:       "cholesky",
+		Desc:       "Cholesky factorization",
+		PaperInput: "4000×4000, 40000 nonzeros (scaled here to 64×64, block 4)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n, b := 64, 4
+			if size == SizeTest {
+				n, b = 8, 4
+			}
+			a := spdMatrix(n)
+			orig := append([]float64(nil), a...)
+			root := choleskyStage(a, n, b, 0)
+			return root, func() error {
+				return verifyCholesky(a, orig, n)
+			}
+		},
+	}
+}
+
+// spdMatrix builds a symmetric positive-definite matrix (diagonally
+// dominant).
+func spdMatrix(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := float64((i*3+j*7)%13)/13 + 0.1
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+		a[i*n+i] = float64(n) + 2
+	}
+	return a
+}
+
+// choleskyStage performs step k of the blocked factorization and chains to
+// step k+1 through continuations.
+func choleskyStage(a []float64, n, b, k int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		nb := n / b
+		if k == nb {
+			return
+		}
+		// Factor the diagonal block A[k][k] in place (serial, coarse).
+		w.Work(uint64(7 * b * b * b))
+		factorDiag(a, n, b, k)
+
+		// Column panel: L[i][k] = A[i][k] · L[k][k]^-T for i > k.
+		panel := make([]sched.TaskFunc, 0, nb-k-1)
+		for i := k + 1; i < nb; i++ {
+			i := i
+			panel = append(panel, func(w *sched.Worker) {
+				w.Work(uint64(7 * b * b * b))
+				triangularSolve(a, n, b, i, k)
+			})
+		}
+		// Trailing update: A[i][j] -= L[i][k]·L[j][k]^T for k<j<=i.
+		trailing := func(w *sched.Worker) {
+			var ts []sched.TaskFunc
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j <= i; j++ {
+					i, j := i, j
+					ts = append(ts, func(w *sched.Worker) {
+						w.Work(uint64(7 * b * b * b))
+						syrkUpdate(a, n, b, i, j, k)
+					})
+				}
+			}
+			if len(ts) == 0 {
+				choleskyStage(a, n, b, k+1)(w)
+				return
+			}
+			w.Fork(choleskyStage(a, n, b, k+1), ts...)
+		}
+		if len(panel) == 0 {
+			trailing(w)
+			return
+		}
+		w.Fork(trailing, panel...)
+	}
+}
+
+func factorDiag(a []float64, n, b, k int) {
+	o := k * b
+	for j := 0; j < b; j++ {
+		d := a[(o+j)*n+o+j]
+		for p := 0; p < j; p++ {
+			d -= a[(o+j)*n+o+p] * a[(o+j)*n+o+p]
+		}
+		d = math.Sqrt(d)
+		a[(o+j)*n+o+j] = d
+		for i := j + 1; i < b; i++ {
+			s := a[(o+i)*n+o+j]
+			for p := 0; p < j; p++ {
+				s -= a[(o+i)*n+o+p] * a[(o+j)*n+o+p]
+			}
+			a[(o+i)*n+o+j] = s / d
+		}
+	}
+}
+
+// triangularSolve computes block L[bi][bk] := A[bi][bk] · L[bk][bk]^-T.
+func triangularSolve(a []float64, n, b, bi, bk int) {
+	ro, co := bi*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a[(ro+i)*n+co+j]
+			for p := 0; p < j; p++ {
+				s -= a[(ro+i)*n+co+p] * a[(co+j)*n+co+p]
+			}
+			a[(ro+i)*n+co+j] = s / a[(co+j)*n+co+j]
+		}
+	}
+}
+
+// syrkUpdate computes A[bi][bj] -= L[bi][bk]·L[bj][bk]^T.
+func syrkUpdate(a []float64, n, b, bi, bj, bk int) {
+	ro, co, ko := bi*b, bj*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := 0.0
+			for p := 0; p < b; p++ {
+				s += a[(ro+i)*n+ko+p] * a[(co+j)*n+ko+p]
+			}
+			a[(ro+i)*n+co+j] -= s
+		}
+	}
+}
+
+// verifyCholesky checks L·Lᵀ ≈ original on the lower triangle.
+func verifyCholesky(l, orig []float64, n int) error {
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for p := 0; p <= j; p++ {
+				s += l[i*n+p] * l[j*n+p]
+			}
+			if !approxEqual(s, orig[i*n+j], 1e-6) {
+				return fmt.Errorf("cholesky: (LLᵀ)[%d,%d] = %g want %g", i, j, s, orig[i*n+j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/sched"
+)
+
+// fftApp is Table 1's "fft: Fast Fourier transform, 2^26 points".
+// Recursive radix-2 Cooley-Tukey: each node forks the even and odd
+// half-transforms and combines with twiddle factors in its continuation.
+func fftApp() App {
+	return App{
+		Name:       "fft",
+		Desc:       "Fast Fourier transform",
+		PaperInput: "2^26 points (scaled here to 2048, leaf 16)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n, leaf := 2048, 16
+			if size == SizeTest {
+				n, leaf = 32, 8
+			}
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(math.Sin(float64(3*i)), math.Cos(float64(2*i))/2)
+			}
+			want := dftDirect(x)
+			out := make([]complex128, n)
+			copy(out, x)
+			root := fftTask(out, leaf)
+			return root, func() error {
+				for i := range out {
+					if cmplx.Abs(out[i]-want[i]) > 1e-6*(1+cmplx.Abs(want[i])) {
+						return fmt.Errorf("fft: bin %d = %v want %v", i, out[i], want[i])
+					}
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// fftTask transforms x in place (len(x) must be a power of two).
+func fftTask(x []complex128, leaf int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		n := len(x)
+		if n <= leaf {
+			w.Work(uint64(10 * n * bits(n)))
+			fftSerial(x)
+			return
+		}
+		even := make([]complex128, n/2)
+		odd := make([]complex128, n/2)
+		for i := 0; i < n/2; i++ {
+			even[i] = x[2*i]
+			odd[i] = x[2*i+1]
+		}
+		w.Work(uint64(n))
+		w.Fork(func(w *sched.Worker) {
+			w.Work(uint64(3 * n))
+			for k := 0; k < n/2; k++ {
+				t := twiddle(k, n) * odd[k]
+				x[k] = even[k] + t
+				x[k+n/2] = even[k] - t
+			}
+		}, fftTask(even, leaf), fftTask(odd, leaf))
+	}
+}
+
+func twiddle(k, n int) complex128 {
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	return cmplx.Exp(complex(0, ang))
+}
+
+func fftSerial(x []complex128) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fftSerial(even)
+	fftSerial(odd)
+	for k := 0; k < n/2; k++ {
+		t := twiddle(k, n) * odd[k]
+		x[k] = even[k] + t
+		x[k+n/2] = even[k] - t
+	}
+}
+
+func dftDirect(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * twiddle(k*j%n, n)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func bits(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// fibApp is Table 1's "Fib: Recursive Fibonacci, input 42". The paper's
+// most fence-sensitive program: every task is a few dozen cycles, so the
+// take() fence is ~25% of execution time (Figure 1's leftmost bar).
+func fibApp() App {
+	return App{
+		Name:       "Fib",
+		Desc:       "Recursive Fibonacci",
+		PaperInput: "42 (scaled here to 17)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n := 17
+			if size == SizeTest {
+				n = 10
+			}
+			var result uint64
+			return fibTask(n, &result), func() error {
+				if want := fibSerial(n); result != want {
+					return fmt.Errorf("fib(%d) = %d want %d", n, result, want)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// fibNodeWork is the modelled cost of one fib task body; calibrated so the
+// fence accounts for roughly a quarter of single-threaded execution, as on
+// the paper's Haswell.
+const fibNodeWork = 45
+
+func fibTask(n int, out *uint64) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		w.Work(fibNodeWork)
+		if n < 2 {
+			*out = uint64(n)
+			return
+		}
+		var a, b uint64
+		w.Fork(func(w *sched.Worker) {
+			w.Work(10)
+			*out = a + b
+		}, fibTask(n-1, &a), fibTask(n-2, &b))
+	}
+}
+
+func fibSerial(n int) uint64 {
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}

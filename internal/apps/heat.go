@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"repro/internal/sched"
+)
+
+// heatApp is Table 1's "Heat: Heat diffusion simulation, 4096×1024".
+// Explicit finite-difference time stepping on a 2D plate, one row-block
+// task per chunk per step with a continuation barrier — the same
+// fork-per-timestep structure as the CilkPlus original.
+func heatApp() App {
+	return App{
+		Name:       "Heat",
+		Desc:       "Heat diffusion simulation",
+		PaperInput: "4096×1024 (scaled here to 96×32, 3 steps)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			nx, ny, steps, blocks := 96, 32, 3, 96
+			if size == SizeTest {
+				nx, ny, steps, blocks = 10, 8, 3, 2
+			}
+			cur := make([]float64, nx*ny)
+			for i := 0; i < nx; i++ {
+				for j := 0; j < ny; j++ {
+					cur[i*ny+j] = float64((i*13+j*5)%17) / 17
+				}
+			}
+			next := make([]float64, nx*ny)
+			want := heatSerial(cur, nx, ny, steps)
+			root := heatStep(&cur, &next, nx, ny, blocks, 0, steps)
+			return root, func() error {
+				return verifyGrid("heat", cur, want, 1e-12)
+			}
+		},
+	}
+}
+
+const heatAlpha = 0.1
+
+// heatRelaxRows advances rows [lo,hi) one explicit Euler step with
+// insulated (copied) boundaries.
+func heatRelaxRows(dst, src []float64, nx, ny, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < ny; j++ {
+			if i == 0 || j == 0 || i == nx-1 || j == ny-1 {
+				dst[i*ny+j] = src[i*ny+j]
+				continue
+			}
+			c := src[i*ny+j]
+			lap := src[(i-1)*ny+j] + src[(i+1)*ny+j] + src[i*ny+j-1] + src[i*ny+j+1] - 4*c
+			dst[i*ny+j] = c + heatAlpha*lap
+		}
+	}
+}
+
+func heatStep(cur, next *[]float64, nx, ny, blocks, t, steps int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		if t == steps {
+			return
+		}
+		src, dst := *cur, *next
+		children := make([]sched.TaskFunc, 0, blocks)
+		for b := 0; b < blocks; b++ {
+			lo := b * nx / blocks
+			hi := (b + 1) * nx / blocks
+			children = append(children, func(w *sched.Worker) {
+				w.Work(uint64((hi - lo) * ny * 9))
+				heatRelaxRows(dst, src, nx, ny, lo, hi)
+			})
+		}
+		w.Fork(func(w *sched.Worker) {
+			*cur, *next = *next, *cur
+			w.Work(45)
+			heatStep(cur, next, nx, ny, blocks, t+1, steps)(w)
+		}, children...)
+	}
+}
+
+func heatSerial(init []float64, nx, ny, steps int) []float64 {
+	cur := append([]float64(nil), init...)
+	next := make([]float64, nx*ny)
+	for t := 0; t < steps; t++ {
+		heatRelaxRows(next, cur, nx, ny, 0, nx)
+		cur, next = next, cur
+	}
+	return cur
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// integrateApp is Table 1's "Integrate: Recursively calculate area under a
+// curve, input 10000". Adaptive trapezoid refinement: each node either
+// accepts its interval (leaf) or forks two halves. Fine-grained, so the
+// fence share is high (~20% in Figure 1).
+func integrateApp() App {
+	return App{
+		Name:       "Integrate",
+		Desc:       "Recursively calculate area under a curve",
+		PaperInput: "10000 (scaled here to depth 9 over [0, 2π])",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			depth := 9
+			if size == SizeTest {
+				depth = 5
+			}
+			f := func(x float64) float64 { return math.Sin(x) + 0.5*x }
+			lo, hi := 0.0, 2*math.Pi
+			// ∫ sin = 1-cos(2π) = 0 ; ∫ 0.5x = 0.25·(2π)²
+			want := 0.25 * (2 * math.Pi) * (2 * math.Pi)
+			var sum float64
+			root := integrateTask(f, lo, hi, depth, &sum)
+			return root, func() error {
+				if math.Abs(sum-want) > 1e-3*math.Abs(want) {
+					return fmt.Errorf("integrate: got %g want %g", sum, want)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// integrateTask refines [lo,hi] to a fixed depth (a deterministic stand-in
+// for error-driven adaptivity, keeping the task tree reproducible). The
+// meta accumulation into *sum is race-free because the simulated machine
+// serializes task bodies.
+func integrateTask(f func(float64) float64, lo, hi float64, depth int, sum *float64) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		w.Work(75)
+		if depth == 0 {
+			mid := (lo + hi) / 2
+			// Two trapezoids per leaf.
+			*sum += (hi - lo) / 4 * (f(lo) + 2*f(mid) + f(hi))
+			return
+		}
+		mid := (lo + hi) / 2
+		w.Fork(func(w *sched.Worker) { w.Work(10) },
+			integrateTask(f, lo, mid, depth-1, sum),
+			integrateTask(f, mid, hi, depth-1, sum),
+		)
+	}
+}

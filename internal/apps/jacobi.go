@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"repro/internal/sched"
+)
+
+// jacobiApp is Table 1's "Jacobi: Iterative mesh relaxation, 1024×1024".
+// Iterations of data-parallel row-block tasks with a barrier
+// (continuation) between iterations. Tasks are a few hundred cycles, so
+// the fence overhead is mild (Figure 1 shows ~93%, i.e. ~7% fence share).
+func jacobiApp() App {
+	return App{
+		Name:       "Jacobi",
+		Desc:       "Iterative mesh relaxation",
+		PaperInput: "1024×1024 (scaled here to 96×96, 3 iterations)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n, iters, blocks := 96, 3, 96
+			if size == SizeTest {
+				n, iters, blocks = 10, 3, 3
+			}
+			cur := makeMesh(n, func(i, j int) float64 {
+				return float64((i*7+j*3)%11) / 11
+			})
+			next := make([]float64, n*n)
+			want := jacobiSerial(cur, n, iters)
+			root := jacobiIter(&cur, &next, n, blocks, 0, iters)
+			return root, func() error {
+				return verifyGrid("jacobi", cur, want, 1e-12)
+			}
+		},
+	}
+}
+
+func makeMesh(n int, f func(i, j int) float64) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = f(i, j)
+		}
+	}
+	return m
+}
+
+// jacobiRelaxRows applies one 5-point relaxation to rows [lo,hi) of src
+// into dst, keeping the boundary fixed.
+func jacobiRelaxRows(dst, src []float64, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				dst[i*n+j] = src[i*n+j]
+				continue
+			}
+			dst[i*n+j] = 0.25 * (src[(i-1)*n+j] + src[(i+1)*n+j] + src[i*n+j-1] + src[i*n+j+1])
+		}
+	}
+}
+
+// jacobiIter forks one task per row block, with the continuation swapping
+// buffers and starting the next iteration — the fork/join-per-step
+// structure of the CilkPlus original.
+func jacobiIter(cur, next *[]float64, n, blocks, it, iters int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		if it == iters {
+			return
+		}
+		src, dst := *cur, *next
+		children := make([]sched.TaskFunc, 0, blocks)
+		for b := 0; b < blocks; b++ {
+			lo := b * n / blocks
+			hi := (b + 1) * n / blocks
+			children = append(children, func(w *sched.Worker) {
+				w.Work(uint64((hi - lo) * n * 2))
+				jacobiRelaxRows(dst, src, n, lo, hi)
+			})
+		}
+		w.Fork(func(w *sched.Worker) {
+			*cur, *next = *next, *cur
+			w.Work(15)
+			jacobiIter(cur, next, n, blocks, it+1, iters)(w)
+		}, children...)
+	}
+}
+
+func jacobiSerial(init []float64, n, iters int) []float64 {
+	cur := append([]float64(nil), init...)
+	next := make([]float64, n*n)
+	for it := 0; it < iters; it++ {
+		jacobiRelaxRows(next, cur, n, 0, n)
+		cur, next = next, cur
+	}
+	return cur
+}

@@ -1,0 +1,333 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// These tests exercise the numeric kernels the task bodies are built from,
+// independent of any scheduler, so a kernel regression is pinpointed
+// rather than surfacing as an opaque verify() failure.
+
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 25 + r.Intn(200)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(50) // duplicates likely
+		}
+		want := append([]int(nil), a...)
+		sort.Ints(want)
+		p := partition(a)
+		if p <= 0 || p >= n-1 {
+			// Median-of-three guarantees at least one element on each
+			// side for n >= 3 distinct positions.
+			if p < 0 || p >= n {
+				return false
+			}
+		}
+		pivot := a[p]
+		for _, v := range a[:p] {
+			if v > pivot {
+				return false
+			}
+		}
+		for _, v := range a[p+1:] {
+			if v < pivot {
+				return false
+			}
+		}
+		// Permutation preserved.
+		got := append([]int(nil), a...)
+		sort.Ints(got)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatViewsShareStorage(t *testing.T) {
+	m := newMat(4)
+	q := m.quad(1, 1)
+	q.set(0, 0, 7)
+	if got := m.at(2, 2); got != 7 {
+		t.Fatalf("quadrant write not visible through parent: %v", got)
+	}
+	q.add(0, 0, 3)
+	if got := m.at(2, 2); got != 10 {
+		t.Fatalf("add = %v want 10", got)
+	}
+}
+
+func TestMulAddSerialAgainstDirect(t *testing.T) {
+	const n = 6
+	a, b, c := newMat(n), newMat(n), newMat(n)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.set(i, j, r.Float64()*4-2)
+			b.set(i, j, r.Float64()*4-2)
+		}
+	}
+	mulAddSerial(c, a, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += a.at(i, k) * b.at(k, j)
+			}
+			if !approxEqual(c.at(i, j), want, 1e-9) {
+				t.Fatalf("c[%d,%d] = %v want %v", i, j, c.at(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatHelpers(t *testing.T) {
+	x, y, d := newMat(3), newMat(3), newMat(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x.set(i, j, float64(i+j))
+			y.set(i, j, float64(i*j))
+		}
+	}
+	matAddInto(d, x, y)
+	if d.at(2, 2) != 4+4 {
+		t.Fatalf("add = %v", d.at(2, 2))
+	}
+	matSubInto(d, x, y)
+	if d.at(2, 2) != 4-4 {
+		t.Fatalf("sub = %v", d.at(2, 2))
+	}
+	matCopy(d, x)
+	if d.at(1, 2) != 3 {
+		t.Fatalf("copy = %v", d.at(1, 2))
+	}
+}
+
+func TestCholeskyKernelsComposeToFactorization(t *testing.T) {
+	// Running the blocked kernels sequentially must equal an unblocked
+	// Cholesky factorization.
+	const n, b = 12, 3
+	a := spdMatrix(n)
+	orig := append([]float64(nil), a...)
+	nb := n / b
+	for k := 0; k < nb; k++ {
+		factorDiag(a, n, b, k)
+		for i := k + 1; i < nb; i++ {
+			triangularSolve(a, n, b, i, k)
+		}
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j <= i; j++ {
+				syrkUpdate(a, n, b, i, j, k)
+			}
+		}
+	}
+	if err := verifyCholesky(a, orig, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUDKernelsComposeToFactorization(t *testing.T) {
+	const n, b = 12, 3
+	a := ddMatrix(n)
+	orig := append([]float64(nil), a...)
+	nb := n / b
+	for k := 0; k < nb; k++ {
+		ludFactorDiag(a, n, b, k)
+		for i := k + 1; i < nb; i++ {
+			ludColPanel(a, n, b, i, k)
+			ludRowPanel(a, n, b, k, i)
+		}
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				ludTrailing(a, n, b, i, j, k)
+			}
+		}
+	}
+	if err := verifyLU(a, orig, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTSerialMatchesDirectDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := make([]complex128, n)
+		r := rand.New(rand.NewSource(int64(n)))
+		for i := range x {
+			x[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+		}
+		want := dftDirect(x)
+		got := append([]complex128(nil), x...)
+		fftSerial(got)
+		for i := range got {
+			d := got[i] - want[i]
+			if math.Hypot(real(d), imag(d)) > 1e-9*(1+math.Hypot(real(want[i]), imag(want[i]))) {
+				t.Fatalf("n=%d bin %d: %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Energy conservation: sum |x|^2 = (1/n) sum |X|^2.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]complex128, n)
+		tEnergy := 0.0
+		for i := range x {
+			x[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+			tEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		fftSerial(x)
+		fEnergy := 0.0
+		for _, v := range x {
+			fEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tEnergy-fEnergy/float64(n)) < 1e-9*(1+tEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnapsackBoundIsAdmissible(t *testing.T) {
+	// The fractional bound must never underestimate the best achievable
+	// value from state (i, cap) — otherwise branch-and-bound would prune
+	// optimal solutions.
+	items, capacity := genItems(12)
+	var exact func(i, cap int) int
+	exact = func(i, cap int) int {
+		if i == len(items) || cap == 0 {
+			return 0
+		}
+		best := exact(i+1, cap)
+		if items[i].weight <= cap {
+			if v := items[i].value + exact(i+1, cap-items[i].weight); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	for i := 0; i <= len(items); i += 3 {
+		for _, cap := range []int{0, capacity / 4, capacity / 2, capacity} {
+			if bound, opt := ksBound(items, i, cap), exact(i, cap); bound < opt {
+				t.Fatalf("bound(%d,%d) = %d < exact %d (inadmissible)", i, cap, bound, opt)
+			}
+		}
+	}
+}
+
+func TestKnapsackDPMatchesBruteForce(t *testing.T) {
+	items := []ksItem{{3, 4}, {4, 5}, {2, 3}, {5, 8}}
+	best := 0
+	for mask := 0; mask < 1<<len(items); mask++ {
+		w, v := 0, 0
+		for i, it := range items {
+			if mask>>i&1 == 1 {
+				w += it.weight
+				v += it.value
+			}
+		}
+		if w <= 7 && v > best {
+			best = v
+		}
+	}
+	if got := knapsackDP(items, 7); got != best {
+		t.Fatalf("dp = %d want %d", got, best)
+	}
+}
+
+func TestStencilsPreserveBoundary(t *testing.T) {
+	n := 8
+	src := makeMesh(n, func(i, j int) float64 { return float64(i*n + j) })
+	dst := make([]float64, n*n)
+	jacobiRelaxRows(dst, src, n, 0, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				if dst[i*n+j] != src[i*n+j] {
+					t.Fatalf("jacobi boundary (%d,%d) changed", i, j)
+				}
+			}
+		}
+	}
+	heatRelaxRows(dst, src, n, n, 0, n)
+	if dst[0] != src[0] || dst[n*n-1] != src[n*n-1] {
+		t.Fatal("heat boundary changed")
+	}
+}
+
+func TestHeatStepIsContraction(t *testing.T) {
+	// With insulated boundaries and alpha <= 0.25 the explicit step cannot
+	// create new extrema in the interior.
+	nx, ny := 10, 10
+	src := make([]float64, nx*ny)
+	r := rand.New(rand.NewSource(3))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range src {
+		src[i] = r.Float64()
+		lo = math.Min(lo, src[i])
+		hi = math.Max(hi, src[i])
+	}
+	dst := make([]float64, nx*ny)
+	heatRelaxRows(dst, src, nx, ny, 0, nx)
+	for _, v := range dst {
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("value %v escapes [%v, %v]", v, lo, hi)
+		}
+	}
+}
+
+func TestSPDAndDDMatrixProperties(t *testing.T) {
+	n := 10
+	a := spdMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a[i*n+j] != a[j*n+i] {
+				t.Fatalf("spd not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	d := ddMatrix(n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum += math.Abs(d[i*n+j])
+			}
+		}
+		if math.Abs(d[i*n+i]) <= sum {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 16: 4, 1024: 10}
+	for n, want := range cases {
+		if got := bits(n); got != want {
+			t.Errorf("bits(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestFibSerialBase(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13}
+	for n, w := range want {
+		if got := fibSerial(n); got != w {
+			t.Errorf("fibSerial(%d) = %d want %d", n, got, w)
+		}
+	}
+}

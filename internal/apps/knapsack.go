@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// knapsackApp is Table 1's "knapsack: Recursive branch-and-bound knapsack
+// solver, 32 items". Each node explores include/exclude with a fractional
+// upper-bound prune against the global best — fine-grained tasks, ~22%
+// fence share in Figure 1.
+func knapsackApp() App {
+	return App{
+		Name:       "knapsack",
+		Desc:       "Recursive branch-and-bound knapsack solver",
+		PaperInput: "32 items (scaled here to 18)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n := 18
+			if size == SizeTest {
+				n = 11
+			}
+			items, capacity := genItems(n)
+			want := knapsackDP(items, capacity)
+			best := 0
+			root := knapsackTask(items, 0, capacity, 0, &best)
+			return root, func() error {
+				if best != want {
+					return fmt.Errorf("knapsack: best %d want %d", best, want)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+type ksItem struct{ weight, value int }
+
+// genItems produces items sorted by value density (descending), which the
+// fractional bound requires.
+func genItems(n int) ([]ksItem, int) {
+	r := rand.New(rand.NewSource(777))
+	items := make([]ksItem, n)
+	total := 0
+	for i := range items {
+		items[i] = ksItem{weight: 1 + r.Intn(20), value: 1 + r.Intn(30)}
+		total += items[i].weight
+	}
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].value*items[j].weight > items[j].value*items[i].weight
+	})
+	return items, total / 2
+}
+
+// ksBound is the fractional relaxation bound from item i onward.
+func ksBound(items []ksItem, i, cap int) int {
+	bound := 0
+	for ; i < len(items) && cap > 0; i++ {
+		if items[i].weight <= cap {
+			bound += items[i].value
+			cap -= items[i].weight
+			continue
+		}
+		bound += items[i].value * cap / items[i].weight
+		return bound
+	}
+	return bound
+}
+
+// knapsackTask explores the include/exclude tree, pruning with the global
+// best (meta state; monotone, so stale reads only delay pruning).
+func knapsackTask(items []ksItem, i, cap, value int, best *int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		w.Work(70)
+		if value > *best {
+			*best = value
+		}
+		if i == len(items) || cap == 0 {
+			return
+		}
+		if value+ksBound(items, i, cap) <= *best {
+			return // pruned
+		}
+		children := make([]sched.TaskFunc, 0, 2)
+		if items[i].weight <= cap {
+			children = append(children, knapsackTask(items, i+1, cap-items[i].weight, value+items[i].value, best))
+		}
+		children = append(children, knapsackTask(items, i+1, cap, value, best))
+		w.Fork(func(w *sched.Worker) { w.Work(7) }, children...)
+	}
+}
+
+// knapsackDP is the exact reference solution.
+func knapsackDP(items []ksItem, capacity int) int {
+	dp := make([]int, capacity+1)
+	for _, it := range items {
+		for c := capacity; c >= it.weight; c-- {
+			if v := dp[c-it.weight] + it.value; v > dp[c] {
+				dp[c] = v
+			}
+		}
+	}
+	return dp[capacity]
+}

@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// ludApp is Table 1's "LUD: LU decomposition, 1024×1024". Blocked
+// right-looking LU without pivoting (the input is made diagonally
+// dominant), with the same stage-chained fork structure as cholesky. This
+// is the program whose shallow per-stage queues make FF-THE with δ=4
+// unable to steal in Figure 10.
+func ludApp() App {
+	return App{
+		Name:       "LUD",
+		Desc:       "LU decomposition",
+		PaperInput: "1024×1024 (scaled here to 64×64, block 4)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n, b := 64, 4
+			if size == SizeTest {
+				n, b = 8, 4
+			}
+			a := ddMatrix(n)
+			orig := append([]float64(nil), a...)
+			root := ludStage(a, n, b, 0)
+			return root, func() error {
+				return verifyLU(a, orig, n)
+			}
+		},
+	}
+}
+
+// ddMatrix builds a diagonally dominant (hence LU-stable) matrix.
+func ddMatrix(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64((i*5+j*11)%7) - 3
+		}
+		a[i*n+i] = float64(4*n) + 1
+	}
+	return a
+}
+
+func ludStage(a []float64, n, b, k int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		nb := n / b
+		if k == nb {
+			return
+		}
+		w.Work(uint64(4 * b * b * b))
+		ludFactorDiag(a, n, b, k)
+
+		var panels []sched.TaskFunc
+		for i := k + 1; i < nb; i++ {
+			i := i
+			// Column panel: L[i][k] := A[i][k]·U[k][k]⁻¹
+			panels = append(panels, func(w *sched.Worker) {
+				w.Work(uint64(4 * b * b * b))
+				ludColPanel(a, n, b, i, k)
+			})
+			// Row panel: U[k][i] := L[k][k]⁻¹·A[k][i]
+			panels = append(panels, func(w *sched.Worker) {
+				w.Work(uint64(4 * b * b * b))
+				ludRowPanel(a, n, b, k, i)
+			})
+		}
+		trailing := func(w *sched.Worker) {
+			var ts []sched.TaskFunc
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j < nb; j++ {
+					i, j := i, j
+					ts = append(ts, func(w *sched.Worker) {
+						w.Work(uint64(4 * b * b * b))
+						ludTrailing(a, n, b, i, j, k)
+					})
+				}
+			}
+			if len(ts) == 0 {
+				ludStage(a, n, b, k+1)(w)
+				return
+			}
+			w.Fork(ludStage(a, n, b, k+1), ts...)
+		}
+		if len(panels) == 0 {
+			trailing(w)
+			return
+		}
+		w.Fork(trailing, panels...)
+	}
+}
+
+// ludFactorDiag performs unblocked LU on the k-th diagonal block, storing
+// L (unit lower) and U in place.
+func ludFactorDiag(a []float64, n, b, k int) {
+	o := k * b
+	for p := 0; p < b; p++ {
+		piv := a[(o+p)*n+o+p]
+		for i := p + 1; i < b; i++ {
+			l := a[(o+i)*n+o+p] / piv
+			a[(o+i)*n+o+p] = l
+			for j := p + 1; j < b; j++ {
+				a[(o+i)*n+o+j] -= l * a[(o+p)*n+o+j]
+			}
+		}
+	}
+}
+
+// ludColPanel solves L[bi][bk]·U[bk][bk] = A[bi][bk] for L[bi][bk].
+func ludColPanel(a []float64, n, b, bi, bk int) {
+	ro, co := bi*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a[(ro+i)*n+co+j]
+			for p := 0; p < j; p++ {
+				s -= a[(ro+i)*n+co+p] * a[(co+p)*n+co+j]
+			}
+			a[(ro+i)*n+co+j] = s / a[(co+j)*n+co+j]
+		}
+	}
+}
+
+// ludRowPanel solves L[bk][bk]·U[bk][bj] = A[bk][bj] for U[bk][bj]
+// (L is unit lower triangular).
+func ludRowPanel(a []float64, n, b, bk, bj int) {
+	ro, co := bk*b, bj*b
+	for j := 0; j < b; j++ {
+		for i := 0; i < b; i++ {
+			s := a[(ro+i)*n+co+j]
+			for p := 0; p < i; p++ {
+				s -= a[(ro+i)*n+ro+p] * a[(ro+p)*n+co+j]
+			}
+			a[(ro+i)*n+co+j] = s
+		}
+	}
+}
+
+// ludTrailing computes A[bi][bj] -= L[bi][bk]·U[bk][bj].
+func ludTrailing(a []float64, n, b, bi, bj, bk int) {
+	ro, co, ko := bi*b, bj*b, bk*b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := 0.0
+			for p := 0; p < b; p++ {
+				s += a[(ro+i)*n+ko+p] * a[(ko+p)*n+co+j]
+			}
+			a[(ro+i)*n+co+j] -= s
+		}
+	}
+}
+
+// verifyLU checks L·U ≈ original, with L unit-lower and U upper stored in
+// place.
+func verifyLU(lu, orig []float64, n int) error {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < n; p++ {
+				var l, u float64
+				switch {
+				case p < i:
+					l = lu[i*n+p]
+				case p == i:
+					l = 1
+				}
+				if p <= j {
+					u = lu[p*n+j]
+				}
+				s += l * u
+			}
+			if !approxEqual(s, orig[i*n+j], 1e-6) {
+				return fmt.Errorf("lud: (LU)[%d,%d] = %g want %g", i, j, s, orig[i*n+j])
+			}
+		}
+	}
+	return nil
+}

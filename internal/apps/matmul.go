@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"repro/internal/sched"
+)
+
+// mat is a dense row-major view into a larger matrix, so recursive
+// quadrant decomposition needs no copying.
+type mat struct {
+	data   []float64
+	stride int
+	r0, c0 int
+	n      int // square block size
+}
+
+func newMat(n int) mat {
+	return mat{data: make([]float64, n*n), stride: n, n: n}
+}
+
+func (m mat) at(i, j int) float64     { return m.data[(m.r0+i)*m.stride+m.c0+j] }
+func (m mat) set(i, j int, v float64) { m.data[(m.r0+i)*m.stride+m.c0+j] = v }
+func (m mat) add(i, j int, v float64) { m.data[(m.r0+i)*m.stride+m.c0+j] += v }
+
+// quad returns the (qi,qj) quadrant of m (qi,qj in {0,1}).
+func (m mat) quad(qi, qj int) mat {
+	h := m.n / 2
+	return mat{data: m.data, stride: m.stride, r0: m.r0 + qi*h, c0: m.c0 + qj*h, n: h}
+}
+
+// mulAddSerial computes C += A×B on n×n views.
+func mulAddSerial(c, a, b mat) {
+	n := c.n
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a.at(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.add(i, j, av*b.at(k, j))
+			}
+		}
+	}
+}
+
+// matmulApp is Table 1's "Matmul: Matrix multiply, 1024×1024". The
+// recursive eight-subproduct decomposition of the CilkPlus original: the
+// four C_ij += A_i0×B_0j products fork in parallel, then a continuation
+// forks the four C_ij += A_i1×B_1j products (they accumulate into the
+// same quadrants, so the phases cannot overlap). Leaf tasks are O(leaf³)
+// cycles — coarse, hence the small fence share in Figure 1 (~5%).
+func matmulApp() App {
+	return App{
+		Name:       "Matmul",
+		Desc:       "Matrix multiply",
+		PaperInput: "1024×1024 (scaled here to 64×64, leaf 8)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n, leaf := 64, 8
+			if size == SizeTest {
+				n, leaf = 8, 4
+			}
+			a := newMat(n)
+			b := newMat(n)
+			c := newMat(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a.set(i, j, float64((i+j*3)%7)-3)
+					b.set(i, j, float64((i*5+j)%5)-2)
+				}
+			}
+			want := newMat(n)
+			mulAddSerial(want, a, b)
+			root := matmulTask(c, a, b, leaf)
+			return root, func() error {
+				return verifyGrid("matmul", c.data, want.data, 1e-9)
+			}
+		},
+	}
+}
+
+func matmulTask(c, a, b mat, leaf int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		if c.n <= leaf {
+			w.Work(uint64(3 * c.n * c.n * c.n / 4))
+			mulAddSerial(c, a, b)
+			return
+		}
+		phase1 := make([]sched.TaskFunc, 0, 4)
+		phase2 := make([]sched.TaskFunc, 0, 4)
+		for qi := 0; qi < 2; qi++ {
+			for qj := 0; qj < 2; qj++ {
+				cq := c.quad(qi, qj)
+				phase1 = append(phase1, matmulTask(cq, a.quad(qi, 0), b.quad(0, qj), leaf))
+				phase2 = append(phase2, matmulTask(cq, a.quad(qi, 1), b.quad(1, qj), leaf))
+			}
+		}
+		w.Fork(func(w *sched.Worker) {
+			w.Work(10)
+			w.Fork(func(w *sched.Worker) { w.Work(5) }, phase2...)
+		}, phase1...)
+	}
+}

@@ -1,0 +1,96 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// quickSortApp is Table 1's "QuickSort: Recursive QuickSort, 10^8
+// elements". Partition work grows with subarray size, so tasks range from
+// coarse near the root to fine at the leaves; overall fence share is
+// moderate (~11% in Figure 1).
+func quickSortApp() App {
+	return App{
+		Name:       "QuickSort",
+		Desc:       "Recursive QuickSort",
+		PaperInput: "10^8 elements (scaled here to 8000)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n := 8000
+			if size == SizeTest {
+				n = 300
+			}
+			data := make([]int, n)
+			r := rand.New(rand.NewSource(12345))
+			for i := range data {
+				data[i] = r.Intn(1 << 20)
+			}
+			var checksum uint64
+			for _, v := range data {
+				checksum += uint64(v)
+			}
+			root := qsortTask(data)
+			return root, func() error {
+				if !sort.IntsAreSorted(data) {
+					return fmt.Errorf("quicksort: output not sorted")
+				}
+				var sum uint64
+				for _, v := range data {
+					sum += uint64(v)
+				}
+				if sum != checksum {
+					return fmt.Errorf("quicksort: checksum %d want %d (elements lost)", sum, checksum)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+const qsortCutoff = 24
+
+func qsortTask(a []int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		if len(a) <= qsortCutoff {
+			w.Work(uint64(7*len(a) + 50))
+			sort.Ints(a)
+			return
+		}
+		// Median-of-three partition; cost proportional to the scan.
+		w.Work(uint64(len(a)))
+		p := partition(a)
+		w.Fork(func(w *sched.Worker) { w.Work(5) },
+			qsortTask(a[:p]),
+			qsortTask(a[p+1:]),
+		)
+	}
+}
+
+func partition(a []int) int {
+	mid := len(a) / 2
+	hi := len(a) - 1
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	i := 0
+	for j := 1; j < hi-1; j++ {
+		if a[j] < pivot {
+			i++
+			if i != j {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	}
+	a[i+1], a[hi-1] = a[hi-1], a[i+1]
+	return i + 1
+}

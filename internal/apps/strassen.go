@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"repro/internal/sched"
+)
+
+// strassenApp is Table 1's "strassen: Strassen matrix multiply,
+// 4096×4096". Each internal node forks the seven Strassen products (each
+// recursively a strassen task) and combines them in its continuation.
+func strassenApp() App {
+	return App{
+		Name:       "strassen",
+		Desc:       "Strassen matrix multiply",
+		PaperInput: "4096×4096 (scaled here to 64×64, leaf 8)",
+		build: func(size Size) (sched.TaskFunc, func() error) {
+			n, leaf := 64, 8
+			if size == SizeTest {
+				n, leaf = 8, 4
+			}
+			a := newMat(n)
+			b := newMat(n)
+			c := newMat(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a.set(i, j, float64((i*2+j)%9)-4)
+					b.set(i, j, float64((i+j*7)%6)-2)
+				}
+			}
+			want := newMat(n)
+			mulAddSerial(want, a, b)
+			root := strassenTask(c, a, b, leaf)
+			return root, func() error {
+				return verifyGrid("strassen", c.data, want.data, 1e-9)
+			}
+		},
+	}
+}
+
+// matAddInto computes dst = x + y (same-size views).
+func matAddInto(dst, x, y mat) {
+	for i := 0; i < dst.n; i++ {
+		for j := 0; j < dst.n; j++ {
+			dst.set(i, j, x.at(i, j)+y.at(i, j))
+		}
+	}
+}
+
+// matSubInto computes dst = x - y.
+func matSubInto(dst, x, y mat) {
+	for i := 0; i < dst.n; i++ {
+		for j := 0; j < dst.n; j++ {
+			dst.set(i, j, x.at(i, j)-y.at(i, j))
+		}
+	}
+}
+
+// matCopy copies src into dst.
+func matCopy(dst, src mat) {
+	for i := 0; i < dst.n; i++ {
+		for j := 0; j < dst.n; j++ {
+			dst.set(i, j, src.at(i, j))
+		}
+	}
+}
+
+// strassenTask computes C = A×B (C assumed zero) with Strassen's seven
+// products. Temporaries are per-node meta allocations, as in the CilkPlus
+// benchmark.
+func strassenTask(c, a, b mat, leaf int) sched.TaskFunc {
+	return func(w *sched.Worker) {
+		if c.n <= leaf {
+			w.Work(uint64(2 * c.n * c.n * c.n))
+			mulAddSerial(c, a, b)
+			return
+		}
+		h := c.n / 2
+		a11, a12, a21, a22 := a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1)
+		b11, b12, b21, b22 := b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1)
+
+		// Operand temporaries for the seven products.
+		m := make([]mat, 7)
+		la := make([]mat, 7)
+		lb := make([]mat, 7)
+		for i := range m {
+			m[i], la[i], lb[i] = newMat(h), newMat(h), newMat(h)
+		}
+		w.Work(uint64(10 * h * h)) // operand preparation cost
+
+		matAddInto(la[0], a11, a22) // M1 = (A11+A22)(B11+B22)
+		matAddInto(lb[0], b11, b22)
+		matAddInto(la[1], a21, a22) // M2 = (A21+A22)B11
+		matCopy(lb[1], b11)
+		matCopy(la[2], a11) // M3 = A11(B12-B22)
+		matSubInto(lb[2], b12, b22)
+		matCopy(la[3], a22) // M4 = A22(B21-B11)
+		matSubInto(lb[3], b21, b11)
+		matAddInto(la[4], a11, a12) // M5 = (A11+A12)B22
+		matCopy(lb[4], b22)
+		matSubInto(la[5], a21, a11) // M6 = (A21-A11)(B11+B12)
+		matAddInto(lb[5], b11, b12)
+		matSubInto(la[6], a12, a22) // M7 = (A12-A22)(B21+B22)
+		matAddInto(lb[6], b21, b22)
+
+		children := make([]sched.TaskFunc, 7)
+		for i := range children {
+			children[i] = strassenTask(m[i], la[i], lb[i], leaf)
+		}
+		w.Fork(func(w *sched.Worker) {
+			w.Work(uint64(8 * h * h)) // combine cost
+			c11, c12, c21, c22 := c.quad(0, 0), c.quad(0, 1), c.quad(1, 0), c.quad(1, 1)
+			for i := 0; i < h; i++ {
+				for j := 0; j < h; j++ {
+					m1, m2, m3 := m[0].at(i, j), m[1].at(i, j), m[2].at(i, j)
+					m4, m5, m6, m7 := m[3].at(i, j), m[4].at(i, j), m[5].at(i, j), m[6].at(i, j)
+					c11.set(i, j, m1+m4-m5+m7)
+					c12.set(i, j, m3+m5)
+					c21.set(i, j, m2+m4)
+					c22.set(i, j, m1-m2+m3+m6)
+				}
+			}
+		}, children...)
+	}
+}

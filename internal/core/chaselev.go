@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// clBase holds the memory layout shared by ChaseLev and FFCL: head and
+// tail indices and a cyclic task array with non-wrapping indices. Unlike
+// the THE family there is no lock — conflicts are decided by CAS on H.
+type clBase struct {
+	h, t  tso.Addr
+	tasks tso.Addr
+	w     int64
+}
+
+func newCLBase(a tso.Allocator, capacity int) clBase {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: queue capacity %d < 1", capacity))
+	}
+	return clBase{
+		h:     a.Alloc(1),
+		t:     a.Alloc(1),
+		tasks: a.Alloc(capacity),
+		w:     int64(capacity),
+	}
+}
+
+func (q *clBase) slot(i int64) tso.Addr {
+	i %= q.w
+	if i < 0 {
+		i += q.w
+	}
+	return q.tasks + tso.Addr(i)
+}
+
+func (q *clBase) put(c tso.Context, v uint64) {
+	t := i64(c.Load(q.t))
+	if t-i64(c.Load(q.h)) >= q.w {
+		panic(fmt.Sprintf("core: queue overflow (capacity %d); the simulated Chase-Lev queues do not grow (the native library's does)", q.w))
+	}
+	c.Store(q.slot(t), v)
+	c.Store(q.t, u64(t+1))
+}
+
+// take is Figure 2c's take(); withFence selects between Chase-Lev (true)
+// and FF-CL (false, Figure 4).
+func (q *clBase) take(c tso.Context, withFence bool) (uint64, Status) {
+	t := i64(c.Load(q.t)) - 1
+	c.Store(q.t, u64(t))
+	if withFence {
+		c.Fence()
+	}
+	h := i64(c.Load(q.h))
+	if t > h {
+		return c.Load(q.slot(t)), OK
+	}
+	if t < h {
+		// Queue was empty, or a thief concurrently advanced H past us:
+		// restore T and give up.
+		c.Store(q.t, u64(h))
+		return 0, Empty
+	}
+	// t == h: contend for the last task with a CAS, like a thief would.
+	c.Store(q.t, u64(h+1))
+	if _, ok := c.CAS(q.h, u64(h), u64(h+1)); !ok {
+		return 0, Empty
+	}
+	return c.Load(q.slot(t)), OK
+}
+
+// Prefill implements Prefiller.
+func (q *clBase) Prefill(p Poker, vals []uint64) {
+	if int64(len(vals)) > q.w {
+		panic("core: prefill exceeds capacity")
+	}
+	for i, v := range vals {
+		p.Poke(q.slot(int64(i)), v)
+	}
+	p.Poke(q.h, 0)
+	p.Poke(q.t, u64(int64(len(vals))))
+}
+
+// ChaseLev is the Chase-Lev work-stealing deque (Figure 2c): the
+// non-blocking fenced baseline. Thieves race each other and the worker
+// with a CAS on H.
+type ChaseLev struct {
+	clBase
+}
+
+// NewChaseLev allocates a Chase-Lev queue with the given capacity.
+func NewChaseLev(a tso.Allocator, capacity int) *ChaseLev {
+	return &ChaseLev{newCLBase(a, capacity)}
+}
+
+// Name implements Deque.
+func (q *ChaseLev) Name() string { return "Chase-Lev" }
+
+// Put implements Deque.
+func (q *ChaseLev) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// Take implements Deque (with the worker fence).
+func (q *ChaseLev) Take(c tso.Context) (uint64, Status) { return q.take(c, true) }
+
+// Steal implements Deque (Figure 2c lines 44–55).
+func (q *ChaseLev) Steal(c tso.Context) (uint64, Status) {
+	for {
+		h := i64(c.Load(q.h))
+		t := i64(c.Load(q.t))
+		if h >= t {
+			return 0, Empty
+		}
+		task := c.Load(q.slot(h))
+		if _, ok := c.CAS(q.h, u64(h), u64(h+1)); !ok {
+			continue // lost a race; retry from scratch
+		}
+		return task, OK
+	}
+}
+
+// FFCL is the fence-free Chase-Lev queue of Figure 4. The worker's fence
+// is removed; a thief steals task h only when T - δ > h, which certifies
+// the worker's store T := h (its attempt to claim the last task) cannot be
+// hiding in the store buffer — so if the worker does contend for task h it
+// will do so through the CAS.
+type FFCL struct {
+	clBase
+	delta int64
+}
+
+// NewFFCL allocates an FF-CL queue. delta must be ≥ 1.
+func NewFFCL(a tso.Allocator, capacity, delta int) *FFCL {
+	if delta < 1 {
+		panic(fmt.Sprintf("core: FF-CL needs delta >= 1, got %d", delta))
+	}
+	return &FFCL{clBase: newCLBase(a, capacity), delta: int64(delta)}
+}
+
+// Name implements Deque.
+func (q *FFCL) Name() string { return "FF-CL" }
+
+// Delta returns the queue's δ parameter.
+func (q *FFCL) Delta() int { return int(q.delta) }
+
+// Put implements Deque.
+func (q *FFCL) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// Take implements Deque: Chase-Lev's take() without the memory fence.
+func (q *FFCL) Take(c tso.Context) (uint64, Status) { return q.take(c, false) }
+
+// Steal implements Deque (Figure 4 lines 70–83).
+func (q *FFCL) Steal(c tso.Context) (uint64, Status) {
+	for {
+		h := i64(c.Load(q.h))
+		t := i64(c.Load(q.t))
+		if h >= t {
+			return 0, Empty
+		}
+		if t-q.delta <= h {
+			return 0, Abort
+		}
+		task := c.Load(q.slot(h))
+		if _, ok := c.CAS(q.h, u64(h), u64(h+1)); !ok {
+			continue
+		}
+		return task, OK
+	}
+}

@@ -1,0 +1,104 @@
+// Package core implements the paper's primary contribution: the work
+// stealing task queues of Morrison & Afek, "Fence-Free Work Stealing on
+// Bounded TSO Processors" (ASPLOS 2014), as direct transcriptions of the
+// paper's Figures 2–5, plus the comparators evaluated in §8.
+//
+// All queues operate on simulated memory through tso.Context, so each runs
+// unchanged on both the chaos (correctness) and timed (performance)
+// engines. The implementations are:
+//
+//   - THE        — Cilk's THE protocol (Figure 2b), the fenced baseline.
+//   - ChaseLev   — the Chase-Lev deque (Figure 2c), the fenced baseline.
+//   - FFTHE      — fence-free THE (Figure 3): the thief refuses to steal
+//     (returns Abort) unless the tail it read is more than δ ahead of the
+//     head, where δ bounds the take() stores hidden in the worker's store
+//     buffer.
+//   - FFCL       — fence-free Chase-Lev (Figure 4), same δ reasoning.
+//   - THEP       — fence-free THE with worker echoes (Figure 5): instead
+//     of aborting under uncertainty, the thief publishes a heartbeat in
+//     the top bits of H and waits for the worker to echo it through P,
+//     preserving the original deterministic work-stealing specification.
+//   - IdempotentLIFO, IdempotentDE — Michael et al.'s idempotent queues
+//     (§8.2 comparators), which are fence-free but may hand out a task
+//     more than once.
+//
+// Every queue is a single-owner deque: Put and Take may be called only by
+// the owning worker thread; Steal may be called by any thread. THE-family
+// steals additionally serialize on the queue's internal lock, exactly as in
+// the paper.
+package core
+
+import (
+	"repro/internal/tso"
+)
+
+// Status is the outcome of a Take or Steal.
+type Status int
+
+const (
+	// OK means a task was removed and returned.
+	OK Status = iota
+	// Empty means the queue was (observably) empty.
+	Empty
+	// Abort means a fence-free thief could not rule out a conflict with a
+	// buffered take() and refused to steal (§4's relaxed specification).
+	// Only FFTHE and FFCL return it.
+	Abort
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Empty:
+		return "EMPTY"
+	case Abort:
+		return "ABORT"
+	default:
+		return "Status(?)"
+	}
+}
+
+// Deque is the work-stealing task queue interface of §3.1, extended with
+// the Abort status of the relaxed specification in §4.
+type Deque interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Put enqueues v at the tail. Owner only.
+	Put(c tso.Context, v uint64)
+	// Take dequeues from the tail. Owner only.
+	Take(c tso.Context) (uint64, Status)
+	// Steal dequeues from the head. Any thread.
+	Steal(c tso.Context) (uint64, Status)
+}
+
+// Poker writes simulated memory directly; both tso.Machine and
+// tso.TimedMachine implement it. Queues use it to prefill tasks before a
+// run (the Figure 9 litmus test starts from a queue of 512 items).
+type Poker interface {
+	Poke(a tso.Addr, v uint64)
+}
+
+// Prefiller is implemented by queues that support direct initialization.
+type Prefiller interface {
+	// Prefill installs vals as the queue's initial contents (head first)
+	// by writing memory directly. Must be called before the machine runs.
+	Prefill(p Poker, vals []uint64)
+}
+
+// i64 reinterprets a simulated memory word as a signed index. The paper's
+// H and T are signed 64-bit integers (T-1 on an empty queue is -1); memory
+// words are uint64, so the queues store two's-complement and compare via
+// this helper.
+func i64(v uint64) int64 { return int64(v) }
+
+// u64 is the inverse of i64.
+func u64(v int64) uint64 { return uint64(v) }
+
+// pack32 packs two 32-bit halves into one memory word; THEP keeps the
+// steal counter s in the top half of H and the head index h in the bottom
+// (Figure 5 line 85).
+func pack32(hi, lo uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
+
+// unpack32 splits a word packed by pack32.
+func unpack32(v uint64) (hi, lo uint32) { return uint32(v >> 32), uint32(v) }

@@ -1,0 +1,32 @@
+package core
+
+import "fmt"
+
+// Delta computes δ = ⌈S/(x+1)⌉ from §4: the maximum number of take()
+// stores to T that can be hidden in a store buffer with observable bound S
+// when the client performs at least x stores between consecutive take()
+// operations. A thief that observes T > h + δ knows the worker cannot have
+// a pending removal of task h.
+//
+// S must be the machine's *observable* reordering bound
+// (tso.Config.ObservableBound), not the raw store-buffer capacity —
+// conflating the two is the Figure 8a failure.
+func Delta(s, x int) int {
+	if s < 1 {
+		panic(fmt.Sprintf("core: Delta with bound %d < 1", s))
+	}
+	if x < 0 {
+		panic(fmt.Sprintf("core: Delta with %d client stores", x))
+	}
+	return (s + x) / (x + 1) // ⌈s/(x+1)⌉
+}
+
+// DefaultDelta is the δ the paper's CilkPlus integration uses by default:
+// δ = ⌈S/2⌉, justified because the CilkPlus runtime performs one store into
+// the dequeued task after every take() (§8.1), so x = 1.
+func DefaultDelta(s int) int { return Delta(s, 1) }
+
+// DeltaInfinite is a δ so large the thief is never certain: FFTHE/FFCL
+// always abort, and THEP always waits for the worker's echo (the "THEP
+// δ = ∞" configuration of Figure 10).
+const DeltaInfinite = int(^uint(0) >> 2)

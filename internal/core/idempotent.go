@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// This file implements Michael, Vechev & Saraswat's idempotent work
+// stealing queues (PPoPP 2009), the §8.2 comparators. They avoid the
+// worker's fence by weakening exactly-once removal to at-least-once: a
+// task may be handed out twice when a worker's anchor update is still in
+// its store buffer while a thief steals. Clients must tolerate duplicate
+// execution (the paper's graph workloads do by construction).
+//
+// Both queues keep their entire synchronization state in one 64-bit
+// "anchor" word so the owner can update it with a single plain store:
+//
+//   - IdempotentLIFO:  anchor = <size:32, tag:32>; worker and thieves both
+//     remove from the top of the stack.
+//   - IdempotentDE:    anchor = <head:24, size:16, tag:24>; the worker puts
+//     and takes at the tail, thieves steal from the head, and the last
+//     task is reachable from both ends.
+//
+// The tag increments on every put and is compared by the thieves' CAS,
+// preventing ABA on reused slots.
+
+// IdempotentLIFO is the idempotent LIFO (stack) queue.
+type IdempotentLIFO struct {
+	anchor tso.Addr
+	tasks  tso.Addr
+	w      int64
+}
+
+// NewIdempotentLIFO allocates an idempotent LIFO queue.
+func NewIdempotentLIFO(a tso.Allocator, capacity int) *IdempotentLIFO {
+	if capacity < 1 || int64(capacity) >= 1<<31 {
+		panic(fmt.Sprintf("core: bad idempotent LIFO capacity %d", capacity))
+	}
+	return &IdempotentLIFO{anchor: a.Alloc(1), tasks: a.Alloc(capacity), w: int64(capacity)}
+}
+
+// Name implements Deque.
+func (q *IdempotentLIFO) Name() string { return "Idempotent LIFO" }
+
+// Put implements Deque: write the task, then publish <size+1, tag+1> with
+// one plain store (no fence; FIFO drain order makes the task visible
+// before the anchor).
+func (q *IdempotentLIFO) Put(c tso.Context, v uint64) {
+	t, g := unpack32(c.Load(q.anchor))
+	if int64(t) >= q.w {
+		panic(fmt.Sprintf("core: idempotent LIFO overflow (capacity %d)", q.w))
+	}
+	c.Store(q.tasks+tso.Addr(t), v)
+	c.Store(q.anchor, pack32(uint32(int64(t)+1), g+1))
+}
+
+// Take implements Deque: pop the top with a plain anchor store. No fence —
+// this is what makes the queue idempotent rather than exact.
+func (q *IdempotentLIFO) Take(c tso.Context) (uint64, Status) {
+	t, g := unpack32(c.Load(q.anchor))
+	if t == 0 {
+		return 0, Empty
+	}
+	v := c.Load(q.tasks + tso.Addr(t-1))
+	c.Store(q.anchor, pack32(t-1, g))
+	return v, OK
+}
+
+// Steal implements Deque: thieves also pop the top, racing through a CAS
+// on the anchor. A take() buffered in the worker's store buffer can let a
+// thief win the same task — the tolerated duplicate.
+func (q *IdempotentLIFO) Steal(c tso.Context) (uint64, Status) {
+	for {
+		old := c.Load(q.anchor)
+		t, g := unpack32(old)
+		if t == 0 {
+			return 0, Empty
+		}
+		v := c.Load(q.tasks + tso.Addr(t-1))
+		if _, ok := c.CAS(q.anchor, old, pack32(t-1, g)); !ok {
+			continue
+		}
+		return v, OK
+	}
+}
+
+// Prefill implements Prefiller.
+func (q *IdempotentLIFO) Prefill(p Poker, vals []uint64) {
+	if int64(len(vals)) > q.w {
+		panic("core: prefill exceeds capacity")
+	}
+	for i, v := range vals {
+		p.Poke(q.tasks+tso.Addr(i), v)
+	}
+	p.Poke(q.anchor, pack32(uint32(len(vals)), uint32(len(vals))))
+}
+
+// Anchor field widths for IdempotentDE.
+const (
+	deHeadBits = 24
+	deSizeBits = 16
+	deTagBits  = 24
+	deHeadMax  = 1 << deHeadBits
+	deSizeMax  = 1 << deSizeBits
+	deTagMax   = 1 << deTagBits
+)
+
+func packDE(h, s, g uint64) uint64 {
+	return h<<(deSizeBits+deTagBits) | s<<deTagBits | g
+}
+
+func unpackDE(v uint64) (h, s, g uint64) {
+	return v >> (deSizeBits + deTagBits) & (deHeadMax - 1),
+		v >> deTagBits & (deSizeMax - 1),
+		v & (deTagMax - 1)
+}
+
+// IdempotentDE is the idempotent double-ended queue: FIFO for thieves
+// (steal at head), LIFO for the worker (put/take at tail).
+type IdempotentDE struct {
+	anchor tso.Addr
+	tasks  tso.Addr
+	w      int64
+}
+
+// NewIdempotentDE allocates an idempotent double-ended queue. Capacity is
+// limited by the anchor's 16-bit size field.
+func NewIdempotentDE(a tso.Allocator, capacity int) *IdempotentDE {
+	if capacity < 1 || capacity >= deSizeMax {
+		panic(fmt.Sprintf("core: bad idempotent DE capacity %d (max %d)", capacity, deSizeMax-1))
+	}
+	return &IdempotentDE{anchor: a.Alloc(1), tasks: a.Alloc(capacity), w: int64(capacity)}
+}
+
+// Name implements Deque.
+func (q *IdempotentDE) Name() string { return "Idempotent DE" }
+
+func (q *IdempotentDE) slot(i uint64) tso.Addr {
+	return q.tasks + tso.Addr(int64(i)%q.w)
+}
+
+// Put implements Deque.
+func (q *IdempotentDE) Put(c tso.Context, v uint64) {
+	h, s, g := unpackDE(c.Load(q.anchor))
+	if int64(s) >= q.w {
+		panic(fmt.Sprintf("core: idempotent DE overflow (capacity %d)", q.w))
+	}
+	c.Store(q.slot(h+s), v)
+	c.Store(q.anchor, packDE(h, s+1, (g+1)%deTagMax))
+}
+
+// Take implements Deque: the worker removes from the tail with a plain
+// anchor store.
+func (q *IdempotentDE) Take(c tso.Context) (uint64, Status) {
+	h, s, g := unpackDE(c.Load(q.anchor))
+	if s == 0 {
+		return 0, Empty
+	}
+	v := c.Load(q.slot(h + s - 1))
+	c.Store(q.anchor, packDE(h, s-1, g))
+	return v, OK
+}
+
+// Steal implements Deque: thieves remove from the head with a CAS. When
+// size is 1 the head and tail coincide, so the worker and a thief can both
+// remove the final task — the paper's description of this queue.
+func (q *IdempotentDE) Steal(c tso.Context) (uint64, Status) {
+	for {
+		old := c.Load(q.anchor)
+		h, s, g := unpackDE(old)
+		if s == 0 {
+			return 0, Empty
+		}
+		v := c.Load(q.slot(h))
+		if _, ok := c.CAS(q.anchor, old, packDE((h+1)%deHeadMax, s-1, g)); !ok {
+			continue
+		}
+		return v, OK
+	}
+}
+
+// Prefill implements Prefiller.
+func (q *IdempotentDE) Prefill(p Poker, vals []uint64) {
+	if int64(len(vals)) > q.w {
+		panic("core: prefill exceeds capacity")
+	}
+	for i, v := range vals {
+		p.Poke(q.slot(uint64(i)), v)
+	}
+	p.Poke(q.anchor, packDE(0, uint64(len(vals)), uint64(len(vals))%deTagMax))
+}

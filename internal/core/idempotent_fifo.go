@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// IdempotentFIFO is the third of Michael et al.'s idempotent queues: the
+// worker puts at the tail and *both* the worker and thieves remove from
+// the head (plain FIFO order). The paper's §8.2 evaluation uses only the
+// LIFO and double-ended variants; this one is provided for completeness
+// of the comparator suite and shares their at-least-once semantics.
+//
+// Layout: the same <head:24, size:16, tag:24> anchor as IdempotentDE; the
+// difference is only which end Take uses.
+type IdempotentFIFO struct {
+	anchor tso.Addr
+	tasks  tso.Addr
+	w      int64
+}
+
+// NewIdempotentFIFO allocates an idempotent FIFO queue.
+func NewIdempotentFIFO(a tso.Allocator, capacity int) *IdempotentFIFO {
+	if capacity < 1 || capacity >= deSizeMax {
+		panic(fmt.Sprintf("core: bad idempotent FIFO capacity %d (max %d)", capacity, deSizeMax-1))
+	}
+	return &IdempotentFIFO{anchor: a.Alloc(1), tasks: a.Alloc(capacity), w: int64(capacity)}
+}
+
+// Name implements Deque.
+func (q *IdempotentFIFO) Name() string { return "Idempotent FIFO" }
+
+func (q *IdempotentFIFO) slot(i uint64) tso.Addr {
+	return q.tasks + tso.Addr(int64(i)%q.w)
+}
+
+// Put implements Deque: enqueue at the tail with one plain anchor store.
+func (q *IdempotentFIFO) Put(c tso.Context, v uint64) {
+	h, s, g := unpackDE(c.Load(q.anchor))
+	if int64(s) >= q.w {
+		panic(fmt.Sprintf("core: idempotent FIFO overflow (capacity %d)", q.w))
+	}
+	c.Store(q.slot(h+s), v)
+	c.Store(q.anchor, packDE(h, s+1, (g+1)%deTagMax))
+}
+
+// Take implements Deque: the worker removes from the *head* — FIFO — with
+// a plain store; its buffered anchor update is what a concurrent thief
+// can miss, yielding a duplicate delivery.
+func (q *IdempotentFIFO) Take(c tso.Context) (uint64, Status) {
+	h, s, g := unpackDE(c.Load(q.anchor))
+	if s == 0 {
+		return 0, Empty
+	}
+	v := c.Load(q.slot(h))
+	c.Store(q.anchor, packDE((h+1)%deHeadMax, s-1, g))
+	return v, OK
+}
+
+// Steal implements Deque: thieves also remove from the head, racing
+// through CAS.
+func (q *IdempotentFIFO) Steal(c tso.Context) (uint64, Status) {
+	for {
+		old := c.Load(q.anchor)
+		h, s, g := unpackDE(old)
+		if s == 0 {
+			return 0, Empty
+		}
+		v := c.Load(q.slot(h))
+		if _, ok := c.CAS(q.anchor, old, packDE((h+1)%deHeadMax, s-1, g)); !ok {
+			continue
+		}
+		return v, OK
+	}
+}
+
+// Prefill implements Prefiller.
+func (q *IdempotentFIFO) Prefill(p Poker, vals []uint64) {
+	if int64(len(vals)) > q.w {
+		panic("core: prefill exceeds capacity")
+	}
+	for i, v := range vals {
+		p.Poke(q.slot(uint64(i)), v)
+	}
+	p.Poke(q.anchor, packDE(0, uint64(len(vals)), uint64(len(vals))%deTagMax))
+}
+
+// MetaSize implements MetaSizer.
+func (q *IdempotentFIFO) MetaSize(peek func(tso.Addr) uint64) int64 {
+	_, s, _ := unpackDE(peek(q.anchor))
+	return int64(s)
+}

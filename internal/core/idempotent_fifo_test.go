@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tso"
+)
+
+func TestIdempotentFIFOSequentialOrder(t *testing.T) {
+	m := newChaos(1, 71)
+	q := NewIdempotentFIFO(m, 32)
+	runSolo(t, m, func(c tso.Context) {
+		for i := uint64(1); i <= 10; i++ {
+			q.Put(c, i)
+		}
+		// Owner takes in FIFO order — the defining difference from the
+		// LIFO and double-ended variants.
+		for i := uint64(1); i <= 5; i++ {
+			v, st := q.Take(c)
+			if st != OK || v != i {
+				t.Fatalf("take = %d,%v want %d,OK", v, st, i)
+			}
+		}
+		// Thieves continue from the same head.
+		for i := uint64(6); i <= 10; i++ {
+			v, st := q.Steal(c)
+			if st != OK || v != i {
+				t.Fatalf("steal = %d,%v want %d,OK", v, st, i)
+			}
+		}
+		if _, st := q.Take(c); st != Empty {
+			t.Fatalf("take on empty = %v", st)
+		}
+		if _, st := q.Steal(c); st != Empty {
+			t.Fatalf("steal on empty = %v", st)
+		}
+	})
+}
+
+func TestIdempotentFIFOWrapsRing(t *testing.T) {
+	m := newChaos(1, 72)
+	q := NewIdempotentFIFO(m, 4)
+	runSolo(t, m, func(c tso.Context) {
+		next := uint64(1)
+		take := uint64(1)
+		for round := 0; round < 10; round++ {
+			for q.MetaSize(func(a tso.Addr) uint64 { return c.Load(a) }) < 4 {
+				q.Put(c, next)
+				next++
+			}
+			for k := 0; k < 2; k++ {
+				v, st := q.Take(c)
+				if st != OK || v != take {
+					t.Fatalf("round %d: take = %d,%v want %d", round, v, st, take)
+				}
+				take++
+			}
+		}
+	})
+}
+
+func TestIdempotentFIFOAtLeastOnce(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		res := drainConcurrently(tso.Config{
+			BufferSize: 4,
+			Seed:       seed,
+			DrainBias:  0.05,
+		}, AlgoIdempotentFIFO, 40, 0, 0)
+		if res.err != nil {
+			t.Fatalf("seed %d: %v", seed, res.err)
+		}
+		if res.missing > 0 {
+			t.Fatalf("seed %d: lost %d tasks", seed, res.missing)
+		}
+	}
+}
+
+func TestIdempotentFIFOOverflowPanics(t *testing.T) {
+	m := newChaos(1, 73)
+	q := NewIdempotentFIFO(m, 2)
+	err := m.Run(func(c tso.Context) {
+		q.Put(c, 1)
+		q.Put(c, 2)
+		q.Put(c, 3)
+	})
+	if _, ok := err.(*tso.ProgramPanic); !ok {
+		t.Fatalf("overflow err=%v want panic", err)
+	}
+}
+
+func TestIdempotentFIFONotInEvaluatedSet(t *testing.T) {
+	for _, a := range Algos {
+		if a == AlgoIdempotentFIFO {
+			t.Fatal("AlgoIdempotentFIFO must not be in the paper's evaluated set")
+		}
+	}
+	m := newChaos(1, 74)
+	q := New(AlgoIdempotentFIFO, m, 8, 0)
+	if q.Name() != "Idempotent FIFO" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	if !AlgoIdempotentFIFO.Idempotent() || AlgoIdempotentFIFO.UsesDelta() {
+		t.Fatal("classification wrong")
+	}
+}

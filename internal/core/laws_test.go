@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// This file reproduces §6 ("Sidestepping the laws of order") and the §3.3
+// linearizability discussion as executable facts.
+//
+// The "laws of order" theorem says a linearizable implementation of a
+// strongly non-commutative method must fence or use an atomic in some
+// execution — *assuming tightness*: every legal sequential execution can
+// occur. The state ρ that makes take()/steal() strongly non-commutative is
+// a queue holding exactly one task, and the paper's algorithms make the
+// lone-thief-steals-from-ρ execution impossible: FF-THE and FF-CL refuse
+// (Abort), and THEP blocks until a worker arrives.
+
+// TestLawsOfOrderFFRefusesAtRho: a lone thief on a one-task queue gets
+// Abort from the fence-free relaxed-specification queues, leaving the
+// queue unchanged.
+func TestLawsOfOrderFFRefusesAtRho(t *testing.T) {
+	for _, algo := range []Algo{AlgoFFTHE, AlgoFFCL} {
+		m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4, Seed: 1})
+		q := New(algo, m, 16, 1) // even the smallest legal δ refuses at ρ
+		q.(Prefiller).Prefill(m, []uint64{77})
+		err := m.Run(func(c tso.Context) {
+			if _, st := q.Steal(c); st != Abort {
+				t.Errorf("%v: lone thief at ρ got %v want Abort", algo, st)
+			}
+			// The queue is unchanged: the owner can still take the task.
+			if v, st := q.Take(c); st != OK || v != 77 {
+				t.Errorf("%v: after aborted steal, take = %d,%v want 77,OK", algo, v, st)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLawsOfOrderTHEPBlocksAtRho: a lone THEP thief at ρ waits for a worker
+// echo that never comes (bounded here by the machine's step limit). This is
+// the blocking form of the tightness violation.
+func TestLawsOfOrderTHEPBlocksAtRho(t *testing.T) {
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4, Seed: 1, MaxSteps: 50000})
+	q := NewTHEP(m, 16, 1)
+	q.Prefill(m, []uint64{77})
+	err := m.Run(func(c tso.Context) {
+		q.Steal(c)
+		t.Error("THEP lone thief at ρ returned; it must block until a worker echoes")
+	})
+	if !errors.Is(err, tso.ErrStepLimit) {
+		t.Fatalf("err=%v want step limit (blocked thief)", err)
+	}
+}
+
+// TestLawsOfOrderTHEPUnblocksWhenWorkerArrives: the same state, but with a
+// worker taking tasks: the thief's wait terminates because work-stealing
+// clients keep taking until the queue empties (§5).
+func TestLawsOfOrderTHEPUnblocksWhenWorkerArrives(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.2})
+		q := NewTHEP(m, 16, 2)
+		q.Prefill(m, []uint64{77})
+		var (
+			workerGot, thiefGot uint64
+			workerSt, thiefSt   Status
+			workerDone          bool
+		)
+		err := m.Run(
+			func(c tso.Context) {
+				workerGot, workerSt = q.Take(c)
+				workerDone = true
+			},
+			func(c tso.Context) {
+				thiefGot, thiefSt = q.Steal(c)
+				_ = workerDone
+			},
+		)
+		if err != nil {
+			t.Fatalf("seed %d: %v (THEP thief must not block when a worker drains the queue)", seed, err)
+		}
+		gotTask := 0
+		if workerSt == OK && workerGot == 77 {
+			gotTask++
+		}
+		if thiefSt == OK && thiefGot == 77 {
+			gotTask++
+		}
+		if gotTask != 1 {
+			t.Fatalf("seed %d: task delivered %d times (worker=%v/%d thief=%v/%d)",
+				seed, gotTask, workerSt, workerGot, thiefSt, thiefGot)
+		}
+	}
+}
+
+// TestTHEAllowsLoneStealAtRho: the baseline THE queue is tight — the SNC
+// execution does occur: a lone thief steals the single task.
+func TestTHEAllowsLoneStealAtRho(t *testing.T) {
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4, Seed: 1})
+	q := NewTHE(m, 16)
+	q.Prefill(m, []uint64{77})
+	err := m.Run(func(c tso.Context) {
+		if v, st := q.Steal(c); st != OK || v != 77 {
+			t.Errorf("THE lone steal = %d,%v want 77,OK", v, st)
+		}
+		if _, st := q.Take(c); st != Empty {
+			t.Errorf("take after steal = %v want Empty", st)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearizabilityViolationSharedByBaselines reproduces §3.3: a put()
+// delayed in the worker's store buffer can be missed by a thief, so even
+// the *fenced* Chase-Lev queue is not linearizable under TSO. The paper
+// stresses this violation exists in deployed baselines and is not what
+// fence-freedom trades away.
+func TestLinearizabilityViolationSharedByBaselines(t *testing.T) {
+	for _, algo := range []Algo{AlgoChaseLev, AlgoFFCL, AlgoTHE, AlgoFFTHE, AlgoTHEP} {
+		algo := algo
+		sawViolation := false
+		for seed := int64(0); seed < 300 && !sawViolation; seed++ {
+			m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.02})
+			q := New(algo, m, 16, 1)
+			putDone := false
+			var stealSt Status
+			stole := false
+			err := m.Run(
+				func(c tso.Context) {
+					q.Put(c, 5)
+					putDone = true
+					// Keep the thread alive without fencing so the put
+					// can stay buffered while the thief runs.
+					for i := 0; i < 50; i++ {
+						c.Work(1)
+					}
+				},
+				func(c tso.Context) {
+					// Wait (meta-level) until put() has returned, then
+					// steal: EMPTY/ABORT here is a linearizability
+					// violation, since put completed before steal began.
+					for !putDone {
+						c.Work(1)
+					}
+					_, stealSt = q.Steal(c)
+					stole = true
+					_ = stole
+				},
+			)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", algo, seed, err)
+			}
+			if stealSt == Empty || stealSt == Abort {
+				sawViolation = true
+			}
+		}
+		if !sawViolation {
+			t.Errorf("%v: never observed the §3.3 linearizability violation; the put is draining too eagerly", algo)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import "repro/internal/tso"
+
+// spinlock is the per-queue lock used by the THE family (§3.2). Acquire is
+// a CAS loop (the atomic acts as a fence, rule 4 of the abstract machine);
+// release is a plain store, which is a correct release under TSO because
+// the store buffer drains in FIFO order — every critical-section store
+// reaches memory before the unlocking store does.
+type spinlock struct {
+	addr tso.Addr
+}
+
+func newSpinlock(a tso.Allocator) spinlock {
+	return spinlock{addr: a.Alloc(1)}
+}
+
+func (l spinlock) lock(c tso.Context) {
+	for {
+		if _, ok := c.CAS(l.addr, 0, 1); ok {
+			return
+		}
+		// Spin on a plain load until the lock looks free, then retry the
+		// CAS (test-and-test-and-set keeps chaos schedules shorter and is
+		// what real runtimes do).
+		for c.Load(l.addr) != 0 {
+		}
+	}
+}
+
+func (l spinlock) unlock(c tso.Context) {
+	c.Store(l.addr, 0)
+}

@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/tso"
+
+// MetaSizer exposes a queue's size as read directly from simulated memory,
+// bypassing store buffers. This is *harness* instrumentation, not part of
+// the protocols: the scheduler's termination detector polls it (together
+// with worker idleness) the way a real runtime would use its own
+// out-of-band bookkeeping. The value can lag the owner's view while its
+// stores are buffered, which is always in the conservative (non-empty)
+// direction once all workers are idle.
+type MetaSizer interface {
+	MetaSize(peek func(tso.Addr) uint64) int64
+}
+
+// MetaSize implements MetaSizer for THE and FF-THE (T - H).
+func (q *theBase) MetaSize(peek func(tso.Addr) uint64) int64 {
+	t := i64(peek(q.t))
+	h := i64(peek(q.h))
+	if q.packedHead {
+		_, lo := unpack32(u64(h))
+		h = int64(lo)
+	}
+	return t - h
+}
+
+// MetaSize implements MetaSizer for ChaseLev and FFCL (T - H).
+func (q *clBase) MetaSize(peek func(tso.Addr) uint64) int64 {
+	return i64(peek(q.t)) - i64(peek(q.h))
+}
+
+// MetaSize implements MetaSizer for IdempotentLIFO (the size half of the
+// anchor).
+func (q *IdempotentLIFO) MetaSize(peek func(tso.Addr) uint64) int64 {
+	t, _ := unpack32(peek(q.anchor))
+	return int64(t)
+}
+
+// MetaSize implements MetaSizer for IdempotentDE (the size field of the
+// anchor).
+func (q *IdempotentDE) MetaSize(peek func(tso.Addr) uint64) int64 {
+	_, s, _ := unpackDE(peek(q.anchor))
+	return int64(s)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// TestQueuesRequireTSO demonstrates the §10 future-work boundary: under
+// PSO (store→store reordering allowed), a put()'s task store can drain
+// *after* its tail-index store, so a thief can steal a slot whose task
+// value has not reached memory — it reads garbage. Every queue in the
+// paper relies on TSO's FIFO publication here, with no δ to save it.
+func TestQueuesRequireTSO(t *testing.T) {
+	for _, algo := range []Algo{AlgoChaseLev, AlgoTHE, AlgoIdempotentLIFO} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sawGarbage := false
+			for seed := int64(0); seed < 400 && !sawGarbage; seed++ {
+				m := tso.NewMachine(tso.Config{
+					Threads:    2,
+					BufferSize: 4,
+					Model:      tso.ModelPSO,
+					Seed:       seed,
+					DrainBias:  0.15,
+				})
+				q := New(algo, m, 16, 1)
+				putDone := false
+				var stolen uint64
+				stole := false
+				err := m.Run(
+					func(c tso.Context) {
+						q.Put(c, 7) // the only real task value
+						putDone = true
+						for i := 0; i < 60; i++ {
+							c.Work(1) // keep the put buffered: no fence
+						}
+					},
+					func(c tso.Context) {
+						for !putDone {
+							c.Work(1)
+						}
+						for i := 0; i < 40 && !stole; i++ {
+							if v, st := q.Steal(c); st == OK {
+								stolen = v
+								stole = true
+							}
+						}
+					},
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stole && stolen != 7 {
+					sawGarbage = true // stole the slot before the task store drained
+				}
+			}
+			if !sawGarbage {
+				t.Fatalf("%v: no garbage steal under PSO in 400 seeds; the TSO dependence is not being exercised", algo)
+			}
+		})
+	}
+}
+
+// TestQueuesSafeOnTSOControl is the control for the PSO demonstration: the
+// identical program on the TSO machine never steals garbage.
+func TestQueuesSafeOnTSOControl(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.15})
+		q := NewChaseLev(m, 16)
+		putDone := false
+		var stolen uint64
+		stole := false
+		err := m.Run(
+			func(c tso.Context) {
+				q.Put(c, 7)
+				putDone = true
+				for i := 0; i < 60; i++ {
+					c.Work(1)
+				}
+			},
+			func(c tso.Context) {
+				for !putDone {
+					c.Work(1)
+				}
+				for i := 0; i < 40 && !stole; i++ {
+					if v, st := q.Steal(c); st == OK {
+						stolen = v
+						stole = true
+					}
+				}
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stole && stolen != 7 {
+			t.Fatalf("seed %d: stole %d on TSO — FIFO publication broken", seed, stolen)
+		}
+	}
+}

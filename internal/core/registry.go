@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// Algo identifies a queue algorithm for the experiment harnesses.
+type Algo int
+
+const (
+	// AlgoTHE is Cilk's fenced THE queue (baseline of Figure 10).
+	AlgoTHE Algo = iota
+	// AlgoFFTHE is the fence-free THE variant (§4).
+	AlgoFFTHE
+	// AlgoTHEP is the fence-free echo variant (§5).
+	AlgoTHEP
+	// AlgoChaseLev is the fenced Chase-Lev deque (baseline of Figure 11).
+	AlgoChaseLev
+	// AlgoFFCL is the fence-free Chase-Lev variant (§4.1).
+	AlgoFFCL
+	// AlgoIdempotentLIFO is Michael et al.'s LIFO comparator.
+	AlgoIdempotentLIFO
+	// AlgoIdempotentDE is Michael et al.'s double-ended comparator.
+	AlgoIdempotentDE
+	// AlgoIdempotentFIFO is Michael et al.'s plain FIFO variant; it is not
+	// part of the paper's §8.2 evaluation (which uses LIFO and
+	// double-ended), so it is excluded from Algos but fully supported.
+	AlgoIdempotentFIFO
+)
+
+// Algos lists every implemented algorithm.
+var Algos = []Algo{AlgoTHE, AlgoFFTHE, AlgoTHEP, AlgoChaseLev, AlgoFFCL, AlgoIdempotentLIFO, AlgoIdempotentDE}
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoTHE:
+		return "THE"
+	case AlgoFFTHE:
+		return "FF-THE"
+	case AlgoTHEP:
+		return "THEP"
+	case AlgoChaseLev:
+		return "Chase-Lev"
+	case AlgoFFCL:
+		return "FF-CL"
+	case AlgoIdempotentLIFO:
+		return "Idempotent LIFO"
+	case AlgoIdempotentDE:
+		return "Idempotent DE"
+	case AlgoIdempotentFIFO:
+		return "Idempotent FIFO"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// FenceFree reports whether the algorithm's take() issues no fence.
+func (a Algo) FenceFree() bool {
+	return a != AlgoTHE && a != AlgoChaseLev
+}
+
+// Idempotent reports whether the algorithm may deliver a task twice.
+func (a Algo) Idempotent() bool {
+	return a == AlgoIdempotentLIFO || a == AlgoIdempotentDE || a == AlgoIdempotentFIFO
+}
+
+// UsesDelta reports whether the algorithm is parameterized by δ.
+func (a Algo) UsesDelta() bool {
+	return a == AlgoFFTHE || a == AlgoTHEP || a == AlgoFFCL
+}
+
+// New constructs a queue of the given algorithm on alloc. delta is ignored
+// by algorithms that do not use it.
+func New(algo Algo, alloc tso.Allocator, capacity, delta int) Deque {
+	switch algo {
+	case AlgoTHE:
+		return NewTHE(alloc, capacity)
+	case AlgoFFTHE:
+		return NewFFTHE(alloc, capacity, delta)
+	case AlgoTHEP:
+		return NewTHEP(alloc, capacity, delta)
+	case AlgoChaseLev:
+		return NewChaseLev(alloc, capacity)
+	case AlgoFFCL:
+		return NewFFCL(alloc, capacity, delta)
+	case AlgoIdempotentLIFO:
+		return NewIdempotentLIFO(alloc, capacity)
+	case AlgoIdempotentDE:
+		return NewIdempotentDE(alloc, capacity)
+	case AlgoIdempotentFIFO:
+		return NewIdempotentFIFO(alloc, capacity)
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %d", int(algo)))
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// drainResult summarizes a concurrent drain of a prefilled queue.
+type drainResult struct {
+	counts     []int // removals per task id
+	duplicates int   // tasks removed more than once
+	missing    int   // tasks never removed
+	aborts     int   // thief Abort results observed
+	err        error
+}
+
+// drainConcurrently prefights a queue with n tasks and runs one worker
+// (Take until Empty, doing clientStores scratch stores after each take)
+// against one thief (Steal until the worker is done and the queue yields
+// nothing). It reports per-task removal counts.
+func drainConcurrently(cfg tso.Config, algo Algo, n, delta, clientStores int) drainResult {
+	cfg.Threads = 2
+	m := tso.NewMachine(cfg)
+	q := New(algo, m, 2*n, delta)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) + 1 // 1-based so 0 is never a task
+	}
+	q.(Prefiller).Prefill(m, vals)
+	scratch := m.Alloc(64)
+
+	res := drainResult{counts: make([]int, n+1)}
+	workerDone := false
+	res.err = m.Run(
+		func(c tso.Context) { // worker
+			defer func() { workerDone = true }()
+			for {
+				v, st := q.Take(c)
+				if st == Empty {
+					return
+				}
+				res.counts[v]++
+				for i := 0; i < clientStores; i++ {
+					c.Store(scratch+tso.Addr(i), v)
+				}
+			}
+		},
+		func(c tso.Context) { // thief
+			idle := 0
+			for {
+				v, st := q.Steal(c)
+				switch st {
+				case OK:
+					res.counts[v]++
+					idle = 0
+				case Abort:
+					res.aborts++
+					if workerDone {
+						idle++
+					}
+				case Empty:
+					if workerDone {
+						idle++
+					}
+				}
+				if idle > 3 {
+					return
+				}
+				c.Work(1)
+			}
+		},
+	)
+	for id := 1; id <= n; id++ {
+		switch {
+		case res.counts[id] == 0:
+			res.missing++
+		case res.counts[id] > 1:
+			res.duplicates++
+		}
+	}
+	return res
+}
+
+// TestExactAlgorithmsNeverDuplicateOrLose: the fenced baselines and THEP
+// must remove every task exactly once under adversarial schedules, and the
+// fence-free variants must when δ matches the machine's observable bound.
+func TestExactAlgorithmsNeverDuplicateOrLose(t *testing.T) {
+	const S = 4
+	cases := []struct {
+		algo         Algo
+		delta        int
+		clientStores int
+	}{
+		{AlgoTHE, 0, 0},
+		{AlgoChaseLev, 0, 0},
+		// Fence-free with a *sound* δ: no client stores means a take is a
+		// single store to T, so δ must be the full observable bound S.
+		{AlgoFFTHE, S, 0},
+		{AlgoFFCL, S, 0},
+		{AlgoTHEP, S, 0},
+		// One client store between takes halves the requirement: δ=⌈S/2⌉.
+		{AlgoFFTHE, Delta(S, 1), 1},
+		{AlgoFFCL, Delta(S, 1), 1},
+		{AlgoTHEP, Delta(S, 1), 1},
+		// THEP's take() stores to P after every store to T (the echo), so
+		// even with no client stores x >= 1 and δ=⌈S/2⌉ is sound.
+		{AlgoTHEP, Delta(S, 1), 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("%v/delta=%d/L=%d", tc.algo, tc.delta, tc.clientStores)
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 120; seed++ {
+				res := drainConcurrently(tso.Config{
+					BufferSize: S,
+					Seed:       seed,
+					DrainBias:  0.08,
+				}, tc.algo, 40, tc.delta, tc.clientStores)
+				if res.err != nil {
+					t.Fatalf("seed %d: %v", seed, res.err)
+				}
+				if res.duplicates > 0 || res.missing > 0 {
+					t.Fatalf("seed %d: %d duplicates, %d missing", seed, res.duplicates, res.missing)
+				}
+			}
+		})
+	}
+}
+
+// TestFenceFreeUnsoundDeltaViolates is the negative control at the heart of
+// the paper: with δ below the reordering bound, the fence-free queues DO
+// exhibit double removal under some schedule. If this test fails, the
+// simulator is not actually reordering stores and loads.
+// THEP is included: its echo protocol resolves *uncertainty* without
+// aborting, but the direct-steal path (T - δ > h) is only as sound as δ —
+// exactly why §8.1 derives THEP's δ=4 from an analysis of program stores.
+func TestFenceFreeUnsoundDeltaViolates(t *testing.T) {
+	const S = 4
+	for _, algo := range []Algo{AlgoFFTHE, AlgoFFCL, AlgoTHEP} {
+		violated := false
+		for seed := int64(0); seed < 400 && !violated; seed++ {
+			res := drainConcurrently(tso.Config{
+				BufferSize: S,
+				Seed:       seed,
+				DrainBias:  0.05,
+			}, algo, 40, 1 /* δ=1 < S */, 0)
+			if res.err != nil {
+				t.Fatalf("%v seed %d: %v", algo, seed, res.err)
+			}
+			if res.duplicates > 0 {
+				violated = true
+			}
+		}
+		if !violated {
+			t.Errorf("%v with δ=1 on an S=%d machine never double-removed a task; the bound is not being exercised", algo, S)
+		}
+	}
+}
+
+// TestCoalescingDefeatsDeltaAtL0: with the §7.3 drain stage, back-to-back
+// stores to T coalesce, so when the worker performs no client stores (L=0)
+// even δ = S+1 is unsound — the Figure 8b corner case.
+func TestCoalescingDefeatsDeltaAtL0(t *testing.T) {
+	const S = 3
+	violated := false
+	for seed := int64(0); seed < 3000 && !violated; seed++ {
+		res := drainConcurrently(tso.Config{
+			BufferSize:  S,
+			DrainBuffer: true,
+			Seed:        seed,
+			DrainBias:   0.2,
+		}, AlgoFFTHE, 40, S+1, 0)
+		if res.err != nil {
+			t.Fatalf("seed %d: %v", seed, res.err)
+		}
+		if res.duplicates > 0 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("L=0 under store coalescing never violated δ=S+1; drain-stage coalescing is not being exercised")
+	}
+}
+
+// TestClientStoresRestoreSoundnessUnderCoalescing: one client store between
+// takes separates the stores to T, so coalescing cannot chain and
+// δ = ⌈(S+1)/2⌉ is sound again (§7.3's software fix).
+func TestClientStoresRestoreSoundnessUnderCoalescing(t *testing.T) {
+	const S = 3
+	bound := S + 1 // observable bound with the drain stage
+	for seed := int64(0); seed < 200; seed++ {
+		res := drainConcurrently(tso.Config{
+			BufferSize:  S,
+			DrainBuffer: true,
+			Seed:        seed,
+			DrainBias:   0.08,
+		}, AlgoFFTHE, 40, Delta(bound, 1), 1)
+		if res.err != nil {
+			t.Fatalf("seed %d: %v", seed, res.err)
+		}
+		if res.duplicates > 0 || res.missing > 0 {
+			t.Fatalf("seed %d: %d duplicates, %d missing with the software coalescing fix", seed, res.duplicates, res.missing)
+		}
+	}
+}
+
+// TestIdempotentAtLeastOnce: the idempotent queues may duplicate but must
+// never lose a task.
+func TestIdempotentAtLeastOnce(t *testing.T) {
+	for _, algo := range []Algo{AlgoIdempotentLIFO, AlgoIdempotentDE} {
+		sawDuplicate := false
+		for seed := int64(0); seed < 300; seed++ {
+			res := drainConcurrently(tso.Config{
+				BufferSize: 4,
+				Seed:       seed,
+				DrainBias:  0.05,
+			}, algo, 40, 0, 0)
+			if res.err != nil {
+				t.Fatalf("%v seed %d: %v", algo, seed, res.err)
+			}
+			if res.missing > 0 {
+				t.Fatalf("%v seed %d: lost %d tasks (idempotent queues are at-least-once)", algo, seed, res.missing)
+			}
+			if res.duplicates > 0 {
+				sawDuplicate = true
+			}
+		}
+		if !sawDuplicate {
+			t.Logf("%v: no duplicate observed in sweep (allowed, but unexpected under starved drains)", algo)
+		}
+	}
+}
+
+// TestTHEPNoAborts: THEP implements the original specification — Steal
+// never returns Abort.
+func TestTHEPNoAborts(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		res := drainConcurrently(tso.Config{
+			BufferSize: 4,
+			Seed:       seed,
+			DrainBias:  0.1,
+		}, AlgoTHEP, 30, 2, 0)
+		if res.err != nil {
+			t.Fatalf("seed %d: %v", seed, res.err)
+		}
+		if res.aborts != 0 {
+			t.Fatalf("seed %d: THEP steal aborted %d times", seed, res.aborts)
+		}
+	}
+}
+
+// TestConcurrentPutsAndSteals exercises the grow-while-stealing path: the
+// worker spawns new tasks while the thief steals.
+func TestConcurrentPutsAndSteals(t *testing.T) {
+	for _, algo := range []Algo{AlgoTHE, AlgoChaseLev, AlgoTHEP, AlgoFFTHE, AlgoFFCL} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			const root, childrenPer = 12, 3
+			maxID := root + root*childrenPer
+			for seed := int64(0); seed < 60; seed++ {
+				m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.15})
+				q := New(algo, m, 4*maxID, 4)
+				scratch := m.Alloc(1)
+				vals := make([]uint64, root)
+				for i := range vals {
+					vals[i] = uint64(i) + 1
+				}
+				q.(Prefiller).Prefill(m, vals)
+				counts := make([]int, maxID+1)
+				spawned := make([]bool, maxID+1)
+				workerDone := false
+				err := m.Run(
+					func(c tso.Context) {
+						for {
+							v, st := q.Take(c)
+							if st == Empty {
+								workerDone = true
+								return
+							}
+							counts[v]++
+							if v <= root {
+								// Spawn children with ids unique per parent.
+								for k := uint64(0); k < childrenPer; k++ {
+									id := uint64(root) + (v-1)*childrenPer + k + 1
+									q.Put(c, id)
+									spawned[id] = true
+								}
+							}
+							c.Store(scratch, v)
+						}
+					},
+					func(c tso.Context) {
+						idle := 0
+						for {
+							v, st := q.Steal(c)
+							if st == OK {
+								counts[v]++
+								idle = 0
+							} else if workerDone {
+								idle++
+							}
+							if idle > 3 {
+								return
+							}
+							c.Work(1)
+						}
+					},
+				)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				// Every root task is removed exactly once. Children exist
+				// only if the worker took their parent and spawned them;
+				// each spawned child must also be removed exactly once.
+				for id := 1; id <= root; id++ {
+					if counts[id] != 1 {
+						t.Fatalf("seed %d: root task %d removed %d times", seed, id, counts[id])
+					}
+				}
+				for id := root + 1; id <= maxID; id++ {
+					want := 0
+					if spawned[id] {
+						want = 1
+					}
+					if counts[id] != want {
+						t.Fatalf("seed %d: child %d removed %d times want %d", seed, id, counts[id], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepLimitSurfacesAsError double-checks harness behaviour: a THEP
+// thief alone on a one-task queue blocks forever (§6) and the machine
+// reports it rather than hanging.
+func TestStepLimitSurfacesAsError(t *testing.T) {
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4, Seed: 1, MaxSteps: 20000})
+	q := NewTHEP(m, 16, 2)
+	q.Prefill(m, []uint64{1})
+	err := m.Run(func(c tso.Context) {
+		q.Steal(c)
+	})
+	if !errors.Is(err, tso.ErrStepLimit) {
+		t.Fatalf("lone THEP thief on 1-task queue: err=%v want step limit", err)
+	}
+}
+
+// TestTHEPCounterWraparound: THEP keeps its steal heartbeat in 32 bits
+// (the top half of H). Seed the counter at the wrap boundary and verify
+// the echo protocol still functions across it.
+func TestTHEPCounterWraparound(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.15})
+		q := NewTHEP(m, 32, 2)
+		vals := []uint64{1, 2, 3, 4, 5, 6}
+		q.Prefill(m, vals)
+		// Put the heartbeat one step from wrapping: H = <2^32-1, 0>.
+		m.Poke(q.h, pack32(^uint32(0), 0))
+		counts := make([]int, len(vals)+1)
+		workerDone := false
+		scratch := m.Alloc(1)
+		err := m.Run(
+			func(c tso.Context) {
+				for {
+					v, st := q.Take(c)
+					if st == Empty {
+						workerDone = true
+						return
+					}
+					counts[v]++
+					c.Store(scratch, v)
+				}
+			},
+			func(c tso.Context) {
+				idle := 0
+				for {
+					v, st := q.Steal(c)
+					if st == OK {
+						counts[v]++
+						idle = 0
+					} else if workerDone {
+						idle++
+					}
+					if idle > 3 {
+						return
+					}
+					c.Work(1)
+				}
+			},
+		)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for id := 1; id <= len(vals); id++ {
+			if counts[id] != 1 {
+				t.Fatalf("seed %d: task %d removed %d times across counter wrap", seed, id, counts[id])
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tso"
+)
+
+func newChaos(threads int, seed int64) *tso.Machine {
+	return tso.NewMachine(tso.Config{
+		Threads:    threads,
+		BufferSize: 4,
+		Seed:       seed,
+		DrainBias:  0.3,
+	})
+}
+
+// runSolo runs fn as the only simulated thread and fails the test on error.
+func runSolo(t *testing.T, m *tso.Machine, fn func(tso.Context)) {
+	t.Helper()
+	if err := m.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allAlgos(alloc tso.Allocator, capacity, delta int) []Deque {
+	ds := make([]Deque, 0, len(Algos))
+	for _, a := range Algos {
+		ds = append(ds, New(a, alloc, capacity, delta))
+	}
+	return ds
+}
+
+func TestSequentialPutTakeLIFO(t *testing.T) {
+	m := newChaos(1, 1)
+	for _, q := range allAlgos(m, 64, 2) {
+		q := q
+		runSolo(t, m, func(c tso.Context) {
+			for i := uint64(1); i <= 20; i++ {
+				q.Put(c, i)
+			}
+			for i := uint64(20); i >= 1; i-- {
+				v, st := q.Take(c)
+				if st != OK || v != i {
+					t.Errorf("%s: take = %d,%v want %d,OK", q.Name(), v, st, i)
+					return
+				}
+			}
+			if _, st := q.Take(c); st != Empty {
+				t.Errorf("%s: take on empty = %v want Empty", q.Name(), st)
+			}
+		})
+	}
+}
+
+func TestSequentialPutTakeInterleaved(t *testing.T) {
+	// Mixed puts and takes must behave as a stack at the tail for every
+	// algorithm (the owner's view of the deque is LIFO).
+	m := newChaos(1, 2)
+	for _, q := range allAlgos(m, 128, 2) {
+		q := q
+		runSolo(t, m, func(c tso.Context) {
+			var model []uint64
+			r := rand.New(rand.NewSource(7))
+			for step := 0; step < 400; step++ {
+				if r.Intn(2) == 0 && len(model) < 100 {
+					v := uint64(r.Intn(1000)) + 1
+					q.Put(c, v)
+					model = append(model, v)
+				} else {
+					v, st := q.Take(c)
+					if len(model) == 0 {
+						if st != Empty {
+							t.Errorf("%s: take on empty = %v,%v", q.Name(), v, st)
+							return
+						}
+						continue
+					}
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if st != OK || v != want {
+						t.Errorf("%s: take = %d,%v want %d,OK", q.Name(), v, st, want)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+// stealAll drains the queue via Steal from a solo thread, stopping at the
+// first non-OK status, and returns the stolen values.
+func stealAll(c tso.Context, q Deque, limit int) []uint64 {
+	var got []uint64
+	for i := 0; i < limit; i++ {
+		v, st := q.Steal(c)
+		if st != OK {
+			return got
+		}
+		got = append(got, v)
+	}
+	return got
+}
+
+func TestSequentialStealOrderFIFO(t *testing.T) {
+	// Head-stealing algorithms hand out the oldest task first.
+	m := newChaos(1, 3)
+	for _, algo := range []Algo{AlgoTHE, AlgoChaseLev, AlgoIdempotentDE} {
+		q := New(algo, m, 64, 1)
+		runSolo(t, m, func(c tso.Context) {
+			for i := uint64(1); i <= 10; i++ {
+				q.Put(c, i)
+			}
+			got := stealAll(c, q, 20)
+			if len(got) != 10 {
+				t.Errorf("%s: stole %d tasks want 10", q.Name(), len(got))
+				return
+			}
+			for i, v := range got {
+				if v != uint64(i+1) {
+					t.Errorf("%s: steal %d = %d want %d (FIFO)", q.Name(), i, v, i+1)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestSequentialStealOrderIdempotentLIFOIsTop(t *testing.T) {
+	m := newChaos(1, 4)
+	q := NewIdempotentLIFO(m, 64)
+	runSolo(t, m, func(c tso.Context) {
+		for i := uint64(1); i <= 5; i++ {
+			q.Put(c, i)
+		}
+		got := stealAll(c, q, 10)
+		want := []uint64{5, 4, 3, 2, 1}
+		if len(got) != len(want) {
+			t.Fatalf("stole %d want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("steal %d = %d want %d (LIFO steals from the top)", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestFFStealStopsWithinDelta(t *testing.T) {
+	// Figure 3/4: the fence-free thief aborts once T - δ <= h, i.e. it can
+	// drain a queue of n tasks only down to the last δ.
+	const n, delta = 10, 3
+	for _, mk := range []func(tso.Allocator) Deque{
+		func(a tso.Allocator) Deque { return NewFFTHE(a, 64, delta) },
+		func(a tso.Allocator) Deque { return NewFFCL(a, 64, delta) },
+	} {
+		m := newChaos(1, 5)
+		q := mk(m)
+		runSolo(t, m, func(c tso.Context) {
+			for i := uint64(1); i <= n; i++ {
+				q.Put(c, i)
+			}
+			got := stealAll(c, q, 2*n)
+			if len(got) != n-delta {
+				t.Errorf("%s: stole %d tasks want %d (δ=%d)", q.Name(), len(got), n-delta, delta)
+				return
+			}
+			if _, st := q.Steal(c); st != Abort {
+				t.Errorf("%s: steal within δ of the tail = %v want Abort", q.Name(), st)
+			}
+		})
+	}
+}
+
+func TestEmptyQueueBehaviour(t *testing.T) {
+	m := newChaos(1, 6)
+	for _, q := range allAlgos(m, 16, 2) {
+		q := q
+		runSolo(t, m, func(c tso.Context) {
+			if _, st := q.Take(c); st != Empty {
+				t.Errorf("%s: take on fresh queue = %v want Empty", q.Name(), st)
+			}
+			// Fence-free steals may answer Abort instead of Empty (the
+			// Abort condition subsumes Empty, §4); everything else must
+			// say Empty.
+			_, st := q.Steal(c)
+			switch q.(type) {
+			case *FFTHE, *FFCL:
+				if st != Abort && st != Empty {
+					t.Errorf("%s: steal on fresh queue = %v want Abort or Empty", q.Name(), st)
+				}
+			default:
+				if st != Empty {
+					t.Errorf("%s: steal on fresh queue = %v want Empty", q.Name(), st)
+				}
+			}
+		})
+	}
+}
+
+func TestPrefillMatchesPuts(t *testing.T) {
+	// A prefilled queue must be indistinguishable from one filled by Put.
+	for _, algo := range Algos {
+		m1 := newChaos(1, 7)
+		m2 := newChaos(1, 7)
+		q1 := New(algo, m1, 32, 2)
+		q2 := New(algo, m2, 32, 2)
+		vals := []uint64{10, 20, 30, 40, 50}
+		q1.(Prefiller).Prefill(m1, vals)
+		runSolo(t, m2, func(c tso.Context) {
+			for _, v := range vals {
+				q2.Put(c, v)
+			}
+		})
+		var takes1, takes2 []uint64
+		runSolo(t, m1, func(c tso.Context) {
+			for {
+				v, st := q1.Take(c)
+				if st != OK {
+					return
+				}
+				takes1 = append(takes1, v)
+			}
+		})
+		runSolo(t, m2, func(c tso.Context) {
+			for {
+				v, st := q2.Take(c)
+				if st != OK {
+					return
+				}
+				takes2 = append(takes2, v)
+			}
+		})
+		if len(takes1) != len(vals) || len(takes2) != len(vals) {
+			t.Fatalf("%v: drained %d / %d tasks want %d", algo, len(takes1), len(takes2), len(vals))
+		}
+		for i := range takes1 {
+			if takes1[i] != takes2[i] {
+				t.Fatalf("%v: prefilled take %d = %d, put take = %d", algo, i, takes1[i], takes2[i])
+			}
+		}
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	for _, algo := range Algos {
+		m := newChaos(1, 8)
+		q := New(algo, m, 4, 1)
+		err := m.Run(func(c tso.Context) {
+			for i := uint64(0); i < 10; i++ {
+				q.Put(c, i+1)
+			}
+		})
+		var pp *tso.ProgramPanic
+		if !asProgramPanic(err, &pp) {
+			t.Errorf("%v: overflow did not panic (err=%v)", algo, err)
+		}
+	}
+}
+
+func asProgramPanic(err error, pp **tso.ProgramPanic) bool {
+	p, ok := err.(*tso.ProgramPanic)
+	if ok {
+		*pp = p
+	}
+	return ok
+}
+
+// TestQuickOwnerSemantics is the model-based property test: a random
+// sequence of owner-side Put/Take operations must match an ideal stack for
+// every algorithm, under any drain schedule.
+func TestQuickOwnerSemantics(t *testing.T) {
+	f := func(seed int64, algoRaw uint8) bool {
+		algo := Algos[int(algoRaw)%len(Algos)]
+		m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 3, DrainBuffer: seed%2 == 0, Seed: seed, DrainBias: 0.15})
+		q := New(algo, m, 256, 2)
+		r := rand.New(rand.NewSource(seed))
+		ok := true
+		err := m.Run(func(c tso.Context) {
+			var model []uint64
+			for step := 0; step < 300; step++ {
+				if r.Intn(5) < 3 && len(model) < 200 {
+					v := uint64(r.Intn(1 << 20))
+					q.Put(c, v)
+					model = append(model, v)
+					continue
+				}
+				v, st := q.Take(c)
+				if len(model) == 0 {
+					if st != Empty {
+						ok = false
+						return
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if st != OK || v != want {
+					ok = false
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 70}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	cases := []struct{ s, x, want int }{
+		{32, 0, 32},
+		{32, 1, 16},
+		{33, 1, 17},
+		{33, 0, 33},
+		{33, 32, 1},
+		{33, 100, 1},
+		{43, 1, 22},
+		{1, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := Delta(tc.s, tc.x); got != tc.want {
+			t.Errorf("Delta(%d,%d) = %d want %d", tc.s, tc.x, got, tc.want)
+		}
+	}
+	if got := DefaultDelta(33); got != 17 {
+		t.Errorf("DefaultDelta(33) = %d want 17", got)
+	}
+}
+
+func TestDeltaPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Delta(0, 1) },
+		func() { Delta(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Delta arguments did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	m := newChaos(1, 9)
+	for _, a := range Algos {
+		q := New(a, m, 8, 1)
+		if q.Name() != a.String() {
+			t.Errorf("algo %v builds queue named %q", a, q.Name())
+		}
+	}
+	if !AlgoFFTHE.FenceFree() || AlgoTHE.FenceFree() {
+		t.Error("FenceFree misclassified")
+	}
+	if !AlgoIdempotentLIFO.Idempotent() || AlgoTHEP.Idempotent() {
+		t.Error("Idempotent misclassified")
+	}
+	if !AlgoFFCL.UsesDelta() || AlgoChaseLev.UsesDelta() {
+		t.Error("UsesDelta misclassified")
+	}
+}
+
+func TestPackHelpers(t *testing.T) {
+	if hi, lo := unpack32(pack32(0xDEAD, 0xBEEF)); hi != 0xDEAD || lo != 0xBEEF {
+		t.Fatalf("pack32 roundtrip failed: %x %x", hi, lo)
+	}
+	h, s, g := unpackDE(packDE(12345, 678, 999))
+	if h != 12345 || s != 678 || g != 999 {
+		t.Fatalf("packDE roundtrip failed: %d %d %d", h, s, g)
+	}
+	if i64(u64(-5)) != -5 {
+		t.Fatal("i64/u64 roundtrip failed")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// theBase holds the memory layout shared by THE, FFTHE and THEP: head and
+// tail indices, a task array of W slots addressed mod W with non-wrapping
+// indices, and the per-queue lock (Figure 2a).
+type theBase struct {
+	h, t  tso.Addr // head and tail index words
+	tasks tso.Addr // base of the W-slot task array
+	w     int64    // W, the array capacity
+	lk    spinlock
+	// packedHead is set by THEP, whose H word holds <s:32, h:32>; the
+	// shared overflow check must then unpack the low half.
+	packedHead bool
+}
+
+func newTHEBase(a tso.Allocator, capacity int) theBase {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: queue capacity %d < 1", capacity))
+	}
+	return theBase{
+		h:     a.Alloc(1),
+		t:     a.Alloc(1),
+		tasks: a.Alloc(capacity),
+		w:     int64(capacity),
+		lk:    newSpinlock(a),
+	}
+}
+
+func (q *theBase) slot(i int64) tso.Addr {
+	i %= q.w
+	if i < 0 {
+		i += q.w
+	}
+	return q.tasks + tso.Addr(i)
+}
+
+// put is Figure 2a's put(): store the task, then advance T. TSO's FIFO
+// store buffer guarantees the task store reaches memory before the index
+// store, so no fence is needed.
+func (q *theBase) put(c tso.Context, v uint64) {
+	t := i64(c.Load(q.t))
+	h := i64(c.Load(q.h))
+	if q.packedHead {
+		_, lo := unpack32(u64(h))
+		h = int64(lo)
+	}
+	if t-h >= q.w {
+		panic(fmt.Sprintf("core: queue overflow (capacity %d); the paper elides resizing and so do the simulated queues", q.w))
+	}
+	c.Store(q.slot(t), v)
+	c.Store(q.t, u64(t+1))
+}
+
+// take is Figure 2b's take(); withFence selects between THE (true) and
+// FF-THE (false), which differ only in the worker's fence (Figure 3).
+func (q *theBase) take(c tso.Context, withFence bool) (uint64, Status) {
+	t := i64(c.Load(q.t)) - 1
+	c.Store(q.t, u64(t))
+	if withFence {
+		c.Fence()
+	}
+	h := i64(c.Load(q.h))
+	if t < h {
+		// Possible conflict with a thief (or the queue was empty): fall
+		// back to the lock-based protocol.
+		q.lk.lock(c)
+		if i64(c.Load(q.h)) >= t+1 {
+			c.Store(q.t, u64(t+1))
+			q.lk.unlock(c)
+			return 0, Empty
+		}
+		q.lk.unlock(c)
+	}
+	return c.Load(q.slot(t)), OK
+}
+
+// Prefill implements Prefiller: install vals as tasks 0..n-1 with H=0, T=n.
+func (q *theBase) Prefill(p Poker, vals []uint64) {
+	if int64(len(vals)) > q.w {
+		panic("core: prefill exceeds capacity")
+	}
+	for i, v := range vals {
+		p.Poke(q.slot(int64(i)), v)
+	}
+	p.Poke(q.h, 0)
+	p.Poke(q.t, u64(int64(len(vals))))
+}
+
+// THE is Cilk's THE work-stealing queue (Figure 2b): the fenced baseline.
+// The worker publishes its decrement of T and fences before checking H;
+// thieves serialize on the queue lock and raise H before checking T.
+type THE struct {
+	theBase
+}
+
+// NewTHE allocates a THE queue with the given task-array capacity.
+func NewTHE(a tso.Allocator, capacity int) *THE {
+	return &THE{newTHEBase(a, capacity)}
+}
+
+// Name implements Deque.
+func (q *THE) Name() string { return "THE" }
+
+// Put implements Deque.
+func (q *THE) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// Take implements Deque (Figure 2b lines 1–13, fence included).
+func (q *THE) Take(c tso.Context) (uint64, Status) { return q.take(c, true) }
+
+// Steal implements Deque (Figure 2b lines 15–28).
+func (q *THE) Steal(c tso.Context) (uint64, Status) {
+	q.lk.lock(c)
+	h := i64(c.Load(q.h))
+	c.Store(q.h, u64(h+1))
+	c.Fence()
+	var (
+		ret uint64
+		st  Status
+	)
+	if h+1 <= i64(c.Load(q.t)) { // H <= T
+		ret = c.Load(q.slot(h))
+		st = OK
+	} else { // H > T: empty, or a worker just claimed the same task
+		c.Store(q.h, u64(h))
+		st = Empty
+	}
+	q.lk.unlock(c)
+	return ret, st
+}
+
+// FFTHE is the fence-free THE queue of Figure 3. put() and take() are THE's
+// with the worker's fence removed; a thief steals task h only if it
+// observes T - δ > h, where δ bounds the take() decrements that can hide in
+// the worker's store buffer, and otherwise returns Abort without modifying
+// the queue.
+type FFTHE struct {
+	theBase
+	delta int64
+}
+
+// NewFFTHE allocates an FF-THE queue. delta must be ≥ 1 (§4: "there is
+// always uncertainty about the final store performed by the worker").
+func NewFFTHE(a tso.Allocator, capacity, delta int) *FFTHE {
+	if delta < 1 {
+		panic(fmt.Sprintf("core: FF-THE needs delta >= 1, got %d", delta))
+	}
+	return &FFTHE{theBase: newTHEBase(a, capacity), delta: int64(delta)}
+}
+
+// Name implements Deque.
+func (q *FFTHE) Name() string { return "FF-THE" }
+
+// Delta returns the queue's δ parameter.
+func (q *FFTHE) Delta() int { return int(q.delta) }
+
+// Put implements Deque.
+func (q *FFTHE) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// Take implements Deque: THE's take() without the memory fence.
+func (q *FFTHE) Take(c tso.Context) (uint64, Status) { return q.take(c, false) }
+
+// Steal implements Deque (Figure 3). The Abort condition subsumes Empty:
+// the thief can never distinguish an empty queue from one whose last takes
+// are buffered, so it always answers Abort when uncertain.
+func (q *FFTHE) Steal(c tso.Context) (uint64, Status) {
+	q.lk.lock(c)
+	h := i64(c.Load(q.h))
+	c.Store(q.h, u64(h+1))
+	c.Fence()
+	var (
+		ret uint64
+		st  Status
+	)
+	if i64(c.Load(q.t))-q.delta > h {
+		ret = c.Load(q.slot(h))
+		st = OK
+	} else {
+		c.Store(q.h, u64(h))
+		st = Abort
+	}
+	q.lk.unlock(c)
+	return ret, st
+}

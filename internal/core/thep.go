@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// pBottom is THEP's ⊥ value for the echo variable P (Figure 5 line 86).
+// The worker only ever echoes 32-bit counter values, so a value with the
+// top bit set can never collide with a real echo.
+const pBottom = uint64(1) << 63
+
+// THEP is the fence-free THE queue with worker echoes (Figure 5). It
+// implements the *original* deterministic work-stealing specification:
+// steals never abort. The thief keeps a heartbeat counter s in the top 32
+// bits of H, incremented on every steal; when the bounded-reordering test
+// cannot certify safety, the thief waits until the worker echoes s+1
+// through P — at which point TSO guarantees any T value the thief reads
+// was written after the worker observed the raised head — or until the
+// queue is observably empty (T < H), which bounds the wait because workers
+// drain their queues.
+type THEP struct {
+	theBase
+	p     tso.Addr
+	delta int64
+}
+
+// NewTHEP allocates a THEP queue. delta ≥ 1 as in FF-THE; DeltaInfinite
+// yields the "always wait for the echo" variant of Figure 10.
+func NewTHEP(a tso.Allocator, capacity, delta int) *THEP {
+	if delta < 1 {
+		panic(fmt.Sprintf("core: THEP needs delta >= 1, got %d", delta))
+	}
+	q := &THEP{theBase: newTHEBase(a, capacity), p: a.Alloc(1), delta: int64(delta)}
+	q.packedHead = true
+	return q
+}
+
+// Name implements Deque.
+func (q *THEP) Name() string { return "THEP" }
+
+// Delta returns the queue's δ parameter.
+func (q *THEP) Delta() int { return int(q.delta) }
+
+// Prefill implements Prefiller; it additionally resets P to ⊥.
+func (q *THEP) Prefill(p Poker, vals []uint64) {
+	q.theBase.Prefill(p, vals)
+	p.Poke(q.p, pBottom)
+}
+
+// Put implements Deque.
+func (q *THEP) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// Take implements Deque (Figure 5 lines 89–107): fence-free, echoing the
+// steal counter it observed back through P on the fast path.
+func (q *THEP) Take(c tso.Context) (uint64, Status) {
+	t := i64(c.Load(q.t)) - 1
+	c.Store(q.t, u64(t))
+	s, h := unpack32(c.Load(q.h))
+	if t < int64(h) {
+		q.lk.lock(c)
+		c.Store(q.p, pBottom)
+		_, h = unpack32(c.Load(q.h))
+		if int64(h) >= t+1 {
+			c.Store(q.t, u64(t+1))
+			q.lk.unlock(c)
+			return 0, Empty
+		}
+		q.lk.unlock(c)
+	} else {
+		// Echo: publish the heartbeat we observed. A thief waiting for
+		// s+1 learns the worker has seen its raised head.
+		c.Store(q.p, uint64(s))
+	}
+	return c.Load(q.slot(t)), OK
+}
+
+// Steal implements Deque (Figure 5 lines 108–130). It never returns Abort.
+func (q *THEP) Steal(c tso.Context) (uint64, Status) {
+	q.lk.lock(c)
+	s, h := unpack32(c.Load(q.h))
+	c.Store(q.h, pack32(s+1, h+1))
+	c.Fence()
+	var (
+		ret uint64
+		st  Status
+	)
+	if i64(c.Load(q.t))-q.delta <= int64(h) {
+		// Uncertain: wait for the worker's echo, bailing out if the queue
+		// becomes observably empty (T < H, i.e. T was H before we raised
+		// it), which is what bounds the wait.
+		for c.Load(q.p) != uint64(s+1) {
+			if int64(h)+1 > i64(c.Load(q.t)) {
+				c.Store(q.h, pack32(s+1, h))
+				q.lk.unlock(c)
+				return 0, Empty
+			}
+		}
+		t := i64(c.Load(q.t))
+		if int64(h)+1 <= t {
+			ret = c.Load(q.slot(int64(h)))
+			st = OK
+		} else {
+			c.Store(q.h, pack32(s+1, h))
+			st = Empty
+		}
+	} else {
+		ret = c.Load(q.slot(int64(h)))
+		st = OK
+	}
+	q.lk.unlock(c)
+	return ret, st
+}

@@ -1,0 +1,201 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tso"
+)
+
+// Ablations isolate the design choices the reproduction (and the paper)
+// depend on: how client stores between takes shrink δ (§4's x parameter),
+// how δ trades against queue depth (the FF-THE collapse mechanism), how
+// the fence penalty scales with drain latency (the Figure 1 mechanism),
+// and the scheduler's steal backoff.
+
+// AblationRow is one configuration's measurement.
+type AblationRow struct {
+	Label   string
+	Cycles  uint64
+	Steals  int64
+	Aborts  int64
+	Detail  string
+	Percent float64 // normalized to the first row where meaningful
+}
+
+// AblationClientStores varies the number of post-take client stores x and
+// uses the matching sound δ = ⌈S/(x+1)⌉ for FF-THE: more client stores →
+// smaller δ → thieves certain sooner → more steals. This is §4's
+// "Determining δ" as an experiment.
+func AblationClientStores(p Platform) ([]AblationRow, error) {
+	s := p.Cfg.ObservableBound()
+	app, _ := apps.ByName("Fib")
+	rows := []AblationRow{}
+	for _, x := range []int{0, 1, 2, 4, 8} {
+		post := x
+		if x == 0 {
+			post = -1 // literal zero stores
+		}
+		delta := core.Delta(s, x)
+		cycles, st, err := runApp(app, apps.SizeBench, p.Cfg, p.Cfg.Threads, sched.Options{
+			Algo:           core.AlgoFFTHE,
+			Delta:          delta,
+			PostTakeStores: post,
+			Seed:           1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("x=%d", x),
+			Cycles: cycles,
+			Steals: st.Steals,
+			Aborts: st.Aborts,
+			Detail: fmt.Sprintf("delta=%d", delta),
+		})
+	}
+	normalize(rows)
+	return rows, nil
+}
+
+// AblationDeltaCliff fixes the workload and sweeps δ for FF-THE, exposing
+// the cliff where the queue's typical depth drops below δ and stealing
+// shuts off — the isolated mechanism behind Figure 10's FF-THE collapse.
+func AblationDeltaCliff(p Platform) ([]AblationRow, error) {
+	app, _ := apps.ByName("Fib")
+	rows := []AblationRow{}
+	for _, delta := range []int{1, 2, 4, 8, 12, 16, 24, 32} {
+		cycles, st, err := runApp(app, apps.SizeBench, p.Cfg, p.Cfg.Threads, sched.Options{
+			Algo:  core.AlgoFFTHE,
+			Delta: delta,
+			Seed:  1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("delta=%d", delta),
+			Cycles: cycles,
+			Steals: st.Steals,
+			Aborts: st.Aborts,
+		})
+	}
+	normalize(rows)
+	return rows, nil
+}
+
+// AblationDrainLatency sweeps the cost model's drain latency and measures
+// the single-threaded fence overhead on Fib: the fence penalty is the
+// drain latency made visible, so overhead must grow with it. This
+// validates that the reproduction's Figure 1 is driven by the modelled
+// mechanism rather than incidental constants.
+func AblationDrainLatency() ([]AblationRow, error) {
+	app, _ := apps.ByName("Fib")
+	rows := []AblationRow{}
+	for _, d := range []uint64{4, 8, 12, 24, 48} {
+		cfg := tso.Haswell()
+		cfg.Cost = tso.DefaultCost
+		cfg.Cost.DrainCycles = d
+		fenced, _, err := runApp(app, apps.SizeBench, cfg, 1, sched.Options{Algo: core.AlgoTHE, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		free, _, err := runApp(app, apps.SizeBench, cfg, 1, sched.Options{
+			Algo: core.AlgoFFTHE, Delta: core.DefaultDelta(cfg.ObservableBound()), Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label:   fmt.Sprintf("drain=%d", d),
+			Cycles:  fenced,
+			Detail:  fmt.Sprintf("fence-free %d cycles", free),
+			Percent: 100 * float64(free) / float64(fenced),
+		})
+	}
+	return rows, nil
+}
+
+// AblationStealBackoff sweeps the scheduler's failed-steal backoff on a
+// wide flat task graph where thieves hammer one victim.
+func AblationStealBackoff(p Platform) ([]AblationRow, error) {
+	rows := []AblationRow{}
+	for _, backoff := range []uint64{1, 4, 16, 64} {
+		cfg := p.Cfg
+		m := tso.NewTimedMachine(cfg)
+		pool := sched.NewPool(m, sched.Options{Algo: core.AlgoTHE, StealBackoff: backoff, Seed: 1})
+		st, err := pool.Run(func(w *sched.Worker) {
+			for i := 0; i < 300; i++ {
+				w.Spawn(func(w *sched.Worker) { w.Work(120) })
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("backoff=%d", backoff),
+			Cycles: st.Elapsed,
+			Steals: st.Steals,
+		})
+	}
+	normalize(rows)
+	return rows, nil
+}
+
+// AblationWorkerScaling measures makespan versus worker count for a fenced
+// and a fence-free queue on Fib. Not a paper figure (the paper fixes the
+// thread count at the machine's core count), but it checks that the
+// runtime actually scales and that the fence-free advantage persists
+// across parallelism levels.
+func AblationWorkerScaling(algo core.Algo, delta int, workers []int) ([]AblationRow, error) {
+	app, _ := apps.ByName("Fib")
+	rows := []AblationRow{}
+	for _, n := range workers {
+		cfg := tso.Config{Threads: n, BufferSize: 13, DrainBuffer: true}
+		cycles, st, err := runApp(app, apps.SizeBench, cfg, n, sched.Options{
+			Algo: algo, Delta: delta, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("%s w=%d", algo, n),
+			Cycles: cycles,
+			Steals: st.Steals,
+		})
+	}
+	normalize(rows)
+	return rows, nil
+}
+
+func normalize(rows []AblationRow) {
+	if len(rows) == 0 || rows[0].Cycles == 0 {
+		return
+	}
+	base := float64(rows[0].Cycles)
+	for i := range rows {
+		rows[i].Percent = 100 * float64(rows[i].Cycles) / base
+	}
+}
+
+// RenderAblation writes one ablation table.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w)
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Label,
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.1f%%", r.Percent),
+			fmt.Sprintf("%d", r.Steals),
+			fmt.Sprintf("%d", r.Aborts),
+			r.Detail,
+		}
+	}
+	WriteTable(w, []string{"config", "cycles", "normalized", "steals", "aborts", ""}, body)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAblationClientStores(t *testing.T) {
+	rows, err := AblationClientStores(ScaledHaswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// x=0 forces delta = S: on fib's shallow-at-scale queue that means few
+	// or no steals; larger x must not be slower than x=0.
+	if rows[0].Steals > rows[3].Steals {
+		t.Fatalf("steals did not increase with client stores: %+v", rows)
+	}
+	if rows[3].Cycles > rows[0].Cycles {
+		t.Fatalf("smaller delta did not help: x=0 %d cycles, x=4 %d", rows[0].Cycles, rows[3].Cycles)
+	}
+}
+
+func TestAblationDeltaCliff(t *testing.T) {
+	rows, err := AblationDeltaCliff(ScaledHaswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Cycles <= first.Cycles {
+		t.Fatalf("no cliff: delta=%s %d cycles vs %s %d", first.Label, first.Cycles, last.Label, last.Cycles)
+	}
+	if last.Steals != 0 {
+		t.Fatalf("huge delta still stole %d times", last.Steals)
+	}
+	if first.Steals == 0 {
+		t.Fatal("small delta never stole")
+	}
+}
+
+func TestAblationDrainLatencyMonotone(t *testing.T) {
+	rows, err := AblationDrainLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Percent >= rows[i-1].Percent {
+			t.Fatalf("fence overhead not increasing with drain latency: %+v", rows)
+		}
+	}
+}
+
+func TestAblationStealBackoffRuns(t *testing.T) {
+	rows, err := AblationStealBackoff(ScaledHaswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Steals == 0 {
+			t.Fatalf("%s: no steals on a wide flat graph", r.Label)
+		}
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	var buf bytes.Buffer
+	RenderAblation(&buf, "title", []AblationRow{{Label: "a", Cycles: 10, Percent: 100}})
+	if !strings.Contains(buf.String(), "title") || !strings.Contains(buf.String(), "100.0%") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}
+
+func TestAblationWorkerScaling(t *testing.T) {
+	for _, algo := range []struct {
+		a core.Algo
+		d int
+	}{{core.AlgoTHE, 0}, {core.AlgoTHEP, 7}} {
+		rows, err := AblationWorkerScaling(algo.a, algo.d, []int{1, 2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[2].Cycles >= rows[0].Cycles {
+			t.Fatalf("%v: 4 workers (%d cycles) not faster than 1 (%d)", algo.a, rows[2].Cycles, rows[0].Cycles)
+		}
+		if rows[2].Steals == 0 {
+			t.Fatalf("%v: no steals at 4 workers", algo.a)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package expt
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Fig1Row is one bar of Figure 1: single-threaded execution time without
+// the take() fence, normalized to the fenced baseline.
+type Fig1Row struct {
+	App             string
+	FencedCycles    uint64
+	FencelessCycles uint64
+	// NormalizedPct is 100 × fenceless/fenced — Figure 1's y-axis.
+	NormalizedPct float64
+}
+
+// Figure1 regenerates Figure 1: each of the seven apps runs single
+// threaded on the Haswell model with the standard THE queue and with
+// FF-THE (identical but for the worker fence). With one worker there are
+// no thieves, so the entire difference is the fence.
+func Figure1(size apps.Size) ([]Fig1Row, error) {
+	platform := HaswellP()
+	rows := make([]Fig1Row, 0, 7)
+	for _, app := range apps.Figure1Apps() {
+		fenced, _, err := runApp(app, size, platform.Cfg, 1, sched.Options{Algo: core.AlgoTHE, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		free, _, err := runApp(app, size, platform.Cfg, 1, sched.Options{Algo: core.AlgoFFTHE, Delta: core.DefaultDelta(platform.Cfg.ObservableBound()), Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1Row{
+			App:             app.Name,
+			FencedCycles:    fenced,
+			FencelessCycles: free,
+			NormalizedPct:   100 * float64(free) / float64(fenced),
+		})
+	}
+	return rows, nil
+}

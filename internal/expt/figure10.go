@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Fig10Cell is one bar of Figure 10: a variant's run time on one app,
+// normalized to the THE baseline (percent; <100 is faster than Cilk).
+type Fig10Cell struct {
+	Median float64 // normalized median
+	P10    float64
+	P90    float64
+}
+
+// Fig10Row is one app's group of bars.
+type Fig10Row struct {
+	App            string
+	BaselineCycles float64 // THE median, virtual cycles
+	Cells          map[string]Fig10Cell
+}
+
+// Fig10Result is one platform's panel.
+type Fig10Result struct {
+	Platform string
+	Threads  int
+	DeltaS   int // the observable bound used for default δ
+	Variants []string
+	Rows     []Fig10Row
+	// GeoMean maps variant label to the geometric mean of normalized
+	// medians — the paper's "Geo mean" group.
+	GeoMean map[string]float64
+}
+
+// Figure10 regenerates one panel of Figure 10 (10a: Westmere, 10b:
+// Haswell): the 11-program suite under the five fence-free variants,
+// normalized to the default (THE) runtime, median of `runs` scheduler
+// seeds with p10/p90.
+func Figure10(p Platform, size apps.Size, runs int) (Fig10Result, error) {
+	s := p.Cfg.ObservableBound()
+	threads := p.Cfg.Threads
+	res := Fig10Result{
+		Platform: p.Name,
+		Threads:  threads,
+		DeltaS:   s,
+		GeoMean:  map[string]float64{},
+	}
+	variants := Figure10Variants()
+	for _, v := range variants {
+		res.Variants = append(res.Variants, v.Label)
+	}
+	perVariant := map[string][]float64{}
+	for _, app := range apps.All() {
+		row := Fig10Row{App: app.Name, Cells: map[string]Fig10Cell{}}
+		base, err := medianCycles(app, size, p.Cfg, threads, sched.Options{Algo: core.AlgoTHE}, runs)
+		if err != nil {
+			return res, err
+		}
+		baseMed := stats.Median(base)
+		row.BaselineCycles = baseMed
+		for _, v := range variants {
+			opt := sched.Options{Algo: v.Algo, Delta: v.Delta(s)}
+			sample, err := medianCycles(app, size, p.Cfg, threads, opt, runs)
+			if err != nil {
+				return res, err
+			}
+			sum := summarize(sample)
+			cell := Fig10Cell{
+				Median: 100 * sum.Median / baseMed,
+				P10:    100 * sum.P10 / baseMed,
+				P90:    100 * sum.P90 / baseMed,
+			}
+			row.Cells[v.Label] = cell
+			perVariant[v.Label] = append(perVariant[v.Label], cell.Median)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for label, meds := range perVariant {
+		res.GeoMean[label] = stats.GeoMean(meds)
+	}
+	return res, nil
+}

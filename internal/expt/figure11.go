@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tso"
+)
+
+// Fig11Algo is one Figure 11 series.
+type Fig11Algo struct {
+	Label string
+	Algo  core.Algo
+}
+
+// Figure11Algos returns the four queues compared in Figure 11 (Chase-Lev
+// is the normalization baseline).
+func Figure11Algos() []Fig11Algo {
+	return []Fig11Algo{
+		{"Chase-Lev", core.AlgoChaseLev},
+		{"Idempotent DE", core.AlgoIdempotentDE},
+		{"Idempotent LIFO", core.AlgoIdempotentLIFO},
+		{"FF-CL", core.AlgoFFCL},
+	}
+}
+
+// Fig11Cell is one workload×algorithm measurement.
+type Fig11Cell struct {
+	NormalizedPct float64 // median run time vs Chase-Lev ×100 (Figure 11a)
+	P10, P90      float64
+	StolenPct     float64 // work obtained by stealing, percent (Figure 11b)
+}
+
+// Fig11Row groups the cells of one input graph.
+type Fig11Row struct {
+	Workload string
+	Threads  int
+	Baseline float64 // Chase-Lev median cycles
+	Cells    map[string]Fig11Cell
+}
+
+// Fig11Result is the whole figure.
+type Fig11Result struct {
+	Platform string
+	Rows     []Fig11Row
+}
+
+// Problem selects the §8.2 graph computation. The paper reports the
+// transitive closure and notes "spanning tree results are similar"; both
+// are available here.
+type Problem int
+
+const (
+	// ProblemTransitiveClosure is Figure 11's reported workload.
+	ProblemTransitiveClosure Problem = iota
+	// ProblemSpanningTree is the companion workload.
+	ProblemSpanningTree
+)
+
+func (p Problem) String() string {
+	if p == ProblemSpanningTree {
+		return "spanning tree"
+	}
+	return "transitive closure"
+}
+
+// build returns a fresh root task and verifier for the problem on g.
+func (p Problem) build(g *graph.Graph, root int) (sched.TaskFunc, func() error) {
+	if p == ProblemSpanningTree {
+		return graph.SpanningTree(g, root)
+	}
+	return graph.TransitiveClosure(g, root)
+}
+
+// Figure11 regenerates Figure 11: parallel transitive closure on the
+// K-graph, random graph and torus, comparing Chase-Lev, the two
+// idempotent queues and FF-CL. scale sets the graph sizes (see
+// graph.Figure11Workloads); runs is the seeds-per-cell count.
+func Figure11(p Platform, scale, runs int) (Fig11Result, error) {
+	return Figure11Problem(p, ProblemTransitiveClosure, scale, runs)
+}
+
+// Figure11Problem is Figure11 generalized over the graph computation.
+func Figure11Problem(p Platform, problem Problem, scale, runs int) (Fig11Result, error) {
+	res := Fig11Result{Platform: fmt.Sprintf("%s on %s", problem, p.Name)}
+	s := p.Cfg.ObservableBound()
+	for _, wl := range graph.Figure11Workloads(scale, p.Cfg.Threads) {
+		g := wl.Build()
+		row := Fig11Row{Workload: wl.Name, Threads: wl.Threads, Cells: map[string]Fig11Cell{}}
+		samples := map[string][]float64{}
+		stolen := map[string][]float64{}
+		for _, al := range Figure11Algos() {
+			for r := 0; r < runs; r++ {
+				cfg := p.Cfg
+				cfg.Threads = wl.Threads
+				m := tso.NewTimedMachine(cfg)
+				opt := sched.Options{Algo: al.Algo, Delta: core.DefaultDelta(s), Seed: int64(r)*131 + 7}
+				pool := sched.NewPool(m, opt)
+				root, verify := problem.build(g, 0)
+				st, err := pool.Run(root)
+				if err != nil {
+					return res, fmt.Errorf("%s [%s]: %w", wl.Name, al.Label, err)
+				}
+				if err := verify(); err != nil {
+					return res, fmt.Errorf("%s [%s]: %w", wl.Name, al.Label, err)
+				}
+				samples[al.Label] = append(samples[al.Label], float64(st.Elapsed))
+				stolen[al.Label] = append(stolen[al.Label], 100*st.StolenFrac)
+			}
+		}
+		base := stats.Median(samples["Chase-Lev"])
+		row.Baseline = base
+		for _, al := range Figure11Algos() {
+			sum := stats.Summarize(samples[al.Label])
+			row.Cells[al.Label] = Fig11Cell{
+				NormalizedPct: 100 * sum.Median / base,
+				P10:           100 * sum.P10 / base,
+				P90:           100 * sum.P90 / base,
+				StolenPct:     stats.Median(stolen[al.Label]),
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

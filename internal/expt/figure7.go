@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"repro/internal/measure"
+	"repro/internal/tso"
+)
+
+// Fig7Result is the Figure 6/7 experiment output for one platform: the
+// cycles-per-iteration curve and the capacity its knee implies.
+type Fig7Result struct {
+	Platform     string
+	RawCapacity  int // documented store-buffer entries (S)
+	Points       []measure.Point
+	Measured     int // knee position = observable bound
+	SameLocation []measure.Point
+	SameMeasured int
+}
+
+// Figure7 regenerates Figure 7 for the given platform, sweeping store
+// sequences past the expected knee, for both distinct-location and
+// same-location stores (§7.2's coalescing follow-up).
+func Figure7(p Platform) (Fig7Result, error) {
+	maxSeq := p.Cfg.ObservableBound() + 10
+	opts := measure.CapacityOptions{MaxSeq: maxSeq, Iters: 32}
+	cost := p.Cfg.Cost
+	if cost == (tso.CostModel{}) {
+		cost = tso.DefaultCost
+	}
+
+	res := Fig7Result{Platform: p.Name, RawCapacity: p.Cfg.BufferSize}
+	res.Points = measure.StoreBufferCapacity(p.Cfg, opts)
+	m, err := measure.DetectCapacity(res.Points, cost)
+	if err != nil {
+		return res, err
+	}
+	res.Measured = m
+
+	sameOpts := opts
+	sameOpts.SameLocation = true
+	res.SameLocation = measure.StoreBufferCapacity(p.Cfg, sameOpts)
+	sm, err := measure.DetectCapacity(res.SameLocation, cost)
+	if err != nil {
+		return res, err
+	}
+	res.SameMeasured = sm
+	return res, nil
+}

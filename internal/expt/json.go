@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON output for every experiment, so results can be consumed by plotting
+// scripts without scraping the text tables. The structures marshal the
+// exported experiment types directly; this file only adds envelopes that
+// name the experiment and the schema version.
+
+// jsonEnvelope wraps a result with identification.
+type jsonEnvelope struct {
+	Experiment string `json:"experiment"`
+	Schema     int    `json:"schema"`
+	Data       any    `json:"data"`
+}
+
+const schemaVersion = 1
+
+func writeJSON(w io.Writer, experiment string, data any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonEnvelope{Experiment: experiment, Schema: schemaVersion, Data: data})
+}
+
+// WriteFigure1JSON emits the Figure 1 rows as JSON.
+func WriteFigure1JSON(w io.Writer, rows []Fig1Row) error {
+	return writeJSON(w, "figure1", rows)
+}
+
+// WriteFigure7JSON emits a capacity-measurement result as JSON.
+func WriteFigure7JSON(w io.Writer, res Fig7Result) error {
+	return writeJSON(w, "figure7", res)
+}
+
+// WriteFigure8JSON emits both litmus panels as JSON.
+func WriteFigure8JSON(w io.Writer, res Fig8Result) error {
+	return writeJSON(w, "figure8", res)
+}
+
+// WriteFigure10JSON emits one Figure 10 panel as JSON.
+func WriteFigure10JSON(w io.Writer, res Fig10Result) error {
+	return writeJSON(w, "figure10", res)
+}
+
+// WriteFigure11JSON emits a Figure 11 result as JSON.
+func WriteFigure11JSON(w io.Writer, res Fig11Result) error {
+	return writeJSON(w, "figure11", res)
+}

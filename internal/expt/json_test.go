@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/litmus"
+	"repro/internal/measure"
+)
+
+func decodeEnvelope(t *testing.T, buf *bytes.Buffer, wantExperiment string) map[string]any {
+	t.Helper()
+	var env map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if env["experiment"] != wantExperiment {
+		t.Fatalf("experiment = %v want %v", env["experiment"], wantExperiment)
+	}
+	if env["schema"] != float64(1) {
+		t.Fatalf("schema = %v", env["schema"])
+	}
+	if env["data"] == nil {
+		t.Fatal("no data")
+	}
+	return env
+}
+
+func TestFigure1JSONRoundTrip(t *testing.T) {
+	rows, err := Figure1(apps.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure1JSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	env := decodeEnvelope(t, &buf, "figure1")
+	data := env["data"].([]any)
+	if len(data) != 7 {
+		t.Fatalf("rows = %d", len(data))
+	}
+	first := data[0].(map[string]any)
+	if first["App"] != "Fib" {
+		t.Fatalf("first app = %v", first["App"])
+	}
+	if first["NormalizedPct"].(float64) <= 0 {
+		t.Fatal("missing normalized value")
+	}
+}
+
+func TestFigure7JSON(t *testing.T) {
+	res := Fig7Result{Platform: "x", RawCapacity: 8, Measured: 9,
+		Points: []measure.Point{{Stores: 1, CyclesPerIter: 2}}}
+	var buf bytes.Buffer
+	if err := WriteFigure7JSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, &buf, "figure7")
+}
+
+func TestFigure8JSON(t *testing.T) {
+	res := Fig8Result{
+		Raw:    []litmus.Result{{L: 1, Delta: 2, Runs: 3}},
+		PanelA: []litmus.GridPoint{{Alpha: 1, Delta: 1, Correct: false, Ls: []int{1}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure8JSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, &buf, "figure8")
+}
+
+func TestFigure10And11JSON(t *testing.T) {
+	res10 := Fig10Result{Platform: "p", Threads: 2, DeltaS: 4,
+		Variants: []string{"THEP"},
+		Rows:     []Fig10Row{{App: "Fib", BaselineCycles: 10, Cells: map[string]Fig10Cell{"THEP": {Median: 90}}}},
+		GeoMean:  map[string]float64{"THEP": 90},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure10JSON(&buf, res10); err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, &buf, "figure10")
+
+	res11 := Fig11Result{Platform: "p",
+		Rows: []Fig11Row{{Workload: "t", Threads: 2, Baseline: 5,
+			Cells: map[string]Fig11Cell{"FF-CL": {NormalizedPct: 80}}}}}
+	buf.Reset()
+	if err := WriteFigure11JSON(&buf, res11); err != nil {
+		t.Fatal(err)
+	}
+	decodeEnvelope(t, &buf, "figure11")
+}

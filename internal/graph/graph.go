@@ -1,0 +1,231 @@
+// Package graph provides the §8.2 workloads: parallel transitive closure
+// and spanning tree over the three input families of Figure 11 (K-regular
+// graph, random graph, 2D torus).
+//
+// The parallel algorithms follow Michael et al.'s benchmarks (via Bader &
+// Cong): a task visits one node and spawns visits for its unvisited
+// neighbours. The visit synchronizes internally (test-and-set on the
+// node's visited/parent word), because the same visit task can inherently
+// be executed more than once — which is exactly what makes these workloads
+// suitable clients for the idempotent queues, and is why they are safe on
+// them.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// Graph is an adjacency-list graph with nodes 0..N-1.
+type Graph struct {
+	N   int
+	Adj [][]int32
+}
+
+// Edges returns the total directed edge count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+func (g *Graph) addEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.Adj[u] = append(g.Adj[u], int32(v))
+	g.Adj[v] = append(g.Adj[v], int32(u))
+}
+
+// KGraph builds the paper's K-graph: a K-regular graph where node i is
+// connected to the next k nodes around a ring, giving uniform degree 2k.
+func KGraph(n, k int) *Graph {
+	if n < 2 || k < 1 || k >= n {
+		panic(fmt.Sprintf("graph: bad KGraph(%d, %d)", n, k))
+	}
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			g.addEdge(i, (i+d)%n)
+		}
+	}
+	return g
+}
+
+// Random builds a random undirected graph with n nodes and m edges, plus a
+// Hamiltonian backbone so it is connected (matching the paper's use of a
+// single traversal covering the graph).
+func Random(n, m int, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: bad Random(%d, %d)", n, m))
+	}
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.addEdge(perm[i-1], perm[i])
+	}
+	for e := n - 1; e < m; e++ {
+		g.addEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+// Torus builds a w×h 2D torus (each node has 4 neighbours with
+// wraparound), the paper's hardest-to-parallelize input.
+func Torus(w, h int) *Graph {
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("graph: bad Torus(%d, %d)", w, h))
+	}
+	g := &Graph{N: w * h, Adj: make([][]int32, w*h)}
+	id := func(x, y int) int { return (y%h+h)%h*w + (x%w+w)%w }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.addEdge(id(x, y), id(x+1, y))
+			g.addEdge(id(x, y), id(x, y+1))
+		}
+	}
+	return g
+}
+
+// bfsReachable is the serial reference: the set of nodes reachable from
+// root.
+func bfsReachable(g *Graph, root int) []bool {
+	seen := make([]bool, g.N)
+	seen[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return seen
+}
+
+// visitWork models the cost of scanning a node's adjacency list.
+func visitWork(deg int) uint64 { return uint64(70 + 10*deg) }
+
+// TransitiveClosure builds the parallel reachability workload from root:
+// the returned root task spawns the traversal, and the verifier checks the
+// visited set against serial BFS. Safe on idempotent queues: a duplicated
+// visit observes visited[u] already set and spawns nothing.
+func TransitiveClosure(g *Graph, root int) (sched.TaskFunc, func() error) {
+	visited := make([]bool, g.N)
+	var visit func(u int32) sched.TaskFunc
+	visit = func(u int32) sched.TaskFunc {
+		return func(w *sched.Worker) {
+			if visited[u] {
+				w.Work(4)
+				return
+			}
+			visited[u] = true
+			w.Work(visitWork(len(g.Adj[u])))
+			for _, v := range g.Adj[u] {
+				if !visited[v] {
+					w.Spawn(visit(v))
+				}
+			}
+		}
+	}
+	verify := func() error {
+		want := bfsReachable(g, root)
+		for i := range want {
+			if visited[i] != want[i] {
+				return fmt.Errorf("transitive closure: node %d visited=%v want %v", i, visited[i], want[i])
+			}
+		}
+		return nil
+	}
+	return visit(int32(root)), verify
+}
+
+// SpanningTree builds the parallel spanning-tree workload: each first
+// visit claims unclaimed neighbours as children before spawning their
+// visits, so the parent pointers form a tree over the reachable set.
+func SpanningTree(g *Graph, root int) (sched.TaskFunc, func() error) {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = int32(root)
+	var visit func(u int32) sched.TaskFunc
+	visit = func(u int32) sched.TaskFunc {
+		return func(w *sched.Worker) {
+			w.Work(visitWork(len(g.Adj[u])))
+			for _, v := range g.Adj[u] {
+				if parent[v] == -1 {
+					parent[v] = u
+					w.Spawn(visit(v))
+				}
+			}
+		}
+	}
+	verify := func() error {
+		want := bfsReachable(g, root)
+		for i := range want {
+			if want[i] != (parent[i] != -1) {
+				return fmt.Errorf("spanning tree: node %d coverage mismatch", i)
+			}
+		}
+		// Walking parent pointers from every node must reach the root
+		// without exceeding N hops (i.e. the parents form a tree).
+		for i := range want {
+			if !want[i] {
+				continue
+			}
+			u, hops := int32(i), 0
+			for u != int32(root) {
+				u = parent[u]
+				hops++
+				if hops > g.N {
+					return fmt.Errorf("spanning tree: cycle reached from node %d", i)
+				}
+			}
+		}
+		return nil
+	}
+	return visit(int32(root)), verify
+}
+
+// Workload names one Figure 11 input with its construction.
+type Workload struct {
+	Name    string
+	Build   func() *Graph
+	Threads int // paper's thread count for this input (torus scales to 2)
+}
+
+// Figure11Workloads returns the three inputs of Figure 11 at the given
+// scale; maxThreads is the machine's core count (the torus caps at 2, as
+// in the paper).
+func Figure11Workloads(scale int, maxThreads int) []Workload {
+	torusThreads := 2
+	if maxThreads < 2 {
+		torusThreads = maxThreads
+	}
+	return []Workload{
+		{
+			Name:    fmt.Sprintf("K-Graph (%d nodes)", 2*scale),
+			Build:   func() *Graph { return KGraph(2*scale, 3) },
+			Threads: maxThreads,
+		},
+		{
+			Name:    fmt.Sprintf("Random (%d nodes, %d edges)", 2*scale, 6*scale),
+			Build:   func() *Graph { return Random(2*scale, 6*scale, 42) },
+			Threads: maxThreads,
+		},
+		{
+			Name:    "Torus (2400 nodes, 2 threads)",
+			Build:   func() *Graph { return Torus(60, 40) },
+			Threads: torusThreads,
+		},
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tso"
+)
+
+func TestGenerators(t *testing.T) {
+	k := KGraph(20, 3)
+	if k.N != 20 {
+		t.Fatalf("kgraph N=%d", k.N)
+	}
+	for i, adj := range k.Adj {
+		if len(adj) != 6 { // k neighbours each direction
+			t.Fatalf("kgraph node %d degree %d want 6", i, len(adj))
+		}
+	}
+	r := Random(30, 60, 1)
+	if r.N != 30 {
+		t.Fatalf("random N=%d", r.N)
+	}
+	if got := r.Edges(); got < 2*(30-1) {
+		t.Fatalf("random edges %d want >= backbone", got)
+	}
+	to := Torus(6, 5)
+	if to.N != 30 {
+		t.Fatalf("torus N=%d", to.N)
+	}
+	for i, adj := range to.Adj {
+		if len(adj) != 4 {
+			t.Fatalf("torus node %d degree %d want 4", i, len(adj))
+		}
+	}
+}
+
+func TestGeneratorsConnected(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"kgraph": KGraph(50, 2),
+		"random": Random(50, 80, 3),
+		"torus":  Torus(10, 5),
+	} {
+		seen := bfsReachable(g, 0)
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%s: node %d unreachable", name, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { KGraph(1, 1) },
+		func() { KGraph(5, 5) },
+		func() { Random(1, 0, 0) },
+		func() { Torus(1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad generator arguments did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func runWorkload(t *testing.T, algo core.Algo, delta int, seed int64,
+	build func(*Graph, int) (sched.TaskFunc, func() error)) sched.Stats {
+	t.Helper()
+	g := Torus(8, 6)
+	m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.15})
+	p := sched.NewPool(m, sched.Options{Algo: algo, Delta: delta, Seed: seed})
+	root, verify := build(g, 0)
+	st, err := p.Run(root)
+	if err != nil {
+		t.Fatalf("%v seed %d: %v", algo, seed, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("%v seed %d: %v", algo, seed, err)
+	}
+	return st
+}
+
+func TestTransitiveClosureAllAlgos(t *testing.T) {
+	for _, algo := range core.Algos {
+		for seed := int64(0); seed < 6; seed++ {
+			runWorkload(t, algo, 2, seed, TransitiveClosure)
+		}
+	}
+}
+
+func TestSpanningTreeAllAlgos(t *testing.T) {
+	for _, algo := range core.Algos {
+		for seed := int64(0); seed < 6; seed++ {
+			runWorkload(t, algo, 2, seed, SpanningTree)
+		}
+	}
+}
+
+// TestIdempotentDuplicatesTolerated runs the closure under heavy reordering
+// on the idempotent LIFO: duplicated visits must not corrupt the result.
+func TestIdempotentDuplicatesTolerated(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := KGraph(60, 2)
+		m := tso.NewMachine(tso.Config{Threads: 3, BufferSize: 4, Seed: seed, DrainBias: 0.05})
+		p := sched.NewPool(m, sched.Options{Algo: core.AlgoIdempotentLIFO, Seed: seed})
+		root, verify := TransitiveClosure(g, 0)
+		if _, err := p.Run(root); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFigure11Workloads(t *testing.T) {
+	ws := Figure11Workloads(100, 4)
+	if len(ws) != 3 {
+		t.Fatalf("want 3 workloads, got %d", len(ws))
+	}
+	if ws[2].Threads != 2 {
+		t.Fatalf("torus threads = %d want 2", ws[2].Threads)
+	}
+	for _, w := range ws {
+		g := w.Build()
+		if g.N < 100 {
+			t.Fatalf("%s: suspiciously small graph (%d nodes)", w.Name, g.N)
+		}
+		seen := bfsReachable(g, 0)
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%s: node %d unreachable", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadsOnTimedEngine(t *testing.T) {
+	g := KGraph(120, 2)
+	m := tso.NewTimedMachine(tso.Config{Threads: 4, BufferSize: 33})
+	p := sched.NewPool(m, sched.Options{Algo: core.AlgoChaseLev, Seed: 7})
+	root, verify := TransitiveClosure(g, 0)
+	st, err := p.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Elapsed == 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}

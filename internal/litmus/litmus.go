@@ -1,0 +1,195 @@
+// Package litmus implements §7.3's TSO[S] litmus test (Figure 9) and the
+// grid analysis of Figure 8: run a worker and a thief concurrently
+// emptying an FF-THE queue of N tasks, with the worker performing L
+// scratch stores per take and the thief using a candidate δ, and check
+// that exactly N removals happen. A total other than N proves the machine
+// does not implement TSO with the bound implied by (L, δ).
+//
+// Where the paper needs 10^7 hardware runs per point to win the reordering
+// lottery, the chaos engine forces deep store-buffer occupancy directly,
+// so a few hundred seeds per point (across drain biases) suffice.
+package litmus
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tso"
+)
+
+// Options parameterizes one litmus point.
+type Options struct {
+	Tasks       int       // queue prefill (paper: 512)
+	Seeds       int       // chaos seeds per (bias) configuration
+	DrainBiases []float64 // drain starvation levels to sweep
+	// Algo selects the fence-free queue under test; the zero value is
+	// AlgoFFTHE, the paper's Figure 9 choice. AlgoFFCL is the other
+	// δ-parameterized queue and obeys the same bound.
+	Algo core.Algo
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tasks == 0 {
+		o.Tasks = 512
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 60
+	}
+	if len(o.DrainBiases) == 0 {
+		o.DrainBiases = []float64{0.02, 0.15}
+	}
+	if !o.Algo.UsesDelta() {
+		o.Algo = core.AlgoFFTHE
+	}
+	return o
+}
+
+// Result summarizes the runs of one (L, δ) point.
+type Result struct {
+	L, Delta  int
+	Runs      int
+	Incorrect int // runs where taken+stolen != Tasks
+}
+
+// Correct reports whether every run removed exactly Tasks tasks.
+func (r Result) Correct() bool { return r.Incorrect == 0 }
+
+// RunPoint executes the Figure 9 program for one (L, δ) pair on machines
+// configured by cfg (Threads forced to 2; Seed/DrainBias swept).
+func RunPoint(cfg tso.Config, l, delta int, opts Options) Result {
+	opts = opts.withDefaults()
+	res := Result{L: l, Delta: delta}
+	for _, bias := range opts.DrainBiases {
+		for seed := 0; seed < opts.Seeds; seed++ {
+			c := cfg
+			c.Threads = 2
+			c.Seed = int64(seed)*1009 + int64(bias*1e4)
+			c.DrainBias = bias
+			total, err := runOnce(c, opts.Algo, l, delta, opts.Tasks)
+			if err != nil {
+				panic(fmt.Sprintf("litmus: %v", err))
+			}
+			res.Runs++
+			if total != opts.Tasks {
+				res.Incorrect++
+			}
+		}
+	}
+	return res
+}
+
+// runOnce is one execution of Figure 9: returns taken+stolen.
+func runOnce(cfg tso.Config, algo core.Algo, l, delta, tasks int) (int, error) {
+	m := tso.NewMachine(cfg)
+	q := core.New(algo, m, tasks+1, delta)
+	vals := make([]uint64, tasks)
+	for i := range vals {
+		vals[i] = uint64(i) + 1
+	}
+	q.(core.Prefiller).Prefill(m, vals)
+	scratch := m.Alloc(l + 1)
+
+	taken, stolen := 0, 0
+	err := m.Run(
+		func(c tso.Context) { // worker
+			for {
+				if _, st := q.Take(c); st == core.Empty {
+					return
+				}
+				taken++
+				for s := 0; s < l; s++ {
+					c.Store(scratch+tso.Addr(s), uint64(taken))
+				}
+			}
+		},
+		func(c tso.Context) { // thief
+			for {
+				_, st := q.Steal(c)
+				if st == core.Abort || st == core.Empty {
+					// Figure 9 stops at ABORT; FF-CL can also answer
+					// EMPTY (its abort condition does not subsume it),
+					// which equally ends the thief's run.
+					return
+				}
+				stolen++
+			}
+		},
+	)
+	return taken + stolen, err
+}
+
+// GridPoint is one interpreted cell of Figure 8: the point (α, δ) where
+// α = ⌈S/(L+1)⌉ under an assumed bound S.
+type GridPoint struct {
+	Alpha   int // assumed max take() stores in the buffer
+	Delta   int
+	Correct bool
+	// Ls records which L values mapped to this α.
+	Ls []int
+}
+
+// Figure8Ls returns the L values whose α = ⌈32/(L+1)⌉ hits the x-axis
+// ticks of Figure 8a: 1,2,3,4,5,6,7,8,11,16,32.
+func Figure8Ls() []int { return []int{31, 15, 10, 7, 6, 5, 4, 3, 2, 1, 0} }
+
+// RunPoints evaluates the litmus test for every (L, δ) pair produced by
+// deltasFor over ls. The raw results can then be folded under different
+// assumed bounds with Interpret — exactly how the paper reuses one data
+// set for Figures 8a (S=32) and 8b (S=33).
+func RunPoints(cfg tso.Config, ls []int, deltasFor func(l int) []int, opts Options) []Result {
+	var out []Result
+	for _, l := range ls {
+		for _, d := range deltasFor(l) {
+			out = append(out, RunPoint(cfg, l, d, opts))
+		}
+	}
+	return out
+}
+
+// Interpret folds raw litmus results by α = ⌈assumedS/(L+1)⌉, marking a
+// grid point incorrect if any contributing run was incorrect (the paper's
+// Figure 8 classification rule).
+func Interpret(results []Result, assumedS int) []GridPoint {
+	type key struct{ alpha, delta int }
+	agg := map[key]*GridPoint{}
+	for _, r := range results {
+		alpha := core.Delta(assumedS, r.L)
+		k := key{alpha, r.Delta}
+		gp, ok := agg[k]
+		if !ok {
+			gp = &GridPoint{Alpha: alpha, Delta: r.Delta, Correct: true}
+			agg[k] = gp
+		}
+		gp.Ls = append(gp.Ls, r.L)
+		if !r.Correct() {
+			gp.Correct = false
+		}
+	}
+	out := make([]GridPoint, 0, len(agg))
+	for _, gp := range agg {
+		out = append(out, *gp)
+	}
+	sortGrid(out)
+	return out
+}
+
+// RunGrid evaluates the litmus test across Ls and deltas and folds the
+// results by α under assumedS, reproducing one panel of Figure 8.
+func RunGrid(cfg tso.Config, assumedS int, ls []int, deltasFor func(l int) []int, opts Options) []GridPoint {
+	return Interpret(RunPoints(cfg, ls, deltasFor, opts), assumedS)
+}
+
+func sortGrid(g []GridPoint) {
+	for i := 1; i < len(g); i++ {
+		for j := i; j > 0 && less(g[j], g[j-1]); j-- {
+			g[j], g[j-1] = g[j-1], g[j]
+		}
+	}
+}
+
+func less(a, b GridPoint) bool {
+	if a.Alpha != b.Alpha {
+		return a.Alpha < b.Alpha
+	}
+	return a.Delta < b.Delta
+}

@@ -1,0 +1,160 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tso"
+)
+
+// Small machine for fast tests: S=3 with the drain stage, so the true
+// observable bound is 4.
+var testCfg = tso.Config{BufferSize: 3, DrainBuffer: true}
+
+var testOpts = Options{Tasks: 64, Seeds: 40, DrainBiases: []float64{0.03, 0.2}}
+
+func TestSoundDeltaCorrect(t *testing.T) {
+	bound := testCfg.ObservableBound() // 4
+	for _, l := range []int{1, 2, 3} {
+		delta := core.Delta(bound, l)
+		r := RunPoint(testCfg, l, delta, testOpts)
+		if !r.Correct() {
+			t.Fatalf("L=%d δ=%d (sound for bound %d): %d/%d incorrect", l, delta, bound, r.Incorrect, r.Runs)
+		}
+	}
+}
+
+func TestUnsoundDeltaIncorrect(t *testing.T) {
+	// δ computed from the *raw* capacity S=3 instead of the observable
+	// bound 4, at an L where they differ: ⌈3/(L+1)⌉ < ⌈4/(L+1)⌉ requires
+	// (L+1) | 3 ... choose L=0: α(3)=3 < α(4)=4.
+	r := RunPoint(testCfg, 0, 3, Options{Tasks: 64, Seeds: 120, DrainBiases: []float64{0.02, 0.1, 0.3}})
+	if r.Correct() {
+		t.Fatalf("L=0 δ=3 on an observable-bound-4 machine never failed (%d runs); reordering not exercised", r.Runs)
+	}
+}
+
+func TestCoalescingBreaksL0EvenAtBound(t *testing.T) {
+	// Figure 8b's outlier: with L=0 the only worker stores are to T, the
+	// drain stage coalesces them, and even δ = S+1 fails.
+	r := RunPoint(testCfg, 0, testCfg.ObservableBound(), Options{Tasks: 64, Seeds: 200, DrainBiases: []float64{0.02, 0.1, 0.3}})
+	if r.Correct() {
+		t.Fatalf("L=0 δ=%d with coalescing never failed (%d runs)", testCfg.ObservableBound(), r.Runs)
+	}
+}
+
+func TestL1RestoresSoundnessUnderCoalescing(t *testing.T) {
+	// One scratch store between takes separates the stores to T: no
+	// chained coalescing, so δ=⌈4/2⌉=2 is sound again.
+	r := RunPoint(testCfg, 1, 2, testOpts)
+	if !r.Correct() {
+		t.Fatalf("L=1 δ=2: %d/%d incorrect", r.Incorrect, r.Runs)
+	}
+}
+
+func TestWithoutStageRawBoundIsSound(t *testing.T) {
+	cfg := tso.Config{BufferSize: 3}
+	r := RunPoint(cfg, 0, 3, testOpts)
+	if !r.Correct() {
+		t.Fatalf("no drain stage, δ=S: %d/%d incorrect", r.Incorrect, r.Runs)
+	}
+}
+
+func TestFigure8Ls(t *testing.T) {
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 11, 16, 32}
+	ls := Figure8Ls()
+	if len(ls) != len(want) {
+		t.Fatalf("got %d Ls want %d", len(ls), len(want))
+	}
+	for i, l := range ls {
+		if got := core.Delta(32, l); got != want[i] {
+			t.Fatalf("L=%d gives α=%d want %d", l, got, want[i])
+		}
+	}
+}
+
+func TestRunGridSmall(t *testing.T) {
+	// A miniature Figure 8: assumed S equals the raw capacity (3), true
+	// bound 4. Points with δ = α(3) where α(3) < α(4) must come out
+	// incorrect; δ = α(4) points correct except the L=0 coalescing case.
+	ls := []int{2, 1, 0}
+	grid := RunGrid(testCfg, 3, ls, func(l int) []int {
+		a3 := core.Delta(3, l)
+		a4 := core.Delta(4, l)
+		if a3 == a4 {
+			return []int{a3}
+		}
+		return []int{a3, a4}
+	}, Options{Tasks: 48, Seeds: 60, DrainBiases: []float64{0.02, 0.2}})
+
+	if len(grid) == 0 {
+		t.Fatal("empty grid")
+	}
+	for _, gp := range grid {
+		trueNeeded := 0
+		for _, l := range gp.Ls {
+			if n := core.Delta(4, l); n > trueNeeded {
+				trueNeeded = n
+			}
+		}
+		hasL0 := false
+		for _, l := range gp.Ls {
+			if l == 0 {
+				hasL0 = true
+			}
+		}
+		switch {
+		case hasL0:
+			// Coalescing: incorrect regardless of δ.
+			if gp.Correct {
+				t.Errorf("grid point α=%d δ=%d (L=0) unexpectedly correct", gp.Alpha, gp.Delta)
+			}
+		case gp.Delta >= trueNeeded:
+			if !gp.Correct {
+				t.Errorf("grid point α=%d δ=%d should be correct (true need %d)", gp.Alpha, gp.Delta, trueNeeded)
+			}
+		default:
+			if gp.Correct {
+				t.Errorf("grid point α=%d δ=%d should be incorrect (true need %d)", gp.Alpha, gp.Delta, trueNeeded)
+			}
+		}
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	r := RunPoint(tso.Config{BufferSize: 4}, 1, 2, Options{Tasks: 32, Seeds: 5, DrainBiases: []float64{0.3}})
+	if r.Runs != 5 {
+		t.Fatalf("runs = %d want 5", r.Runs)
+	}
+	if r.L != 1 || r.Delta != 2 {
+		t.Fatalf("point identity wrong: %+v", r)
+	}
+}
+
+// TestFFCLObeysTheSameBound runs the litmus program over FF-CL instead of
+// FF-THE: the bound argument is algorithm-independent, so a sound δ must
+// be correct and the L=0 coalescing case must still fail.
+func TestFFCLObeysTheSameBound(t *testing.T) {
+	ffcl := Options{Tasks: 64, Seeds: 40, DrainBiases: []float64{0.03, 0.2}, Algo: core.AlgoFFCL}
+	bound := testCfg.ObservableBound()
+	r := RunPoint(testCfg, 1, core.Delta(bound, 1), ffcl)
+	if !r.Correct() {
+		t.Fatalf("FF-CL sound δ: %d/%d incorrect", r.Incorrect, r.Runs)
+	}
+	hunting := Options{Tasks: 64, Seeds: 300, DrainBiases: []float64{0.02, 0.1, 0.3}, Algo: core.AlgoFFCL}
+	r = RunPoint(testCfg, 0, bound, hunting)
+	if r.Correct() {
+		t.Fatalf("FF-CL with L=0 coalescing never failed (%d runs)", r.Runs)
+	}
+}
+
+func TestOptionsAlgoDefaultsToFFTHE(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Algo != core.AlgoFFTHE {
+		t.Fatalf("default algo = %v", o.Algo)
+	}
+	o = Options{Algo: core.AlgoTHE}.withDefaults() // not δ-parameterized
+	if o.Algo != core.AlgoFFTHE {
+		t.Fatalf("non-δ algo not replaced: %v", o.Algo)
+	}
+}

@@ -1,0 +1,31 @@
+package litmusdsl_test
+
+import (
+	"fmt"
+
+	"repro/internal/litmusdsl"
+)
+
+// Example runs a litmus test from source and reports its verdict, proved
+// over every schedule of the abstract machine.
+func Example() {
+	test, err := litmusdsl.Parse(`name: MP
+P0: x=1; y=1
+P1: r0=y; r1=x
+exists: P1.r0=1 & P1.r1=0
+expect: forbidden`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := litmusdsl.Run(test, litmusdsl.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verdict:", res.Verdict)
+	fmt.Println("proved over every schedule:", res.Complete)
+	fmt.Println("matches expectation:", res.Ok())
+	// Output:
+	// verdict: forbidden
+	// proved over every schedule: true
+	// matches expectation: true
+}

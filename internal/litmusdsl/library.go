@@ -1,0 +1,141 @@
+package litmusdsl
+
+// Library is the built-in suite of classic memory-model litmus tests with
+// their verdicts on this machine's models. Each is written in the package's
+// textual format so they double as parser fixtures, documentation, and a
+// validation matrix for the abstract machine: the TSO verdicts below are
+// the standard x86-TSO results from the literature (Sewell et al.), and
+// the PSO entries show which of them weaken.
+var Library = []string{
+	`name: SB
+# Store buffering: the one reordering TSO allows.
+model: TSO
+sbuf: 2
+P0: x=1; r0=y
+P1: y=1; r1=x
+exists: P0.r0=0 & P1.r1=0
+expect: allowed`,
+
+	`name: SB+fences
+model: TSO
+sbuf: 2
+P0: x=1; fence; r0=y
+P1: y=1; fence; r1=x
+exists: P0.r0=0 & P1.r1=0
+expect: forbidden`,
+
+	`name: SB+cas
+# An atomic RMW orders like a fence (rule 4).
+model: TSO
+sbuf: 2
+P0: x=1; r2=cas s 0 1; r0=y
+P1: y=1; r3=cas t 0 1; r1=x
+exists: P0.r0=0 & P1.r1=0
+expect: forbidden`,
+
+	`name: MP
+# Message passing: FIFO drains keep data before flag.
+model: TSO
+sbuf: 2
+P0: x=1; y=1
+P1: r0=y; r1=x
+exists: P1.r0=1 & P1.r1=0
+expect: forbidden`,
+
+	`name: MP+PSO
+# ...but PSO reorders the two stores.
+model: PSO
+sbuf: 2
+P0: x=1; y=1
+P1: r0=y; r1=x
+exists: P1.r0=1 & P1.r1=0
+expect: allowed`,
+
+	`name: LB
+# Load buffering: needs load->store reordering, which TSO (and PSO, and
+# this machine) never perform.
+model: TSO
+sbuf: 2
+P0: r0=y; x=1
+P1: r1=x; y=1
+exists: P0.r0=1 & P1.r1=1
+expect: forbidden`,
+
+	`name: CoRR
+# Coherence of read-read: two reads of one location by the same process
+# never observe its writes out of order.
+model: TSO
+sbuf: 2
+P0: x=1; x=2
+P1: r0=x; r1=x
+exists: P1.r0=2 & P1.r1=1
+expect: forbidden`,
+
+	`name: CoRR+PSO
+# Per-address order survives even under PSO.
+model: PSO
+sbuf: 2
+P0: x=1; x=2
+P1: r0=x; r1=x
+exists: P1.r0=2 & P1.r1=1
+expect: forbidden`,
+
+	`name: 2+2W
+# Two writers to two locations: the final state with both first writes
+# surviving needs store-store reordering; forbidden under TSO, allowed
+# under PSO.
+model: TSO
+sbuf: 2
+P0: x=1; y=2
+P1: y=1; x=2
+exists: x=1 & y=1
+expect: forbidden`,
+
+	`name: 2+2W+PSO
+model: PSO
+sbuf: 2
+P0: x=1; y=2
+P1: y=1; x=2
+exists: x=1 & y=1
+expect: allowed`,
+
+	`name: S
+# The S pattern: if P1 observes y=1, FIFO drains mean x=2 already reached
+# memory, and P1's own x=1 drains later still — so x cannot finish at 2.
+model: TSO
+sbuf: 2
+P0: x=2; y=1
+P1: r0=y; x=1
+exists: P1.r0=1 & x=2
+expect: forbidden`,
+
+	`name: R
+# The R pattern: store buffering with one reader; allowed under TSO.
+model: TSO
+sbuf: 2
+P0: x=1; r0=y
+P1: y=1; y=2
+exists: P0.r0=0 & y=2
+expect: allowed`,
+
+	`name: SB+one-fence
+# A single fence does not restore order for the unfenced side.
+model: TSO
+sbuf: 2
+P0: x=1; fence; r0=y
+P1: y=1; r1=x
+exists: P0.r0=0 & P1.r1=0
+expect: allowed`,
+
+	`name: WRC-ish
+# Write-to-read causality through a middleman: under TSO (multi-copy
+# atomic: stores become visible to everyone at once when they drain),
+# P2 cannot see y=1 without x=1.
+model: TSO
+sbuf: 2
+P0: x=1
+P1: r0=x; y=1
+P2: r1=y; r2=x
+exists: P1.r0=1 & P2.r1=1 & P2.r2=0
+expect: forbidden`,
+}

@@ -1,0 +1,222 @@
+package litmusdsl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tso"
+)
+
+func mustParse(t *testing.T, src string) *Test {
+	t.Helper()
+	tt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func TestParseSB(t *testing.T) {
+	tt := mustParse(t, Library[0])
+	if tt.Name != "SB" || tt.Model != tso.ModelTSO || tt.SBuf != 2 {
+		t.Fatalf("header: %+v", tt)
+	}
+	if len(tt.Procs) != 2 || len(tt.Procs[0]) != 2 {
+		t.Fatalf("procs: %+v", tt.Procs)
+	}
+	if tt.Procs[0][0].Kind != StmtStore || tt.Procs[0][0].Var != "x" || tt.Procs[0][0].Val != 1 {
+		t.Fatalf("stmt 0: %+v", tt.Procs[0][0])
+	}
+	if tt.Procs[0][1].Kind != StmtLoad || tt.Procs[0][1].Reg != "r0" || tt.Procs[0][1].Var != "y" {
+		t.Fatalf("stmt 1: %+v", tt.Procs[0][1])
+	}
+	if len(tt.Exists) != 2 || tt.Exists[0].Proc != 0 || tt.Exists[0].Reg != "r0" {
+		t.Fatalf("exists: %+v", tt.Exists)
+	}
+	if tt.Expect != "allowed" {
+		t.Fatalf("expect: %q", tt.Expect)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-name":      "P0: x=1\nexists: x=1",
+		"no-procs":     "name: t\nexists: x=1",
+		"no-exists":    "name: t\nP0: x=1",
+		"bad-model":    "name: t\nmodel: ARM\nP0: x=1\nexists: x=1",
+		"bad-stmt":     "name: t\nP0: x+1\nexists: x=1",
+		"bad-load":     "name: t\nP0: r0=5\nexists: x=1",
+		"bad-cond":     "name: t\nP0: x=1\nexists: P0.q=1",
+		"bad-cas":      "name: t\nP0: r0=cas x 1\nexists: x=1",
+		"gap-in-procs": "name: t\nP0: x=1\nP2: y=1\nexists: x=1",
+		"dup-proc":     "name: t\nP0: x=1\nP0: y=1\nexists: x=1",
+		"bad-expect":   "name: t\nP0: x=1\nexists: x=1\nexpect: maybe",
+		"unknown-reg":  "name: t\nP0: x=1\nexists: P0.r9=1",
+		"bad-key":      "name: t\nfoo: bar\nP0: x=1\nexists: x=1",
+	}
+	for label, src := range cases {
+		if _, err := Parse(src); err == nil {
+			if label == "unknown-reg" {
+				// caught at Run time, not parse time
+				tt := mustParse(t, src)
+				if _, err := Run(tt, RunOptions{}); err == nil {
+					t.Errorf("%s: accepted", label)
+				}
+				continue
+			}
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	tt := mustParse(t, "name: c\n# full comment\nP0: x=1 # trailing\nexists: x=1\n")
+	if len(tt.Procs[0]) != 1 {
+		t.Fatalf("procs: %+v", tt.Procs)
+	}
+}
+
+// TestLibraryVerdicts is the validation matrix: every classic litmus test
+// in the library must produce its literature verdict on the abstract
+// machine, exhaustively.
+func TestLibraryVerdicts(t *testing.T) {
+	for _, src := range Library {
+		tt := mustParse(t, src)
+		t.Run(tt.Name, func(t *testing.T) {
+			res, err := Run(tt, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete {
+				t.Fatalf("exploration incomplete after %d schedules", res.Schedules)
+			}
+			if !res.Ok() {
+				t.Fatalf("verdict %q want %q (outcomes: %v)", res.Verdict, tt.Expect, res.Outcomes)
+			}
+		})
+	}
+}
+
+func TestRunReportsOutcomes(t *testing.T) {
+	tt := mustParse(t, Library[0]) // SB
+	res, err := Run(tt, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("SB outcomes = %d want 4: %v", len(res.Outcomes), res.Outcomes)
+	}
+	for o := range res.Outcomes {
+		if !strings.Contains(o, "P0.r0=") || !strings.Contains(o, "x=") {
+			t.Fatalf("outcome rendering: %q", o)
+		}
+	}
+}
+
+func TestInitValuesRespected(t *testing.T) {
+	tt := mustParse(t, `name: init
+init: x=7
+P0: r0=x
+exists: P0.r0=7
+expect: allowed`)
+	res, err := Run(tt, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("init not applied: %v", res.Outcomes)
+	}
+}
+
+func TestCASStatement(t *testing.T) {
+	tt := mustParse(t, `name: cas
+P0: r0=cas x 0 5
+P1: r1=cas x 0 6
+exists: P0.r0=1 & P1.r1=1
+expect: forbidden`)
+	res, err := Run(tt, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("two CASes on one location both succeeded: %v", res.Outcomes)
+	}
+}
+
+func TestUnobservedVerdictUnderCap(t *testing.T) {
+	tt := mustParse(t, Library[1]) // SB+fences, forbidden
+	res, err := Run(tt, RunOptions{MaxSchedules: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("3-schedule cap claimed completeness")
+	}
+	if res.Verdict != "unobserved" {
+		t.Fatalf("verdict %q want unobserved", res.Verdict)
+	}
+	if res.Ok() {
+		t.Fatal("unobserved must not satisfy a forbidden expectation")
+	}
+}
+
+func TestWitnessExtraction(t *testing.T) {
+	tt := mustParse(t, Library[0]) // SB, allowed
+	res, err := Run(tt, RunOptions{Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Witnessed || len(res.Witness) == 0 {
+		t.Fatalf("no witness recorded (witnessed=%v)", res.Witnessed)
+	}
+	// The witness must contain both stores and both loads, with each load
+	// happening before the corresponding remote drain (that is what makes
+	// the outcome r0=r1=0 possible); at minimum check the events exist.
+	joined := strings.Join(res.Witness, "\n")
+	for _, want := range []string{"store", "load", "drain"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("witness missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestNoWitnessForForbidden(t *testing.T) {
+	tt := mustParse(t, Library[3]) // MP, forbidden
+	res, err := Run(tt, RunOptions{Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Witness) != 0 {
+		t.Fatalf("forbidden test produced a witness: %v", res.Witness)
+	}
+}
+
+func TestIRIWForbiddenUnderTSO(t *testing.T) {
+	// Independent reads of independent writes: x86-TSO stores are
+	// multi-copy atomic, so the two readers cannot disagree on the order
+	// of the two writes. Four threads; kept out of the default Library to
+	// bound litmustool's default runtime, proved here instead.
+	tt := mustParse(t, `name: IRIW
+model: TSO
+sbuf: 1
+P0: x=1
+P1: y=1
+P2: r0=x; r1=y
+P3: r2=y; r3=x
+exists: P2.r0=1 & P2.r1=0 & P3.r2=1 & P3.r3=0
+expect: forbidden`)
+	// The 4-thread decision tree is too large to enumerate completely in
+	// a unit test, so this is a bounded check: the forbidden outcome must
+	// not be witnessed in a substantial prefix of the tree. (The machine
+	// is multi-copy atomic by construction — stores become globally
+	// visible at their single drain — so the outcome is truly
+	// unreachable; this guards against regressions that would break that.)
+	res, err := Run(tt, RunOptions{MaxSchedules: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Witnessed {
+		t.Fatalf("IRIW outcome witnessed: the machine is not multi-copy atomic (outcomes: %v)", res.Outcomes)
+	}
+	t.Logf("IRIW unobserved over %d schedules (complete=%v)", res.Schedules, res.Complete)
+}

@@ -1,0 +1,249 @@
+package litmusdsl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tso"
+)
+
+// Result is the outcome of running a litmus test.
+type Result struct {
+	Test *Test
+	// Witnessed reports whether the exists condition was reached.
+	Witnessed bool
+	// Complete reports whether exploration covered every schedule; only
+	// then is a non-witnessed condition *proved* unreachable.
+	Complete bool
+	// Schedules is the number of schedules explored.
+	Schedules int
+	// Outcomes tallies distinct final states (registers + condition
+	// variables), rendered canonically.
+	Outcomes map[string]int
+	// Verdict is "allowed" if witnessed, "forbidden" if proved
+	// unreachable, "unobserved" if not witnessed but exploration was
+	// capped before completing.
+	Verdict string
+	// Witness is the event trace of one schedule reaching the condition
+	// (RunOptions.Witness).
+	Witness []string
+}
+
+// Ok reports whether the verdict matches the test's expectation.
+func (r Result) Ok() bool {
+	if r.Test.Expect == "allowed" {
+		return r.Verdict == "allowed"
+	}
+	return r.Verdict == "forbidden"
+}
+
+// RunOptions bounds the exploration.
+type RunOptions struct {
+	// MaxSchedules caps the exploration (default 2_000_000).
+	MaxSchedules int
+	// Witness, when the condition is reachable, re-explores to the first
+	// witnessing schedule and records its event trace in Result.Witness.
+	Witness bool
+}
+
+// Run explores every schedule of the test on the abstract machine and
+// evaluates the exists condition against each final state.
+func Run(t *Test, opts RunOptions) (Result, error) {
+	if opts.MaxSchedules <= 0 {
+		opts.MaxSchedules = 2_000_000
+	}
+	// Collect the variables and registers the test mentions.
+	vars := map[string]bool{}
+	for v := range t.Init {
+		vars[v] = true
+	}
+	regsPerProc := make([]map[string]bool, len(t.Procs))
+	for pi, p := range t.Procs {
+		regsPerProc[pi] = map[string]bool{}
+		for _, s := range p {
+			if s.Var != "" {
+				vars[s.Var] = true
+			}
+			if s.Reg != "" {
+				regsPerProc[pi][s.Reg] = true
+			}
+		}
+	}
+	for _, c := range t.Exists {
+		if c.Proc == -1 {
+			vars[c.Var] = true
+			continue
+		}
+		if c.Proc >= len(t.Procs) {
+			return Result{}, fmt.Errorf("litmusdsl: condition references P%d but test has %d processes", c.Proc, len(t.Procs))
+		}
+		if !regsPerProc[c.Proc][c.Reg] {
+			return Result{}, fmt.Errorf("litmusdsl: condition references P%d.%s which is never assigned", c.Proc, c.Reg)
+		}
+	}
+	varNames := sortedKeys(vars)
+
+	// Address layout (per run): one word per variable, then one result
+	// word per (proc, register), offset by +1 so "never written" is
+	// distinguishable if a test reads an unassigned register.
+	var varAddr map[string]tso.Addr
+	var regAddr []map[string]tso.Addr
+
+	mk := func(m *tso.Machine) []func(tso.Context) {
+		varAddr = map[string]tso.Addr{}
+		for _, v := range varNames {
+			varAddr[v] = m.Alloc(1)
+			m.Poke(varAddr[v], t.Init[v])
+		}
+		regAddr = make([]map[string]tso.Addr, len(t.Procs))
+		for pi := range t.Procs {
+			regAddr[pi] = map[string]tso.Addr{}
+			for _, r := range sortedKeys(regsPerProc[pi]) {
+				regAddr[pi][r] = m.Alloc(1)
+			}
+		}
+		progs := make([]func(tso.Context), len(t.Procs))
+		for pi := range t.Procs {
+			pi := pi
+			stmts := t.Procs[pi]
+			progs[pi] = func(c tso.Context) {
+				regs := map[string]uint64{}
+				for _, s := range stmts {
+					switch s.Kind {
+					case StmtStore:
+						c.Store(varAddr[s.Var], s.Val)
+					case StmtLoad:
+						regs[s.Reg] = c.Load(varAddr[s.Var])
+					case StmtFence:
+						c.Fence()
+					case StmtCAS:
+						if _, ok := c.CAS(varAddr[s.Var], s.Old, s.Val); ok {
+							regs[s.Reg] = 1
+						} else {
+							regs[s.Reg] = 0
+						}
+					}
+				}
+				// Publish registers (+1 so zero-valued registers are
+				// distinguishable from never-run); flushed at run end.
+				for r, v := range regs {
+					c.Store(regAddr[pi][r], v+1)
+				}
+			}
+		}
+		return progs
+	}
+
+	outcome := func(m *tso.Machine) string {
+		s := ""
+		for pi := range t.Procs {
+			for _, r := range sortedKeys(regsPerProc[pi]) {
+				s += fmt.Sprintf("P%d.%s=%d ", pi, r, m.Peek(regAddr[pi][r])-1)
+			}
+		}
+		for _, v := range varNames {
+			s += fmt.Sprintf("%s=%d ", v, m.Peek(varAddr[v]))
+		}
+		return s
+	}
+
+	cfg := tso.Config{Threads: len(t.Procs), BufferSize: t.SBuf, Model: t.Model}
+	set, eres := tso.ExploreOutcomes(cfg, mk, outcome, tso.ExploreOptions{MaxRuns: opts.MaxSchedules})
+
+	res := Result{Test: t, Complete: eres.Complete, Schedules: eres.Runs, Outcomes: set.Counts}
+	for o := range set.Counts {
+		if condHolds(t, o) {
+			res.Witnessed = true
+		}
+	}
+	switch {
+	case res.Witnessed:
+		res.Verdict = "allowed"
+	case res.Complete:
+		res.Verdict = "forbidden"
+	default:
+		res.Verdict = "unobserved"
+	}
+
+	if res.Witnessed && opts.Witness {
+		// Re-explore deterministically with a tracer attached; the first
+		// witnessing schedule appears at the same position, so the search
+		// is bounded by the exploration that already ran.
+		var tr *tso.RingTracer
+		mkTraced := func(m *tso.Machine) []func(tso.Context) {
+			tr = tso.NewRingTracer(4096)
+			m.SetTracer(tr)
+			return mk(m)
+		}
+		tso.ExploreUntil(cfg, mkTraced, tso.ExploreOptions{MaxRuns: opts.MaxSchedules},
+			func(m *tso.Machine, err error) bool {
+				if err == nil && condHolds(t, outcome(m)) {
+					for _, e := range tr.Events() {
+						res.Witness = append(res.Witness, e.String())
+					}
+					return true
+				}
+				return false
+			})
+	}
+	return res, nil
+}
+
+// condHolds evaluates the conjunction against a rendered outcome.
+func condHolds(t *Test, outcome string) bool {
+	fields := map[string]string{}
+	for _, f := range splitFields(outcome) {
+		if k, v, ok := cut(f, "="); ok {
+			fields[k] = v
+		}
+	}
+	for _, c := range t.Exists {
+		var key string
+		if c.Proc == -1 {
+			key = c.Var
+		} else {
+			key = fmt.Sprintf("P%d.%s", c.Proc, c.Reg)
+		}
+		if fields[key] != fmt.Sprintf("%d", c.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func splitFields(s string) []string {
+	var out []string
+	cur := ""
+	for _, ch := range s {
+		if ch == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(ch)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func cut(s, sep string) (string, string, bool) {
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if s[i:i+len(sep)] == sep {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}

@@ -1,0 +1,122 @@
+// Package measure implements §7.2's store-buffer capacity measurement
+// (Figures 6 and 7): time sequences of stores of increasing length
+// alternated with a long-latency non-memory instruction sequence, and find
+// the length at which execution starts to stall.
+//
+// On the timed engine the mechanism is exactly the paper's: store-buffer
+// entries drain in the background while the filler "instructions" (Work)
+// execute, so as long as the sequence fits in the buffer the filler
+// dominates; one store beyond capacity triggers the pipeline-entry stall
+// and the per-iteration time jumps by about DrainCycles per extra store.
+// With the §7.3 drain stage enabled the measured capacity is S+1 — the
+// "observable store buffer capacity" the paper measures as 33 and 43.
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// Point is one row of the Figure 7 curve.
+type Point struct {
+	Stores        int     // length of the store sequence
+	CyclesPerIter float64 // average virtual cycles per iteration
+}
+
+// CapacityOptions parameterizes the Figure 6 measurement loop.
+type CapacityOptions struct {
+	// MaxSeq is the longest store sequence tried (Figure 7 uses 52).
+	MaxSeq int
+	// Iters is K, the repetitions per sequence length.
+	Iters int
+	// FillerWork is the latency of the non-memory sequence; it must
+	// exceed MaxSeq×DrainCycles so each iteration starts with an empty
+	// buffer, as the paper's filler does.
+	FillerWork uint64
+	// SameLocation makes every store in the sequence target one address —
+	// the §7.2 follow-up experiment showing coalesced stores still occupy
+	// distinct store-buffer entries.
+	SameLocation bool
+}
+
+func (o CapacityOptions) withDefaults(cfg tso.Config) CapacityOptions {
+	if o.MaxSeq == 0 {
+		o.MaxSeq = 52
+	}
+	if o.Iters == 0 {
+		o.Iters = 64
+	}
+	if o.FillerWork == 0 {
+		c := cfg.Cost
+		if c == (tso.CostModel{}) {
+			c = tso.DefaultCost
+		}
+		o.FillerWork = uint64(o.MaxSeq+4) * c.DrainCycles
+	}
+	return o
+}
+
+// StoreBufferCapacity runs the Figure 6 measurement on a timed machine
+// configured by cfg (Threads is forced to 1) and returns one Point per
+// sequence length 1..MaxSeq.
+//
+// The measurement relies on the paper's out-of-order dispatch behaviour:
+// store *issue* is fully hidden under the long-latency filler, and only
+// the buffer-full dispatch stall is observable. The timed engine is
+// in-order, so the harness models this by issuing the measurement stores
+// at zero cycles; the stall and drain costs are unchanged. Without this
+// the 1-cycle issue rate lets background drains keep pace and the knee
+// drifts above the true capacity — an artifact of in-order issue, not of
+// the buffer.
+func StoreBufferCapacity(cfg tso.Config, opts CapacityOptions) []Point {
+	cfg.Threads = 1
+	if cfg.Cost == (tso.CostModel{}) {
+		cfg.Cost = tso.DefaultCost
+	}
+	cfg.Cost.StoreCycles = 0
+	opts = opts.withDefaults(cfg)
+	points := make([]Point, 0, opts.MaxSeq)
+	for seq := 1; seq <= opts.MaxSeq; seq++ {
+		m := tso.NewTimedMachine(cfg)
+		base := m.Alloc(opts.MaxSeq + 1)
+		err := m.Run(func(c tso.Context) {
+			for k := 0; k < opts.Iters; k++ {
+				for s := 0; s < seq; s++ {
+					a := base + tso.Addr(s)
+					if opts.SameLocation {
+						a = base
+					}
+					c.Store(a, uint64(k))
+				}
+				c.Work(opts.FillerWork)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("measure: %v", err))
+		}
+		points = append(points, Point{
+			Stores:        seq,
+			CyclesPerIter: float64(m.Elapsed()) / float64(opts.Iters),
+		})
+	}
+	return points
+}
+
+// DetectCapacity locates the knee of a capacity curve: the longest
+// sequence length that does not stall. A store within capacity adds
+// ~StoreCycles to an iteration; the first store beyond capacity adds
+// ~DrainCycles, so the knee is the last point before the marginal cost
+// jumps past the midpoint of the two.
+func DetectCapacity(points []Point, cost tso.CostModel) (int, error) {
+	if len(points) < 2 {
+		return 0, fmt.Errorf("measure: need at least 2 points, got %d", len(points))
+	}
+	threshold := float64(cost.StoreCycles+cost.DrainCycles) / 2
+	for i := 1; i < len(points); i++ {
+		if points[i].CyclesPerIter-points[i-1].CyclesPerIter > threshold {
+			return points[i-1].Stores, nil
+		}
+	}
+	return 0, fmt.Errorf("measure: no knee found up to %d stores (buffer larger than sweep?)", points[len(points)-1].Stores)
+}

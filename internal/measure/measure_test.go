@@ -1,0 +1,104 @@
+package measure
+
+import (
+	"testing"
+
+	"repro/internal/tso"
+)
+
+func TestCapacityKneeWithoutStage(t *testing.T) {
+	cfg := tso.Config{Threads: 1, BufferSize: 8}
+	pts := StoreBufferCapacity(cfg, CapacityOptions{MaxSeq: 14, Iters: 16})
+	if len(pts) != 14 {
+		t.Fatalf("got %d points want 14", len(pts))
+	}
+	got, err := DetectCapacity(pts, tso.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Fatalf("detected capacity %d want 8", got)
+	}
+}
+
+func TestCapacityKneeWithStage(t *testing.T) {
+	// The drain stage behaves as one extra entry: measured capacity S+1,
+	// the paper's 32→33 observation.
+	cfg := tso.Config{Threads: 1, BufferSize: 8, DrainBuffer: true}
+	pts := StoreBufferCapacity(cfg, CapacityOptions{MaxSeq: 14, Iters: 16})
+	got, err := DetectCapacity(pts, tso.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("detected capacity %d want 9 (S+1)", got)
+	}
+}
+
+func TestSameLocationSequencesSameKnee(t *testing.T) {
+	// §7.2: sequences of stores to one location still occupy distinct
+	// buffer entries, so the knee does not move.
+	cfg := tso.Config{Threads: 1, BufferSize: 6}
+	distinct := StoreBufferCapacity(cfg, CapacityOptions{MaxSeq: 10, Iters: 16})
+	same := StoreBufferCapacity(cfg, CapacityOptions{MaxSeq: 10, Iters: 16, SameLocation: true})
+	cd, err := DetectCapacity(distinct, tso.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := DetectCapacity(same, tso.DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd != cs {
+		t.Fatalf("same-location knee %d differs from distinct-location knee %d", cs, cd)
+	}
+}
+
+func TestCurveMonotoneAfterKnee(t *testing.T) {
+	cfg := tso.Config{Threads: 1, BufferSize: 4}
+	pts := StoreBufferCapacity(cfg, CapacityOptions{MaxSeq: 10, Iters: 8})
+	for i := 5; i < len(pts); i++ {
+		if pts[i].CyclesPerIter <= pts[i-1].CyclesPerIter {
+			t.Fatalf("curve not rising after knee at %d stores", pts[i].Stores)
+		}
+	}
+	// The first store past capacity pays the full drain latency; stores
+	// beyond that pay the pipelined drain throughput per store.
+	jump := pts[4].CyclesPerIter - pts[3].CyclesPerIter
+	if jump < float64(tso.DefaultCost.DrainCycles)*0.5 {
+		t.Fatalf("knee jump %v too shallow", jump)
+	}
+	d := pts[9].CyclesPerIter - pts[8].CyclesPerIter
+	if d < float64(tso.DefaultCost.DrainThroughputCycles)*0.5 {
+		t.Fatalf("post-knee slope %v too shallow", d)
+	}
+}
+
+func TestDetectCapacityErrors(t *testing.T) {
+	if _, err := DetectCapacity([]Point{{1, 10}}, tso.DefaultCost); err == nil {
+		t.Fatal("single point accepted")
+	}
+	flat := []Point{{1, 10}, {2, 11}, {3, 12}}
+	if _, err := DetectCapacity(flat, tso.DefaultCost); err == nil {
+		t.Fatal("flat curve produced a knee")
+	}
+}
+
+func TestWestmereAndHaswellPresetsMeasureTheirBounds(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  tso.Config
+		want int
+	}{
+		{tso.WestmereEX(), 33},
+		{tso.Haswell(), 43},
+	} {
+		pts := StoreBufferCapacity(tc.cfg, CapacityOptions{MaxSeq: tc.want + 10, Iters: 8})
+		got, err := DetectCapacity(pts, tso.DefaultCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("measured %d want %d", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package native
+
+import (
+	"sync/atomic"
+)
+
+// StealResult is the outcome of a Steal or StealBounded.
+type StealResult int
+
+const (
+	// Stole means a task was removed and returned.
+	Stole StealResult = iota
+	// EmptyQ means the deque was observably empty.
+	EmptyQ
+	// Retry means the thief lost a race and should try again (Chase-Lev's
+	// CAS failure); Steal retries internally, StealBounded reports it.
+	Retry
+	// Aborted means a bounded steal refused because fewer than δ tasks
+	// were visible (the §4 relaxed specification).
+	Aborted
+)
+
+func (r StealResult) String() string {
+	switch r {
+	case Stole:
+		return "Stole"
+	case EmptyQ:
+		return "Empty"
+	case Retry:
+		return "Retry"
+	case Aborted:
+		return "Aborted"
+	default:
+		return "StealResult(?)"
+	}
+}
+
+// Deque is a growable Chase-Lev work-stealing deque. PushBottom and
+// PopBottom may be called only by the owning goroutine; Steal and
+// StealBounded by any goroutine.
+//
+// The zero value is not usable; call NewDeque.
+type Deque[T any] struct {
+	top    atomic.Int64 // steal end (head); non-wrapping
+	bottom atomic.Int64 // owner end (tail); non-wrapping
+	ring   atomic.Pointer[ring[T]]
+}
+
+// ring is a power-of-two circular array addressed by non-wrapping indices.
+// Elements are atomic pointers so a thief racing a grow still reads a
+// coherent value.
+type ring[T any] struct {
+	mask  int64
+	items []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, items: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) get(i int64) *T    { return r.items[i&r.mask].Load() }
+func (r *ring[T]) set(i int64, v *T) { r.items[i&r.mask].Store(v) }
+func (r *ring[T]) cap() int64        { return r.mask + 1 }
+
+// grow returns a doubled ring holding elements [top, bottom).
+func (r *ring[T]) grow(top, bottom int64) *ring[T] {
+	n := newRing[T](2 * r.cap())
+	for i := top; i < bottom; i++ {
+		n.set(i, r.get(i))
+	}
+	return n
+}
+
+// NewDeque builds a deque with the given initial capacity (rounded up to a
+// power of two, minimum 8).
+func NewDeque[T any](capacity int) *Deque[T] {
+	c := int64(8)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &Deque[T]{}
+	d.ring.Store(newRing[T](c))
+	return d
+}
+
+// Size returns a linearizable-enough snapshot of the current length; it
+// may be stale by in-flight operations.
+func (d *Deque[T]) Size() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// PushBottom enqueues v at the owner's end, growing the ring when full.
+// Owner only.
+func (d *Deque[T]) PushBottom(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= r.cap() {
+		r = r.grow(t, b)
+		d.ring.Store(r)
+	}
+	r.set(b, &v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom dequeues from the owner's end (Figure 2c's take, with Go's
+// sequentially consistent atomics standing in for the fence). Owner only.
+func (d *Deque[T]) PopBottom() (T, bool) {
+	var zero T
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return zero, false
+	}
+	r := d.ring.Load()
+	v := r.get(b)
+	if b > t {
+		return *v, true
+	}
+	// Last element: race thieves with a CAS on top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return zero, false
+	}
+	return *v, true
+}
+
+// Steal dequeues from the head, retrying internally on lost races. Any
+// goroutine.
+func (d *Deque[T]) Steal() (T, bool) {
+	for {
+		v, res := d.stealOnce(0)
+		switch res {
+		case Stole:
+			return v, true
+		case EmptyQ:
+			var zero T
+			return zero, false
+		}
+	}
+}
+
+// StealBounded is FF-CL's δ-gated steal (Figure 4): it refuses (Aborted)
+// unless more than delta tasks are visible, never retries internally, and
+// never contends with an owner working near the tail. delta must be >= 1.
+func (d *Deque[T]) StealBounded(delta int64) (T, StealResult) {
+	if delta < 1 {
+		panic("native: StealBounded needs delta >= 1")
+	}
+	return d.stealOnce(delta)
+}
+
+func (d *Deque[T]) stealOnce(delta int64) (T, StealResult) {
+	var zero T
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, EmptyQ
+	}
+	if delta > 0 && b-delta <= t {
+		return zero, Aborted
+	}
+	r := d.ring.Load()
+	v := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, Retry
+	}
+	return *v, Stole
+}

@@ -1,0 +1,241 @@
+package native
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeSequentialLIFO(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 1; i <= 100; i++ {
+		d.PushBottom(i)
+	}
+	if d.Size() != 100 {
+		t.Fatalf("size=%d want 100", d.Size())
+	}
+	for i := 100; i >= 1; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+}
+
+func TestDequeSequentialStealFIFO(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 1; i <= 50; i++ {
+		d.PushBottom(i)
+	}
+	for i := 1; i <= 50; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("steal = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal on empty succeeded")
+	}
+}
+
+func TestDequeGrowthPreservesContents(t *testing.T) {
+	d := NewDeque[int](8)
+	// Interleave pushes and steals so top advances and the ring wraps
+	// before growing.
+	for i := 0; i < 6; i++ {
+		d.PushBottom(i)
+	}
+	for i := 0; i < 4; i++ {
+		if v, ok := d.Steal(); !ok || v != i {
+			t.Fatalf("steal %d failed", i)
+		}
+	}
+	for i := 6; i < 40; i++ { // forces growth across the wrap
+		d.PushBottom(i)
+	}
+	for want := 39; want >= 4; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("pop = %d,%v want %d,true", v, ok, want)
+		}
+	}
+}
+
+func TestStealBoundedSemantics(t *testing.T) {
+	d := NewDeque[int](8)
+	for i := 1; i <= 10; i++ {
+		d.PushBottom(i)
+	}
+	const delta = 3
+	stolen := 0
+	for {
+		_, res := d.StealBounded(delta)
+		if res != Stole {
+			if res != Aborted {
+				t.Fatalf("res=%v want Aborted at the δ boundary", res)
+			}
+			break
+		}
+		stolen++
+	}
+	if stolen != 10-delta {
+		t.Fatalf("stole %d want %d", stolen, 10-delta)
+	}
+	// Owner still sees the remaining δ tasks.
+	remaining := 0
+	for {
+		if _, ok := d.PopBottom(); !ok {
+			break
+		}
+		remaining++
+	}
+	if remaining != delta {
+		t.Fatalf("owner drained %d want %d", remaining, delta)
+	}
+}
+
+func TestStealBoundedPanicsOnBadDelta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delta 0 did not panic")
+		}
+	}()
+	NewDeque[int](8).StealBounded(0)
+}
+
+// TestDequeConcurrentExactlyOnce is the real-hardware analogue of the
+// simulator's safety tests: one owner and several thieves drain a large
+// deque; every value must be delivered exactly once. Run with -race.
+func TestDequeConcurrentExactlyOnce(t *testing.T) {
+	const n = 20000
+	const thieves = 3
+	d := NewDeque[int](64)
+	var counts [n]atomic.Int32
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	wg.Add(thieves)
+	for th := 0; th < thieves; th++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if v, ok := d.Steal(); ok {
+					counts[v].Add(1)
+				}
+			}
+			// Final sweep after the owner finished.
+			for {
+				v, ok := d.Steal()
+				if !ok {
+					return
+				}
+				counts[v].Add(1)
+			}
+		}()
+	}
+
+	// Owner: push everything, popping intermittently.
+	popped := 0
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				counts[v].Add(1)
+				popped++
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		counts[v].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("value %d delivered %d times", i, got)
+		}
+	}
+}
+
+// TestDequeConcurrentBounded: same exactly-once property with δ-gated
+// thieves; the owner must pick up whatever thieves refuse.
+func TestDequeConcurrentBounded(t *testing.T) {
+	const n = 10000
+	d := NewDeque[int](64)
+	var counts [n]atomic.Int32
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(2)
+	for th := 0; th < 2; th++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if v, res := d.StealBounded(4); res == Stole {
+					counts[v].Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		counts[v].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("value %d delivered %d times", i, got)
+		}
+	}
+}
+
+// TestQuickDequeModel checks a random owner-op sequence against a slice
+// model.
+func TestQuickDequeModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := NewDeque[int](8)
+		var model []int
+		for op := 0; op < 500; op++ {
+			switch r.Intn(3) {
+			case 0, 1:
+				v := r.Intn(1 << 20)
+				d.PushBottom(v)
+				model = append(model, v)
+			default:
+				v, ok := d.PopBottom()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || v != want {
+					return false
+				}
+			}
+		}
+		return d.Size() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

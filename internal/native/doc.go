@@ -1,0 +1,34 @@
+// Package native is a real, directly usable Go work-stealing library: a
+// growable Chase-Lev deque and a goroutine worker pool built on it. It is
+// the repository's adoptable artifact, complementing the simulated queues
+// in internal/core that reproduce the paper's results.
+//
+// # Why the native deque is NOT fence-free
+//
+// The paper's contribution removes the memory fence from the worker's
+// take() path by reasoning about the bounded store buffer of TSO[S]
+// hardware. Expressing that in Go is impossible today:
+//
+//   - sync/atomic operations are sequentially consistent; Go has no
+//     relaxed or acquire/release atomics, so the ordering the fence would
+//     enforce is re-introduced by the atomics themselves.
+//   - Plain (non-atomic) loads and stores have no defined behaviour under
+//     concurrent access (the race detector rightly flags them), so the
+//     paper's "plain store to T, no fence" cannot be written portably.
+//   - Even with assembly, Go's compiler and runtime give no contract about
+//     store-buffer depth at safepoints, and goroutines migrate between Ms
+//     (OS threads); the §4 "context switches drain the buffer" argument
+//     holds for OS migration but Go adds its own scheduling layer one
+//     cannot audit from user code.
+//
+// Deque.Take therefore pays the ordering cost the paper elides — this is
+// precisely the repro gap the simulation in internal/tso exists to close.
+//
+// What carries over usefully is the algorithmic structure: StealBounded
+// implements FF-CL's δ-gated steal (returning Abort instead of racing when
+// fewer than δ tasks are visible). Under Go's strong atomics it is purely
+// a semantic/contention choice — thieves keep away from the hot tail of a
+// nearly-empty deque — but it makes the relaxed work-stealing
+// specification of §4 available to Go programs and keeps this library
+// API-compatible with the simulated queues.
+package native

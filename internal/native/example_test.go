@@ -1,0 +1,94 @@
+package native_test
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/native"
+)
+
+// ExamplePool is the library's quickstart: a task tree counted to
+// completion with Wait.
+func ExamplePool() {
+	pool := native.NewPool(native.Options{Workers: 4, Seed: 1})
+	defer pool.Close()
+	var leaves atomic.Int64
+	var tree func(depth int) native.Task
+	tree = func(depth int) native.Task {
+		return func(c *native.Context) {
+			if depth == 0 {
+				leaves.Add(1)
+				return
+			}
+			c.Spawn(tree(depth - 1))
+			c.Spawn(tree(depth - 1))
+		}
+	}
+	if err := pool.Submit(tree(8)); err != nil {
+		panic(err)
+	}
+	pool.Wait()
+	fmt.Println("leaves:", leaves.Load())
+	// Output:
+	// leaves: 256
+}
+
+// ExampleFor parallelizes a loop with recursive range splitting.
+func ExampleFor() {
+	pool := native.NewPool(native.Options{Workers: 4, Seed: 2})
+	defer pool.Close()
+	squares := make([]int, 8)
+	native.For(pool, 0, len(squares), 2, func(i int) {
+		squares[i] = i * i
+	})
+	fmt.Println(squares)
+	// Output:
+	// [0 1 4 9 16 25 36 49]
+}
+
+// ExampleReduce folds in parallel while preserving order, so the operator
+// only needs associativity.
+func ExampleReduce() {
+	pool := native.NewPool(native.Options{Workers: 4, Seed: 3})
+	defer pool.Close()
+	words := []string{"fence", "-", "free", " ", "work", " ", "stealing"}
+	sentence := native.Reduce(pool, words, 2, "", func(a, b string) string { return a + b })
+	fmt.Println(sentence)
+	// Output:
+	// fence-free work stealing
+}
+
+// ExampleDeque_StealBounded shows the paper's δ-gated steal in the native
+// API: thieves refuse to touch the last δ tasks, leaving them to the
+// owner.
+func ExampleDeque_StealBounded() {
+	d := native.NewDeque[int](16)
+	for i := 1; i <= 5; i++ {
+		d.PushBottom(i)
+	}
+	var stolen []int
+	for {
+		v, res := d.StealBounded(2)
+		if res != native.Stole {
+			fmt.Println("thief stops with:", res)
+			break
+		}
+		stolen = append(stolen, v)
+	}
+	var owner []int
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		owner = append(owner, v)
+	}
+	sort.Ints(owner)
+	fmt.Println("stolen:", stolen)
+	fmt.Println("owner :", owner)
+	// Output:
+	// thief stops with: Aborted
+	// stolen: [1 2 3]
+	// owner : [4 5]
+}

@@ -1,0 +1,100 @@
+package native
+
+import (
+	"testing"
+)
+
+// FuzzDequeOwnerOps drives the deque's owner operations with a byte-coded
+// script and cross-checks against a slice model. The seed corpus runs as
+// part of the normal test suite; `go test -fuzz=FuzzDequeOwnerOps` explores
+// further.
+func FuzzDequeOwnerOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 1, 1, 2})
+	f.Add([]byte{0, 1, 2, 0, 0, 0, 1, 1, 1, 1})
+	f.Add([]byte{2, 2, 2, 0, 2, 1, 2})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		d := NewDeque[int](8)
+		var model []int
+		next := 0
+		for _, op := range script {
+			switch op % 3 {
+			case 0: // push
+				d.PushBottom(next)
+				model = append(model, next)
+				next++
+			case 1: // pop
+				v, ok := d.PopBottom()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("pop on empty returned %d", v)
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || v != want {
+					t.Fatalf("pop = %d,%v want %d,true", v, ok, want)
+				}
+			case 2: // steal (same goroutine: owner is quiescent, legal)
+				v, ok := d.Steal()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("steal on empty returned %d", v)
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if !ok || v != want {
+					t.Fatalf("steal = %d,%v want %d,true", v, ok, want)
+				}
+			}
+		}
+		if d.Size() != len(model) {
+			t.Fatalf("size %d want %d", d.Size(), len(model))
+		}
+	})
+}
+
+// FuzzStealBounded checks the δ gate against the model: a bounded steal
+// succeeds iff more than delta elements are visible, and never removes out
+// of order.
+func FuzzStealBounded(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0}, uint8(2))
+	f.Add([]byte{0, 1, 0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, script []byte, deltaRaw uint8) {
+		delta := int64(deltaRaw)%5 + 1
+		d := NewDeque[int](8)
+		var model []int
+		next := 0
+		for _, op := range script {
+			if op%2 == 0 {
+				d.PushBottom(next)
+				model = append(model, next)
+				next++
+				continue
+			}
+			v, res := d.StealBounded(delta)
+			switch res {
+			case Stole:
+				if int64(len(model)) <= delta {
+					t.Fatalf("stole with only %d <= δ=%d visible", len(model), delta)
+				}
+				if v != model[0] {
+					t.Fatalf("stole %d want %d", v, model[0])
+				}
+				model = model[1:]
+			case Aborted:
+				if int64(len(model)) > delta {
+					t.Fatalf("aborted with %d > δ=%d visible", len(model), delta)
+				}
+			case EmptyQ:
+				if len(model) != 0 {
+					t.Fatalf("empty with %d visible", len(model))
+				}
+			case Retry:
+				t.Fatal("retry without contention")
+			}
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package native
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// Integration tests: real algorithms on the native pool, the way a
+// downstream user would write them. Run with -race.
+
+func TestIntegrationQuickSort(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 41})
+	defer p.Close()
+	r := rand.New(rand.NewSource(99))
+	data := make([]int, 50_000)
+	for i := range data {
+		data[i] = r.Intn(1 << 24)
+	}
+	var checksum uint64
+	for _, v := range data {
+		checksum += uint64(v)
+	}
+
+	var qsort func(a []int) Task
+	qsort = func(a []int) Task {
+		return func(c *Context) {
+			for len(a) > 48 {
+				p := partitionInts(a)
+				// Recurse on the smaller side via spawn; iterate on the
+				// larger to bound stack/task depth.
+				if p < len(a)-p-1 {
+					c.Spawn(qsort(a[:p]))
+					a = a[p+1:]
+				} else {
+					c.Spawn(qsort(a[p+1:]))
+					a = a[:p]
+				}
+			}
+			sort.Ints(a)
+		}
+	}
+	if err := p.Submit(qsort(data)); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+
+	if !sort.IntsAreSorted(data) {
+		t.Fatal("not sorted")
+	}
+	var sum uint64
+	for _, v := range data {
+		sum += uint64(v)
+	}
+	if sum != checksum {
+		t.Fatal("elements lost or duplicated")
+	}
+}
+
+func partitionInts(a []int) int {
+	mid, hi := len(a)/2, len(a)-1
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	i := 0
+	for j := 1; j < hi-1; j++ {
+		if a[j] < pivot {
+			i++
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	a[i+1], a[hi-1] = a[hi-1], a[i+1]
+	return i + 1
+}
+
+func TestIntegrationGraphReachability(t *testing.T) {
+	// The §8.2 workload shape on real goroutines: visit tasks claiming
+	// nodes with an atomic test-and-set, duplicates tolerated.
+	p := NewPool(Options{Workers: 4, Seed: 42})
+	defer p.Close()
+	const n = 20_000
+	adj := make([][]int32, n)
+	for i := range adj {
+		adj[i] = []int32{int32((i + 1) % n), int32((i + 7) % n), int32((i * 3) % n)}
+	}
+	visited := make([]atomic.Bool, n)
+	var visit func(u int32) Task
+	visit = func(u int32) Task {
+		return func(c *Context) {
+			if !visited[u].CompareAndSwap(false, true) {
+				return
+			}
+			for _, v := range adj[u] {
+				if !visited[v].Load() {
+					c.Spawn(visit(v))
+				}
+			}
+		}
+	}
+	if err := p.Submit(visit(0)); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	for i := range visited {
+		if !visited[i].Load() {
+			t.Fatalf("node %d unreachable", i)
+		}
+	}
+}
+
+func TestIntegrationParallelMatVec(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Delta: 2, Seed: 43})
+	defer p.Close()
+	const n = 400
+	a := make([]float64, n*n)
+	x := make([]float64, n)
+	r := rand.New(rand.NewSource(5))
+	for i := range a {
+		a[i] = r.Float64()
+	}
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	got := Map(p, index(n), 16, func(i int) float64 {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		return s
+	})
+	for i := 0; i < n; i += 37 {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += a[i*n+j] * x[j]
+		}
+		if d := got[i] - want; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("row %d: %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func index(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

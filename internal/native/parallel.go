@@ -1,0 +1,93 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file provides the data-parallel conveniences a work-stealing
+// runtime is usually adopted for: parallel for, map, and reduce, all built
+// on recursive range splitting so the deques see the same
+// large-chunks-near-the-head structure as cilk_for loops (which is what
+// makes stealing profitable and δ-gated stealing meaningful).
+
+// For runs fn(i) for every i in [lo, hi) on the pool, splitting the range
+// recursively down to grain-sized chunks. It blocks until the whole range
+// has been processed. fn must be safe to call concurrently for distinct i.
+//
+// For (and Map/Reduce) must be called from outside the pool: calling it
+// from within a Task would block that worker goroutine on the wait.
+func For(p *Pool, lo, hi, grain int, fn func(i int)) {
+	if hi <= lo {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	var wg sync.WaitGroup
+	var split func(lo, hi int) Task
+	split = func(lo, hi int) Task {
+		return func(c *Context) {
+			defer wg.Done()
+			// Peel halves off the right side until the chunk is small
+			// enough, leaving the large remainders stealable at the head
+			// of the deque — the cilk_for loop shape.
+			for hi-lo > grain {
+				mid := lo + (hi-lo)/2
+				wg.Add(1)
+				c.Spawn(split(mid, hi))
+				hi = mid
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
+	wg.Add(1)
+	if err := p.Submit(split(lo, hi)); err != nil {
+		wg.Done()
+		panic(fmt.Sprintf("native: For on closed pool: %v", err))
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of in, in parallel, returning the
+// results in order.
+func Map[T, U any](p *Pool, in []T, grain int, fn func(T) U) []U {
+	out := make([]U, len(in))
+	For(p, 0, len(in), grain, func(i int) {
+		out[i] = fn(in[i])
+	})
+	return out
+}
+
+// Reduce folds in with an associative op, in parallel: grain-sized chunks
+// are folded sequentially, then the per-chunk partials are folded left to
+// right, so op need not be commutative. zero must be op's identity.
+func Reduce[T any](p *Pool, in []T, grain int, zero T, op func(a, b T) T) T {
+	if len(in) == 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (len(in) + grain - 1) / grain
+	partials := make([]T, chunks)
+	For(p, 0, chunks, 1, func(ci int) {
+		lo := ci * grain
+		hi := lo + grain
+		if hi > len(in) {
+			hi = len(in)
+		}
+		acc := zero
+		for _, v := range in[lo:hi] {
+			acc = op(acc, v)
+		}
+		partials[ci] = acc
+	})
+	acc := zero
+	for _, v := range partials {
+		acc = op(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,111 @@
+package native
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 11})
+	defer p.Close()
+	const n = 10_000
+	var counts [n]atomic.Int32
+	For(p, 0, n, 64, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEmptyAndTinyRanges(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Seed: 12})
+	defer p.Close()
+	ran := 0
+	For(p, 5, 5, 8, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatal("empty range ran")
+	}
+	For(p, 3, 4, 8, func(i int) {
+		if i != 3 {
+			t.Errorf("i=%d", i)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("single-element range ran %d times", ran)
+	}
+	// Degenerate grain.
+	var total atomic.Int64
+	For(p, 0, 10, 0, func(i int) { total.Add(int64(i)) })
+	if total.Load() != 45 {
+		t.Fatalf("grain-0 sum = %d", total.Load())
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 13})
+	defer p.Close()
+	in := make([]int, 5000)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(p, in, 37, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestReduceNonCommutativeOp(t *testing.T) {
+	// String concatenation is associative but not commutative: Reduce
+	// must preserve order.
+	p := NewPool(Options{Workers: 4, Seed: 14})
+	defer p.Close()
+	in := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	got := Reduce(p, in, 3, "", func(a, b string) string { return a + b })
+	if got != "abcdefghij" {
+		t.Fatalf("reduce = %q", got)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Seed: 15})
+	defer p.Close()
+	if got := Reduce(p, nil, 4, 42, func(a, b int) int { return a + b }); got != 42 {
+		t.Fatalf("empty reduce = %d want identity", got)
+	}
+}
+
+func TestQuickReduceMatchesSerial(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 16})
+	defer p.Close()
+	f := func(seed int64, grainRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := make([]int64, r.Intn(500))
+		want := int64(0)
+		for i := range in {
+			in[i] = int64(r.Intn(1000)) - 500
+			want += in[i]
+		}
+		grain := int(grainRaw)%64 + 1
+		got := Reduce(p, in, grain, 0, func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForWithBoundedStealsPool(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Delta: 2, Seed: 17})
+	defer p.Close()
+	var total atomic.Int64
+	For(p, 0, 5000, 16, func(i int) { total.Add(1) })
+	if total.Load() != 5000 {
+		t.Fatalf("covered %d want 5000", total.Load())
+	}
+}

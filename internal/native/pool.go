@@ -1,0 +1,265 @@
+package native
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work executed by the pool. Tasks may submit more
+// tasks via the Context.
+type Task func(ctx *Context)
+
+// Context is passed to every task; it identifies the executing worker and
+// lets the task spawn child tasks onto the worker's own deque (the
+// work-first discipline work stealing relies on).
+type Context struct {
+	pool   *Pool
+	worker int
+}
+
+// Worker returns the executing worker's index.
+func (c *Context) Worker() int { return c.worker }
+
+// Spawn enqueues a child task on the executing worker's deque.
+func (c *Context) Spawn(t Task) { c.pool.spawnAt(c.worker, t) }
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the number of worker goroutines (default GOMAXPROCS).
+	Workers int
+	// Delta, when >= 1, makes thieves use the δ-gated StealBounded of the
+	// relaxed specification: a steal aborts rather than contending when a
+	// victim has at most Delta visible tasks. 0 uses plain Chase-Lev
+	// steals.
+	Delta int64
+	// Seed drives victim selection (for reproducible tests).
+	Seed int64
+}
+
+// Pool is a work-stealing goroutine pool: one Chase-Lev deque per worker,
+// steal-on-empty, with blocking-wait idleness management.
+type Pool struct {
+	opts     Options
+	deques   []*Deque[Task]
+	pending  atomic.Int64 // tasks submitted but not yet finished
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	overflow []Task       // externally submitted tasks; guarded by mu
+	idleGen  atomic.Int64 // bumped whenever new work arrives, to re-scan
+	idlers   atomic.Int64 // workers currently parked or about to park
+
+	wg       sync.WaitGroup
+	stats    PoolStats
+	panicked atomic.Pointer[panicRecord]
+}
+
+// PoolStats counts scheduler events (approximate under concurrency).
+type PoolStats struct {
+	Executed atomic.Int64
+	Steals   atomic.Int64
+	Aborts   atomic.Int64
+}
+
+type panicRecord struct {
+	value any
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("native: pool is closed")
+
+// NewPool starts a work-stealing pool.
+func NewPool(opts Options) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{opts: opts}
+	p.cond = sync.NewCond(&p.mu)
+	p.deques = make([]*Deque[Task], opts.Workers)
+	for i := range p.deques {
+		p.deques[i] = NewDeque[Task](64)
+	}
+	p.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Submit enqueues a task from outside the pool (round-robin over worker
+// deques would race with owners, so external submissions go to worker 0's
+// deque only when called from worker 0; otherwise they are handed to a
+// random worker through a short lock-protected path).
+func (p *Pool) Submit(t Task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.pending.Add(1)
+	// External submissions may not touch an owner end; park the task in
+	// the overflow list and wake a worker.
+	p.overflow = append(p.overflow, t)
+	p.idleGen.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// spawnAt enqueues t on worker w's own deque. Internal: called by Context.
+func (p *Pool) spawnAt(w int, t Task) {
+	p.pending.Add(1)
+	p.deques[w].PushBottom(t)
+	p.idleGen.Add(1)
+	p.wake()
+}
+
+// wake makes newly published work visible to parked workers. The empty
+// lock/unlock pulse closes the lost-wakeup window: a parker that already
+// checked idleGen holds mu until it enters cond.Wait, so by the time the
+// pulse acquires mu the parker is wait-registered and the broadcast
+// reaches it; a parker that has not checked yet will observe the bumped
+// idleGen. The fast path (no idlers) is a single atomic load.
+func (p *Pool) wake() {
+	if p.idlers.Load() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.mu.Unlock() //nolint:staticcheck // deliberate pulse, see comment
+	p.cond.Broadcast()
+}
+
+// Wait blocks until every submitted task (and its transitively spawned
+// children) has finished. It re-panics the first task panic, if any.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	for p.pending.Load() != 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	if pr := p.panicked.Load(); pr != nil {
+		panic(fmt.Sprintf("native: task panicked: %v", pr.value))
+	}
+}
+
+// Close shuts the pool down after outstanding work completes and joins the
+// workers. The pool cannot be reused.
+func (p *Pool) Close() {
+	p.Wait()
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() (executed, steals, aborts int64) {
+	return p.stats.Executed.Load(), p.stats.Steals.Load(), p.stats.Aborts.Load()
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	r := rand.New(rand.NewSource(p.opts.Seed + int64(id)*1617264643))
+	my := p.deques[id]
+	for {
+		// 1. Drain own deque.
+		for {
+			t, ok := my.PopBottom()
+			if !ok {
+				break
+			}
+			p.runTask(id, t)
+		}
+		// 2. Overflow queue (external submissions).
+		if t, ok := p.takeOverflow(); ok {
+			p.runTask(id, t)
+			continue
+		}
+		// 3. Steal.
+		if t, ok := p.trySteal(id, r); ok {
+			p.runTask(id, t)
+			continue
+		}
+		// 4. Park until new work or shutdown.
+		if p.park() {
+			return
+		}
+	}
+}
+
+func (p *Pool) takeOverflow() (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.overflow) == 0 {
+		return nil, false
+	}
+	t := p.overflow[0]
+	p.overflow = p.overflow[1:]
+	return t, true
+}
+
+// trySteal makes a bounded number of steal passes over random victims.
+func (p *Pool) trySteal(id int, r *rand.Rand) (Task, bool) {
+	n := len(p.deques)
+	for attempt := 0; attempt < 2*n; attempt++ {
+		victim := r.Intn(n)
+		if victim == id {
+			continue
+		}
+		if p.opts.Delta >= 1 {
+			t, res := p.deques[victim].StealBounded(p.opts.Delta)
+			switch res {
+			case Stole:
+				p.stats.Steals.Add(1)
+				return t, true
+			case Aborted:
+				p.stats.Aborts.Add(1)
+			}
+			continue
+		}
+		if t, ok := p.deques[victim].Steal(); ok {
+			p.stats.Steals.Add(1)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// park blocks until the work generation changes or the pool closes;
+// returns true on shutdown.
+func (p *Pool) park() bool {
+	gen := p.idleGen.Load()
+	p.idlers.Add(1)
+	defer p.idlers.Add(-1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return true
+		}
+		if p.idleGen.Load() != gen || len(p.overflow) > 0 {
+			return false
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) runTask(id int, t Task) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panicked.CompareAndSwap(nil, &panicRecord{value: v})
+		}
+		p.stats.Executed.Add(1)
+		if p.pending.Add(-1) == 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}()
+	t(&Context{pool: p, worker: id})
+}

@@ -1,0 +1,179 @@
+package native
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 1})
+	defer p.Close()
+	var count atomic.Int64
+	for i := 0; i < 500; i++ {
+		if err := p.Submit(func(*Context) { count.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	if got := count.Load(); got != 500 {
+		t.Fatalf("ran %d tasks want 500", got)
+	}
+}
+
+func TestPoolSpawnTree(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 2})
+	defer p.Close()
+	var count atomic.Int64
+	var spawn func(depth int) Task
+	spawn = func(depth int) Task {
+		return func(c *Context) {
+			count.Add(1)
+			if depth == 0 {
+				return
+			}
+			c.Spawn(spawn(depth - 1))
+			c.Spawn(spawn(depth - 1))
+		}
+	}
+	if err := p.Submit(spawn(10)); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if want := int64(1<<11 - 1); count.Load() != want {
+		t.Fatalf("ran %d tasks want %d", count.Load(), want)
+	}
+}
+
+func TestPoolParallelFib(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 3})
+	defer p.Close()
+	// Continuation-free fib: accumulate leaf contributions.
+	var sum atomic.Int64
+	var fib func(n int) Task
+	fib = func(n int) Task {
+		return func(c *Context) {
+			if n < 2 {
+				sum.Add(int64(n))
+				return
+			}
+			c.Spawn(fib(n - 1))
+			c.Spawn(fib(n - 2))
+		}
+	}
+	if err := p.Submit(fib(20)); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if got, want := sum.Load(), int64(6765); got != want {
+		t.Fatalf("fib(20) = %d want %d", got, want)
+	}
+}
+
+func TestPoolBoundedStealsWork(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Delta: 2, Seed: 4})
+	defer p.Close()
+	var count atomic.Int64
+	var wide func(n int) Task
+	wide = func(n int) Task {
+		return func(c *Context) {
+			count.Add(1)
+			for i := 0; i < n; i++ {
+				c.Spawn(func(*Context) { count.Add(1); spin(2000) })
+			}
+		}
+	}
+	if err := p.Submit(wide(400)); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if got := count.Load(); got != 401 {
+		t.Fatalf("ran %d want 401", got)
+	}
+}
+
+func spin(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x*31 + i
+	}
+	_ = x
+}
+
+func TestPoolWaitThenMoreWork(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Seed: 5})
+	defer p.Close()
+	var count atomic.Int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 50; i++ {
+			if err := p.Submit(func(*Context) { count.Add(1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Wait()
+		if got, want := count.Load(), int64(50*(round+1)); got != want {
+			t.Fatalf("round %d: ran %d want %d", round, got, want)
+		}
+	}
+}
+
+func TestPoolSubmitAfterCloseFails(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Seed: 6})
+	p.Close()
+	if err := p.Submit(func(*Context) {}); err != ErrClosed {
+		t.Fatalf("err=%v want ErrClosed", err)
+	}
+}
+
+func TestPoolTaskPanicSurfacesInWait(t *testing.T) {
+	p := NewPool(Options{Workers: 2, Seed: 7})
+	if err := p.Submit(func(*Context) { panic("task boom") }); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Wait did not re-panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "task boom") {
+			t.Fatalf("panic value %v", v)
+		}
+		// Drain the pool so goroutines exit.
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		p.wg.Wait()
+	}()
+	p.Wait()
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool(Options{Workers: 4, Seed: 8})
+	defer p.Close()
+	var root Task = func(c *Context) {
+		for i := 0; i < 200; i++ {
+			c.Spawn(func(*Context) { spin(5000) })
+		}
+	}
+	if err := p.Submit(root); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	executed, _, _ := p.Stats()
+	if executed != 201 {
+		t.Fatalf("executed=%d want 201", executed)
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(Options{})
+	defer p.Close()
+	if len(p.deques) < 1 {
+		t.Fatal("no workers")
+	}
+	if err := p.Submit(func(*Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+}

@@ -1,0 +1,352 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tso"
+)
+
+func chaosMachine(threads int, seed int64) Machine {
+	return tso.NewMachine(tso.Config{Threads: threads, BufferSize: 4, Seed: seed, DrainBias: 0.25})
+}
+
+func timedMachine(threads int) Machine {
+	return tso.NewTimedMachine(tso.Config{Threads: threads, BufferSize: 33})
+}
+
+// fibTask builds the classic fork/join fib as a TaskFunc tree, writing the
+// result through out.
+func fibTask(n int, out *uint64) TaskFunc {
+	return func(w *Worker) {
+		w.Work(8)
+		if n < 2 {
+			*out = uint64(n)
+			return
+		}
+		var a, b uint64
+		w.Fork(func(w *Worker) {
+			w.Work(4)
+			*out = a + b
+		}, fibTask(n-1, &a), fibTask(n-2, &b))
+	}
+}
+
+func fibSerial(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+func TestFibSingleWorkerAllAlgos(t *testing.T) {
+	for _, algo := range core.Algos {
+		if algo.Idempotent() {
+			continue // fork/join requires an exact queue
+		}
+		m := chaosMachine(1, 11)
+		p := NewPool(m, Options{Algo: algo, Delta: 2, Seed: 1})
+		var out uint64
+		st, err := p.Run(fibTask(10, &out))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if want := fibSerial(10); out != want {
+			t.Fatalf("%v: fib(10) = %d want %d", algo, out, want)
+		}
+		if st.Duplicates != 0 {
+			t.Fatalf("%v: %d duplicate executions", algo, st.Duplicates)
+		}
+	}
+}
+
+func TestFibMultiWorkerChaos(t *testing.T) {
+	for _, algo := range []core.Algo{core.AlgoTHE, core.AlgoChaseLev, core.AlgoTHEP, core.AlgoFFTHE, core.AlgoFFCL} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				m := chaosMachine(3, seed)
+				// δ=2 is sound here: S=4 and PostTakeStores=1 → ⌈4/2⌉=2.
+				p := NewPool(m, Options{Algo: algo, Delta: 2, Seed: seed})
+				var out uint64
+				st, err := p.Run(fibTask(9, &out))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if want := fibSerial(9); out != want {
+					t.Fatalf("seed %d: fib(9) = %d want %d", seed, out, want)
+				}
+				if st.Duplicates != 0 {
+					t.Fatalf("seed %d: duplicates", seed)
+				}
+				if st.Executed < st.Spawned {
+					t.Fatalf("seed %d: executed %d < spawned %d", seed, st.Executed, st.Spawned)
+				}
+			}
+		})
+	}
+}
+
+func TestFibTimedEngine(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m := timedMachine(workers)
+		p := NewPool(m, Options{Algo: core.AlgoTHE, Seed: 3})
+		var out uint64
+		st, err := p.Run(fibTask(12, &out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fibSerial(12); out != want {
+			t.Fatalf("fib(12) = %d want %d", out, want)
+		}
+		if st.Elapsed == 0 {
+			t.Fatal("timed run reported zero elapsed cycles")
+		}
+	}
+}
+
+func TestParallelismShortensMakespan(t *testing.T) {
+	elapsed := func(workers int) uint64 {
+		m := timedMachine(workers)
+		p := NewPool(m, Options{Algo: core.AlgoTHE, Seed: 5})
+		var out uint64
+		st, err := p.Run(fibTask(13, &out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Elapsed
+	}
+	e1, e4 := elapsed(1), elapsed(4)
+	if float64(e4) > 0.7*float64(e1) {
+		t.Fatalf("4 workers (%d cycles) not meaningfully faster than 1 (%d cycles)", e4, e1)
+	}
+}
+
+func TestSpawnFlatGraph(t *testing.T) {
+	// A flat fan-out of independent tasks via Spawn, counted meta-side.
+	for _, algo := range core.Algos {
+		m := chaosMachine(2, 21)
+		p := NewPool(m, Options{Algo: algo, Delta: 2, Seed: 2})
+		counted := make([]int, 50)
+		st, err := p.Run(func(w *Worker) {
+			for i := 0; i < 50; i++ {
+				i := i
+				w.Spawn(func(w *Worker) {
+					w.Work(3)
+					counted[i]++
+				})
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for i, c := range counted {
+			if c < 1 {
+				t.Fatalf("%v: task %d never ran", algo, i)
+			}
+			if c > 1 && !algo.Idempotent() {
+				t.Fatalf("%v: task %d ran %d times", algo, i, c)
+			}
+		}
+		if algo.Idempotent() {
+			// A duplicated delivery re-runs the task body, so spawn
+			// counts can exceed the exact count.
+			if st.Spawned < 51 {
+				t.Fatalf("%v: spawned %d want >= 51", algo, st.Spawned)
+			}
+		} else if st.Spawned != 51 {
+			t.Fatalf("%v: spawned %d want 51", algo, st.Spawned)
+		}
+	}
+}
+
+func TestIdempotentDuplicatesAreCountedNotFatal(t *testing.T) {
+	sawDup := false
+	for seed := int64(0); seed < 40 && !sawDup; seed++ {
+		m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.05})
+		p := NewPool(m, Options{Algo: core.AlgoIdempotentLIFO, Seed: seed})
+		ran := make([]int, 60)
+		_, err := p.Run(func(w *Worker) {
+			for i := 0; i < 60; i++ {
+				i := i
+				w.Spawn(func(w *Worker) {
+					w.Work(2)
+					ran[i]++
+				})
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, c := range ran {
+			if c > 1 {
+				sawDup = true
+			}
+		}
+	}
+	// Duplicates are permitted, not required; this is informational.
+	t.Logf("observed duplicate execution: %v", sawDup)
+}
+
+func TestDoubleExecutionIsFatalForExactQueues(t *testing.T) {
+	// Force unsoundness: FF-CL with δ=1 on an S=4 machine and no post-take
+	// stores. The pool must detect the double delivery and fail.
+	sawFailure := false
+	for seed := int64(0); seed < 300 && !sawFailure; seed++ {
+		m := tso.NewMachine(tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.05})
+		p := NewPool(m, Options{Algo: core.AlgoFFCL, Delta: 1, PostTakeStores: -1, Seed: seed})
+		_, err := p.Run(func(w *Worker) {
+			for i := 0; i < 40; i++ {
+				w.Spawn(func(w *Worker) {})
+			}
+		})
+		if err != nil {
+			if !errors.Is(err, ErrDoubleExecution) {
+				t.Fatalf("seed %d: unexpected error %v", seed, err)
+			}
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatal("unsound δ never produced a detected double execution")
+	}
+}
+
+func TestForkPanicsOnIdempotent(t *testing.T) {
+	m := chaosMachine(1, 31)
+	p := NewPool(m, Options{Algo: core.AlgoIdempotentDE, Seed: 1})
+	_, err := p.Run(func(w *Worker) {
+		w.Fork(func(*Worker) {}, func(*Worker) {})
+	})
+	var pp *tso.ProgramPanic
+	if !errors.As(err, &pp) {
+		t.Fatalf("Fork on an idempotent pool: err=%v want panic", err)
+	}
+}
+
+func TestNestedForks(t *testing.T) {
+	// Three levels of forks with continuations that themselves fork.
+	m := chaosMachine(2, 41)
+	p := NewPool(m, Options{Algo: core.AlgoTHEP, Delta: 2, Seed: 4})
+	total := 0
+	_, err := p.Run(func(w *Worker) {
+		w.Fork(func(w *Worker) {
+			// Continuation forks again.
+			w.Fork(func(w *Worker) {
+				total += 100
+			}, func(w *Worker) { total++ }, func(w *Worker) { total++ })
+		},
+			func(w *Worker) { total += 10 },
+			func(w *Worker) { total += 10 },
+			func(w *Worker) { total += 10 },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 132 {
+		t.Fatalf("total = %d want 132 (ordering of join chain broken)", total)
+	}
+}
+
+func TestStealsActuallyHappen(t *testing.T) {
+	// With several workers and a wide flat graph, thieves must get work.
+	m := timedMachine(4)
+	p := NewPool(m, Options{Algo: core.AlgoTHE, Seed: 6})
+	st, err := p.Run(func(w *Worker) {
+		for i := 0; i < 200; i++ {
+			w.Spawn(func(w *Worker) { w.Work(200) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steals == 0 {
+		t.Fatal("no successful steals in a 4-worker wide graph")
+	}
+	if st.StolenFrac <= 0 || st.StolenFrac >= 1 {
+		t.Fatalf("stolen fraction %v out of range", st.StolenFrac)
+	}
+}
+
+func TestFFTHEWithHugeDeltaRunsSerially(t *testing.T) {
+	// Figure 10's pathology: FF-THE with δ larger than the queue ever gets
+	// aborts every steal, so one worker does everything.
+	m := timedMachine(4)
+	p := NewPool(m, Options{Algo: core.AlgoFFTHE, Delta: core.DeltaInfinite, Seed: 7})
+	st, err := p.Run(func(w *Worker) {
+		for i := 0; i < 60; i++ {
+			w.Spawn(func(w *Worker) { w.Work(50) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steals != 0 {
+		t.Fatalf("steals=%d want 0 with δ=∞", st.Steals)
+	}
+	if st.Aborts == 0 {
+		t.Fatal("expected aborted steal attempts")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	m := chaosMachine(2, 51)
+	p := NewPool(m, Options{Algo: core.AlgoChaseLev, Seed: 8})
+	for round := 0; round < 3; round++ {
+		var out uint64
+		if _, err := p.Run(fibTask(7, &out)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if want := fibSerial(7); out != want {
+			t.Fatalf("round %d: fib(7) = %d want %d", round, out, want)
+		}
+	}
+}
+
+func TestStatsSpawnAccounting(t *testing.T) {
+	m := chaosMachine(1, 61)
+	p := NewPool(m, Options{Algo: core.AlgoTHE, Seed: 9})
+	st, err := p.Run(func(w *Worker) {
+		w.Fork(func(w *Worker) {}, func(w *Worker) {}, func(w *Worker) {})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root + 2 children + continuation = 4
+	if st.Spawned != 4 {
+		t.Fatalf("spawned = %d want 4", st.Spawned)
+	}
+	if st.Executed != 4 {
+		t.Fatalf("executed = %d want 4", st.Executed)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.QueueCap != 1<<14 || o.PostTakeStores != 1 || o.StealBackoff != 4 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	o = Options{PostTakeStores: -1}.withDefaults()
+	if o.PostTakeStores != 0 {
+		t.Fatalf("negative PostTakeStores should mean zero, got %d", o.PostTakeStores)
+	}
+	o = Options{PostTakeStores: 3, StealBackoff: 9, QueueCap: 64}.withDefaults()
+	if o.PostTakeStores != 3 || o.StealBackoff != 9 || o.QueueCap != 64 {
+		t.Fatalf("explicit values overridden: %+v", o)
+	}
+}
+
+func TestDebugState(t *testing.T) {
+	m := chaosMachine(2, 91)
+	p := NewPool(m, Options{Algo: core.AlgoTHE, Seed: 1})
+	if _, err := p.Run(func(w *Worker) {}); err != nil {
+		t.Fatal(err)
+	}
+	s := p.DebugState()
+	if !strings.Contains(s, "idle=") || !strings.Contains(s, "sizes=") {
+		t.Fatalf("debug state: %q", s)
+	}
+}

@@ -1,0 +1,127 @@
+// Package stats provides the small set of summary statistics used by the
+// experiment harnesses: median, arbitrary percentiles, mean, and geometric
+// mean. The paper reports medians with 10th/90th percentile error bars
+// (§8 "Methodology") and geometric-mean normalized run times (Figure 10),
+// so those are the primitives offered here.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs. It panics if xs is empty.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It panics if xs is empty or p is
+// outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs. It panics if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it panics otherwise. The paper's "Geo mean" column in Figure 10 is the
+// geometric mean of per-benchmark normalized run times.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: geomean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs. It panics if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the statistics the harnesses report for a sample of runs.
+type Summary struct {
+	N      int
+	Median float64
+	P10    float64
+	P90    float64
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It panics if xs is empty.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Median: Median(xs),
+		P10:    Percentile(xs, 10),
+		P90:    Percentile(xs, 90),
+		Mean:   Mean(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d median=%.2f p10=%.2f p90=%.2f", s.N, s.Median, s.P10, s.P90)
+}

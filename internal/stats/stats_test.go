@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %v want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("p100 = %v want 50", got)
+	}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Errorf("p50 = %v want 30", got)
+	}
+	// Interpolation: p25 of 5 elements = rank 1.0 exactly -> 20.
+	if got := Percentile(xs, 25); got != 20 {
+		t.Errorf("p25 = %v want 20", got)
+	}
+	// p10 = rank 0.4 -> between 10 and 20.
+	if got := Percentile(xs, 10); got != 14 {
+		t.Errorf("p10 = %v want 14", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"median-empty":     func() { Median(nil) },
+		"percentile-range": func() { Percentile([]float64{1}, 101) },
+		"percentile-neg":   func() { Percentile([]float64{1}, -1) },
+		"mean-empty":       func() { Mean(nil) },
+		"geomean-empty":    func() { GeoMean(nil) },
+		"geomean-zero":     func() { GeoMean([]float64{1, 0}) },
+		"geomean-negative": func() { GeoMean([]float64{1, -2}) },
+		"min-empty":        func() { Min(nil) },
+		"max-empty":        func() { Max(nil) },
+		"summary-empty":    func() { Summarize(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("mean = %v want 4", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("geomean = %v want 10", got)
+	}
+	if got := GeoMean([]float64{7}); got != 7 {
+		t.Errorf("geomean single = %v want 7", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || s.Median != 5.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P10 >= s.Median || s.Median >= s.P90 {
+		t.Fatalf("percentile ordering broken: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Properties: percentiles are monotone in p, bounded by min/max, and the
+// geometric mean never exceeds the arithmetic mean (AM-GM).
+func TestQuickProperties(t *testing.T) {
+	gen := func(seed int64) []float64 {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(40))
+		for i := range xs {
+			xs[i] = r.Float64()*1000 + 0.001
+		}
+		return xs
+	}
+	f := func(seed int64, pRaw uint8, qRaw uint8) bool {
+		xs := gen(seed)
+		p := float64(pRaw) / 255 * 100
+		q := float64(qRaw) / 255 * 100
+		if p > q {
+			p, q = q, p
+		}
+		lo, hi := Percentile(xs, p), Percentile(xs, q)
+		if lo > hi {
+			return false
+		}
+		if lo < Min(xs) || hi > Max(xs) {
+			return false
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPercentileMatchesSortRank cross-checks against a direct definition
+// for exact-rank percentiles.
+func TestPercentileMatchesSortRank(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	xs := make([]float64, 11) // 11 points: p0,p10,...,p100 are exact ranks
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i := 0; i <= 10; i++ {
+		want := sorted[i]
+		if got := Percentile(xs, float64(i*10)); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("p%d = %v want %v", i*10, got, want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package tso
+
+// entry is one buffered store: a (64-bit address, 64-bit data) pair, exactly
+// the store-buffer entry of the x86-TSO abstract machine.
+type entry struct {
+	addr Addr
+	val  uint64
+}
+
+// storeBuffer is a bounded FIFO store buffer, optionally extended with the
+// §7.3 post-retirement drain stage B. Entries enter at the tail on a store
+// and leave from the head on a drain; with the stage enabled, a drained
+// entry first moves into B and only reaches memory on a subsequent drain,
+// unless the next drained entry targets the same address, in which case it
+// overwrites B (same-address coalescing).
+type storeBuffer struct {
+	cap      int // S: capacity of the entries FIFO proper
+	entries  []entry
+	stage    entry // valid iff hasStage; older than every entries element
+	hasStage bool
+	useStage bool // Config.DrainBuffer
+
+	// instrumentation
+	drains    int64
+	coalesces int64
+	maxOcc    int
+}
+
+func newStoreBuffer(capacity int, drainStage bool) *storeBuffer {
+	return &storeBuffer{
+		cap:      capacity,
+		entries:  make([]entry, 0, capacity),
+		useStage: drainStage,
+	}
+}
+
+// occupancy is the number of stores not yet globally visible, counting the
+// drain stage. This is the quantity the TSO[S] reordering bound caps.
+func (b *storeBuffer) occupancy() int {
+	n := len(b.entries)
+	if b.hasStage {
+		n++
+	}
+	return n
+}
+
+// empty reports whether every issued store has reached memory. Fences and
+// atomic operations require this.
+func (b *storeBuffer) empty() bool {
+	return len(b.entries) == 0 && !b.hasStage
+}
+
+// full reports whether a new store would not fit in the FIFO proper. Per
+// §7.1 a store that finds the buffer full stalls the pipeline until an
+// entry drains.
+func (b *storeBuffer) full() bool {
+	return len(b.entries) >= b.cap
+}
+
+// push buffers a store. The caller must have ensured !full().
+func (b *storeBuffer) push(a Addr, v uint64) {
+	if b.full() {
+		panic("tso: push into full store buffer")
+	}
+	b.entries = append(b.entries, entry{a, v})
+	if occ := b.occupancy(); occ > b.maxOcc {
+		b.maxOcc = occ
+	}
+}
+
+// forward returns the newest buffered value for address a, searching the
+// FIFO from tail to head and then the drain stage (rule 2 of the abstract
+// machine: a load reads the newest matching store in its own buffer).
+func (b *storeBuffer) forward(a Addr) (uint64, bool) {
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		if b.entries[i].addr == a {
+			return b.entries[i].val, true
+		}
+	}
+	if b.hasStage && b.stage.addr == a {
+		return b.stage.val, true
+	}
+	return 0, false
+}
+
+// drainOne advances the oldest buffered store one step toward memory and
+// returns any store that became globally visible. With the drain stage
+// disabled this simply pops the head into memory. With it enabled, the
+// semantics follow the paper's §7.3 hypothesis: the head moves into B,
+// first flushing B to memory unless the head targets B's address, in which
+// case B is overwritten and the older value is never written (coalescing).
+//
+// drainOne must only be called when occupancy() > 0.
+func (b *storeBuffer) drainOne(mem *memory) {
+	if !b.useStage {
+		if len(b.entries) == 0 {
+			panic("tso: drain of empty store buffer")
+		}
+		e := b.entries[0]
+		b.entries = b.entries[1:]
+		mem.write(e.addr, e.val)
+		b.drains++
+		return
+	}
+	switch {
+	case len(b.entries) == 0 && b.hasStage:
+		// Nothing left in the FIFO: retire B itself.
+		mem.write(b.stage.addr, b.stage.val)
+		b.hasStage = false
+		b.drains++
+	case len(b.entries) > 0 && !b.hasStage:
+		b.stage = b.entries[0]
+		b.entries = b.entries[1:]
+		b.hasStage = true
+		b.drains++
+	case len(b.entries) > 0 && b.hasStage:
+		head := b.entries[0]
+		if head.addr == b.stage.addr {
+			// Same-address coalescing: the older value is discarded
+			// without ever reaching memory. This is legal under TSO only
+			// because the two stores are consecutive in the drain order.
+			b.stage = head
+			b.entries = b.entries[1:]
+			b.coalesces++
+			b.drains++
+			return
+		}
+		mem.write(b.stage.addr, b.stage.val)
+		b.stage = head
+		b.entries = b.entries[1:]
+		b.drains++
+	default:
+		panic("tso: drain of empty store buffer")
+	}
+}
+
+// drainAll writes every buffered store to memory in FIFO order. Used for
+// fences, atomics, and end-of-run flushes.
+func (b *storeBuffer) drainAll(mem *memory) {
+	for !b.empty() {
+		b.drainOne(mem)
+	}
+}
+
+// eligibleDrains returns the indices of entries the PSO drain rule may
+// write next: the oldest entry for each distinct address (per-address FIFO
+// is all PSO preserves). Only valid without the drain stage.
+func (b *storeBuffer) eligibleDrains() []int {
+	if b.useStage {
+		panic("tso: PSO drains with drain stage")
+	}
+	var out []int
+	seen := map[Addr]bool{}
+	for i, e := range b.entries {
+		if !seen[e.addr] {
+			seen[e.addr] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// drainAt writes the entry at index i to memory and removes it (PSO). The
+// caller must pass an index returned by eligibleDrains.
+func (b *storeBuffer) drainAt(mem *memory, i int) {
+	e := b.entries[i]
+	mem.write(e.addr, e.val)
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.drains++
+}
+
+// memory is the simulated shared memory: a growable array of 64-bit words,
+// all initially zero.
+type memory struct {
+	words []uint64
+}
+
+func newMemory(words int) *memory {
+	return &memory{words: make([]uint64, words)}
+}
+
+func (m *memory) read(a Addr) uint64 {
+	m.ensure(a)
+	return m.words[a]
+}
+
+func (m *memory) write(a Addr, v uint64) {
+	m.ensure(a)
+	m.words[a] = v
+}
+
+func (m *memory) ensure(a Addr) {
+	if a < 0 {
+		panic("tso: negative address")
+	}
+	if int(a) >= len(m.words) {
+		grown := make([]uint64, max(int(a)+1, 2*len(m.words)))
+		copy(grown, m.words)
+		m.words = grown
+	}
+}

@@ -1,0 +1,188 @@
+package tso
+
+import "testing"
+
+func TestStoreBufferForwardNewest(t *testing.T) {
+	b := newStoreBuffer(4, false)
+	b.push(1, 10)
+	b.push(2, 20)
+	b.push(1, 11)
+	if v, ok := b.forward(1); !ok || v != 11 {
+		t.Fatalf("forward(1) = %v,%v want 11,true", v, ok)
+	}
+	if v, ok := b.forward(2); !ok || v != 20 {
+		t.Fatalf("forward(2) = %v,%v want 20,true", v, ok)
+	}
+	if _, ok := b.forward(3); ok {
+		t.Fatal("forward(3) unexpectedly hit")
+	}
+}
+
+func TestStoreBufferFIFODrainOrder(t *testing.T) {
+	mem := newMemory(8)
+	b := newStoreBuffer(4, false)
+	b.push(5, 1)
+	b.push(5, 2)
+	b.push(5, 3)
+	b.drainOne(mem)
+	if got := mem.read(5); got != 1 {
+		t.Fatalf("after first drain mem[5]=%d want 1 (FIFO)", got)
+	}
+	b.drainOne(mem)
+	if got := mem.read(5); got != 2 {
+		t.Fatalf("after second drain mem[5]=%d want 2", got)
+	}
+	b.drainAll(mem)
+	if got := mem.read(5); got != 3 {
+		t.Fatalf("after drainAll mem[5]=%d want 3", got)
+	}
+	if !b.empty() {
+		t.Fatal("buffer not empty after drainAll")
+	}
+}
+
+func TestStoreBufferFullEmptyOccupancy(t *testing.T) {
+	b := newStoreBuffer(2, false)
+	if !b.empty() || b.full() || b.occupancy() != 0 {
+		t.Fatal("fresh buffer state wrong")
+	}
+	b.push(0, 1)
+	b.push(1, 2)
+	if !b.full() || b.occupancy() != 2 {
+		t.Fatalf("full=%v occ=%d want true,2", b.full(), b.occupancy())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push into full buffer did not panic")
+		}
+	}()
+	b.push(2, 3)
+}
+
+func TestDrainStageMovesThroughB(t *testing.T) {
+	mem := newMemory(8)
+	b := newStoreBuffer(4, true)
+	b.push(1, 100)
+	// First drain moves the entry into B; memory is not yet written.
+	b.drainOne(mem)
+	if got := mem.read(1); got != 0 {
+		t.Fatalf("entry reached memory while in stage B: mem[1]=%d", got)
+	}
+	if b.occupancy() != 1 || b.empty() {
+		t.Fatalf("stage entry must count toward occupancy: occ=%d", b.occupancy())
+	}
+	// The staged value must still forward to the owner's loads.
+	if v, ok := b.forward(1); !ok || v != 100 {
+		t.Fatalf("forward from stage = %v,%v want 100,true", v, ok)
+	}
+	// Second drain retires B.
+	b.drainOne(mem)
+	if got := mem.read(1); got != 100 {
+		t.Fatalf("mem[1]=%d want 100", got)
+	}
+	if !b.empty() {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestDrainStageCoalescesSameAddress(t *testing.T) {
+	mem := newMemory(8)
+	b := newStoreBuffer(4, true)
+	b.push(7, 1)
+	b.push(7, 2)
+	b.push(7, 3)
+	b.drainOne(mem) // 1 -> B
+	b.drainOne(mem) // 2 overwrites B (coalesce); 1 never reaches memory
+	b.drainOne(mem) // 3 overwrites B (coalesce)
+	if got := mem.read(7); got != 0 {
+		t.Fatalf("coalesced values leaked to memory: mem[7]=%d", got)
+	}
+	if b.coalesces != 2 {
+		t.Fatalf("coalesces=%d want 2", b.coalesces)
+	}
+	b.drainOne(mem) // retire B
+	if got := mem.read(7); got != 3 {
+		t.Fatalf("mem[7]=%d want 3 (only the newest value)", got)
+	}
+}
+
+func TestDrainStageDifferentAddressWritesB(t *testing.T) {
+	mem := newMemory(8)
+	b := newStoreBuffer(4, true)
+	b.push(1, 10)
+	b.push(2, 20)
+	b.drainOne(mem) // 10 -> B
+	b.drainOne(mem) // B(=10) -> memory, 20 -> B
+	if got := mem.read(1); got != 10 {
+		t.Fatalf("mem[1]=%d want 10", got)
+	}
+	if got := mem.read(2); got != 0 {
+		t.Fatalf("mem[2]=%d want 0 (still staged)", got)
+	}
+	b.drainAll(mem)
+	if got := mem.read(2); got != 20 {
+		t.Fatalf("mem[2]=%d want 20", got)
+	}
+}
+
+func TestDrainStageCoalescingIsTSOLegal(t *testing.T) {
+	// The §7.3 example: with buffered A:=1; B:=1; A:=2, coalescing A:=2
+	// into A:=1 would let another processor observe A=2 while B=0, which
+	// is illegal under TSO. Our stage only coalesces *consecutive* drains
+	// to one address, so this must not happen.
+	mem := newMemory(8)
+	const a, bAddr = 0, 1
+	buf := newStoreBuffer(4, true)
+	buf.push(a, 1)
+	buf.push(bAddr, 1)
+	buf.push(a, 2)
+	seenIllegal := false
+	for !buf.empty() {
+		buf.drainOne(mem)
+		if mem.read(a) == 2 && mem.read(bAddr) == 0 {
+			seenIllegal = true
+		}
+	}
+	if seenIllegal {
+		t.Fatal("observed A=2 with B=0: stage coalesced non-consecutive stores")
+	}
+	if mem.read(a) != 2 || mem.read(bAddr) != 1 {
+		t.Fatalf("final state A=%d B=%d want 2,1", mem.read(a), mem.read(bAddr))
+	}
+}
+
+func TestDrainEmptyPanics(t *testing.T) {
+	mem := newMemory(1)
+	for _, stage := range []bool{false, true} {
+		b := newStoreBuffer(2, stage)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("drain of empty buffer (stage=%v) did not panic", stage)
+				}
+			}()
+			b.drainOne(mem)
+		}()
+	}
+}
+
+func TestMemoryGrowsOnDemand(t *testing.T) {
+	m := newMemory(2)
+	m.write(100, 42)
+	if got := m.read(100); got != 42 {
+		t.Fatalf("mem[100]=%d want 42", got)
+	}
+	if got := m.read(50); got != 0 {
+		t.Fatalf("mem[50]=%d want 0", got)
+	}
+}
+
+func TestMemoryNegativeAddressPanics(t *testing.T) {
+	m := newMemory(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative address did not panic")
+		}
+	}()
+	m.read(-1)
+}

@@ -1,0 +1,41 @@
+package tso
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpState writes a human-readable snapshot of the chaos machine: each
+// thread's store-buffer contents (program order, oldest first, including
+// the §7.3 drain stage) and a window of memory. Intended for debugging
+// harness failures together with a RingTracer dump; it must only be called
+// while the machine is quiescent (before Run, after Run, or from harness
+// code while holding the floor).
+func (m *Machine) DumpState(w io.Writer, memLo, memHi Addr) {
+	fmt.Fprintf(w, "machine: %d threads, S=%d, stage=%v, model=%s, steps=%d\n",
+		m.cfg.Threads, m.cfg.BufferSize, m.cfg.DrainBuffer, m.cfg.Model, m.steps)
+	for tid, b := range m.bufs {
+		fmt.Fprintf(w, "thread %d buffer (%d/%d):", tid, b.occupancy(), m.cfg.ObservableBound())
+		if b.hasStage {
+			fmt.Fprintf(w, " stage{[%d]=%d}", b.stage.addr, b.stage.val)
+		}
+		for _, e := range b.entries {
+			fmt.Fprintf(w, " [%d]=%d", e.addr, e.val)
+		}
+		fmt.Fprintln(w)
+	}
+	if memHi > memLo {
+		fmt.Fprint(w, "memory:")
+		for a := memLo; a < memHi; a++ {
+			fmt.Fprintf(w, " [%d]=%d", a, m.mem.read(a))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BufferedStores returns how many of tid's stores have not yet reached
+// memory (including the drain stage) — the quantity the TSO[S] bound caps.
+// Harness instrumentation; callers must hold the floor or be quiescent.
+func (m *Machine) BufferedStores(tid int) int {
+	return m.bufs[tid].occupancy()
+}

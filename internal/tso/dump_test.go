@@ -1,0 +1,66 @@
+package tso
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpStateShowsBuffersAndMemory(t *testing.T) {
+	m := NewMachine(Config{Threads: 2, BufferSize: 3, DrainBuffer: true, Seed: 1, DrainBias: 0.01})
+	x := m.Alloc(2)
+	var mid bytes.Buffer
+	err := m.Run(
+		func(c Context) {
+			c.Store(x, 11)
+			c.Store(x+1, 22)
+			// Dump mid-run while holding the floor: the stores should
+			// still be buffered under a starved drain schedule.
+			m.DumpState(&mid, x, x+2)
+		},
+		func(c Context) { c.Load(x) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mid.String()
+	if !strings.Contains(out, "thread 0 buffer") || !strings.Contains(out, "thread 1 buffer") {
+		t.Fatalf("missing buffer lines:\n%s", out)
+	}
+	if !strings.Contains(out, "=11") || !strings.Contains(out, "=22") {
+		t.Fatalf("buffered stores not shown:\n%s", out)
+	}
+	if !strings.Contains(out, "model=TSO") {
+		t.Fatalf("missing model:\n%s", out)
+	}
+
+	var after bytes.Buffer
+	m.DumpState(&after, x, x+2)
+	if !strings.Contains(after.String(), "[0]=11") || !strings.Contains(after.String(), "[1]=22") {
+		t.Fatalf("post-run memory not shown:\n%s", after.String())
+	}
+}
+
+func TestBufferedStores(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: 2, DrainBias: 0.01})
+	x := m.Alloc(4)
+	var during int
+	err := m.Run(func(c Context) {
+		c.Store(x, 1)
+		c.Store(x+1, 2)
+		during = m.BufferedStores(0)
+		c.Fence()
+		if got := m.BufferedStores(0); got != 0 {
+			panic("buffer not empty after fence")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during < 1 || during > 2 {
+		t.Fatalf("buffered count mid-run = %d want 1..2", during)
+	}
+	if m.BufferedStores(0) != 0 {
+		t.Fatal("buffer not flushed after run")
+	}
+}

@@ -1,0 +1,167 @@
+package tso
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements exhaustive schedule exploration ("stateless model
+// checking") over the abstract TSO[S] machine: every interleaving of
+// thread actions and store-buffer drains of a small program is enumerated
+// by depth-first search over the machine's decision tree. Where the chaos
+// engine samples schedules randomly, Explore *proves* properties of small
+// litmus programs — e.g. that the store-buffering outcome r0=r1=0 is
+// reachable without fences and unreachable with them, or that FF-CL's
+// thief aborts in every schedule of the laws-of-order state ρ.
+//
+// The exploration is the standard replay technique: each run re-executes
+// the program from scratch, following a recorded prefix of choices and
+// taking the first branch afterwards; when a run completes, the deepest
+// choice with untried branches is advanced. Programs must therefore be
+// replayable — the factory passed to Explore is invoked once per run and
+// must rebuild all captured state.
+
+// ExploreOptions bounds an exploration.
+type ExploreOptions struct {
+	// MaxRuns caps the number of schedules (default 1 << 20). If the tree
+	// is larger, Explore returns Complete=false.
+	MaxRuns int
+	// MaxStepsPerRun bounds each schedule (default 100_000) so that
+	// blocking programs (e.g. a lone THEP thief) terminate each run with
+	// ErrStepLimit rather than hanging the search.
+	MaxStepsPerRun int64
+}
+
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 1 << 20
+	}
+	if o.MaxStepsPerRun <= 0 {
+		o.MaxStepsPerRun = 100_000
+	}
+	return o
+}
+
+// ExploreResult summarizes an exploration.
+type ExploreResult struct {
+	// Runs is the number of schedules executed.
+	Runs int
+	// Complete reports whether the entire decision tree was covered.
+	Complete bool
+	// StepLimited counts runs that hit MaxStepsPerRun (blocking programs).
+	StepLimited int
+}
+
+// Explore enumerates schedules of the program built by mkProgs on fresh
+// machines configured by cfg. For every completed run it calls visit with
+// the machine (buffers flushed; inspect memory with Peek) and the run's
+// error, which is nil, step-limit, or a program panic.
+//
+// mkProgs is called once per run with the fresh machine; it must Alloc
+// whatever it needs and return one program per configured thread.
+func Explore(cfg Config, mkProgs func(m *Machine) []func(Context), opts ExploreOptions, visit func(m *Machine, err error)) ExploreResult {
+	return ExploreUntil(cfg, mkProgs, opts, func(m *Machine, err error) bool {
+		visit(m, err)
+		return false
+	})
+}
+
+// ExploreUntil is Explore with early termination: exploration stops when
+// visit returns true (Complete stays false in that case). Used to extract
+// a witness schedule for a reachable outcome without enumerating the rest
+// of the tree.
+func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts ExploreOptions, visit func(m *Machine, err error) bool) ExploreResult {
+	opts = opts.withDefaults()
+	var res ExploreResult
+
+	// prefix holds the choice taken at each decision step of the current
+	// run; fanout holds the number of alternatives that were available.
+	var prefix, fanout []int
+
+	for {
+		depth := 0
+		mismatch := false
+		c := cfg
+		c.MaxSteps = opts.MaxStepsPerRun
+		m := NewMachine(c)
+		m.chooser = func(n int) int {
+			if depth < len(prefix) {
+				if depth < len(fanout) && fanout[depth] != n {
+					// The program is not replay-deterministic; flag it
+					// rather than silently exploring garbage.
+					mismatch = true
+				}
+				i := prefix[depth]
+				depth++
+				return i
+			}
+			prefix = append(prefix, 0)
+			fanout = append(fanout, n)
+			depth++
+			return 0
+		}
+		progs := mkProgs(m)
+		err := m.Run(progs...)
+		if mismatch {
+			panic("tso: Explore program is not replay-deterministic (fanout changed under an identical choice prefix)")
+		}
+		if errors.Is(err, ErrStepLimit) {
+			res.StepLimited++
+		}
+		res.Runs++
+		if visit(m, err) {
+			return res
+		}
+
+		// Truncate bookkeeping to the depth actually reached (a run can
+		// end before consuming the whole prefix if an error cut it short).
+		prefix = prefix[:depth]
+		fanout = fanout[:depth]
+
+		// Advance to the next schedule: bump the deepest choice that
+		// still has untried alternatives.
+		i := len(prefix) - 1
+		for i >= 0 && prefix[i]+1 >= fanout[i] {
+			i--
+		}
+		if i < 0 {
+			res.Complete = true
+			return res
+		}
+		if res.Runs >= opts.MaxRuns {
+			return res
+		}
+		prefix = prefix[:i+1]
+		fanout = fanout[:i+1]
+		prefix[i]++
+	}
+}
+
+// OutcomeSet is a convenience for litmus-style explorations: it tallies
+// string-rendered outcomes across all schedules.
+type OutcomeSet struct {
+	Counts map[string]int
+	res    ExploreResult
+}
+
+// ExploreOutcomes runs Explore and buckets each run by the string outcome
+// returns. It panics on program panics, since a litmus program must not
+// fail.
+func ExploreOutcomes(cfg Config, mkProgs func(m *Machine) []func(Context), outcome func(m *Machine) string, opts ExploreOptions) (OutcomeSet, ExploreResult) {
+	set := OutcomeSet{Counts: map[string]int{}}
+	res := Explore(cfg, mkProgs, opts, func(m *Machine, err error) {
+		if err != nil && !errors.Is(err, ErrStepLimit) {
+			panic(fmt.Sprintf("tso: litmus program failed: %v", err))
+		}
+		if err != nil {
+			set.Counts["<step-limit>"]++
+			return
+		}
+		set.Counts[outcome(m)]++
+	})
+	set.res = res
+	return set, res
+}
+
+// Has reports whether an outcome was observed.
+func (s OutcomeSet) Has(outcome string) bool { return s.Counts[outcome] > 0 }

@@ -1,0 +1,461 @@
+package tso
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Machine is the chaos engine: an executable abstract TSO[S] machine whose
+// scheduler explores thread interleavings and store-buffer drain schedules
+// under a seeded RNG. Exactly one simulated thread executes at a time, and
+// between any two thread actions the scheduler may drain any thread's
+// store-buffer entries — the full nondeterminism of the §2 abstract
+// machine, driven adversarially.
+//
+// A Machine is not safe for concurrent use; each Run call owns it until it
+// returns. Memory contents persist across Run calls, so a harness can
+// initialize state, run one program phase, inspect memory, and run another.
+type Machine struct {
+	cfg  Config
+	mem  *memory
+	bufs []*storeBuffer
+	rng  *rand.Rand
+	next Addr
+
+	stats Stats
+
+	// per-Run scheduler state
+	reqCh   chan *request
+	grants  []chan response
+	pending []*request
+	steps   int64
+
+	// tracer, when non-nil, receives every executed action in schedule
+	// order (see trace.go).
+	tracer Tracer
+
+	// chooser, when non-nil, replaces the random scheduling policy: at
+	// every step the machine enumerates its possible actions (run each
+	// thread with a pending request, drain each non-empty buffer, in
+	// deterministic order) and asks chooser to pick one. Explore uses
+	// this to enumerate schedules exhaustively.
+	chooser func(n int) int
+}
+
+// action is one scheduler decision: execute a thread's pending request or
+// drain one entry of a thread's store buffer (idx selects which entry
+// under PSO; always 0 under TSO's FIFO rule).
+type action struct {
+	drain bool
+	id    int
+	idx   int
+}
+
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opStore
+	opFence
+	opCAS
+	opWork
+	opDone
+	opPanic
+)
+
+type request struct {
+	tid      int
+	kind     opKind
+	addr     Addr
+	val      uint64 // store value / CAS old
+	val2     uint64 // CAS new
+	panicVal any
+}
+
+type response struct {
+	val   uint64
+	ok    bool
+	abort bool
+}
+
+// abortSignal is panicked inside simulated threads when the machine tears a
+// run down (step limit or another thread's panic); the thread wrapper
+// recovers it and exits cleanly.
+type abortSignal struct{}
+
+// ProgramPanic wraps a panic raised by simulated-thread code so the harness
+// sees which thread failed and why.
+type ProgramPanic struct {
+	Thread int
+	Value  any
+}
+
+func (e *ProgramPanic) Error() string {
+	return fmt.Sprintf("tso: simulated thread %d panicked: %v", e.Thread, e.Value)
+}
+
+// NewMachine builds a chaos machine for cfg. It panics on invalid
+// configuration, since that is a programming error in the harness.
+func NewMachine(cfg Config) *Machine {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg: c,
+		mem: newMemory(c.MemWords),
+		rng: rand.New(rand.NewSource(c.Seed)),
+	}
+	m.bufs = make([]*storeBuffer, c.Threads)
+	for i := range m.bufs {
+		m.bufs[i] = newStoreBuffer(c.BufferSize, c.DrainBuffer)
+	}
+	return m
+}
+
+// Config returns the configuration the machine was built with (after
+// defaulting).
+func (m *Machine) Config() Config { return m.cfg }
+
+// Alloc reserves n zero-initialized words of simulated memory and returns
+// the base address. Call it before Run.
+func (m *Machine) Alloc(n int) Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("tso: Alloc(%d)", n))
+	}
+	base := m.next
+	m.next += Addr(n)
+	m.mem.ensure(m.next - 1)
+	return base
+}
+
+// Peek reads simulated memory directly, bypassing store buffers. Intended
+// for harness inspection after Run (when all buffers have drained).
+func (m *Machine) Peek(a Addr) uint64 { return m.mem.read(a) }
+
+// Poke writes simulated memory directly, bypassing store buffers. Intended
+// for harness initialization before Run.
+func (m *Machine) Poke(a Addr, v uint64) { m.mem.write(a, v) }
+
+// Stats returns cumulative event counts across all Run calls.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	for _, b := range m.bufs {
+		s.Drains += b.drains
+		s.Coalesces += b.coalesces
+		if b.maxOcc > s.MaxOccupancy {
+			s.MaxOccupancy = b.maxOcc
+		}
+	}
+	return s
+}
+
+// Run executes one simulated program per configured thread to completion,
+// then flushes all store buffers. It returns ErrStepLimit if the schedule
+// exceeds Config.MaxSteps (livelock/deadlock), or a *ProgramPanic if a
+// program panics.
+func (m *Machine) Run(progs ...func(Context)) error {
+	if len(progs) != m.cfg.Threads {
+		return fmt.Errorf("tso: machine has %d threads, Run got %d programs", m.cfg.Threads, len(progs))
+	}
+	m.reqCh = make(chan *request)
+	m.grants = make([]chan response, len(progs))
+	m.pending = make([]*request, len(progs))
+	m.steps = 0
+	for i := range progs {
+		m.grants[i] = make(chan response)
+		go m.runThread(i, progs[i])
+	}
+	err := m.schedule(len(progs))
+	for tid, b := range m.bufs {
+		for !b.empty() {
+			if m.tracer != nil {
+				var e entry
+				if len(b.entries) > 0 {
+					e = b.entries[0]
+				} else {
+					e = b.stage
+				}
+				m.trace("drain", tid, e.addr, e.val, false)
+			}
+			b.drainOne(m.mem)
+		}
+	}
+	m.stats.Steps += m.steps
+	return err
+}
+
+func (m *Machine) runThread(tid int, prog func(Context)) {
+	defer func() {
+		switch v := recover(); v.(type) {
+		case nil:
+			m.reqCh <- &request{tid: tid, kind: opDone}
+		case abortSignal:
+			m.reqCh <- &request{tid: tid, kind: opDone}
+		default:
+			m.reqCh <- &request{tid: tid, kind: opPanic, panicVal: v}
+		}
+	}()
+	prog(&chaosCtx{m: m, tid: tid})
+}
+
+// schedule is the machine's main loop. Invariant: a live thread is either
+// "computing" (its goroutine is running between Context calls) or has a
+// pending request. At most one thread computes at a time, so the loop first
+// gathers requests until every live thread has one, then picks an action.
+func (m *Machine) schedule(threads int) error {
+	live := threads
+	pendingN := 0
+	var fail error
+
+	for {
+		for pendingN < live {
+			r := <-m.reqCh
+			switch r.kind {
+			case opDone:
+				live--
+			case opPanic:
+				live--
+				if fail == nil {
+					fail = &ProgramPanic{Thread: r.tid, Value: r.panicVal}
+				}
+			default:
+				m.pending[r.tid] = r
+				pendingN++
+			}
+		}
+		if fail != nil {
+			m.abortPending(&pendingN)
+			m.drainDone(&live, &pendingN)
+			return fail
+		}
+		if live == 0 {
+			return nil
+		}
+		if m.steps >= m.cfg.MaxSteps {
+			m.abortPending(&pendingN)
+			m.drainDone(&live, &pendingN)
+			return fmt.Errorf("%w after %d steps", ErrStepLimit, m.steps)
+		}
+		m.steps++
+
+		act := m.nextAction()
+		if act.drain {
+			b := m.bufs[act.id]
+			if m.tracer != nil {
+				// Identify which store this drain advances: the stage
+				// entry when it reaches memory, or the FIFO head when it
+				// moves into (or coalesces with) the stage.
+				var e entry
+				switch {
+				case m.cfg.Model == ModelPSO:
+					e = b.entries[act.idx]
+				case b.hasStage && len(b.entries) == 0:
+					e = b.stage
+				case b.hasStage && b.entries[0].addr == b.stage.addr:
+					e = b.entries[0] // coalesces; the stage value is discarded
+				case b.hasStage:
+					e = b.stage
+				default:
+					e = b.entries[0]
+				}
+				m.trace("drain", act.id, e.addr, e.val, false)
+			}
+			if m.cfg.Model == ModelPSO {
+				b.drainAt(m.mem, act.idx)
+			} else {
+				b.drainOne(m.mem)
+			}
+			continue
+		}
+		tid := act.id
+		r := m.pending[tid]
+		m.pending[tid] = nil
+		pendingN--
+		m.grants[tid] <- m.exec(r)
+	}
+}
+
+// nextAction picks the step's action: randomly under the default policy,
+// or via the chooser over the full enumerated action list. Under PSO the
+// drain actions additionally select which eligible entry to write (one per
+// distinct buffered address).
+func (m *Machine) nextAction() action {
+	pso := m.cfg.Model == ModelPSO
+	if m.chooser == nil {
+		if k, ok := m.pickDrain(); ok {
+			a := action{drain: true, id: k}
+			if pso {
+				el := m.bufs[k].eligibleDrains()
+				a.idx = el[m.rng.Intn(len(el))]
+			}
+			return a
+		}
+		return action{id: m.pickRunnable()}
+	}
+	var acts []action
+	for tid, r := range m.pending {
+		if r != nil {
+			acts = append(acts, action{id: tid})
+		}
+	}
+	for tid, b := range m.bufs {
+		if b.occupancy() == 0 {
+			continue
+		}
+		if pso {
+			for _, idx := range b.eligibleDrains() {
+				acts = append(acts, action{drain: true, id: tid, idx: idx})
+			}
+			continue
+		}
+		acts = append(acts, action{drain: true, id: tid})
+	}
+	return acts[m.chooser(len(acts))]
+}
+
+// pickDrain decides whether this step drains a buffer entry, and whose.
+func (m *Machine) pickDrain() (int, bool) {
+	var drainable []int
+	for i, b := range m.bufs {
+		if b.occupancy() > 0 {
+			drainable = append(drainable, i)
+		}
+	}
+	if len(drainable) == 0 {
+		return 0, false
+	}
+	if m.rng.Float64() >= m.cfg.DrainBias {
+		return 0, false
+	}
+	return drainable[m.rng.Intn(len(drainable))], true
+}
+
+func (m *Machine) pickRunnable() int {
+	var runnable []int
+	for tid, r := range m.pending {
+		if r != nil {
+			runnable = append(runnable, tid)
+		}
+	}
+	return runnable[m.rng.Intn(len(runnable))]
+}
+
+// exec performs one memory action for a thread, applying the abstract
+// machine's forced-drain rules for full buffers, fences, and atomics.
+func (m *Machine) exec(r *request) response {
+	buf := m.bufs[r.tid]
+	switch r.kind {
+	case opLoad:
+		m.stats.Loads++
+		if v, ok := buf.forward(r.addr); ok {
+			m.stats.ForwardLoads++
+			m.trace("load", r.tid, r.addr, v, false)
+			return response{val: v}
+		}
+		v := m.mem.read(r.addr)
+		m.trace("load", r.tid, r.addr, v, false)
+		return response{val: v}
+	case opStore:
+		m.stats.Stores++
+		// Rule 6: if the buffer is full the memory subsystem must first
+		// dequeue at least one entry.
+		for buf.full() {
+			buf.drainOne(m.mem)
+		}
+		buf.push(r.addr, r.val)
+		m.trace("store", r.tid, r.addr, r.val, false)
+		return response{}
+	case opFence:
+		m.stats.Fences++
+		buf.drainAll(m.mem)
+		m.trace("fence", r.tid, 0, 0, false)
+		return response{}
+	case opCAS:
+		m.stats.CASes++
+		// Rule 4: atomics run with the memory-subsystem lock held and an
+		// empty store buffer, so the implicit drain happens first.
+		buf.drainAll(m.mem)
+		cur := m.mem.read(r.addr)
+		if cur == r.val {
+			m.mem.write(r.addr, r.val2)
+			m.trace("cas", r.tid, r.addr, r.val2, true)
+			return response{val: cur, ok: true}
+		}
+		m.trace("cas", r.tid, r.addr, r.val2, false)
+		return response{val: cur, ok: false}
+	case opWork:
+		m.trace("work", r.tid, 0, 0, false)
+		return response{}
+	default:
+		panic(fmt.Sprintf("tso: unknown op %d", r.kind))
+	}
+}
+
+// abortPending tells every thread blocked on a grant to unwind.
+func (m *Machine) abortPending(pendingN *int) {
+	for tid, r := range m.pending {
+		if r != nil {
+			m.pending[tid] = nil
+			*pendingN--
+			m.grants[tid] <- response{abort: true}
+		}
+	}
+}
+
+// drainDone consumes the opDone notifications of unwinding threads so no
+// goroutine is left blocked on reqCh.
+func (m *Machine) drainDone(live, pendingN *int) {
+	for *live > 0 {
+		r := <-m.reqCh
+		switch r.kind {
+		case opDone, opPanic:
+			*live--
+		default:
+			// A thread that was computing issued one more request before
+			// observing the abort; bounce it.
+			m.grants[r.tid] <- response{abort: true}
+		}
+	}
+}
+
+// chaosCtx is the Context implementation handed to chaos-engine threads.
+type chaosCtx struct {
+	m   *Machine
+	tid int
+}
+
+func (c *chaosCtx) do(r request) response {
+	r.tid = c.tid
+	c.m.reqCh <- &r
+	resp := <-c.m.grants[c.tid]
+	if resp.abort {
+		panic(abortSignal{})
+	}
+	return resp
+}
+
+func (c *chaosCtx) Load(a Addr) uint64 {
+	return c.do(request{kind: opLoad, addr: a}).val
+}
+
+func (c *chaosCtx) Store(a Addr, v uint64) {
+	c.do(request{kind: opStore, addr: a, val: v})
+}
+
+func (c *chaosCtx) Fence() {
+	c.do(request{kind: opFence})
+}
+
+func (c *chaosCtx) CAS(a Addr, old, new uint64) (uint64, bool) {
+	r := c.do(request{kind: opCAS, addr: a, val: old, val2: new})
+	return r.val, r.ok
+}
+
+func (c *chaosCtx) Work(cycles uint64) {
+	// Work is a scheduling point: the chaos engine may run other threads
+	// or drain buffers "during" the computation.
+	c.do(request{kind: opWork})
+}
+
+func (c *chaosCtx) ThreadID() int { return c.tid }

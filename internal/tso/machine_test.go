@@ -1,0 +1,461 @@
+package tso
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Threads: 0, BufferSize: 4},
+		{Threads: 1, BufferSize: 0},
+		{Threads: 1, BufferSize: 4, DrainBias: 1.5},
+		{Threads: 1, BufferSize: 4, DrainBias: -0.1},
+	}
+	for i, c := range bad {
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("config %d (%+v) unexpectedly valid", i, c)
+		}
+	}
+	good, err := (Config{Threads: 2, BufferSize: 4}).withDefaults()
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if good.MaxSteps != defaultMaxSteps || good.DrainBias != defaultDrain || good.Cost != DefaultCost {
+		t.Fatalf("defaults not applied: %+v", good)
+	}
+}
+
+func TestObservableBound(t *testing.T) {
+	if got := (Config{BufferSize: 32}).ObservableBound(); got != 32 {
+		t.Errorf("bound=%d want 32", got)
+	}
+	if got := (Config{BufferSize: 32, DrainBuffer: true}).ObservableBound(); got != 33 {
+		t.Errorf("bound with stage=%d want 33", got)
+	}
+	if got := WestmereEX().ObservableBound(); got != 33 {
+		t.Errorf("WestmereEX bound=%d want 33", got)
+	}
+	if got := Haswell().ObservableBound(); got != 43 {
+		t.Errorf("Haswell bound=%d want 43", got)
+	}
+}
+
+func TestAllocDistinctAndPokePeek(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 4})
+	a := m.Alloc(3)
+	b := m.Alloc(2)
+	if b < a+3 {
+		t.Fatalf("allocations overlap: a=%d b=%d", a, b)
+	}
+	m.Poke(b, 99)
+	if got := m.Peek(b); got != 99 {
+		t.Fatalf("Peek=%d want 99", got)
+	}
+}
+
+func TestRunArityMismatch(t *testing.T) {
+	m := NewMachine(Config{Threads: 2, BufferSize: 4})
+	if err := m.Run(func(Context) {}); err == nil {
+		t.Fatal("Run with wrong program count succeeded")
+	}
+}
+
+func TestReadOwnWriteForwarding(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: 1, DrainBias: 0.01})
+	x := m.Alloc(1)
+	var got uint64
+	err := m.Run(func(c Context) {
+		c.Store(x, 7)
+		got = c.Load(x) // must forward from the buffer even if undrained
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("read-own-write got %d want 7", got)
+	}
+	if m.Stats().ForwardLoads == 0 {
+		t.Fatal("expected at least one forwarded load")
+	}
+}
+
+// TestSBLitmusRelaxedOutcomeOccurs checks that the machine actually exhibits
+// store/load reordering: in the classic SB litmus test (x:=1; r0:=y ||
+// y:=1; r1:=x) the outcome r0=r1=0 is TSO-legal and must be reachable.
+func TestSBLitmusRelaxedOutcomeOccurs(t *testing.T) {
+	seen00 := false
+	for seed := int64(0); seed < 200 && !seen00; seed++ {
+		m := NewMachine(Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.1})
+		x, y := m.Alloc(1), m.Alloc(1)
+		var r0, r1 uint64
+		err := m.Run(
+			func(c Context) { c.Store(x, 1); r0 = c.Load(y) },
+			func(c Context) { c.Store(y, 1); r1 = c.Load(x) },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r0 == 0 && r1 == 0 {
+			seen00 = true
+		}
+	}
+	if !seen00 {
+		t.Fatal("relaxed outcome r0=r1=0 never observed: machine not exhibiting store/load reordering")
+	}
+}
+
+// TestSBLitmusFencedNever00 checks the fence semantics: with a fence between
+// the store and the load, r0=r1=0 becomes impossible.
+func TestSBLitmusFencedNever00(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		m := NewMachine(Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.1})
+		x, y := m.Alloc(1), m.Alloc(1)
+		var r0, r1 uint64
+		err := m.Run(
+			func(c Context) { c.Store(x, 1); c.Fence(); r0 = c.Load(y) },
+			func(c Context) { c.Store(y, 1); c.Fence(); r1 = c.Load(x) },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r0 == 0 && r1 == 0 {
+			t.Fatalf("seed %d: fenced SB produced r0=r1=0", seed)
+		}
+	}
+}
+
+// TestCASActsAsFence checks rule 4: an atomic RMW drains the issuing
+// thread's buffer, so it orders prior stores before subsequent loads.
+func TestCASActsAsFence(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		m := NewMachine(Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.1})
+		x, y, scratch := m.Alloc(1), m.Alloc(1), m.Alloc(1)
+		var r0, r1 uint64
+		err := m.Run(
+			func(c Context) { c.Store(x, 1); c.CAS(scratch, 0, 1); r0 = c.Load(y) },
+			func(c Context) { c.Store(y, 1); c.CAS(scratch, 0, 1); r1 = c.Load(x) },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r0 == 0 && r1 == 0 {
+			t.Fatalf("seed %d: CAS-separated SB produced r0=r1=0", seed)
+		}
+	}
+}
+
+func TestCASAtomicIncrement(t *testing.T) {
+	m := NewMachine(Config{Threads: 4, BufferSize: 4, Seed: 42})
+	ctr := m.Alloc(1)
+	inc := func(c Context) {
+		for i := 0; i < 50; i++ {
+			for {
+				old := c.Load(ctr)
+				if _, ok := c.CAS(ctr, old, old+1); ok {
+					break
+				}
+			}
+		}
+	}
+	if err := m.Run(inc, inc, inc, inc); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(ctr); got != 200 {
+		t.Fatalf("counter=%d want 200", got)
+	}
+}
+
+// TestLagBoundedWithoutStage verifies the heart of TSO[S]: the number of a
+// thread's stores hidden from memory never exceeds S. The worker stores
+// increasing sequence numbers; because the machine runs exactly one thread
+// between scheduler steps, the meta-level issue counter is exact at every
+// observer load.
+func TestLagBoundedWithoutStage(t *testing.T) {
+	const S = 4
+	for seed := int64(0); seed < 50; seed++ {
+		m := NewMachine(Config{Threads: 2, BufferSize: S, Seed: seed, DrainBias: 0.05})
+		loc := m.Alloc(1)
+		issued := uint64(0)
+		maxLag := uint64(0)
+		err := m.Run(
+			func(c Context) {
+				for i := uint64(1); i <= 200; i++ {
+					c.Store(loc, i)
+					issued = i
+				}
+			},
+			func(c Context) {
+				for i := 0; i < 400; i++ {
+					v := c.Load(loc)
+					if lag := issued - v; lag > maxLag {
+						maxLag = lag
+					}
+				}
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxLag > S {
+			t.Fatalf("seed %d: observed lag %d > S=%d without drain stage", seed, maxLag, S)
+		}
+	}
+}
+
+// TestLagBoundedWithStageDistinctAddrs: with the drain stage but stores to
+// distinct addresses (no coalescing possible), the observable bound is S+1.
+func TestLagBoundedWithStageDistinctAddrs(t *testing.T) {
+	const S = 4
+	sawSPlus1 := false
+	for seed := int64(0); seed < 100; seed++ {
+		m := NewMachine(Config{Threads: 2, BufferSize: S, DrainBuffer: true, Seed: seed, DrainBias: 0.05})
+		base := m.Alloc(256)
+		issued := uint64(0)
+		maxLag := uint64(0)
+		err := m.Run(
+			func(c Context) {
+				for i := uint64(1); i <= 100; i++ {
+					// Alternate addresses so no two consecutive drains
+					// coalesce; publish progress via the value at each.
+					c.Store(base+Addr(i%8), i)
+					issued = i
+				}
+			},
+			func(c Context) {
+				for i := 0; i < 300; i++ {
+					// Snapshot the issue counter before scanning: stores
+					// drained during the scan only shrink the computed
+					// lag, so it is a sound lower bound on the true lag
+					// at scan start — safe for the <= S+1 assertion.
+					before := issued
+					newest := uint64(0)
+					for j := 0; j < 8; j++ {
+						if v := c.Load(base + Addr(j)); v > newest {
+							newest = v
+						}
+					}
+					if before > newest {
+						if lag := before - newest; lag > maxLag {
+							maxLag = lag
+						}
+					}
+				}
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxLag > S+1 {
+			t.Fatalf("seed %d: lag %d > S+1=%d with drain stage", seed, maxLag, S+1)
+		}
+		if maxLag == S+1 {
+			sawSPlus1 = true
+		}
+	}
+	if !sawSPlus1 {
+		t.Fatal("never observed lag of exactly S+1: stage B not acting as an extra entry")
+	}
+}
+
+// TestLagUnboundedWithCoalescing: back-to-back stores to one location under
+// the drain stage coalesce, so the hidden-store count can exceed S+1 — the
+// L=0 failure mode of Figure 8b.
+func TestLagUnboundedWithCoalescing(t *testing.T) {
+	const S = 4
+	exceeded := false
+	for seed := int64(0); seed < 100 && !exceeded; seed++ {
+		m := NewMachine(Config{Threads: 2, BufferSize: S, DrainBuffer: true, Seed: seed, DrainBias: 0.3})
+		loc := m.Alloc(1)
+		issued := uint64(0)
+		err := m.Run(
+			func(c Context) {
+				for i := uint64(1); i <= 400; i++ {
+					c.Store(loc, i)
+					issued = i
+				}
+			},
+			func(c Context) {
+				for i := 0; i < 800; i++ {
+					v := c.Load(loc)
+					if issued-v > S+1 {
+						exceeded = true
+					}
+				}
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !exceeded {
+		t.Fatal("coalescing never hid more than S+1 stores; stage coalescing not effective")
+	}
+}
+
+func TestStepLimitReported(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 2, Seed: 1, MaxSteps: 1000})
+	flag := m.Alloc(1)
+	err := m.Run(func(c Context) {
+		for c.Load(flag) == 0 { // never set: livelock
+		}
+	})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err=%v want ErrStepLimit", err)
+	}
+}
+
+func TestProgramPanicPropagates(t *testing.T) {
+	m := NewMachine(Config{Threads: 2, BufferSize: 2, Seed: 1})
+	x := m.Alloc(1)
+	err := m.Run(
+		func(c Context) { c.Store(x, 1); panic("boom") },
+		func(c Context) {
+			for i := 0; i < 1000; i++ {
+				c.Load(x)
+			}
+		},
+	)
+	var pp *ProgramPanic
+	if !errors.As(err, &pp) {
+		t.Fatalf("err=%v want *ProgramPanic", err)
+	}
+	if pp.Thread != 0 || pp.Value != "boom" {
+		t.Fatalf("panic info = %+v", pp)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	trace := func(seed int64) []uint64 {
+		m := NewMachine(Config{Threads: 2, BufferSize: 3, Seed: seed, DrainBias: 0.3})
+		x := m.Alloc(1)
+		var obs []uint64
+		err := m.Run(
+			func(c Context) {
+				for i := uint64(1); i <= 50; i++ {
+					c.Store(x, i)
+				}
+			},
+			func(c Context) {
+				for i := 0; i < 100; i++ {
+					obs = append(obs, c.Load(x))
+				}
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obs
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMemoryPersistsAcrossRuns(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 2, Seed: 1})
+	x := m.Alloc(1)
+	if err := m.Run(func(c Context) { c.Store(x, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(x); got != 5 {
+		t.Fatalf("after run mem=%d want 5 (buffers must flush at end of Run)", got)
+	}
+	var got uint64
+	if err := m.Run(func(c Context) { got = c.Load(x) }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("second run read %d want 5", got)
+	}
+}
+
+func TestCoherencePerLocationMonotone(t *testing.T) {
+	// Writes of an increasing sequence to one location must be observed in
+	// non-decreasing order by another thread (TSO is coherent), with or
+	// without the drain stage.
+	for _, stage := range []bool{false, true} {
+		for seed := int64(0); seed < 30; seed++ {
+			m := NewMachine(Config{Threads: 2, BufferSize: 3, DrainBuffer: stage, Seed: seed, DrainBias: 0.2})
+			x := m.Alloc(1)
+			var obs []uint64
+			err := m.Run(
+				func(c Context) {
+					for i := uint64(1); i <= 100; i++ {
+						c.Store(x, i)
+					}
+				},
+				func(c Context) {
+					for i := 0; i < 200; i++ {
+						obs = append(obs, c.Load(x))
+					}
+				},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(obs); i++ {
+				if obs[i] < obs[i-1] {
+					t.Fatalf("stage=%v seed=%d: observed %d after %d (coherence violation)", stage, seed, obs[i], obs[i-1])
+				}
+			}
+		}
+	}
+}
+
+func TestWorkIsSchedulingPoint(t *testing.T) {
+	// A thread spinning on Work must not prevent drains: the store below
+	// eventually reaches memory while the worker only calls Work.
+	m := NewMachine(Config{Threads: 2, BufferSize: 2, Seed: 3, DrainBias: 0.5})
+	x := m.Alloc(1)
+	sawOne := false
+	err := m.Run(
+		func(c Context) {
+			c.Store(x, 1)
+			for i := 0; i < 500; i++ {
+				c.Work(1)
+			}
+		},
+		func(c Context) {
+			for i := 0; i < 500; i++ {
+				if c.Load(x) == 1 {
+					sawOne = true
+					return
+				}
+			}
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawOne {
+		t.Fatal("store never drained while owner was in Work loop")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 2, Seed: 1})
+	x := m.Alloc(1)
+	err := m.Run(func(c Context) {
+		c.Store(x, 1)
+		c.Load(x)
+		c.Fence()
+		c.CAS(x, 1, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Stores != 1 || s.Loads != 1 || s.Fences != 1 || s.CASes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxOccupancy < 1 {
+		t.Fatalf("max occupancy %d want >= 1", s.MaxOccupancy)
+	}
+}

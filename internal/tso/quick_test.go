@@ -1,0 +1,211 @@
+package tso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// progOp is one step of a randomly generated single-thread program.
+type progOp struct {
+	kind byte // 0 store, 1 load, 2 fence, 3 work
+	addr Addr
+	val  uint64
+}
+
+func genProgram(r *rand.Rand, n, addrs int) []progOp {
+	ops := make([]progOp, n)
+	for i := range ops {
+		ops[i] = progOp{
+			kind: byte(r.Intn(4)),
+			addr: Addr(r.Intn(addrs)),
+			val:  uint64(r.Intn(1000)) + 1,
+		}
+	}
+	return ops
+}
+
+// TestQuickReadOwnWrite: under any drain schedule and drain-stage setting, a
+// thread's load returns the value of its own most recent program-order store
+// to that address (or the initial 0).
+func TestQuickReadOwnWrite(t *testing.T) {
+	f := func(seed int64, stage bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := genProgram(r, 200, 6)
+		m := NewMachine(Config{Threads: 1, BufferSize: 3, DrainBuffer: stage, Seed: seed, DrainBias: 0.2})
+		base := m.Alloc(6)
+		last := map[Addr]uint64{}
+		okAll := true
+		err := m.Run(func(c Context) {
+			for _, op := range ops {
+				a := base + op.addr
+				switch op.kind {
+				case 0:
+					c.Store(a, op.val)
+					last[op.addr] = op.val
+				case 1:
+					if got := c.Load(a); got != last[op.addr] {
+						okAll = false
+					}
+				case 2:
+					c.Fence()
+				case 3:
+					c.Work(1)
+				}
+			}
+		})
+		return err == nil && okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFinalMemoryState: after a run completes (buffers flushed), memory
+// holds each thread's last store per address, for threads writing disjoint
+// address ranges.
+func TestQuickFinalMemoryState(t *testing.T) {
+	f := func(seed int64, stage bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMachine(Config{Threads: 2, BufferSize: 4, DrainBuffer: stage, Seed: seed, DrainBias: 0.3})
+		base := m.Alloc(12)
+		progs := make([]func(Context), 2)
+		want := map[Addr]uint64{}
+		for tid := 0; tid < 2; tid++ {
+			ops := genProgram(r, 150, 6)
+			lo := base + Addr(tid*6)
+			for _, op := range ops {
+				if op.kind == 0 {
+					want[lo+op.addr] = op.val
+				}
+			}
+			myOps := ops
+			progs[tid] = func(c Context) {
+				for _, op := range myOps {
+					a := lo + op.addr
+					switch op.kind {
+					case 0:
+						c.Store(a, op.val)
+					case 1:
+						c.Load(a)
+					case 2:
+						c.Fence()
+					case 3:
+						c.Work(1)
+					}
+				}
+			}
+		}
+		if err := m.Run(progs[0], progs[1]); err != nil {
+			return false
+		}
+		for a, v := range want {
+			if m.Peek(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOccupancyBound: the number of globally invisible stores never
+// exceeds the configured observable bound, no matter the program or drain
+// schedule.
+func TestQuickOccupancyBound(t *testing.T) {
+	f := func(seed int64, stage bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{Threads: 1, BufferSize: 1 + r.Intn(5), DrainBuffer: stage, Seed: seed, DrainBias: 0.05}
+		m := NewMachine(cfg)
+		base := m.Alloc(8)
+		ops := genProgram(r, 300, 8)
+		err := m.Run(func(c Context) {
+			for _, op := range ops {
+				switch op.kind {
+				case 0:
+					c.Store(base+op.addr, op.val)
+				default:
+					c.Load(base + op.addr)
+				}
+			}
+		})
+		cfgFull, _ := cfg.withDefaults()
+		return err == nil && m.Stats().MaxOccupancy <= cfgFull.ObservableBound()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimedMatchesChaosFinalState: for single-thread programs both
+// engines must agree on final memory (they implement the same ISA).
+func TestQuickTimedMatchesChaosFinalState(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := genProgram(r, 120, 5)
+		run := func(run func(progs ...func(Context)) error, alloc func(int) Addr, peek func(Addr) uint64) []uint64 {
+			base := alloc(5)
+			if err := run(func(c Context) {
+				for _, op := range ops {
+					switch op.kind {
+					case 0:
+						c.Store(base+op.addr, op.val)
+					case 1:
+						c.Load(base + op.addr)
+					case 2:
+						c.Fence()
+					case 3:
+						c.Work(2)
+					}
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			out := make([]uint64, 5)
+			for i := range out {
+				out[i] = peek(base + Addr(i))
+			}
+			return out
+		}
+		cm := NewMachine(Config{Threads: 1, BufferSize: 3, Seed: seed, DrainBias: 0.2})
+		tm := NewTimedMachine(Config{Threads: 1, BufferSize: 3})
+		a := run(cm.Run, cm.Alloc, cm.Peek)
+		b := run(tm.Run, tm.Alloc, tm.Peek)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWorkMonotoneInTimedEngine: adding local work never reduces the
+// simulated makespan.
+func TestQuickWorkMonotoneInTimedEngine(t *testing.T) {
+	f := func(extraRaw uint8) bool {
+		extra := uint64(extraRaw)
+		elapsed := func(work uint64) uint64 {
+			m := NewTimedMachine(Config{Threads: 1, BufferSize: 4, Cost: testCost})
+			x := m.Alloc(4)
+			if err := m.Run(func(c Context) {
+				c.Store(x, 1)
+				c.Work(work)
+				c.Store(x+1, 2)
+				c.Fence()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return m.Elapsed()
+		}
+		return elapsed(10+extra) >= elapsed(10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

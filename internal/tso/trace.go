@@ -1,0 +1,103 @@
+package tso
+
+import (
+	"fmt"
+	"io"
+)
+
+// Event is one recorded machine action: a thread's memory operation or a
+// store-buffer drain.
+type Event struct {
+	Step   int64  // scheduler step (chaos) at which the action ran
+	Thread int    // acting thread, or the buffer's owner for drains
+	Kind   string // "load", "store", "fence", "cas", "work", "drain"
+	Addr   Addr
+	Value  uint64 // store value / load result / CAS new value
+	OK     bool   // CAS success (meaningless otherwise)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case "load":
+		return fmt.Sprintf("#%d t%d load  [%d] -> %d", e.Step, e.Thread, e.Addr, e.Value)
+	case "store":
+		return fmt.Sprintf("#%d t%d store [%d] := %d (buffered)", e.Step, e.Thread, e.Addr, e.Value)
+	case "drain":
+		return fmt.Sprintf("#%d t%d drain [%d] := %d reaches memory", e.Step, e.Thread, e.Addr, e.Value)
+	case "cas":
+		return fmt.Sprintf("#%d t%d cas   [%d] -> %d (ok=%v)", e.Step, e.Thread, e.Addr, e.Value, e.OK)
+	case "fence":
+		return fmt.Sprintf("#%d t%d fence", e.Step, e.Thread)
+	case "work":
+		return fmt.Sprintf("#%d t%d work", e.Step, e.Thread)
+	default:
+		return fmt.Sprintf("#%d t%d %s", e.Step, e.Thread, e.Kind)
+	}
+}
+
+// Tracer receives machine events. Implementations must be fast; Record is
+// called on the machine's scheduling path.
+type Tracer interface {
+	Record(Event)
+}
+
+// SetTracer attaches a tracer to the chaos machine (nil detaches). Only
+// thread actions and drains are recorded; the tracer sees them in exact
+// schedule order, which makes it the tool for dumping the interleaving
+// that led to a safety violation or step-limit abort.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(kind string, thread int, addr Addr, val uint64, ok bool) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(Event{Step: m.steps, Thread: thread, Kind: kind, Addr: addr, Value: val, OK: ok})
+}
+
+// RingTracer keeps the last N events — enough to answer "what just
+// happened" after a failure without unbounded memory.
+type RingTracer struct {
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRingTracer builds a tracer holding the most recent n events.
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]Event, n)}
+}
+
+// Record implements Tracer.
+func (r *RingTracer) Record(e Event) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+}
+
+// Total returns the number of events recorded (including evicted ones).
+func (r *RingTracer) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *RingTracer) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *RingTracer) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

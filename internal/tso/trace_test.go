@@ -1,0 +1,135 @@
+package tso
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsScheduleOrder(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: 1})
+	tr := NewRingTracer(64)
+	m.SetTracer(tr)
+	x := m.Alloc(1)
+	err := m.Run(func(c Context) {
+		c.Store(x, 7)
+		c.Load(x)
+		c.Fence()
+		c.CAS(x, 7, 8)
+		c.Work(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	// The store precedes its drain; the drain precedes (or is forced by)
+	// the fence; the CAS and work come last.
+	for _, want := range []string{"store", "drain", "fence", "cas", "work"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %q in trace %v", want, kinds)
+		}
+	}
+	if idx(kinds, "store") > idx(kinds, "drain") {
+		t.Fatalf("drain before store in %v", kinds)
+	}
+	if tr.Total() != int64(len(events)) {
+		t.Fatalf("total %d != events %d", tr.Total(), len(events))
+	}
+}
+
+func idx(xs []string, want string) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTracerSeesReordering(t *testing.T) {
+	// Find a schedule where the load executes before the prior store's
+	// drain — the reordering itself, visible in the trace.
+	found := false
+	for seed := int64(0); seed < 50 && !found; seed++ {
+		m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: seed, DrainBias: 0.05})
+		tr := NewRingTracer(32)
+		m.SetTracer(tr)
+		x, y := m.Alloc(1), m.Alloc(1)
+		if err := m.Run(func(c Context) {
+			c.Store(x, 1)
+			c.Load(y)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		events := tr.Events()
+		loadAt, drainAt := -1, -1
+		for i, e := range events {
+			if e.Kind == "load" {
+				loadAt = i
+			}
+			if e.Kind == "drain" {
+				drainAt = i
+			}
+		}
+		if loadAt >= 0 && drainAt >= 0 && loadAt < drainAt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no schedule showed the load completing before the store's drain")
+	}
+}
+
+func TestRingTracerEviction(t *testing.T) {
+	tr := NewRingTracer(3)
+	for i := int64(0); i < 7; i++ {
+		tr.Record(Event{Step: i, Kind: "work"})
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d want 3", len(ev))
+	}
+	if ev[0].Step != 4 || ev[2].Step != 6 {
+		t.Fatalf("wrong retained window: %v", ev)
+	}
+	if tr.Total() != 7 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestRingTracerDump(t *testing.T) {
+	tr := NewRingTracer(8)
+	tr.Record(Event{Step: 1, Thread: 0, Kind: "store", Addr: 5, Value: 9})
+	tr.Record(Event{Step: 2, Thread: 1, Kind: "load", Addr: 5, Value: 0})
+	tr.Record(Event{Step: 3, Thread: 0, Kind: "drain", Addr: 5, Value: 9})
+	tr.Record(Event{Step: 4, Thread: 1, Kind: "cas", Addr: 5, Value: 7, OK: true})
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"store [5] := 9", "load  [5] -> 0", "drain [5] := 9", "ok=true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventStringKinds(t *testing.T) {
+	for _, k := range []string{"load", "store", "drain", "cas", "fence", "work", "mystery"} {
+		if (Event{Kind: k}).String() == "" {
+			t.Fatalf("empty String for %q", k)
+		}
+	}
+}
+
+func TestRingTracerMinimumSize(t *testing.T) {
+	tr := NewRingTracer(0)
+	tr.Record(Event{Step: 1})
+	if len(tr.Events()) != 1 {
+		t.Fatal("zero-size tracer should clamp to 1")
+	}
+}

@@ -1,0 +1,122 @@
+// Package viz renders the paper's bar charts as plain-text graphics, so
+// the regenerated figures read like figures rather than tables. It is
+// deliberately tiny: horizontal bars with optional reference line and
+// value labels, suitable for normalized-percentage data.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the value (e.g. an off-scale marker).
+	Note string
+}
+
+// Options controls chart rendering.
+type Options struct {
+	// Width is the bar area width in characters (default 50).
+	Width int
+	// Max clips/sets the scale's right edge; 0 auto-scales to the data.
+	Max float64
+	// Reference draws a vertical marker at this value (e.g. 100 for
+	// normalized charts); 0 disables it.
+	Reference float64
+	// Unit is appended to value labels (e.g. "%").
+	Unit string
+}
+
+func (o Options) withDefaults(bars []Bar) Options {
+	if o.Width <= 0 {
+		o.Width = 50
+	}
+	if o.Max <= 0 {
+		for _, b := range bars {
+			if b.Value > o.Max {
+				o.Max = b.Value
+			}
+		}
+		if o.Reference > o.Max {
+			o.Max = o.Reference
+		}
+		if o.Max <= 0 {
+			o.Max = 1
+		}
+		o.Max *= 1.05
+	}
+	return o
+}
+
+// Chart writes a horizontal bar chart.
+func Chart(w io.Writer, title string, bars []Bar, opts Options) {
+	opts = opts.withDefaults(bars)
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	refCol := -1
+	if opts.Reference > 0 && opts.Reference <= opts.Max {
+		refCol = col(opts.Reference, opts.Max, opts.Width)
+	}
+	for _, b := range bars {
+		n := col(b.Value, opts.Max, opts.Width)
+		clipped := b.Value > opts.Max
+		row := make([]byte, opts.Width)
+		for i := range row {
+			switch {
+			case i < n:
+				row[i] = '#'
+			case i == refCol:
+				row[i] = '|'
+			default:
+				row[i] = ' '
+			}
+		}
+		if refCol >= 0 && refCol < n {
+			// keep the reference visible through the bar
+			row[refCol] = '+'
+		}
+		mark := ""
+		if clipped {
+			mark = ">"
+		}
+		note := b.Note
+		if note != "" {
+			note = "  " + note
+		}
+		fmt.Fprintf(w, "%-*s %s%s %.1f%s%s\n", labelW, b.Label, string(row), mark, b.Value, opts.Unit, note)
+	}
+	if refCol >= 0 {
+		pad := strings.Repeat(" ", labelW+1+refCol)
+		fmt.Fprintf(w, "%s^ %.0f%s\n", pad, opts.Reference, opts.Unit)
+	}
+}
+
+// col maps a value to a column count.
+func col(v, max float64, width int) int {
+	if v <= 0 {
+		return 0
+	}
+	n := int(math.Round(v / max * float64(width)))
+	if n > width {
+		n = width
+	}
+	return n
+}
+
+// NormalizedChart is Chart preconfigured for the paper's
+// percent-of-baseline figures: reference line at 100%, unit "%".
+func NormalizedChart(w io.Writer, title string, bars []Bar, maxPct float64) {
+	Chart(w, title, bars, Options{Reference: 100, Unit: "%", Max: maxPct})
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(bars []Bar, opts Options) string {
+	var buf bytes.Buffer
+	Chart(&buf, "t", bars, opts)
+	return buf.String()
+}
+
+func TestChartBasicShape(t *testing.T) {
+	out := render([]Bar{
+		{Label: "a", Value: 50},
+		{Label: "bb", Value: 100},
+	}, Options{Width: 20, Max: 100})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // title + 2 bars
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "a  ") {
+		t.Fatalf("label alignment: %q", lines[1])
+	}
+	aHashes := strings.Count(lines[1], "#")
+	bHashes := strings.Count(lines[2], "#")
+	if aHashes != 10 || bHashes != 20 {
+		t.Fatalf("bar lengths %d/%d want 10/20:\n%s", aHashes, bHashes, out)
+	}
+}
+
+func TestChartReferenceLine(t *testing.T) {
+	out := render([]Bar{
+		{Label: "below", Value: 50},
+		{Label: "above", Value: 150},
+	}, Options{Width: 40, Max: 200, Reference: 100})
+	if !strings.Contains(out, "|") {
+		t.Fatalf("no reference marker on short bar:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatalf("no reference marker through long bar:\n%s", out)
+	}
+	if !strings.Contains(out, "^ 100") {
+		t.Fatalf("no reference legend:\n%s", out)
+	}
+}
+
+func TestChartClipping(t *testing.T) {
+	out := render([]Bar{{Label: "x", Value: 500, Note: "off-scale"}}, Options{Width: 10, Max: 100})
+	if !strings.Contains(out, ">") || !strings.Contains(out, "off-scale") {
+		t.Fatalf("clipped bar not marked:\n%s", out)
+	}
+}
+
+func TestChartAutoScale(t *testing.T) {
+	out := render([]Bar{{Label: "x", Value: 80}}, Options{Width: 10})
+	if strings.Contains(out, ">") {
+		t.Fatalf("auto-scaled chart clipped:\n%s", out)
+	}
+	if !strings.Contains(out, "80.0") {
+		t.Fatalf("value label missing:\n%s", out)
+	}
+}
+
+func TestChartZeroAndNegativeValues(t *testing.T) {
+	out := render([]Bar{{Label: "z", Value: 0}, {Label: "n", Value: -5}}, Options{Width: 10, Max: 100})
+	for _, line := range strings.Split(out, "\n")[1:] {
+		if strings.Contains(line, "#") {
+			t.Fatalf("zero/negative bar drew marks: %q", line)
+		}
+	}
+}
+
+func TestNormalizedChart(t *testing.T) {
+	var buf bytes.Buffer
+	NormalizedChart(&buf, "fig", []Bar{{Label: "v", Value: 75}}, 120)
+	out := buf.String()
+	if !strings.Contains(out, "%") || !strings.Contains(out, "^ 100%") {
+		t.Fatalf("normalized chart output:\n%s", out)
+	}
+}
+
+func TestEmptyBars(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "none", nil, Options{})
+	if !strings.Contains(buf.String(), "none") {
+		t.Fatal("title missing for empty chart")
+	}
+}
