@@ -8,6 +8,7 @@ package repro
 // full-scale versions.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/litmusdsl"
 	"repro/internal/measure"
 	"repro/internal/native"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/tso"
 )
@@ -91,6 +93,24 @@ func BenchmarkFig8_LitmusGrid(b *testing.B) {
 	}
 	b.ReportMetric(badA, "panelA-incorrect-on-line")
 	b.ReportMetric(badB, "panelB-incorrect-on-line")
+}
+
+// BenchmarkRunner_Figure8Grid runs the same reduced Figure 8 grid through
+// the experiment engine serially and on a GOMAXPROCS-wide pool. On a
+// multi-core host the parallel sub-benchmark's ns/op shows the engine's
+// speedup; the grid itself is identical either way (the determinism tests
+// in internal/expt assert byte-equal renders).
+func BenchmarkRunner_Figure8Grid(b *testing.B) {
+	grid := func(b *testing.B, r *runner.Runner) {
+		opts := litmus.Options{Tasks: 64, Seeds: 12, DrainBiases: []float64{0.02, 0.2}, Runner: r}
+		for i := 0; i < b.N; i++ {
+			if _, err := expt.Figure8Ctx(context.Background(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { grid(b, nil) })
+	b.Run("parallel", func(b *testing.B) { grid(b, runner.New(0)) })
 }
 
 // BenchmarkFig10_Westmere and BenchmarkFig10_Haswell regenerate reduced

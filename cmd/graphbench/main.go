@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	graphbench [-scale 2000] [-runs 5]
+//	graphbench [-scale 2000] [-runs 5] [-p N]
+//
+// -p runs the workload × queue × seed matrix on a worker pool (0 =
+// GOMAXPROCS); the table is byte-identical at any pool size.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -25,6 +30,7 @@ func main() {
 	runs := flag.Int("runs", 5, "scheduler seeds per cell (paper: 10 timing runs)")
 	workload := flag.String("workload", "closure", "closure or spanning (the paper reports closure; \"spanning tree results are similar\")")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of the table")
+	workers := flag.Int("p", 0, "worker-pool size for the matrix (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	problem := expt.ProblemTransitiveClosure
@@ -36,8 +42,13 @@ func main() {
 		log.Fatalf("unknown -workload %q", *workload)
 	}
 
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
 	start := time.Now()
-	res, err := expt.Figure11Problem(expt.ScaledHaswell(), problem, *scale, *runs)
+	prog := runner.NewProgress(os.Stderr, "graph matrix", 0)
+	res, err := expt.Figure11ProblemCtx(ctx, &runner.Runner{Workers: *workers, Progress: prog},
+		expt.ScaledHaswell(), problem, *scale, *runs)
+	prog.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,10 +7,15 @@
 //
 // Usage:
 //
-//	litmus [-tasks 512] [-seeds 60]
+//	litmus [-tasks 512] [-seeds 60] [-p N]
+//
+// -p runs the (L, δ, bias, seed) grid on a worker pool (0 = GOMAXPROCS);
+// the grid is byte-identical at any pool size. ^C cancels the remaining
+// runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +24,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/litmus"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -26,15 +32,24 @@ func main() {
 	log.SetPrefix("litmus: ")
 	tasks := flag.Int("tasks", 512, "queue prefill size (paper: 512)")
 	seeds := flag.Int("seeds", 60, "chaos seeds per drain bias per point")
+	workers := flag.Int("p", 0, "worker-pool size for the grid (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
+	prog := runner.NewProgress(os.Stderr, "litmus grid", 0)
 	opts := litmus.Options{
 		Tasks:       *tasks,
 		Seeds:       *seeds,
 		DrainBiases: []float64{0.02, 0.15, 0.4},
+		Runner:      &runner.Runner{Workers: *workers, Progress: prog},
 	}
 	start := time.Now()
-	res := expt.Figure8(opts)
+	res, err := expt.Figure8Ctx(ctx, opts)
+	prog.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("Figure 9 litmus program: %d-task FF-THE queue, worker with L scratch stores\n", *tasks)
 	fmt.Printf("per take vs thief with candidate delta; %d runs per point.\n\n", *seeds*len(opts.DrainBiases))

@@ -5,15 +5,27 @@
 //
 // Usage:
 //
-//	reproduce [-quick]
+//	reproduce [-quick] [-full] [-p N] [-json] [-cache] [-cachedir DIR]
 //
-// -quick uses reduced sizes/seeds (~15s); the default full run takes a few
-// minutes.
+// -quick uses reduced sizes/seeds; the default full run takes a few
+// minutes. -p sets the worker-pool size for the sweeps (default
+// GOMAXPROCS; figures are byte-identical at any -p). -json writes one
+// manifest of every figure's result to stdout instead of the text
+// tables. -cache=false disables the on-disk result cache (results/cache/
+// by default) that lets re-runs skip already-computed figures.
+//
+// Figures and tables go to stdout; progress, per-section timing and
+// cache notes go to stderr, so stdout is byte-for-byte reproducible.
+// A failing figure marks its section FAILED and the exit status reports
+// which sections failed instead of dying mid-output; ^C cancels the
+// remaining jobs and sections.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -23,14 +35,30 @@ import (
 	"repro/internal/apps"
 	"repro/internal/expt"
 	"repro/internal/litmus"
-	"repro/internal/litmusdsl"
+	"repro/internal/runner"
 )
+
+// sweep bundles one section's execution state: where text output goes,
+// where progress goes, the worker pool size and the result cache.
+type sweep struct {
+	out      io.Writer // figures/tables (stdout, or discarded under -json)
+	errW     io.Writer // progress, timings, cache notes
+	workers  int
+	cache    *runner.Cache
+	manifest []expt.ManifestEntry
+	failures []string
+	total    time.Time
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reproduce: ")
 	quick := flag.Bool("quick", false, "reduced sizes and seeds")
 	full := flag.Bool("full", false, "also run hyperthreading, spanning tree, litmus-DSL matrix and ablations")
+	workers := flag.Int("p", 0, "worker-pool size for the sweeps (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit one JSON manifest of all figure results instead of tables")
+	useCache := flag.Bool("cache", true, "reuse cached figure results from -cachedir")
+	cacheDir := flag.String("cachedir", runner.DefaultCacheDir, "result cache directory")
 	flag.Parse()
 
 	size := apps.SizeBench
@@ -44,110 +72,267 @@ func main() {
 		scale = 400
 	}
 
-	total := time.Now()
-	section("Table 1 — benchmark applications")
-	rows := make([][]string, 0, 11)
-	for _, a := range apps.All() {
-		rows = append(rows, []string{a.Name, a.Desc, a.PaperInput})
+	s := &sweep{out: os.Stdout, errW: os.Stderr, workers: *workers, total: time.Now()}
+	if *jsonOut {
+		s.out = io.Discard
 	}
-	expt.WriteTable(os.Stdout, []string{"Benchmark", "Description", "Input size (paper -> here)"}, rows)
-
-	section("Figure 1 — single-threaded fence overhead")
-	step(func() {
-		f1, err := expt.Figure1(size)
-		check(err)
-		expt.RenderFigure1(os.Stdout, f1)
-		fmt.Println("\npaper: Fib ~75%, Jacobi ~93%, QuickSort ~89%, Matmul ~95%,")
-		fmt.Println("       Integrate ~80%, knapsack ~78%, cholesky ~97%")
-	})
-
-	section("Figure 7 — store-buffer capacity")
-	step(func() {
-		for _, p := range []expt.Platform{expt.Westmere(), expt.HaswellP()} {
-			res, err := expt.Figure7(p)
-			check(err)
-			fmt.Printf("%s: measured %d (same-location: %d); paper: %d\n",
-				p.Name, res.Measured, res.SameMeasured, p.Cfg.ObservableBound())
+	if *useCache {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			log.Printf("cache disabled: %v", err)
+		} else {
+			s.cache = c
 		}
-	})
+	}
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
 
-	section("Figure 8 — TSO[S] litmus grid")
-	step(func() {
-		res := expt.Figure8(litmusOpts)
-		expt.RenderFigure8Panel(os.Stdout, "Figure 8a", 32, res.PanelA)
-		expt.RenderFigure8Panel(os.Stdout, "Figure 8b", 33, res.PanelB)
-		fmt.Println("paper: 8a fails on the line exactly where ceil(32/(L+1)) divides;")
-		fmt.Println("       8b correct on/above the line except L=0 (coalescing)")
-	})
+	// cacheCfg keys every cached figure on the parameters that shape it;
+	// the cache adds the code version itself.
+	type cacheCfg struct {
+		Quick bool   `json:"quick"`
+		Runs  int    `json:"runs"`
+		Scale int    `json:"scale"`
+		Part  string `json:"part"`
+	}
+	key := func(part string) cacheCfg { return cacheCfg{Quick: *quick, Runs: runs, Scale: scale, Part: part} }
 
-	section("Figure 10 — CilkPlus suite")
-	step(func() {
-		for _, p := range []expt.Platform{expt.ScaledWestmere(), expt.ScaledHaswell()} {
-			res, err := expt.Figure10(p, size, runs)
-			check(err)
-			expt.RenderFigure10(os.Stdout, res)
-		}
-		fmt.Println("paper: THEP up to -23% (avg -11/-13% on improved programs);")
-		fmt.Println("       FF-THE default-delta collapses several programs, delta=4 recovers")
-	})
+	s.step(ctx, "Table 1 — benchmark applications", "table1",
+		func(r *runner.Runner) (any, func(io.Writer), error) {
+			rows := make([][]string, 0, 11)
+			for _, a := range apps.All() {
+				rows = append(rows, []string{a.Name, a.Desc, a.PaperInput})
+			}
+			return rows, func(w io.Writer) {
+				expt.WriteTable(w, []string{"Benchmark", "Description", "Input size (paper -> here)"}, rows)
+			}, nil
+		})
 
-	section("Figure 11 — graph workloads")
-	step(func() {
-		res, err := expt.Figure11(expt.ScaledHaswell(), scale, runs)
-		check(err)
-		expt.RenderFigure11(os.Stdout, res)
-		fmt.Println("paper: fence-free queues comparable, ~17% over Chase-Lev;")
-		fmt.Println("       stolen work well under 1% on random/torus")
-	})
+	s.step(ctx, "Figure 1 — single-threaded fence overhead", "figure1",
+		func(r *runner.Runner) (any, func(io.Writer), error) {
+			rows, hit, err := runner.Cached(s.cache, "figure1", key(""), func() ([]expt.Fig1Row, error) {
+				return expt.Figure1(size)
+			})
+			s.noteCache("figure1", hit)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rows, func(w io.Writer) {
+				expt.RenderFigure1(w, rows)
+				fmt.Fprintln(w, "\npaper: Fib ~75%, Jacobi ~93%, QuickSort ~89%, Matmul ~95%,")
+				fmt.Fprintln(w, "       Integrate ~80%, knapsack ~78%, cholesky ~97%")
+			}, nil
+		})
+
+	s.step(ctx, "Figure 7 — store-buffer capacity", "figure7",
+		func(r *runner.Runner) (any, func(io.Writer), error) {
+			results, hit, err := runner.Cached(s.cache, "figure7", key(""), func() ([]expt.Fig7Result, error) {
+				var out []expt.Fig7Result
+				for _, p := range []expt.Platform{expt.Westmere(), expt.HaswellP()} {
+					res, err := expt.Figure7(p)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, res)
+				}
+				return out, nil
+			})
+			s.noteCache("figure7", hit)
+			if err != nil {
+				return nil, nil, err
+			}
+			bounds := map[string]int{
+				expt.Westmere().Name: expt.Westmere().Cfg.ObservableBound(),
+				expt.HaswellP().Name: expt.HaswellP().Cfg.ObservableBound(),
+			}
+			return results, func(w io.Writer) {
+				for _, res := range results {
+					fmt.Fprintf(w, "%s: measured %d (same-location: %d); paper: %d\n",
+						res.Platform, res.Measured, res.SameMeasured, bounds[res.Platform])
+				}
+			}, nil
+		})
+
+	s.step(ctx, "Figure 8 — TSO[S] litmus grid", "figure8",
+		func(r *runner.Runner) (any, func(io.Writer), error) {
+			res, hit, err := runner.Cached(s.cache, "figure8", key(""), func() (expt.Fig8Result, error) {
+				opts := litmusOpts
+				opts.Runner = r
+				return expt.Figure8Ctx(ctx, opts)
+			})
+			s.noteCache("figure8", hit)
+			if err != nil {
+				return nil, nil, err
+			}
+			return res, func(w io.Writer) {
+				expt.RenderFigure8Panel(w, "Figure 8a", 32, res.PanelA)
+				expt.RenderFigure8Panel(w, "Figure 8b", 33, res.PanelB)
+				fmt.Fprintln(w, "paper: 8a fails on the line exactly where ceil(32/(L+1)) divides;")
+				fmt.Fprintln(w, "       8b correct on/above the line except L=0 (coalescing)")
+			}, nil
+		})
+
+	s.step(ctx, "Figure 10 — CilkPlus suite", "figure10",
+		func(r *runner.Runner) (any, func(io.Writer), error) {
+			results, hit, err := runner.Cached(s.cache, "figure10", key(""), func() ([]expt.Fig10Result, error) {
+				var out []expt.Fig10Result
+				for _, p := range []expt.Platform{expt.ScaledWestmere(), expt.ScaledHaswell()} {
+					res, err := expt.Figure10Ctx(ctx, r, p, size, runs)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, res)
+				}
+				return out, nil
+			})
+			s.noteCache("figure10", hit)
+			if err != nil {
+				return nil, nil, err
+			}
+			return results, func(w io.Writer) {
+				for _, res := range results {
+					expt.RenderFigure10(w, res)
+				}
+				fmt.Fprintln(w, "paper: THEP up to -23% (avg -11/-13% on improved programs);")
+				fmt.Fprintln(w, "       FF-THE default-delta collapses several programs, delta=4 recovers")
+			}, nil
+		})
+
+	s.step(ctx, "Figure 11 — graph workloads", "figure11",
+		func(r *runner.Runner) (any, func(io.Writer), error) {
+			res, hit, err := runner.Cached(s.cache, "figure11", key(""), func() (expt.Fig11Result, error) {
+				return expt.Figure11Ctx(ctx, r, expt.ScaledHaswell(), scale, runs)
+			})
+			s.noteCache("figure11", hit)
+			if err != nil {
+				return nil, nil, err
+			}
+			return res, func(w io.Writer) {
+				expt.RenderFigure11(w, res)
+				fmt.Fprintln(w, "paper: fence-free queues comparable, ~17% over Chase-Lev;")
+				fmt.Fprintln(w, "       stolen work well under 1% on random/torus")
+			}, nil
+		})
 
 	if *full {
-		section("Figure 10 with hyperthreading (§8.1)")
-		step(func() {
-			for _, p := range []expt.Platform{expt.ScaledWestmere(), expt.ScaledHaswell()} {
-				res, err := expt.Figure10(expt.HT(p), size, runs)
-				check(err)
-				expt.RenderFigure10(os.Stdout, res)
-			}
-			fmt.Println("paper: HT shrinks the fence-removal benefit (Haswell 11% -> 7%)")
-		})
-
-		section("Figure 11 companion — spanning tree")
-		step(func() {
-			res, err := expt.Figure11Problem(expt.ScaledHaswell(), expt.ProblemSpanningTree, scale, runs)
-			check(err)
-			expt.RenderFigure11(os.Stdout, res)
-			fmt.Println("paper: \"spanning tree results are similar\"")
-		})
-
-		section("Memory-model validation — classic litmus matrix")
-		step(func() {
-			for _, src := range litmusdsl.Library {
-				tst, err := litmusdsl.Parse(src)
-				check(err)
-				res, err := litmusdsl.Run(tst, litmusdsl.RunOptions{})
-				check(err)
-				ok := "ok  "
-				if !res.Ok() {
-					ok = "FAIL"
+		s.step(ctx, "Figure 10 with hyperthreading (§8.1)", "figure10-ht",
+			func(r *runner.Runner) (any, func(io.Writer), error) {
+				results, hit, err := runner.Cached(s.cache, "figure10-ht", key(""), func() ([]expt.Fig10Result, error) {
+					var out []expt.Fig10Result
+					for _, p := range []expt.Platform{expt.ScaledWestmere(), expt.ScaledHaswell()} {
+						res, err := expt.Figure10Ctx(ctx, r, expt.HT(p), size, runs)
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, res)
+					}
+					return out, nil
+				})
+				s.noteCache("figure10-ht", hit)
+				if err != nil {
+					return nil, nil, err
 				}
-				fmt.Printf("%s %-14s %s (expect %s, %d schedules, complete=%v)\n",
-					ok, tst.Name, res.Verdict, tst.Expect, res.Schedules, res.Complete)
-			}
-		})
+				return results, func(w io.Writer) {
+					for _, res := range results {
+						expt.RenderFigure10(w, res)
+					}
+					fmt.Fprintln(w, "paper: HT shrinks the fence-removal benefit (Haswell 11% -> 7%)")
+				}, nil
+			})
 
-		section("Ablations")
-		step(func() {
-			rows, err := expt.AblationDeltaCliff(expt.ScaledHaswell())
-			check(err)
-			expt.RenderAblation(os.Stdout, "FF-THE delta sweep (the collapse mechanism)", rows)
-		})
+		s.step(ctx, "Figure 11 companion — spanning tree", "figure11-spanning",
+			func(r *runner.Runner) (any, func(io.Writer), error) {
+				res, hit, err := runner.Cached(s.cache, "figure11-spanning", key(""), func() (expt.Fig11Result, error) {
+					return expt.Figure11ProblemCtx(ctx, r, expt.ScaledHaswell(), expt.ProblemSpanningTree, scale, runs)
+				})
+				s.noteCache("figure11-spanning", hit)
+				if err != nil {
+					return nil, nil, err
+				}
+				return res, func(w io.Writer) {
+					expt.RenderFigure11(w, res)
+					fmt.Fprintln(w, "paper: \"spanning tree results are similar\"")
+				}, nil
+			})
+
+		s.step(ctx, "Memory-model validation — classic litmus matrix", "litmus-matrix",
+			func(r *runner.Runner) (any, func(io.Writer), error) {
+				rows, hit, err := runner.Cached(s.cache, "litmus-matrix", key(""), func() ([]expt.MatrixRow, error) {
+					return expt.LitmusMatrix(ctx, r)
+				})
+				s.noteCache("litmus-matrix", hit)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rows, func(w io.Writer) { expt.RenderLitmusMatrix(w, rows) }, nil
+			})
+
+		s.step(ctx, "Ablations", "ablation-delta-cliff",
+			func(r *runner.Runner) (any, func(io.Writer), error) {
+				rows, hit, err := runner.Cached(s.cache, "ablation-delta-cliff", key(""), func() ([]expt.AblationRow, error) {
+					return expt.AblationDeltaCliff(expt.ScaledHaswell())
+				})
+				s.noteCache("ablation-delta-cliff", hit)
+				if err != nil {
+					return nil, nil, err
+				}
+				return rows, func(w io.Writer) {
+					expt.RenderAblation(w, "FF-THE delta sweep (the collapse mechanism)", rows)
+				}, nil
+			})
 	}
 
-	fmt.Printf("\nall experiments regenerated in %v\n", time.Since(total).Round(time.Second))
+	if *jsonOut {
+		if err := expt.WriteManifestJSON(os.Stdout, s.manifest); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(s.errW, "\nall experiments regenerated in %v\n", time.Since(s.total).Round(time.Second))
+	if len(s.failures) > 0 {
+		for _, f := range s.failures {
+			log.Printf("FAILED %s", f)
+		}
+		os.Exit(1)
+	}
 }
 
-func section(title string) {
-	fmt.Printf("\n%s\n%s\n\n", title, dashes(utf8.RuneCountInString(title)))
+// step runs one section: header to the text writer, the section body on
+// a fresh pool wearing this section's progress reporter, then either the
+// rendered figure plus a manifest entry, or a FAILED marker. Errors no
+// longer kill the process mid-output — the section is recorded as failed
+// and the run continues (unless the context is cancelled).
+func (s *sweep) step(ctx context.Context, title, experiment string, fn func(r *runner.Runner) (any, func(io.Writer), error)) {
+	fmt.Fprintf(s.out, "\n%s\n%s\n\n", title, dashes(utf8.RuneCountInString(title)))
+	if err := ctx.Err(); err != nil {
+		s.fail(title, err)
+		return
+	}
+	prog := runner.NewProgress(s.errW, title, 0)
+	r := &runner.Runner{Workers: s.workers, Progress: prog}
+	start := time.Now()
+	data, render, err := fn(r)
+	prog.Finish()
+	if err != nil {
+		s.fail(title, err)
+		return
+	}
+	render(s.out)
+	s.manifest = append(s.manifest, expt.ManifestEntry{Experiment: experiment, Data: data})
+	fmt.Fprintf(s.errW, "[%s in %v]\n", title, time.Since(start).Round(time.Millisecond))
+}
+
+// fail records a failed or skipped section on both streams.
+func (s *sweep) fail(title string, err error) {
+	s.failures = append(s.failures, fmt.Sprintf("%s: %v", title, err))
+	fmt.Fprintf(s.out, "FAILED: %v\n", err)
+	fmt.Fprintf(s.errW, "[%s FAILED: %v]\n", title, err)
+}
+
+// noteCache reports a cache hit on stderr so stdout stays reproducible.
+func (s *sweep) noteCache(name string, hit bool) {
+	if hit {
+		fmt.Fprintf(s.errW, "[%s: cached]\n", name)
+	}
 }
 
 func dashes(n int) string {
@@ -156,16 +341,4 @@ func dashes(n int) string {
 		b[i] = '='
 	}
 	return string(b)
-}
-
-func step(fn func()) {
-	start := time.Now()
-	fn()
-	fmt.Printf("[%v]\n", time.Since(start).Round(time.Millisecond))
-}
-
-func check(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
 }

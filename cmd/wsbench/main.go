@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1]
+//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1] [-p N]
+//
+// -p runs the app × algorithm × seed matrix on a worker pool (0 =
+// GOMAXPROCS); the tables are byte-identical at any pool size.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +20,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/expt"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -27,6 +32,7 @@ func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 (the benchmark list) and exit")
 	ht := flag.Bool("ht", false, "enable hyperthreading: 2x threads, pairs sharing cores (§8.1)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
+	workers := flag.Int("p", 0, "worker-pool size for the matrix (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *table1 {
@@ -51,12 +57,16 @@ func main() {
 		log.Fatalf("unknown -platform %q", *platform)
 	}
 
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
 	for _, p := range platforms {
 		if *ht {
 			p = expt.HT(p)
 		}
 		start := time.Now()
-		res, err := expt.Figure10(p, size, *runs)
+		prog := runner.NewProgress(os.Stderr, p.Name, 0)
+		res, err := expt.Figure10Ctx(ctx, &runner.Runner{Workers: *workers, Progress: prog}, p, size, *runs)
+		prog.Finish()
 		if err != nil {
 			log.Fatal(err)
 		}

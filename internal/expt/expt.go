@@ -81,26 +81,6 @@ func runApp(app apps.App, size apps.Size, cfg tso.Config, threads int,
 	return st.Elapsed, st, nil
 }
 
-// medianCycles runs one configuration across `runs` victim-selection seeds
-// and returns the sample (in cycles) for summary statistics — the paper's
-// "run each program 10 times and report the median" methodology, with
-// scheduler seeds providing the run-to-run variation that wall-clock noise
-// provides on hardware.
-func medianCycles(app apps.App, size apps.Size, cfg tso.Config, threads int,
-	base sched.Options, runs int) ([]float64, error) {
-	out := make([]float64, 0, runs)
-	for r := 0; r < runs; r++ {
-		opt := base
-		opt.Seed = int64(r)*7919 + 13
-		cycles, _, err := runApp(app, size, cfg, threads, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, float64(cycles))
-	}
-	return out, nil
-}
-
 // summaries computes the paper's median/p10/p90 presentation.
 func summarize(samples []float64) stats.Summary { return stats.Summarize(samples) }
 

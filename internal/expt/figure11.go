@@ -1,10 +1,12 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tso"
@@ -85,41 +87,101 @@ func Figure11(p Platform, scale, runs int) (Fig11Result, error) {
 
 // Figure11Problem is Figure11 generalized over the graph computation.
 func Figure11Problem(p Platform, problem Problem, scale, runs int) (Fig11Result, error) {
+	return Figure11ProblemCtx(context.Background(), nil, p, problem, scale, runs)
+}
+
+// Figure11Ctx is Figure11 on a runner pool (nil r: serial) with
+// cancellation.
+func Figure11Ctx(ctx context.Context, r *runner.Runner, p Platform, scale, runs int) (Fig11Result, error) {
+	return Figure11ProblemCtx(ctx, r, p, ProblemTransitiveClosure, scale, runs)
+}
+
+// fig11Cell is one scheduled traversal of the Figure 11 matrix: one
+// workload under one queue with one scheduler seed. The input graph is
+// built once per workload and shared read-only; every mutable structure
+// (visited/parent arrays, machine, scheduler) is created inside the run.
+type fig11Cell struct {
+	wl      graph.Workload
+	g       *graph.Graph
+	al      Fig11Algo
+	seed    int64
+	problem Problem
+}
+
+// fig11Sample is one traversal's measured quantities.
+type fig11Sample struct {
+	cycles float64
+	stolen float64
+}
+
+// Figure11ProblemCtx is Figure11Problem on a runner pool (nil r: serial)
+// with cancellation. The workload × algorithm × seed matrix runs as
+// independent jobs and is folded in the fixed matrix order, so the
+// figure is identical at any worker count.
+func Figure11ProblemCtx(ctx context.Context, r *runner.Runner, p Platform, problem Problem, scale, runs int) (Fig11Result, error) {
 	res := Fig11Result{Platform: fmt.Sprintf("%s on %s", problem, p.Name)}
 	s := p.Cfg.ObservableBound()
-	for _, wl := range graph.Figure11Workloads(scale, p.Cfg.Threads) {
+	workloads := graph.Figure11Workloads(scale, p.Cfg.Threads)
+	algos := Figure11Algos()
+	var cells []fig11Cell
+	for _, wl := range workloads {
 		g := wl.Build()
-		row := Fig11Row{Workload: wl.Name, Threads: wl.Threads, Cells: map[string]Fig11Cell{}}
-		samples := map[string][]float64{}
-		stolen := map[string][]float64{}
-		for _, al := range Figure11Algos() {
-			for r := 0; r < runs; r++ {
-				cfg := p.Cfg
-				cfg.Threads = wl.Threads
-				m := tso.NewTimedMachine(cfg)
-				opt := sched.Options{Algo: al.Algo, Delta: core.DefaultDelta(s), Seed: int64(r)*131 + 7}
-				pool := sched.NewPool(m, opt)
-				root, verify := problem.build(g, 0)
-				st, err := pool.Run(root)
-				if err != nil {
-					return res, fmt.Errorf("%s [%s]: %w", wl.Name, al.Label, err)
-				}
-				if err := verify(); err != nil {
-					return res, fmt.Errorf("%s [%s]: %w", wl.Name, al.Label, err)
-				}
-				samples[al.Label] = append(samples[al.Label], float64(st.Elapsed))
-				stolen[al.Label] = append(stolen[al.Label], 100*st.StolenFrac)
+		for _, al := range algos {
+			for run := 0; run < runs; run++ {
+				cells = append(cells, fig11Cell{wl: wl, g: g, al: al, seed: int64(run)*131 + 7, problem: problem})
 			}
 		}
-		base := stats.Median(samples["Chase-Lev"])
+	}
+	name := func(_ int, c fig11Cell) string {
+		return fmt.Sprintf("fig11 %s %s seed=%d", c.wl.Name, c.al.Label, c.seed)
+	}
+	samples, err := runner.Map(ctx, r, cells, name, func(_ context.Context, c fig11Cell) (fig11Sample, error) {
+		cfg := p.Cfg
+		cfg.Threads = c.wl.Threads
+		m := tso.NewTimedMachine(cfg)
+		pool := sched.NewPool(m, sched.Options{Algo: c.al.Algo, Delta: core.DefaultDelta(s), Seed: c.seed})
+		root, verify := c.problem.build(c.g, 0)
+		st, err := pool.Run(root)
+		if err != nil {
+			return fig11Sample{}, fmt.Errorf("%s [%s]: %w", c.wl.Name, c.al.Label, err)
+		}
+		if err := verify(); err != nil {
+			return fig11Sample{}, fmt.Errorf("%s [%s]: %w", c.wl.Name, c.al.Label, err)
+		}
+		return fig11Sample{cycles: float64(st.Elapsed), stolen: 100 * st.StolenFrac}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	idx := 0
+	for _, wl := range workloads {
+		row := Fig11Row{Workload: wl.Name, Threads: wl.Threads, Cells: map[string]Fig11Cell{}}
+		perAlgo := map[string][]fig11Sample{}
+		for _, al := range algos {
+			perAlgo[al.Label] = samples[idx : idx+runs]
+			idx += runs
+		}
+		cyclesOf := func(label string) []float64 {
+			out := make([]float64, 0, runs)
+			for _, s := range perAlgo[label] {
+				out = append(out, s.cycles)
+			}
+			return out
+		}
+		base := stats.Median(cyclesOf("Chase-Lev"))
 		row.Baseline = base
-		for _, al := range Figure11Algos() {
-			sum := stats.Summarize(samples[al.Label])
+		for _, al := range algos {
+			sum := stats.Summarize(cyclesOf(al.Label))
+			stolen := make([]float64, 0, runs)
+			for _, s := range perAlgo[al.Label] {
+				stolen = append(stolen, s.stolen)
+			}
 			row.Cells[al.Label] = Fig11Cell{
 				NormalizedPct: 100 * sum.Median / base,
 				P10:           100 * sum.P10 / base,
 				P90:           100 * sum.P90 / base,
-				StolenPct:     stats.Median(stolen[al.Label]),
+				StolenPct:     stats.Median(stolen),
 			}
 		}
 		res.Rows = append(res.Rows, row)

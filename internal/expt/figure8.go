@@ -1,6 +1,9 @@
 package expt
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/litmus"
 	"repro/internal/tso"
@@ -23,6 +26,17 @@ type Fig8Result struct {
 // above the line δ = α except at L=0, where same-location coalescing
 // breaks any bound.
 func Figure8(opts litmus.Options) Fig8Result {
+	res, err := Figure8Ctx(context.Background(), opts)
+	if err != nil {
+		panic(fmt.Sprintf("expt: %v", err))
+	}
+	return res
+}
+
+// Figure8Ctx is Figure8 with cancellation. The grid runs on opts.Runner
+// when set (nil: serially); parallel and serial runs produce identical
+// panels because every litmus run carries its own seed and machine.
+func Figure8Ctx(ctx context.Context, opts litmus.Options) (Fig8Result, error) {
 	cfg := tso.Config{BufferSize: 32, DrainBuffer: true}
 	deltasFor := func(l int) []int {
 		set := map[int]bool{}
@@ -41,10 +55,13 @@ func Figure8(opts litmus.Options) Fig8Result {
 		}
 		return out
 	}
-	raw := litmus.RunPoints(cfg, litmus.Figure8Ls(), deltasFor, opts)
+	raw, err := litmus.RunPointsCtx(ctx, cfg, litmus.Figure8Ls(), deltasFor, opts)
+	if err != nil {
+		return Fig8Result{}, err
+	}
 	return Fig8Result{
 		Raw:    raw,
 		PanelA: litmus.Interpret(raw, 32),
 		PanelB: litmus.Interpret(raw, 33),
-	}
+	}, nil
 }

@@ -49,3 +49,29 @@ func WriteFigure10JSON(w io.Writer, res Fig10Result) error {
 func WriteFigure11JSON(w io.Writer, res Fig11Result) error {
 	return writeJSON(w, "figure11", res)
 }
+
+// WriteLitmusMatrixJSON emits the classic-litmus validation matrix as
+// JSON.
+func WriteLitmusMatrixJSON(w io.Writer, rows []MatrixRow) error {
+	return writeJSON(w, "litmus-matrix", rows)
+}
+
+// WriteAblationJSON emits one ablation sweep as JSON.
+func WriteAblationJSON(w io.Writer, title string, rows []AblationRow) error {
+	return writeJSON(w, "ablation: "+title, rows)
+}
+
+// ManifestEntry pairs one experiment's name with its result data inside
+// the single-file manifest cmd/reproduce -json writes.
+type ManifestEntry struct {
+	// Experiment names the figure or table ("figure8", "table1", ...).
+	Experiment string `json:"experiment"`
+	// Data is the experiment's typed result, marshalled directly.
+	Data any `json:"data"`
+}
+
+// WriteManifestJSON emits one manifest holding every figure's result —
+// the whole-evaluation counterpart of the per-figure writers above.
+func WriteManifestJSON(w io.Writer, entries []ManifestEntry) error {
+	return writeJSON(w, "manifest", entries)
+}

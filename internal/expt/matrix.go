@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/litmusdsl"
+	"repro/internal/runner"
+)
+
+// MatrixRow is one classic litmus test's verdict from the memory-model
+// validation matrix (litmusdsl.Library run to completion).
+type MatrixRow struct {
+	// Name is the test's name (SB, MP, ...).
+	Name string
+	// Expect is the literature verdict the test declares.
+	Expect string
+	// Verdict is what exhaustive exploration concluded.
+	Verdict string
+	// Schedules is the number of schedules explored.
+	Schedules int
+	// Complete reports whether exploration covered every schedule.
+	Complete bool
+	// Ok reports whether Verdict matches Expect.
+	Ok bool
+}
+
+// LitmusMatrix runs every test in litmusdsl.Library to its verdict, one
+// runner job per test (nil r: serial). Each exploration owns its machine
+// state, so rows are identical at any worker count and returned in
+// library order.
+func LitmusMatrix(ctx context.Context, r *runner.Runner) ([]MatrixRow, error) {
+	return litmusMatrix(ctx, r, litmusdsl.Library)
+}
+
+// litmusMatrix is LitmusMatrix over an explicit test list (the test suite
+// passes a reduced library).
+func litmusMatrix(ctx context.Context, r *runner.Runner, srcs []string) ([]MatrixRow, error) {
+	name := func(i int, _ string) string { return fmt.Sprintf("litmusdsl[%d]", i) }
+	return runner.Map(ctx, r, srcs, name, func(_ context.Context, src string) (MatrixRow, error) {
+		tst, err := litmusdsl.Parse(src)
+		if err != nil {
+			return MatrixRow{}, err
+		}
+		res, err := litmusdsl.Run(tst, litmusdsl.RunOptions{})
+		if err != nil {
+			return MatrixRow{}, fmt.Errorf("%s: %w", tst.Name, err)
+		}
+		return MatrixRow{
+			Name:      tst.Name,
+			Expect:    tst.Expect,
+			Verdict:   res.Verdict,
+			Schedules: res.Schedules,
+			Complete:  res.Complete,
+			Ok:        res.Ok(),
+		}, nil
+	})
+}
+
+// RenderLitmusMatrix writes the validation matrix in the one-line-per-test
+// format cmd/reproduce prints.
+func RenderLitmusMatrix(w io.Writer, rows []MatrixRow) {
+	for _, row := range rows {
+		ok := "ok  "
+		if !row.Ok {
+			ok = "FAIL"
+		}
+		fmt.Fprintf(w, "%s %-14s %s (expect %s, %d schedules, complete=%v)\n",
+			ok, row.Name, row.Verdict, row.Expect, row.Schedules, row.Complete)
+	}
+}

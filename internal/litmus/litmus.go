@@ -11,9 +11,11 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/tso"
 )
 
@@ -26,6 +28,10 @@ type Options struct {
 	// AlgoFFTHE, the paper's Figure 9 choice. AlgoFFCL is the other
 	// δ-parameterized queue and obeys the same bound.
 	Algo core.Algo
+	// Runner, when non-nil, executes the seed × bias × (L, δ) sweep on
+	// its worker pool; nil runs serially. Each run owns its machine and
+	// seed, so the results are identical either way.
+	Runner *runner.Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -54,28 +60,79 @@ type Result struct {
 // Correct reports whether every run removed exactly Tasks tasks.
 func (r Result) Correct() bool { return r.Incorrect == 0 }
 
-// RunPoint executes the Figure 9 program for one (L, δ) pair on machines
-// configured by cfg (Threads forced to 2; Seed/DrainBias swept).
-func RunPoint(cfg tso.Config, l, delta int, opts Options) Result {
-	opts = opts.withDefaults()
-	res := Result{L: l, Delta: delta}
+// runSpec is one scheduled execution of the Figure 9 program: a fully
+// independent job (its machine is created inside the run), which is what
+// makes the sweep safe to hand to a runner pool.
+type runSpec struct {
+	l, delta int
+	bias     float64
+	seed     int
+}
+
+// pointSpecs enumerates one (L, δ) point's runs in the canonical order:
+// biases outer, seeds inner.
+func pointSpecs(l, delta int, opts Options) []runSpec {
+	specs := make([]runSpec, 0, len(opts.DrainBiases)*opts.Seeds)
 	for _, bias := range opts.DrainBiases {
 		for seed := 0; seed < opts.Seeds; seed++ {
-			c := cfg
-			c.Threads = 2
-			c.Seed = int64(seed)*1009 + int64(bias*1e4)
-			c.DrainBias = bias
-			total, err := runOnce(c, opts.Algo, l, delta, opts.Tasks)
-			if err != nil {
-				panic(fmt.Sprintf("litmus: %v", err))
-			}
-			res.Runs++
-			if total != opts.Tasks {
-				res.Incorrect++
-			}
+			specs = append(specs, runSpec{l: l, delta: delta, bias: bias, seed: seed})
+		}
+	}
+	return specs
+}
+
+// runSpecs executes the flattened runs on opts.Runner (nil: serially) and
+// reports, per spec in order, whether the run removed the wrong number of
+// tasks. Counting incorrect runs is order-independent, so the fold below
+// is deterministic under any completion order.
+func runSpecs(ctx context.Context, cfg tso.Config, opts Options, specs []runSpec) ([]bool, error) {
+	name := func(_ int, s runSpec) string {
+		return fmt.Sprintf("litmus L=%d d=%d bias=%g seed=%d", s.l, s.delta, s.bias, s.seed)
+	}
+	return runner.Map(ctx, opts.Runner, specs, name, func(_ context.Context, s runSpec) (bool, error) {
+		c := cfg
+		c.Threads = 2
+		c.Seed = int64(s.seed)*1009 + int64(s.bias*1e4)
+		c.DrainBias = s.bias
+		total, err := runOnce(c, opts.Algo, s.l, s.delta, opts.Tasks)
+		if err != nil {
+			return false, err
+		}
+		return total != opts.Tasks, nil
+	})
+}
+
+// foldPoint aggregates one point's incorrect-run flags into a Result.
+func foldPoint(l, delta int, incorrect []bool) Result {
+	res := Result{L: l, Delta: delta, Runs: len(incorrect)}
+	for _, bad := range incorrect {
+		if bad {
+			res.Incorrect++
 		}
 	}
 	return res
+}
+
+// RunPoint executes the Figure 9 program for one (L, δ) pair on machines
+// configured by cfg (Threads forced to 2; Seed/DrainBias swept). It
+// panics on a machine error, which can only be an implementation bug.
+func RunPoint(cfg tso.Config, l, delta int, opts Options) Result {
+	res, err := RunPointCtx(context.Background(), cfg, l, delta, opts)
+	if err != nil {
+		panic(fmt.Sprintf("litmus: %v", err))
+	}
+	return res
+}
+
+// RunPointCtx is RunPoint with cancellation: the context aborts the seed
+// sweep between runs, returning the context's error.
+func RunPointCtx(ctx context.Context, cfg tso.Config, l, delta int, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	incorrect, err := runSpecs(ctx, cfg, opts, pointSpecs(l, delta, opts))
+	if err != nil {
+		return Result{}, err
+	}
+	return foldPoint(l, delta, incorrect), nil
 }
 
 // runOnce is one execution of Figure 9: returns taken+stolen.
@@ -135,15 +192,40 @@ func Figure8Ls() []int { return []int{31, 15, 10, 7, 6, 5, 4, 3, 2, 1, 0} }
 // RunPoints evaluates the litmus test for every (L, δ) pair produced by
 // deltasFor over ls. The raw results can then be folded under different
 // assumed bounds with Interpret — exactly how the paper reuses one data
-// set for Figures 8a (S=32) and 8b (S=33).
+// set for Figures 8a (S=32) and 8b (S=33). With opts.Runner set, the
+// entire grid is flattened to independent (L, δ, bias, seed) runs and
+// executed on the pool; it panics on a machine error like RunPoint.
 func RunPoints(cfg tso.Config, ls []int, deltasFor func(l int) []int, opts Options) []Result {
-	var out []Result
-	for _, l := range ls {
-		for _, d := range deltasFor(l) {
-			out = append(out, RunPoint(cfg, l, d, opts))
-		}
+	out, err := RunPointsCtx(context.Background(), cfg, ls, deltasFor, opts)
+	if err != nil {
+		panic(fmt.Sprintf("litmus: %v", err))
 	}
 	return out
+}
+
+// RunPointsCtx is RunPoints with cancellation: a cancelled context stops
+// dispatching runs and returns the context's error.
+func RunPointsCtx(ctx context.Context, cfg tso.Config, ls []int, deltasFor func(l int) []int, opts Options) ([]Result, error) {
+	opts = opts.withDefaults()
+	type point struct{ l, delta int }
+	var points []point
+	var specs []runSpec
+	for _, l := range ls {
+		for _, d := range deltasFor(l) {
+			points = append(points, point{l, d})
+			specs = append(specs, pointSpecs(l, d, opts)...)
+		}
+	}
+	incorrect, err := runSpecs(ctx, cfg, opts, specs)
+	if err != nil {
+		return nil, err
+	}
+	perPoint := len(opts.DrainBiases) * opts.Seeds
+	out := make([]Result, 0, len(points))
+	for i, p := range points {
+		out = append(out, foldPoint(p.l, p.delta, incorrect[i*perPoint:(i+1)*perPoint]))
+	}
+	return out, nil
 }
 
 // Interpret folds raw litmus results by α = ⌈assumedS/(L+1)⌉, marking a

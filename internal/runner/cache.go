@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+)
+
+// Cache memoizes figure-level experiment results on disk so re-runs of
+// cmd/reproduce skip already-computed figures. Entries are keyed by a
+// hash of (experiment name, JSON-encoded configuration, code version), so
+// changing the parameters — or recompiling the binary — invalidates them
+// automatically; stale files are simply never looked up again. Values
+// round-trip through encoding/json, which preserves every integer and
+// float64 exactly, so a cache hit renders byte-identical output to a
+// fresh computation.
+type Cache struct {
+	// Dir is the cache directory (conventionally "results/cache").
+	Dir string
+	// Version is the code-version component of every key; OpenCache sets
+	// it to a hash of the running executable. Tests may override it to
+	// exercise invalidation.
+	Version string
+}
+
+// DefaultCacheDir is where the commands keep their result cache.
+const DefaultCacheDir = "results/cache"
+
+// OpenCache creates dir if needed and returns a cache whose Version is
+// the running executable's content hash (recompiles invalidate).
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &Cache{Dir: dir, Version: CodeVersion()}, nil
+}
+
+var (
+	codeVersionOnce sync.Once
+	codeVersion     string
+)
+
+// CodeVersion identifies the running build for cache invalidation: the
+// SHA-256 of the executable file itself when readable (any recompile
+// changes it), otherwise the VCS revision from build info, otherwise
+// "unversioned".
+func CodeVersion() string {
+	codeVersionOnce.Do(func() {
+		codeVersion = computeCodeVersion()
+	})
+	return codeVersion
+}
+
+// computeCodeVersion does the one-time work behind CodeVersion.
+func computeCodeVersion() string {
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return "exe-" + hex.EncodeToString(h.Sum(nil))[:16]
+			}
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return "vcs-" + s.Value
+			}
+		}
+	}
+	return "unversioned"
+}
+
+// cacheEnvelope is the on-disk record; name and version are stored so a
+// (vanishingly unlikely) filename collision is detected rather than
+// served.
+type cacheEnvelope struct {
+	Name    string          `json:"name"`
+	Version string          `json:"version"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// path derives the entry filename from the key hash.
+func (c *Cache) path(name string, config any) (string, error) {
+	cfg, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("runner: cache config for %s: %w", name, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s", c.Version, name, cfg)
+	return filepath.Join(c.Dir, fmt.Sprintf("%s-%s.json", name, hex.EncodeToString(h.Sum(nil))[:16])), nil
+}
+
+// CacheGet looks name+config up in c and decodes the stored value into
+// T. The second result reports a hit; every failure mode (nil cache,
+// missing file, corrupt JSON, mismatched envelope) is a miss.
+func CacheGet[T any](c *Cache, name string, config any) (T, bool) {
+	var zero T
+	if c == nil {
+		return zero, false
+	}
+	p, err := c.path(name, config)
+	if err != nil {
+		return zero, false
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return zero, false
+	}
+	var env cacheEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Name != name || env.Version != c.Version {
+		return zero, false
+	}
+	var v T
+	if err := json.Unmarshal(env.Data, &v); err != nil {
+		return zero, false
+	}
+	return v, true
+}
+
+// CachePut stores v under name+config. Writes go through a temp file and
+// rename so an interrupted run never leaves a half-written entry.
+func CachePut[T any](c *Cache, name string, config any, v T) error {
+	if c == nil {
+		return nil
+	}
+	p, err := c.path(name, config)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: cache encode %s: %w", name, err)
+	}
+	env, err := json.Marshal(cacheEnvelope{Name: name, Version: c.Version, Data: data})
+	if err != nil {
+		return fmt.Errorf("runner: cache envelope %s: %w", name, err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, env, 0o644); err != nil {
+		return fmt.Errorf("runner: cache write %s: %w", name, err)
+	}
+	return os.Rename(tmp, p)
+}
+
+// Cached returns the cache entry for name+config when present, otherwise
+// runs compute and stores its result. The bool reports a cache hit. With
+// a nil cache it degenerates to compute(). A failed store is returned as
+// an error (the computed value is still returned alongside it).
+func Cached[T any](c *Cache, name string, config any, compute func() (T, error)) (T, bool, error) {
+	if v, ok := CacheGet[T](c, name, config); ok {
+		return v, true, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return v, false, err
+	}
+	return v, false, CachePut(c, name, config, v)
+}

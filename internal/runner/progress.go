@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports sweep completion (done/total, percent, ETA) as jobs
+// finish. It writes carriage-return-refreshed lines so it belongs on
+// stderr, keeping stdout byte-identical between serial and parallel runs
+// (and between runs of different speed). A nil writer disables output but
+// still counts, so per-section timing remains queryable via Elapsed.
+type Progress struct {
+	mu     sync.Mutex
+	w      io.Writer
+	label  string
+	total  int
+	done   int
+	failed int
+	start  time.Time
+	paint  time.Time
+	wrote  bool
+}
+
+// NewProgress starts a progress report of total jobs labelled label,
+// written to w (nil: silent). A zero total is fine: Runner.Run adds each
+// batch's job count via AddTotal as it starts.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	return &Progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+// AddTotal grows the expected job count; Runner.Run calls this with the
+// batch size so commands need not pre-count a sweep's jobs.
+func (p *Progress) AddTotal(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += n
+}
+
+// JobDone records one finished job; Runner.Run calls this for every job
+// (including cancelled and panicked ones, which count as failures).
+func (p *Progress) JobDone(name string, elapsed time.Duration, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if err != nil {
+		p.failed++
+	}
+	// Fast sweeps finish thousands of jobs per second; repainting each
+	// one floods a redirected stderr, so throttle to ~10 frames/s (always
+	// painting failures and the final job).
+	if err == nil && p.done < p.total && time.Since(p.paint) < 100*time.Millisecond {
+		return
+	}
+	p.paint = time.Now()
+	p.render()
+}
+
+// render repaints the status line; callers hold p.mu.
+func (p *Progress) render() {
+	if p.w == nil || p.total == 0 {
+		return
+	}
+	pct := 100 * p.done / p.total
+	line := fmt.Sprintf("%s: %d/%d (%d%%)", p.label, p.done, p.total, pct)
+	if p.failed > 0 {
+		line += fmt.Sprintf(", %d failed", p.failed)
+	}
+	if eta := p.eta(); p.done < p.total && eta > 0 {
+		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintf(p.w, "\r%-60s", line)
+	p.wrote = true
+}
+
+// eta extrapolates the remaining time from the average job rate so far;
+// callers hold p.mu.
+func (p *Progress) eta() time.Duration {
+	if p.done == 0 {
+		return 0
+	}
+	perJob := time.Since(p.start) / time.Duration(p.done)
+	return perJob * time.Duration(p.total-p.done)
+}
+
+// Elapsed is the wall-clock time since the progress report started.
+func (p *Progress) Elapsed() time.Duration { return time.Since(p.start) }
+
+// Finish terminates the status line with a per-section timing summary
+// ("label: 40 jobs in 1.2s"), again on the progress writer, not stdout.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil || !p.wrote {
+		return
+	}
+	summary := fmt.Sprintf("%s: %d jobs in %s", p.label, p.done, p.Elapsed().Round(time.Millisecond))
+	if p.failed > 0 {
+		summary += fmt.Sprintf(" (%d failed)", p.failed)
+	}
+	fmt.Fprintf(p.w, "\r%-60s\n", summary)
+}

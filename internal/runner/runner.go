@@ -1,0 +1,199 @@
+// Package runner is the experiment-execution engine: a job-graph executor
+// that turns the evaluation pipeline's serial sweeps (seed grids, app ×
+// algorithm matrices, litmus libraries) into parallel runs over a worker
+// pool, without changing a single output byte.
+//
+// Every simulated machine in this repository is fully independent state —
+// each job builds its own tso.Machine, scheduler pool and seeded RNG — so
+// the sweeps are embarrassingly parallel. The runner exploits that while
+// preserving the properties the pipeline depends on:
+//
+//   - Determinism: results are returned in submission order regardless of
+//     completion order, and jobs carry their own seeds, so a parallel run
+//     renders byte-identical figures to a serial one.
+//   - Isolation: a panicking job fails that job (with its stack captured
+//     in the Outcome), not the process.
+//   - Cancellation: the context (typically wired to SIGINT via
+//     SignalContext) stops dispatch; jobs not yet started report
+//     ctx.Err() instead of running.
+//   - Caching: figure-level results can be memoized on disk under
+//     results/cache/, keyed by (name, config, code version) — see Cache.
+//
+// The zero Runner is usable and sizes its pool to GOMAXPROCS; commands
+// expose that as the -p flag.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of work: an independent computation identified by Name.
+// Fn must not share mutable state with other jobs of the same Run call —
+// in this repository that means owning its machine, scheduler and RNG.
+type Job struct {
+	// Name identifies the job in progress output and error messages; it
+	// should be unique within one Run call.
+	Name string
+	// Fn computes the job's result. It is called at most once, from an
+	// arbitrary worker goroutine; it should honour ctx if it runs long.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// Outcome is one job's result, reported in submission order.
+type Outcome struct {
+	// Name echoes the job's name.
+	Name string
+	// Value is what Fn returned; nil when Err is set.
+	Value any
+	// Err is Fn's error, a *PanicError if the job panicked, or the
+	// context error if the run was cancelled before the job started.
+	Err error
+	// Elapsed is the job's own wall-clock time (zero if never started).
+	Elapsed time.Duration
+}
+
+// PanicError is the error recorded for a job whose Fn panicked: the job
+// fails, the worker pool and the process survive.
+type PanicError struct {
+	// Job is the panicking job's name.
+	Job string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error describes the captured panic without the stack (which callers can
+// print separately when wanted).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %s panicked: %v", e.Job, e.Value)
+}
+
+// Runner executes jobs on a bounded worker pool. The zero value runs on
+// GOMAXPROCS workers with no progress reporting; a Runner is stateless
+// between Run calls and safe to reuse.
+type Runner struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is notified as jobs finish.
+	Progress *Progress
+}
+
+// New returns a Runner with the given pool size (<= 0: GOMAXPROCS).
+func New(workers int) *Runner { return &Runner{Workers: workers} }
+
+// effectiveWorkers resolves the pool size for n jobs.
+func (r *Runner) effectiveWorkers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the jobs and returns their outcomes in submission order,
+// whatever order they completed in. It always returns len(jobs) outcomes:
+// a cancelled run marks the jobs that never started with ctx's error
+// rather than dropping them. Run itself never panics on a job panic.
+func (r *Runner) Run(ctx context.Context, jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.Progress != nil {
+		r.Progress.AddTotal(len(jobs))
+	}
+	workers := r.effectiveWorkers(len(jobs))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				out[i] = r.runOne(ctx, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single job with panic capture and cancellation check.
+func (r *Runner) runOne(ctx context.Context, job Job) (o Outcome) {
+	o.Name = job.Name
+	if err := ctx.Err(); err != nil {
+		o.Err = err
+		if r.Progress != nil {
+			r.Progress.JobDone(o.Name, 0, o.Err)
+		}
+		return o
+	}
+	start := time.Now()
+	defer func() {
+		o.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			o.Err = &PanicError{Job: job.Name, Value: p, Stack: debug.Stack()}
+			o.Value = nil
+		}
+		if r.Progress != nil {
+			r.Progress.JobDone(o.Name, o.Elapsed, o.Err)
+		}
+	}()
+	o.Value, o.Err = job.Fn(ctx)
+	return o
+}
+
+// Map runs fn over items on r's pool and returns the outputs in item
+// order — the typed fan-out used by the sweep retrofits. name labels the
+// i'th job for progress and errors. A nil Runner means a fresh
+// single-worker pool (serial execution with identical semantics). The
+// first failure in item order is returned, wrapped with its job name; a
+// panic inside fn surfaces here as a *PanicError.
+func Map[I, O any](ctx context.Context, r *Runner, items []I,
+	name func(i int, item I) string, fn func(ctx context.Context, item I) (O, error)) ([]O, error) {
+	if r == nil {
+		r = &Runner{Workers: 1}
+	}
+	jobs := make([]Job, len(items))
+	for i, item := range items {
+		i, item := i, item
+		jobs[i] = Job{
+			Name: name(i, item),
+			Fn:   func(ctx context.Context) (any, error) { return fn(ctx, item) },
+		}
+	}
+	outcomes := r.Run(ctx, jobs)
+	out := make([]O, len(items))
+	for i, oc := range outcomes {
+		if oc.Err != nil {
+			return nil, fmt.Errorf("%s: %w", oc.Name, oc.Err)
+		}
+		v, ok := oc.Value.(O)
+		if !ok && oc.Value != nil {
+			return nil, fmt.Errorf("%s: result type %T does not match", oc.Name, oc.Value)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,21 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// SignalContext derives a context that is cancelled by the first SIGINT,
+// for wiring ^C into a sweep: in-flight jobs finish, jobs not yet started
+// report context.Canceled, and the command can render the partial state
+// it has. After the first signal the handler is released, so a second ^C
+// kills the process the default way — the standard escalation contract.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
