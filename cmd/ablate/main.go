@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	ablate [-p N]
+//	ablate [-metrics] [-p N]
 //
 // The five studies are independent, so they run as jobs on a worker pool
 // (-p 0 = GOMAXPROCS) and render in a fixed order — the output is
-// byte-identical at any pool size. ^C cancels the studies not yet
-// started.
+// byte-identical at any pool size. -metrics appends an instrumented
+// timed-engine run on the studies' platform. ^C cancels the studies not
+// yet started.
 package main
 
 import (
@@ -34,6 +35,7 @@ type study struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablate: ")
+	metrics := flag.Bool("metrics", false, "append an instrumented timed-engine metrics run")
 	workers := flag.Int("p", 0, "worker-pool size for the studies (0 = GOMAXPROCS)")
 	flag.Parse()
 	p := expt.ScaledHaswell()
@@ -99,5 +101,14 @@ func main() {
 		if i < len(studies)-1 {
 			fmt.Println()
 		}
+	}
+
+	if *metrics {
+		rep, err := expt.CollectMetrics(p, "timed")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		expt.RenderMetrics(os.Stdout, rep)
 	}
 }

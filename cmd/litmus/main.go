@@ -7,10 +7,12 @@
 //
 // Usage:
 //
-//	litmus [-tasks 512] [-seeds 60] [-p N]
+//	litmus [-tasks 512] [-seeds 60] [-metrics] [-p N]
 //
 // -p runs the (L, δ, bias, seed) grid on a worker pool (0 = GOMAXPROCS);
-// the grid is byte-identical at any pool size. ^C cancels the remaining
+// the grid is byte-identical at any pool size. -metrics appends an
+// instrumented chaos-engine run on the same Westmere model (occupancy,
+// stall and drain series in scheduler steps). ^C cancels the remaining
 // runs.
 package main
 
@@ -32,6 +34,7 @@ func main() {
 	log.SetPrefix("litmus: ")
 	tasks := flag.Int("tasks", 512, "queue prefill size (paper: 512)")
 	seeds := flag.Int("seeds", 60, "chaos seeds per drain bias per point")
+	metrics := flag.Bool("metrics", false, "append an instrumented chaos-engine metrics run")
 	workers := flag.Int("p", 0, "worker-pool size for the grid (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -62,6 +65,15 @@ func main() {
 	fmt.Println("and above the line except alpha=33 (L=0), where drain-stage coalescing")
 	fmt.Println("of back-to-back stores to T defeats any delta.")
 	fmt.Printf("\n(%d litmus runs in %v)\n", totalRuns(res.Raw), time.Since(start).Round(time.Millisecond))
+
+	if *metrics {
+		rep, err := expt.CollectMetrics(expt.Westmere(), "chaos")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		expt.RenderMetrics(os.Stdout, rep)
+	}
 }
 
 func totalRuns(rs []litmus.Result) int {

@@ -73,9 +73,9 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("%s %-14s model=%-3s verdict=%-10s expect=%-9s schedules=%-7d complete=%-5v %v\n",
+		fmt.Printf("%s %-14s model=%-3s verdict=%-10s expect=%-9s schedules=%-7d complete=%-5v occ=%v %v\n",
 			status, t.Name, t.Model, res.Verdict, t.Expect, res.Schedules, res.Complete,
-			time.Since(start).Round(time.Millisecond))
+			res.MaxOccupancy, time.Since(start).Round(time.Millisecond))
 		if *verbose {
 			keys := make([]string, 0, len(res.Outcomes))
 			for o := range res.Outcomes {

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	reproduce [-quick] [-full] [-p N] [-json] [-cache] [-cachedir DIR]
+//	reproduce [-quick] [-full] [-p N] [-json] [-metrics] [-cache] [-cachedir DIR]
 //
 // -quick uses reduced sizes/seeds; the default full run takes a few
 // minutes. -p sets the worker-pool size for the sweeps (default
 // GOMAXPROCS; figures are byte-identical at any -p). -json writes one
 // manifest of every figure's result to stdout instead of the text
-// tables. -cache=false disables the on-disk result cache (results/cache/
-// by default) that lets re-runs skip already-computed figures.
+// tables. -metrics appends an instrumented run (per-thread occupancy,
+// stall and drain-latency series plus per-worker steal counters); the
+// default output is unchanged without it. -cache=false disables the
+// on-disk result cache (results/cache/ by default) that lets re-runs
+// skip already-computed figures.
 //
 // Figures and tables go to stdout; progress, per-section timing and
 // cache notes go to stderr, so stdout is byte-for-byte reproducible.
@@ -57,6 +60,7 @@ func main() {
 	full := flag.Bool("full", false, "also run hyperthreading, spanning tree, litmus-DSL matrix and ablations")
 	workers := flag.Int("p", 0, "worker-pool size for the sweeps (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit one JSON manifest of all figure results instead of tables")
+	metrics := flag.Bool("metrics", false, "append an instrumented metrics run (occupancy/stall/drain series)")
 	useCache := flag.Bool("cache", true, "reuse cached figure results from -cachedir")
 	cacheDir := flag.String("cachedir", runner.DefaultCacheDir, "result cache directory")
 	flag.Parse()
@@ -279,6 +283,17 @@ func main() {
 				return rows, func(w io.Writer) {
 					expt.RenderAblation(w, "FF-THE delta sweep (the collapse mechanism)", rows)
 				}, nil
+			})
+	}
+
+	if *metrics {
+		s.step(ctx, "Observability — instrumented metrics run", "metrics",
+			func(r *runner.Runner) (any, func(io.Writer), error) {
+				rep, err := expt.CollectMetrics(expt.ScaledHaswell(), "timed")
+				if err != nil {
+					return nil, nil, err
+				}
+				return rep, func(w io.Writer) { expt.RenderMetrics(w, rep) }, nil
 			})
 	}
 

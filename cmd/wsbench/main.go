@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1] [-p N]
+//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1] [-metrics] [-p N]
 //
 // -p runs the app × algorithm × seed matrix on a worker pool (0 =
 // GOMAXPROCS); the tables are byte-identical at any pool size.
+// -metrics appends an instrumented run per platform (store-buffer
+// occupancy, stall and drain-latency series, per-worker steal counters).
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 (the benchmark list) and exit")
 	ht := flag.Bool("ht", false, "enable hyperthreading: 2x threads, pairs sharing cores (§8.1)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
+	metrics := flag.Bool("metrics", false, "also print an instrumented metrics run per platform")
 	workers := flag.Int("p", 0, "worker-pool size for the matrix (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -78,6 +81,25 @@ func main() {
 		}
 		expt.RenderFigure10(os.Stdout, res)
 		fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *metrics {
+		for _, p := range platforms {
+			if *ht {
+				p = expt.HT(p)
+			}
+			rep, err := expt.CollectMetrics(p, "timed")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *jsonOut {
+				if err := expt.WriteMetricsJSON(os.Stdout, rep); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			expt.RenderMetrics(os.Stdout, rep)
+			fmt.Println()
+		}
 	}
 	if *jsonOut {
 		return

@@ -61,6 +61,13 @@ func WriteAblationJSON(w io.Writer, title string, rows []AblationRow) error {
 	return writeJSON(w, "ablation: "+title, rows)
 }
 
+// WriteMetricsJSON emits one observability report (see CollectMetrics) as
+// JSON. The envelope and the report's field names are stable: plotting
+// scripts may rely on data.machine.threads[].occupancy_hist et al.
+func WriteMetricsJSON(w io.Writer, rep MetricsReport) error {
+	return writeJSON(w, "metrics", rep)
+}
+
 // ManifestEntry pairs one experiment's name with its result data inside
 // the single-file manifest cmd/reproduce -json writes.
 type ManifestEntry struct {

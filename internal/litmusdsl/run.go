@@ -27,6 +27,10 @@ type Result struct {
 	// Witness is the event trace of one schedule reaching the condition
 	// (RunOptions.Witness).
 	Witness []string
+	// MaxOccupancy is each process's high-water mark of buffered stores
+	// across every explored schedule — how much of the TSO[S] bound the
+	// test actually exercised.
+	MaxOccupancy []int
 }
 
 // Ok reports whether the verdict matches the test's expectation.
@@ -150,7 +154,8 @@ func Run(t *Test, opts RunOptions) (Result, error) {
 	cfg := tso.Config{Threads: len(t.Procs), BufferSize: t.SBuf, Model: t.Model}
 	set, eres := tso.ExploreOutcomes(cfg, mk, outcome, tso.ExploreOptions{MaxRuns: opts.MaxSchedules})
 
-	res := Result{Test: t, Complete: eres.Complete, Schedules: eres.Runs, Outcomes: set.Counts}
+	res := Result{Test: t, Complete: eres.Complete, Schedules: eres.Runs,
+		Outcomes: set.Counts, MaxOccupancy: set.MaxOccupancy}
 	for o := range set.Counts {
 		if condHolds(t, o) {
 			res.Witnessed = true

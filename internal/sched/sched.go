@@ -99,6 +99,26 @@ type Stats struct {
 	// Elapsed is the virtual-cycle makespan when run on a TimedMachine, 0
 	// on the chaos engine.
 	Elapsed uint64
+	// Workers holds per-worker steal-outcome counters. Populated only
+	// when the machine's Config.Metrics is set (the observability layer);
+	// nil otherwise, so the scheduler's hot path stays untouched.
+	Workers []WorkerStats `json:"Workers,omitempty"`
+}
+
+// WorkerStats is one worker's share of the pool's activity: how it
+// obtained work and how its steal attempts ended. The per-worker split is
+// what shows steal-path mix — e.g. a δ too large for the workload turns a
+// thief's Steals into Aborts (§6, Figure 10's FF-THE collapse).
+type WorkerStats struct {
+	// Takes counts tasks the worker took from its own queue.
+	Takes int64
+	// Steals counts its successful steals.
+	Steals int64
+	// Aborts counts fence-free steal aborts it hit.
+	Aborts int64
+	// Empties counts steal attempts that found the victim empty or lost
+	// the race.
+	Empties int64
 }
 
 // ErrDoubleExecution reports that an exact (non-idempotent) queue delivered
@@ -188,6 +208,9 @@ func NewPool(m Machine, opts Options) *Pool {
 // panics surface as errors.
 func (p *Pool) Run(root TaskFunc) (Stats, error) {
 	p.stats = Stats{}
+	if p.m.Config().Metrics {
+		p.stats.Workers = make([]WorkerStats, len(p.queues))
+	}
 	p.failure = nil
 	p.tasks = p.tasks[:0]
 	rootID := p.addTask(root, nil)
@@ -253,6 +276,9 @@ func (p *Pool) workerLoop(w *Worker) {
 	for {
 		v, st := myQ.Take(w.ctx)
 		if st == core.OK {
+			if p.stats.Workers != nil {
+				p.stats.Workers[w.id].Takes++
+			}
 			p.postTake(w)
 			p.exec(w, v, false)
 			continue
@@ -303,6 +329,17 @@ func (p *Pool) stealLoop(w *Worker) bool {
 			continue
 		}
 		v, st := p.queues[victim].Steal(w.ctx)
+		if p.stats.Workers != nil {
+			ws := &p.stats.Workers[w.id]
+			switch st {
+			case core.OK:
+				ws.Steals++
+			case core.Abort:
+				ws.Aborts++
+			default:
+				ws.Empties++
+			}
+		}
 		switch st {
 		case core.OK:
 			p.idle[w.id] = false

@@ -1,10 +1,13 @@
 package tso
 
 // entry is one buffered store: a (64-bit address, 64-bit data) pair, exactly
-// the store-buffer entry of the x86-TSO abstract machine.
+// the store-buffer entry of the x86-TSO abstract machine, annotated with
+// the engine timestamps the unified core's policies and metrics need.
 type entry struct {
 	addr Addr
 	val  uint64
+	done uint64 // timed policy: virtual time at which the store reaches memory
+	born uint64 // issue time (virtual cycles) or issue step (chaos), for drain-latency metrics
 }
 
 // storeBuffer is a bounded FIFO store buffer, optionally extended with the
@@ -24,6 +27,11 @@ type storeBuffer struct {
 	drains    int64
 	coalesces int64
 	maxOcc    int
+
+	// onDrain, when non-nil, observes every entry that reaches memory
+	// (coalesced-away entries excluded). Set only when Config.Metrics is
+	// enabled, so the common path pays one nil check.
+	onDrain func(entry)
 }
 
 func newStoreBuffer(capacity int, drainStage bool) *storeBuffer {
@@ -58,11 +66,11 @@ func (b *storeBuffer) full() bool {
 }
 
 // push buffers a store. The caller must have ensured !full().
-func (b *storeBuffer) push(a Addr, v uint64) {
+func (b *storeBuffer) push(e entry) {
 	if b.full() {
 		panic("tso: push into full store buffer")
 	}
-	b.entries = append(b.entries, entry{a, v})
+	b.entries = append(b.entries, e)
 	if occ := b.occupancy(); occ > b.maxOcc {
 		b.maxOcc = occ
 	}
@@ -100,6 +108,9 @@ func (b *storeBuffer) drainOne(mem *memory) {
 		b.entries = b.entries[1:]
 		mem.write(e.addr, e.val)
 		b.drains++
+		if b.onDrain != nil {
+			b.onDrain(e)
+		}
 		return
 	}
 	switch {
@@ -108,6 +119,9 @@ func (b *storeBuffer) drainOne(mem *memory) {
 		mem.write(b.stage.addr, b.stage.val)
 		b.hasStage = false
 		b.drains++
+		if b.onDrain != nil {
+			b.onDrain(b.stage)
+		}
 	case len(b.entries) > 0 && !b.hasStage:
 		b.stage = b.entries[0]
 		b.entries = b.entries[1:]
@@ -125,10 +139,14 @@ func (b *storeBuffer) drainOne(mem *memory) {
 			b.drains++
 			return
 		}
-		mem.write(b.stage.addr, b.stage.val)
+		old := b.stage
+		mem.write(old.addr, old.val)
 		b.stage = head
 		b.entries = b.entries[1:]
 		b.drains++
+		if b.onDrain != nil {
+			b.onDrain(old)
+		}
 	default:
 		panic("tso: drain of empty store buffer")
 	}
@@ -167,6 +185,9 @@ func (b *storeBuffer) drainAt(mem *memory, i int) {
 	mem.write(e.addr, e.val)
 	b.entries = append(b.entries[:i], b.entries[i+1:]...)
 	b.drains++
+	if b.onDrain != nil {
+		b.onDrain(e)
+	}
 }
 
 // memory is the simulated shared memory: a growable array of 64-bit words,

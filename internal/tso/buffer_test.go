@@ -4,9 +4,9 @@ import "testing"
 
 func TestStoreBufferForwardNewest(t *testing.T) {
 	b := newStoreBuffer(4, false)
-	b.push(1, 10)
-	b.push(2, 20)
-	b.push(1, 11)
+	b.push(entry{addr: 1, val: 10})
+	b.push(entry{addr: 2, val: 20})
+	b.push(entry{addr: 1, val: 11})
 	if v, ok := b.forward(1); !ok || v != 11 {
 		t.Fatalf("forward(1) = %v,%v want 11,true", v, ok)
 	}
@@ -21,9 +21,9 @@ func TestStoreBufferForwardNewest(t *testing.T) {
 func TestStoreBufferFIFODrainOrder(t *testing.T) {
 	mem := newMemory(8)
 	b := newStoreBuffer(4, false)
-	b.push(5, 1)
-	b.push(5, 2)
-	b.push(5, 3)
+	b.push(entry{addr: 5, val: 1})
+	b.push(entry{addr: 5, val: 2})
+	b.push(entry{addr: 5, val: 3})
 	b.drainOne(mem)
 	if got := mem.read(5); got != 1 {
 		t.Fatalf("after first drain mem[5]=%d want 1 (FIFO)", got)
@@ -46,8 +46,8 @@ func TestStoreBufferFullEmptyOccupancy(t *testing.T) {
 	if !b.empty() || b.full() || b.occupancy() != 0 {
 		t.Fatal("fresh buffer state wrong")
 	}
-	b.push(0, 1)
-	b.push(1, 2)
+	b.push(entry{addr: 0, val: 1})
+	b.push(entry{addr: 1, val: 2})
 	if !b.full() || b.occupancy() != 2 {
 		t.Fatalf("full=%v occ=%d want true,2", b.full(), b.occupancy())
 	}
@@ -56,13 +56,13 @@ func TestStoreBufferFullEmptyOccupancy(t *testing.T) {
 			t.Fatal("push into full buffer did not panic")
 		}
 	}()
-	b.push(2, 3)
+	b.push(entry{addr: 2, val: 3})
 }
 
 func TestDrainStageMovesThroughB(t *testing.T) {
 	mem := newMemory(8)
 	b := newStoreBuffer(4, true)
-	b.push(1, 100)
+	b.push(entry{addr: 1, val: 100})
 	// First drain moves the entry into B; memory is not yet written.
 	b.drainOne(mem)
 	if got := mem.read(1); got != 0 {
@@ -88,9 +88,9 @@ func TestDrainStageMovesThroughB(t *testing.T) {
 func TestDrainStageCoalescesSameAddress(t *testing.T) {
 	mem := newMemory(8)
 	b := newStoreBuffer(4, true)
-	b.push(7, 1)
-	b.push(7, 2)
-	b.push(7, 3)
+	b.push(entry{addr: 7, val: 1})
+	b.push(entry{addr: 7, val: 2})
+	b.push(entry{addr: 7, val: 3})
 	b.drainOne(mem) // 1 -> B
 	b.drainOne(mem) // 2 overwrites B (coalesce); 1 never reaches memory
 	b.drainOne(mem) // 3 overwrites B (coalesce)
@@ -109,8 +109,8 @@ func TestDrainStageCoalescesSameAddress(t *testing.T) {
 func TestDrainStageDifferentAddressWritesB(t *testing.T) {
 	mem := newMemory(8)
 	b := newStoreBuffer(4, true)
-	b.push(1, 10)
-	b.push(2, 20)
+	b.push(entry{addr: 1, val: 10})
+	b.push(entry{addr: 2, val: 20})
 	b.drainOne(mem) // 10 -> B
 	b.drainOne(mem) // B(=10) -> memory, 20 -> B
 	if got := mem.read(1); got != 10 {
@@ -133,9 +133,9 @@ func TestDrainStageCoalescingIsTSOLegal(t *testing.T) {
 	mem := newMemory(8)
 	const a, bAddr = 0, 1
 	buf := newStoreBuffer(4, true)
-	buf.push(a, 1)
-	buf.push(bAddr, 1)
-	buf.push(a, 2)
+	buf.push(entry{addr: a, val: 1})
+	buf.push(entry{addr: bAddr, val: 1})
+	buf.push(entry{addr: a, val: 2})
 	seenIllegal := false
 	for !buf.empty() {
 		buf.drainOne(mem)

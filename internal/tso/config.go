@@ -88,6 +88,12 @@ type Config struct {
 
 	// Cost is the timed engine's cycle model. Zero fields take defaults.
 	Cost CostModel
+
+	// Metrics enables the per-thread metric series (occupancy histograms,
+	// stall costs, drain latency; see MachineMetrics). Off by default:
+	// with Metrics unset every instrumentation point is a nil check, so
+	// the figures' hot paths pay nothing for the observability layer.
+	Metrics bool
 }
 
 // CostModel assigns virtual-cycle costs to the timed engine's actions.

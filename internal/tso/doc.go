@@ -5,8 +5,10 @@
 //
 // A load can be reordered with at most S prior stores by the same thread;
 // this is the only reordering TSO permits, and the bound is the property the
-// paper's fence-free work-stealing algorithms rely on. The package provides
-// two engines over the same store-buffer semantics:
+// paper's fence-free work-stealing algorithms rely on. A single machine
+// core (one request/grant executor, one memory + store-buffer substrate,
+// one stats sink) hosts pluggable scheduling/cost policies (policy.go),
+// giving two engines over the same store-buffer semantics:
 //
 //   - Machine (the "chaos" engine) explores interleavings and drain
 //     schedules adversarially under a seeded RNG. It is the correctness
@@ -23,8 +25,13 @@
 //     It regenerates the shape of the paper's timing results (Figures 1, 7,
 //     10, 11) without claiming absolute cycle counts.
 //
+// A third policy — deterministic choice enumeration — backs Explore's
+// exhaustive schedule exploration over the chaos substrate.
+//
 // Both engines expose the same Context interface to simulated-thread code,
-// so every queue algorithm in internal/core runs unchanged on either.
+// so every queue algorithm in internal/core runs unchanged on either, and
+// both record the same per-thread metric series when Config.Metrics is set
+// (metrics.go).
 //
 // The §7.3 microarchitectural corner case — a post-retirement drain-stage
 // buffer B that coalesces back-to-back stores to the same address, making

@@ -39,3 +39,10 @@ func (m *Machine) DumpState(w io.Writer, memLo, memHi Addr) {
 func (m *Machine) BufferedStores(tid int) int {
 	return m.bufs[tid].occupancy()
 }
+
+// ThreadMaxOccupancy returns thread tid's high-water mark of buffered
+// stores across every Run so far (drain stage included) — the per-thread
+// witness of the observable reordering bound.
+func (m *Machine) ThreadMaxOccupancy(tid int) int {
+	return m.bufs[tid].maxOcc
+}

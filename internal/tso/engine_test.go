@@ -1,0 +1,171 @@
+package tso
+
+import (
+	"reflect"
+	"testing"
+)
+
+// equivProgs builds the engine-equivalence litmus program: each thread
+// works a fixed straight-line op mix (stores, forwarded and drained loads,
+// a fence, an always-succeeding CAS) over a private address range, so the
+// final memory image and the per-op counts are schedule-independent. Both
+// engines must agree on them exactly — the refactor's "one core, two
+// policies" claim, checked end to end.
+func equivProgs(m *Machine, threads int) (progs []func(Context), bases []Addr) {
+	bases = make([]Addr, threads)
+	for t := range bases {
+		bases[t] = m.Alloc(8)
+	}
+	for t := 0; t < threads; t++ {
+		base := bases[t]
+		seed := uint64(t+1) * 100
+		progs = append(progs, func(c Context) {
+			for i := 0; i < 6; i++ {
+				c.Store(base+Addr(i%4), seed+uint64(i))
+			}
+			// Forwarded from the buffer or read from memory — either way
+			// the newest private value, on both engines.
+			if got := c.Load(base + 3); got != seed+3 {
+				panic("stale private load")
+			}
+			c.Work(3)
+			c.Fence()
+			// Post-fence the drained value is certain, so this CAS succeeds
+			// on every schedule (retries would skew the op counts).
+			if _, ok := c.CAS(base, seed+4, seed+40); !ok {
+				panic("private CAS failed")
+			}
+			c.Store(base+4, seed+50)
+			if got := c.Load(base + 4); got != seed+50 {
+				panic("stale private load after CAS")
+			}
+		})
+	}
+	return progs, bases
+}
+
+// TestEngineEquivalence runs the same program on the chaos engine (with a
+// drain-starving bias, to maximize reordering) and the timed engine, and
+// requires identical final memory and identical op counts.
+func TestEngineEquivalence(t *testing.T) {
+	const threads = 3
+	run := func(t *testing.T, mk func(Config) *Machine, cfg Config) (mem []uint64, st Stats) {
+		t.Helper()
+		cfg.Threads = threads
+		cfg.BufferSize = 4
+		cfg.DrainBuffer = true
+		m := mk(cfg)
+		progs, bases := equivProgs(m, threads)
+		if err := m.Run(progs...); err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range bases {
+			for i := 0; i < 8; i++ {
+				mem = append(mem, m.Peek(base+Addr(i)))
+			}
+		}
+		return mem, m.Stats()
+	}
+
+	chaosMem, chaosStats := run(t, NewMachine, Config{Seed: 7, DrainBias: 0.02})
+	timedMem, timedStats := run(t, func(c Config) *Machine { return &NewTimedMachine(c).Machine }, Config{})
+
+	if !reflect.DeepEqual(chaosMem, timedMem) {
+		t.Errorf("final memory differs:\nchaos: %v\ntimed: %v", chaosMem, timedMem)
+	}
+	type opCounts struct{ Loads, Stores, Fences, CASes int64 }
+	chaosOps := opCounts{chaosStats.Loads, chaosStats.Stores, chaosStats.Fences, chaosStats.CASes}
+	timedOps := opCounts{timedStats.Loads, timedStats.Stores, timedStats.Fences, timedStats.CASes}
+	if chaosOps != timedOps {
+		t.Errorf("op counts differ:\nchaos: %+v\ntimed: %+v", chaosOps, timedOps)
+	}
+	want := opCounts{Loads: 2 * threads, Stores: 7 * threads, Fences: threads, CASes: threads}
+	if chaosOps != want {
+		t.Errorf("op counts = %+v want %+v", chaosOps, want)
+	}
+}
+
+// TestStatsAddMergesEveryField audits Stats.add against two non-trivial
+// values: counters sum, the high-water mark takes the max. The NumField
+// guard makes adding a Stats field without extending add (and this test) a
+// failure instead of a silent drop.
+func TestStatsAddMergesEveryField(t *testing.T) {
+	a := Stats{Loads: 1, Stores: 2, Fences: 3, CASes: 4, Drains: 5,
+		Coalesces: 6, ForwardLoads: 7, MaxOccupancy: 8, Steps: 9}
+	b := Stats{Loads: 10, Stores: 20, Fences: 30, CASes: 40, Drains: 50,
+		Coalesces: 60, ForwardLoads: 70, MaxOccupancy: 3, Steps: 90}
+	a.add(b)
+	want := Stats{Loads: 11, Stores: 22, Fences: 33, CASes: 44, Drains: 55,
+		Coalesces: 66, ForwardLoads: 77, MaxOccupancy: 8, Steps: 99}
+	if a != want {
+		t.Errorf("merged = %+v want %+v", a, want)
+	}
+	if n := reflect.TypeOf(Stats{}).NumField(); n != 9 {
+		t.Errorf("Stats has %d fields; audit add() and this test, then update the count", n)
+	}
+}
+
+// TestMetricsDisabledIsNil checks the zero-cost-when-disabled contract's
+// visible half: no Config.Metrics, no series.
+func TestMetricsDisabledIsNil(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 2, Seed: 1})
+	a := m.Alloc(1)
+	if err := m.Run(func(c Context) { c.Store(a, 1); c.Fence() }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics() != nil {
+		t.Fatal("Metrics() non-nil without Config.Metrics")
+	}
+}
+
+// TestMetricsSeries exercises the recorded series on both engines: the
+// occupancy histogram samples every store, forwarded loads are counted,
+// and every drained entry contributes a latency sample.
+func TestMetricsSeries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(Config) *Machine
+	}{
+		{"chaos", NewMachine},
+		{"timed", func(c Config) *Machine { return &NewTimedMachine(c).Machine }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mk(Config{Threads: 2, BufferSize: 3, Seed: 3, Metrics: true})
+			progs, _ := equivProgs(m, 2)
+			if err := m.Run(progs...); err != nil {
+				t.Fatal(err)
+			}
+			met := m.Metrics()
+			if met == nil {
+				t.Fatal("no metrics")
+			}
+			if met.Bound != 3 {
+				t.Errorf("bound = %d", met.Bound)
+			}
+			st := m.Stats()
+			var pushes, drained, forwards int64
+			for _, th := range met.Threads {
+				if len(th.OccupancyHist) != met.Bound+1 {
+					t.Errorf("thread %d hist has %d buckets", th.Thread, len(th.OccupancyHist))
+				}
+				for _, c := range th.OccupancyHist {
+					pushes += c
+				}
+				drained += th.DrainedEntries
+				forwards += th.ForwardLoads
+				if th.DrainedEntries > 0 && th.DrainLatencyMax == 0 && tc.name == "timed" {
+					t.Errorf("thread %d drained %d entries with zero max latency", th.Thread, th.DrainedEntries)
+				}
+			}
+			if pushes != st.Stores {
+				t.Errorf("histogram samples %d != stores %d", pushes, st.Stores)
+			}
+			if drained != st.Drains {
+				t.Errorf("latency samples %d != drains %d", drained, st.Drains)
+			}
+			if forwards != st.ForwardLoads {
+				t.Errorf("forward-load series %d != stats %d", forwards, st.ForwardLoads)
+			}
+		})
+	}
+}

@@ -84,7 +84,9 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 		c := cfg
 		c.MaxSteps = opts.MaxStepsPerRun
 		m := NewMachine(c)
-		m.chooser = func(n int) int {
+		// Swap the chaos policy for deterministic enumeration: replay the
+		// recorded prefix, then take the first untried branch.
+		m.pol = &chooserPolicy{choose: func(n int) int {
 			if depth < len(prefix) {
 				if depth < len(fanout) && fanout[depth] != n {
 					// The program is not replay-deterministic; flag it
@@ -99,7 +101,7 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 			fanout = append(fanout, n)
 			depth++
 			return 0
-		}
+		}}
 		progs := mkProgs(m)
 		err := m.Run(progs...)
 		if mismatch {
@@ -141,15 +143,24 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 // string-rendered outcomes across all schedules.
 type OutcomeSet struct {
 	Counts map[string]int
-	res    ExploreResult
+	// MaxOccupancy is the per-thread high-water mark of buffered stores
+	// over every explored schedule — the observed reordering-bound
+	// witness (≤ Config.ObservableBound by construction).
+	MaxOccupancy []int
+	res          ExploreResult
 }
 
 // ExploreOutcomes runs Explore and buckets each run by the string outcome
 // returns. It panics on program panics, since a litmus program must not
 // fail.
 func ExploreOutcomes(cfg Config, mkProgs func(m *Machine) []func(Context), outcome func(m *Machine) string, opts ExploreOptions) (OutcomeSet, ExploreResult) {
-	set := OutcomeSet{Counts: map[string]int{}}
+	set := OutcomeSet{Counts: map[string]int{}, MaxOccupancy: make([]int, cfg.Threads)}
 	res := Explore(cfg, mkProgs, opts, func(m *Machine, err error) {
+		for tid := range set.MaxOccupancy {
+			if occ := m.ThreadMaxOccupancy(tid); occ > set.MaxOccupancy[tid] {
+				set.MaxOccupancy[tid] = occ
+			}
+		}
 		if err != nil && !errors.Is(err, ErrStepLimit) {
 			panic(fmt.Sprintf("tso: litmus program failed: %v", err))
 		}

@@ -5,12 +5,21 @@ import (
 	"math/rand"
 )
 
-// Machine is the chaos engine: an executable abstract TSO[S] machine whose
-// scheduler explores thread interleavings and store-buffer drain schedules
-// under a seeded RNG. Exactly one simulated thread executes at a time, and
-// between any two thread actions the scheduler may drain any thread's
-// store-buffer entries — the full nondeterminism of the §2 abstract
-// machine, driven adversarially.
+// Machine is the unified abstract TSO[S] machine core. One request/grant
+// executor, one memory + store-buffer substrate and one Stats sink serve
+// every engine; what differs between engines is expressed as a pluggable
+// scheduling/cost policy (see policy.go):
+//
+//   - the chaos policy (NewMachine) explores thread interleavings and
+//     store-buffer drain schedules under a seeded RNG — the full
+//     nondeterminism of the §2 abstract machine, driven adversarially;
+//   - the chooser policy (installed by Explore) enumerates the decision
+//     tree deterministically for exhaustive schedule exploration;
+//   - the timed policy (NewTimedMachine) runs a min-virtual-clock
+//     discrete-event simulation with pipelined drains (§7.1 cost model).
+//
+// Exactly one simulated thread executes at a time; between any two thread
+// actions a policy may drain store-buffer entries.
 //
 // A Machine is not safe for concurrent use; each Run call owns it until it
 // returns. Memory contents persist across Run calls, so a harness can
@@ -23,6 +32,10 @@ type Machine struct {
 	next Addr
 
 	stats Stats
+	met   *MachineMetrics // non-nil iff Config.Metrics
+
+	// pol is the engine's scheduling/cost policy.
+	pol policy
 
 	// per-Run scheduler state
 	reqCh   chan *request
@@ -33,13 +46,6 @@ type Machine struct {
 	// tracer, when non-nil, receives every executed action in schedule
 	// order (see trace.go).
 	tracer Tracer
-
-	// chooser, when non-nil, replaces the random scheduling policy: at
-	// every step the machine enumerates its possible actions (run each
-	// thread with a pending request, drain each non-empty buffer, in
-	// deterministic order) and asks chooser to pick one. Explore uses
-	// this to enumerate schedules exhaustively.
-	chooser func(n int) int
 }
 
 // action is one scheduler decision: execute a thread's pending request or
@@ -67,7 +73,7 @@ type request struct {
 	tid      int
 	kind     opKind
 	addr     Addr
-	val      uint64 // store value / CAS old
+	val      uint64 // store value / CAS old / Work cycles
 	val2     uint64 // CAS new
 	panicVal any
 }
@@ -94,7 +100,7 @@ func (e *ProgramPanic) Error() string {
 	return fmt.Sprintf("tso: simulated thread %d panicked: %v", e.Thread, e.Value)
 }
 
-// NewMachine builds a chaos machine for cfg. It panics on invalid
+// NewMachine builds a chaos-policy machine for cfg. It panics on invalid
 // configuration, since that is a programming error in the harness.
 func NewMachine(cfg Config) *Machine {
 	c, err := cfg.withDefaults()
@@ -109,6 +115,10 @@ func NewMachine(cfg Config) *Machine {
 	m.bufs = make([]*storeBuffer, c.Threads)
 	for i := range m.bufs {
 		m.bufs[i] = newStoreBuffer(c.BufferSize, c.DrainBuffer)
+	}
+	m.pol = &chaosPolicy{rng: m.rng}
+	if c.Metrics {
+		m.enableMetrics()
 	}
 	return m
 }
@@ -137,7 +147,10 @@ func (m *Machine) Peek(a Addr) uint64 { return m.mem.read(a) }
 // for harness initialization before Run.
 func (m *Machine) Poke(a Addr, v uint64) { m.mem.write(a, v) }
 
-// Stats returns cumulative event counts across all Run calls.
+// Stats returns cumulative event counts across all Run calls. Counters
+// recorded inside the store buffers (drains, coalesces, the occupancy
+// high-water mark) are folded in here, so there is a single stats sink for
+// every engine.
 func (m *Machine) Stats() Stats {
 	s := m.stats
 	for _, b := range m.bufs {
@@ -151,9 +164,9 @@ func (m *Machine) Stats() Stats {
 }
 
 // Run executes one simulated program per configured thread to completion,
-// then flushes all store buffers. It returns ErrStepLimit if the schedule
-// exceeds Config.MaxSteps (livelock/deadlock), or a *ProgramPanic if a
-// program panics.
+// then flushes all store buffers. Under a bounded policy (chaos, chooser)
+// it returns ErrStepLimit if the schedule exceeds Config.MaxSteps
+// (livelock/deadlock); a program panic surfaces as *ProgramPanic.
 func (m *Machine) Run(progs ...func(Context)) error {
 	if len(progs) != m.cfg.Threads {
 		return fmt.Errorf("tso: machine has %d threads, Run got %d programs", m.cfg.Threads, len(progs))
@@ -162,25 +175,13 @@ func (m *Machine) Run(progs ...func(Context)) error {
 	m.grants = make([]chan response, len(progs))
 	m.pending = make([]*request, len(progs))
 	m.steps = 0
+	m.pol.reset(m)
 	for i := range progs {
 		m.grants[i] = make(chan response)
 		go m.runThread(i, progs[i])
 	}
 	err := m.schedule(len(progs))
-	for tid, b := range m.bufs {
-		for !b.empty() {
-			if m.tracer != nil {
-				var e entry
-				if len(b.entries) > 0 {
-					e = b.entries[0]
-				} else {
-					e = b.stage
-				}
-				m.trace("drain", tid, e.addr, e.val, false)
-			}
-			b.drainOne(m.mem)
-		}
-	}
+	m.pol.flush(m)
 	m.stats.Steps += m.steps
 	return err
 }
@@ -196,13 +197,14 @@ func (m *Machine) runThread(tid int, prog func(Context)) {
 			m.reqCh <- &request{tid: tid, kind: opPanic, panicVal: v}
 		}
 	}()
-	prog(&chaosCtx{m: m, tid: tid})
+	prog(&threadCtx{m: m, tid: tid})
 }
 
 // schedule is the machine's main loop. Invariant: a live thread is either
 // "computing" (its goroutine is running between Context calls) or has a
 // pending request. At most one thread computes at a time, so the loop first
-// gathers requests until every live thread has one, then picks an action.
+// gathers requests until every live thread has one, then asks the policy
+// for an action.
 func (m *Machine) schedule(threads int) error {
 	live := threads
 	pendingN := 0
@@ -232,124 +234,68 @@ func (m *Machine) schedule(threads int) error {
 		if live == 0 {
 			return nil
 		}
-		if m.steps >= m.cfg.MaxSteps {
+		if m.pol.bounded() && m.steps >= m.cfg.MaxSteps {
 			m.abortPending(&pendingN)
 			m.drainDone(&live, &pendingN)
 			return fmt.Errorf("%w after %d steps", ErrStepLimit, m.steps)
 		}
 		m.steps++
 
-		act := m.nextAction()
+		act := m.pol.next(m)
 		if act.drain {
-			b := m.bufs[act.id]
-			if m.tracer != nil {
-				// Identify which store this drain advances: the stage
-				// entry when it reaches memory, or the FIFO head when it
-				// moves into (or coalesces with) the stage.
-				var e entry
-				switch {
-				case m.cfg.Model == ModelPSO:
-					e = b.entries[act.idx]
-				case b.hasStage && len(b.entries) == 0:
-					e = b.stage
-				case b.hasStage && b.entries[0].addr == b.stage.addr:
-					e = b.entries[0] // coalesces; the stage value is discarded
-				case b.hasStage:
-					e = b.stage
-				default:
-					e = b.entries[0]
-				}
-				m.trace("drain", act.id, e.addr, e.val, false)
-			}
-			if m.cfg.Model == ModelPSO {
-				b.drainAt(m.mem, act.idx)
-			} else {
-				b.drainOne(m.mem)
-			}
+			m.drainStep(act)
 			continue
 		}
 		tid := act.id
 		r := m.pending[tid]
 		m.pending[tid] = nil
 		pendingN--
-		m.grants[tid] <- m.exec(r)
+		m.grants[tid] <- m.pol.exec(m, r)
 	}
 }
 
-// nextAction picks the step's action: randomly under the default policy,
-// or via the chooser over the full enumerated action list. Under PSO the
-// drain actions additionally select which eligible entry to write (one per
-// distinct buffered address).
-func (m *Machine) nextAction() action {
-	pso := m.cfg.Model == ModelPSO
-	if m.chooser == nil {
-		if k, ok := m.pickDrain(); ok {
-			a := action{drain: true, id: k}
-			if pso {
-				el := m.bufs[k].eligibleDrains()
-				a.idx = el[m.rng.Intn(len(el))]
-			}
-			return a
+// drainStep performs a policy-chosen drain action on the buffered
+// substrate, tracing which store it advances.
+func (m *Machine) drainStep(act action) {
+	b := m.bufs[act.id]
+	if m.tracer != nil {
+		// Identify which store this drain advances: the stage entry when
+		// it reaches memory, or the FIFO head when it moves into (or
+		// coalesces with) the stage.
+		var e entry
+		switch {
+		case m.cfg.Model == ModelPSO:
+			e = b.entries[act.idx]
+		case b.hasStage && len(b.entries) == 0:
+			e = b.stage
+		case b.hasStage && b.entries[0].addr == b.stage.addr:
+			e = b.entries[0] // coalesces; the stage value is discarded
+		case b.hasStage:
+			e = b.stage
+		default:
+			e = b.entries[0]
 		}
-		return action{id: m.pickRunnable()}
+		m.trace("drain", act.id, e.addr, e.val, false)
 	}
-	var acts []action
-	for tid, r := range m.pending {
-		if r != nil {
-			acts = append(acts, action{id: tid})
-		}
+	if m.cfg.Model == ModelPSO {
+		b.drainAt(m.mem, act.idx)
+	} else {
+		b.drainOne(m.mem)
 	}
-	for tid, b := range m.bufs {
-		if b.occupancy() == 0 {
-			continue
-		}
-		if pso {
-			for _, idx := range b.eligibleDrains() {
-				acts = append(acts, action{drain: true, id: tid, idx: idx})
-			}
-			continue
-		}
-		acts = append(acts, action{drain: true, id: tid})
-	}
-	return acts[m.chooser(len(acts))]
 }
 
-// pickDrain decides whether this step drains a buffer entry, and whose.
-func (m *Machine) pickDrain() (int, bool) {
-	var drainable []int
-	for i, b := range m.bufs {
-		if b.occupancy() > 0 {
-			drainable = append(drainable, i)
-		}
-	}
-	if len(drainable) == 0 {
-		return 0, false
-	}
-	if m.rng.Float64() >= m.cfg.DrainBias {
-		return 0, false
-	}
-	return drainable[m.rng.Intn(len(drainable))], true
-}
-
-func (m *Machine) pickRunnable() int {
-	var runnable []int
-	for tid, r := range m.pending {
-		if r != nil {
-			runnable = append(runnable, tid)
-		}
-	}
-	return runnable[m.rng.Intn(len(runnable))]
-}
-
-// exec performs one memory action for a thread, applying the abstract
-// machine's forced-drain rules for full buffers, fences, and atomics.
-func (m *Machine) exec(r *request) response {
+// execBuffered performs one memory action for a thread on the buffered
+// (untimed) substrate, applying the abstract machine's forced-drain rules
+// for full buffers, fences, and atomics. The chaos and chooser policies
+// share it.
+func (m *Machine) execBuffered(r *request) response {
 	buf := m.bufs[r.tid]
 	switch r.kind {
 	case opLoad:
 		m.stats.Loads++
 		if v, ok := buf.forward(r.addr); ok {
 			m.stats.ForwardLoads++
+			m.metForward(r.tid)
 			m.trace("load", r.tid, r.addr, v, false)
 			return response{val: v}
 		}
@@ -363,11 +309,13 @@ func (m *Machine) exec(r *request) response {
 		for buf.full() {
 			buf.drainOne(m.mem)
 		}
-		buf.push(r.addr, r.val)
+		buf.push(entry{addr: r.addr, val: r.val, born: uint64(m.steps)})
+		m.metPush(r.tid, buf)
 		m.trace("store", r.tid, r.addr, r.val, false)
 		return response{}
 	case opFence:
 		m.stats.Fences++
+		m.metFenceStall(r.tid, uint64(buf.occupancy()))
 		buf.drainAll(m.mem)
 		m.trace("fence", r.tid, 0, 0, false)
 		return response{}
@@ -375,6 +323,7 @@ func (m *Machine) exec(r *request) response {
 		m.stats.CASes++
 		// Rule 4: atomics run with the memory-subsystem lock held and an
 		// empty store buffer, so the implicit drain happens first.
+		m.metCASStall(r.tid, uint64(buf.occupancy()))
 		buf.drainAll(m.mem)
 		cur := m.mem.read(r.addr)
 		if cur == r.val {
@@ -389,6 +338,25 @@ func (m *Machine) exec(r *request) response {
 		return response{}
 	default:
 		panic(fmt.Sprintf("tso: unknown op %d", r.kind))
+	}
+}
+
+// flushBuffered empties every store buffer at end of Run, tracing the
+// drains (chaos and chooser policies).
+func (m *Machine) flushBuffered() {
+	for tid, b := range m.bufs {
+		for !b.empty() {
+			if m.tracer != nil {
+				var e entry
+				if len(b.entries) > 0 {
+					e = b.entries[0]
+				} else {
+					e = b.stage
+				}
+				m.trace("drain", tid, e.addr, e.val, false)
+			}
+			b.drainOne(m.mem)
+		}
 	}
 }
 
@@ -419,13 +387,14 @@ func (m *Machine) drainDone(live, pendingN *int) {
 	}
 }
 
-// chaosCtx is the Context implementation handed to chaos-engine threads.
-type chaosCtx struct {
+// threadCtx is the Context implementation handed to simulated threads of
+// every engine; the installed policy interprets the requests.
+type threadCtx struct {
 	m   *Machine
 	tid int
 }
 
-func (c *chaosCtx) do(r request) response {
+func (c *threadCtx) do(r request) response {
 	r.tid = c.tid
 	c.m.reqCh <- &r
 	resp := <-c.m.grants[c.tid]
@@ -435,27 +404,31 @@ func (c *chaosCtx) do(r request) response {
 	return resp
 }
 
-func (c *chaosCtx) Load(a Addr) uint64 {
+func (c *threadCtx) Load(a Addr) uint64 {
 	return c.do(request{kind: opLoad, addr: a}).val
 }
 
-func (c *chaosCtx) Store(a Addr, v uint64) {
+func (c *threadCtx) Store(a Addr, v uint64) {
 	c.do(request{kind: opStore, addr: a, val: v})
 }
 
-func (c *chaosCtx) Fence() {
+func (c *threadCtx) Fence() {
 	c.do(request{kind: opFence})
 }
 
-func (c *chaosCtx) CAS(a Addr, old, new uint64) (uint64, bool) {
+func (c *threadCtx) CAS(a Addr, old, new uint64) (uint64, bool) {
 	r := c.do(request{kind: opCAS, addr: a, val: old, val2: new})
 	return r.val, r.ok
 }
 
-func (c *chaosCtx) Work(cycles uint64) {
-	// Work is a scheduling point: the chaos engine may run other threads
-	// or drain buffers "during" the computation.
-	c.do(request{kind: opWork})
+func (c *threadCtx) Work(cycles uint64) {
+	// Work is a scheduling point: a policy may run other threads or drain
+	// buffers "during" the computation. The timed policy charges the
+	// cycles to the thread's clock and treats zero-cycle work as a no-op.
+	if cycles == 0 && c.m.pol.zeroWorkIsNop() {
+		return
+	}
+	c.do(request{kind: opWork, val: cycles})
 }
 
-func (c *chaosCtx) ThreadID() int { return c.tid }
+func (c *threadCtx) ThreadID() int { return c.tid }

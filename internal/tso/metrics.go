@@ -1,0 +1,129 @@
+package tso
+
+// This file is the machine core's observability layer. When Config.Metrics
+// is set, the core records per-thread metric series — the signals the
+// paper's §7–§8 arguments are built on (buffer occupancy, drain timing,
+// stall costs) — at a handful of guarded instrumentation points. With
+// Metrics unset, every hook is a nil check and the series cost nothing.
+//
+// Units follow the engine's clock: the timed policy reports virtual
+// cycles, the chaos and chooser policies report scheduler steps (for
+// drain latency) or forced drains (for fence/CAS stalls).
+
+// MachineMetrics is the per-thread metric series a machine records when
+// Config.Metrics is set.
+type MachineMetrics struct {
+	// Bound is the configured observable reordering bound S (or S+1 with
+	// the drain stage); occupancy histograms index up to it.
+	Bound int `json:"bound"`
+	// Threads holds one series per simulated hardware thread.
+	Threads []ThreadMetrics `json:"threads"`
+}
+
+// ThreadMetrics is one simulated thread's metric series.
+type ThreadMetrics struct {
+	// Thread is the hardware-thread index.
+	Thread int `json:"thread"`
+	// OccupancyHist[k] counts stores issued when they brought the thread's
+	// buffered-store count (drain stage included) to k. The distribution's
+	// upper edge is the observable bound the fence-free δ derives from.
+	OccupancyHist []int64 `json:"occupancy_hist"`
+	// FenceStallCost is the total cost of waiting for the buffer to empty
+	// at fences: stall cycles on the timed engine, forced drains on the
+	// chaos engine.
+	FenceStallCost uint64 `json:"fence_stall_cost"`
+	// CASStallCost is the same wait attributed to atomics' implicit
+	// drains (rule 4 of §2).
+	CASStallCost uint64 `json:"cas_stall_cost"`
+	// DrainLatencySum totals, over every entry that reached memory, the
+	// time from issue to global visibility; DrainLatencyMax is the worst
+	// single entry, DrainedEntries the sample count.
+	DrainLatencySum uint64 `json:"drain_latency_sum"`
+	// DrainLatencyMax is the slowest issue-to-visibility latency seen.
+	DrainLatencyMax uint64 `json:"drain_latency_max"`
+	// DrainedEntries counts entries that reached memory (the latency
+	// sample count; coalesced-away entries are excluded).
+	DrainedEntries int64 `json:"drained_entries"`
+	// ForwardLoads counts loads this thread satisfied from its own buffer.
+	ForwardLoads int64 `json:"forward_loads"`
+	// Coalesces counts drain-stage same-address coalesces by this thread.
+	Coalesces int64 `json:"coalesces"`
+	// MaxOccupancy is this thread's high-water mark of buffered stores.
+	MaxOccupancy int `json:"max_occupancy"`
+}
+
+// MeanDrainLatency returns the average issue-to-visibility latency, 0 when
+// nothing drained.
+func (t ThreadMetrics) MeanDrainLatency() float64 {
+	if t.DrainedEntries == 0 {
+		return 0
+	}
+	return float64(t.DrainLatencySum) / float64(t.DrainedEntries)
+}
+
+// enableMetrics allocates the metric sink and arms the drain hooks. Called
+// from the machine constructors when Config.Metrics is set, after the
+// policy is installed.
+func (m *Machine) enableMetrics() {
+	bound := m.cfg.ObservableBound()
+	m.met = &MachineMetrics{Bound: bound, Threads: make([]ThreadMetrics, m.cfg.Threads)}
+	for i := range m.met.Threads {
+		m.met.Threads[i] = ThreadMetrics{Thread: i, OccupancyHist: make([]int64, bound+1)}
+		tid := i
+		m.bufs[i].onDrain = func(e entry) {
+			t := &m.met.Threads[tid]
+			lat := m.pol.drainLatency(m, e)
+			t.DrainLatencySum += lat
+			if lat > t.DrainLatencyMax {
+				t.DrainLatencyMax = lat
+			}
+			t.DrainedEntries++
+		}
+	}
+}
+
+// Metrics returns a snapshot of the per-thread metric series, folding in
+// the counters kept inside the store buffers, or nil when Config.Metrics
+// is unset.
+func (m *Machine) Metrics() *MachineMetrics {
+	if m.met == nil {
+		return nil
+	}
+	out := &MachineMetrics{Bound: m.met.Bound, Threads: make([]ThreadMetrics, len(m.met.Threads))}
+	for i := range m.met.Threads {
+		t := m.met.Threads[i]
+		t.OccupancyHist = append([]int64(nil), t.OccupancyHist...)
+		t.Coalesces = m.bufs[i].coalesces
+		t.MaxOccupancy = m.bufs[i].maxOcc
+		out.Threads[i] = t
+	}
+	return out
+}
+
+// metPush records the occupancy a store's push reached.
+func (m *Machine) metPush(tid int, b *storeBuffer) {
+	if m.met != nil {
+		m.met.Threads[tid].OccupancyHist[b.occupancy()]++
+	}
+}
+
+// metForward records a store-to-load forwarding hit.
+func (m *Machine) metForward(tid int) {
+	if m.met != nil {
+		m.met.Threads[tid].ForwardLoads++
+	}
+}
+
+// metFenceStall charges a fence's drain wait (cycles or forced drains).
+func (m *Machine) metFenceStall(tid int, cost uint64) {
+	if m.met != nil {
+		m.met.Threads[tid].FenceStallCost += cost
+	}
+}
+
+// metCASStall charges an atomic's implicit-drain wait.
+func (m *Machine) metCASStall(tid int, cost uint64) {
+	if m.met != nil {
+		m.met.Threads[tid].CASStallCost += cost
+	}
+}

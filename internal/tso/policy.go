@@ -1,0 +1,126 @@
+package tso
+
+import "math/rand"
+
+// policy is the pluggable scheduling/cost engine behind the unified
+// machine core. The core owns the request/grant plumbing, the memory and
+// store-buffer substrate and the stats sink; the policy decides what
+// happens at each scheduler step and what it costs.
+type policy interface {
+	// reset prepares per-Run policy state; called at the start of Run.
+	reset(m *Machine)
+	// next picks the step's action once every live thread has a pending
+	// request: run a thread, or drain a store-buffer entry.
+	next(m *Machine) action
+	// exec performs a thread's pending request and produces its response.
+	exec(m *Machine, r *request) response
+	// flush empties every store buffer at the end of Run.
+	flush(m *Machine)
+	// bounded reports whether Config.MaxSteps applies: schedule-exploring
+	// policies convert livelock into ErrStepLimit, the timed policy's
+	// deterministic schedule needs no bound.
+	bounded() bool
+	// zeroWorkIsNop reports whether Work(0) can skip its scheduling point
+	// (the timed engine's historical behaviour).
+	zeroWorkIsNop() bool
+	// drainLatency is the metrics clock: how long entry e spent buffered,
+	// in the policy's time unit (scheduler steps or virtual cycles).
+	drainLatency(m *Machine, e entry) uint64
+}
+
+// bufferedPolicy is the shared behaviour of the policies that run the
+// buffered (untimed) substrate: execution and end-of-run flushing live on
+// the machine core, and scheduler steps are bounded by Config.MaxSteps.
+type bufferedPolicy struct{}
+
+func (bufferedPolicy) reset(*Machine) {}
+
+func (bufferedPolicy) exec(m *Machine, r *request) response { return m.execBuffered(r) }
+
+func (bufferedPolicy) flush(m *Machine) { m.flushBuffered() }
+
+func (bufferedPolicy) bounded() bool { return true }
+
+func (bufferedPolicy) zeroWorkIsNop() bool { return false }
+
+func (bufferedPolicy) drainLatency(m *Machine, e entry) uint64 { return uint64(m.steps) - e.born }
+
+// chaosPolicy samples schedules under a seeded RNG with a configurable
+// drain bias — the adversarial engine behind the litmus grids.
+type chaosPolicy struct {
+	bufferedPolicy
+	rng *rand.Rand
+}
+
+func (p *chaosPolicy) next(m *Machine) action {
+	pso := m.cfg.Model == ModelPSO
+	if k, ok := p.pickDrain(m); ok {
+		a := action{drain: true, id: k}
+		if pso {
+			el := m.bufs[k].eligibleDrains()
+			a.idx = el[p.rng.Intn(len(el))]
+		}
+		return a
+	}
+	return action{id: p.pickRunnable(m)}
+}
+
+// pickDrain decides whether this step drains a buffer entry, and whose.
+func (p *chaosPolicy) pickDrain(m *Machine) (int, bool) {
+	var drainable []int
+	for i, b := range m.bufs {
+		if b.occupancy() > 0 {
+			drainable = append(drainable, i)
+		}
+	}
+	if len(drainable) == 0 {
+		return 0, false
+	}
+	if p.rng.Float64() >= m.cfg.DrainBias {
+		return 0, false
+	}
+	return drainable[p.rng.Intn(len(drainable))], true
+}
+
+func (p *chaosPolicy) pickRunnable(m *Machine) int {
+	var runnable []int
+	for tid, r := range m.pending {
+		if r != nil {
+			runnable = append(runnable, tid)
+		}
+	}
+	return runnable[p.rng.Intn(len(runnable))]
+}
+
+// chooserPolicy replaces random scheduling with deterministic enumeration:
+// at every step it lists the possible actions (run each thread with a
+// pending request, drain each non-empty buffer, in deterministic order)
+// and asks choose to pick one. Explore uses it to enumerate schedules
+// exhaustively.
+type chooserPolicy struct {
+	bufferedPolicy
+	choose func(n int) int
+}
+
+func (p *chooserPolicy) next(m *Machine) action {
+	pso := m.cfg.Model == ModelPSO
+	var acts []action
+	for tid, r := range m.pending {
+		if r != nil {
+			acts = append(acts, action{id: tid})
+		}
+	}
+	for tid, b := range m.bufs {
+		if b.occupancy() == 0 {
+			continue
+		}
+		if pso {
+			for _, idx := range b.eligibleDrains() {
+				acts = append(acts, action{drain: true, id: tid, idx: idx})
+			}
+			continue
+		}
+		acts = append(acts, action{drain: true, id: tid})
+	}
+	return acts[p.choose(len(acts))]
+}

@@ -158,10 +158,10 @@ func TestPSOFenceRestoresOrder(t *testing.T) {
 // address, oldest first.
 func TestEligibleDrains(t *testing.T) {
 	b := newStoreBuffer(8, false)
-	b.push(1, 10)
-	b.push(2, 20)
-	b.push(1, 11)
-	b.push(3, 30)
+	b.push(entry{addr: 1, val: 10})
+	b.push(entry{addr: 2, val: 20})
+	b.push(entry{addr: 1, val: 11})
+	b.push(entry{addr: 3, val: 30})
 	el := b.eligibleDrains()
 	want := []int{0, 1, 3}
 	if len(el) != len(want) {

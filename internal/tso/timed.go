@@ -1,13 +1,10 @@
 package tso
 
-import (
-	"fmt"
-)
-
-// TimedMachine is the performance engine: a discrete-event simulation of a
-// TSO[S] multicore in virtual cycles. Its scheduling is deterministic — it
-// always steps the thread with the smallest virtual clock — so a given
-// program produces a single well-defined cycle count.
+// TimedMachine is the performance engine: the unified machine core under
+// the timed policy, a discrete-event simulation of a TSO[S] multicore in
+// virtual cycles. Its scheduling is deterministic — it always steps the
+// thread with the smallest virtual clock — so a given program produces a
+// single well-defined cycle count.
 //
 // The cost mechanics mirror §7.1: a store occupies a buffer entry that
 // drains DrainCycles after its predecessor; a store into a full buffer
@@ -17,30 +14,19 @@ import (
 // at their drain timestamps, and because the minimum-clock thread always
 // runs next, reads are coherent in virtual time.
 type TimedMachine struct {
-	cfg     Config
-	mem     *memory
-	next    Addr
-	threads []*timedThread
-	cores   []uint64 // per-core next-free issue slot (SMT only)
-	stats   Stats
-	elapsed uint64
-
-	reqCh   chan *request
-	grants  []chan response
-	pending []*request
+	Machine
+	tp *timedPolicy
 }
 
-type timedThread struct {
-	clock    uint64
-	buf      []timedEntry // FIFO of undrained stores
-	lastDone uint64       // drain timestamp of the newest issued store
-	maxOcc   int
-}
-
-type timedEntry struct {
-	addr Addr
-	val  uint64
-	done uint64 // virtual time at which the store reaches memory
+// timedPolicy is the min-virtual-clock discrete-event scheduling/cost
+// policy. Per-thread clocks and drain-pipeline state live here; buffered
+// stores live in the core's shared store buffers, carrying their drain
+// timestamps in entry.done.
+type timedPolicy struct {
+	clocks   []uint64 // per-thread virtual clock
+	lastDone []uint64 // drain timestamp of each thread's newest issued store
+	cores    []uint64 // per-core next-free issue slot (SMT only)
+	elapsed  uint64   // makespan of the last Run
 }
 
 // NewTimedMachine builds a timed machine for cfg. It panics on invalid
@@ -53,219 +39,101 @@ func NewTimedMachine(cfg Config) *TimedMachine {
 	if c.Model != ModelTSO {
 		panic("tso: the timed engine models TSO only")
 	}
-	m := &TimedMachine{
-		cfg: c,
-		mem: newMemory(c.MemWords),
-	}
-	m.threads = make([]*timedThread, c.Threads)
-	for i := range m.threads {
-		m.threads[i] = &timedThread{}
+	tp := &timedPolicy{
+		clocks:   make([]uint64, c.Threads),
+		lastDone: make([]uint64, c.Threads),
 	}
 	if c.SMT {
-		m.cores = make([]uint64, c.Threads/2)
+		tp.cores = make([]uint64, c.Threads/2)
+	}
+	m := &TimedMachine{tp: tp}
+	m.cfg = c
+	m.mem = newMemory(c.MemWords)
+	m.bufs = make([]*storeBuffer, c.Threads)
+	for i := range m.bufs {
+		// The timed engine has no coalescing drain stage; the §7.3 stage
+		// entry instead shows up as one extra slot of FIFO capacity, which
+		// is exactly the observable S+1 bound.
+		m.bufs[i] = newStoreBuffer(c.ObservableBound(), false)
+	}
+	m.pol = tp
+	if c.Metrics {
+		m.enableMetrics()
 	}
 	return m
 }
 
-// issue charges k instruction-issue cycles to thread tid starting no
-// earlier than its clock: on an SMT machine the cycles additionally
-// serialize on the owning core's clock, so a busy sibling delays them —
-// but a *stalled* sibling does not, because stalls never call issue.
-func (m *TimedMachine) issue(tid int, k uint64) {
-	th := m.threads[tid]
-	if m.cores == nil {
-		th.clock += k
-		return
-	}
-	core := tid / 2
-	start := th.clock
-	if m.cores[core] > start {
-		start = m.cores[core]
-	}
-	th.clock = start + k
-	m.cores[core] = start + k
-}
-
-// Config returns the configuration the machine was built with (after
-// defaulting).
-func (m *TimedMachine) Config() Config { return m.cfg }
-
-// Alloc reserves n zero-initialized words of simulated memory.
-func (m *TimedMachine) Alloc(n int) Addr {
-	if n <= 0 {
-		panic(fmt.Sprintf("tso: Alloc(%d)", n))
-	}
-	base := m.next
-	m.next += Addr(n)
-	m.mem.ensure(m.next - 1)
-	return base
-}
-
-// Peek reads simulated memory directly (for inspection after Run).
-func (m *TimedMachine) Peek(a Addr) uint64 { return m.mem.read(a) }
-
-// Poke writes simulated memory directly (for initialization before Run).
-func (m *TimedMachine) Poke(a Addr, v uint64) { m.mem.write(a, v) }
-
-// Stats returns cumulative event counts across Run calls.
-func (m *TimedMachine) Stats() Stats {
-	s := m.stats
-	for _, t := range m.threads {
-		if t.maxOcc > s.MaxOccupancy {
-			s.MaxOccupancy = t.maxOcc
-		}
-	}
-	return s
-}
-
 // Elapsed returns the makespan of the last Run in virtual cycles: the
 // maximum finishing clock over all threads.
-func (m *TimedMachine) Elapsed() uint64 { return m.elapsed }
+func (m *TimedMachine) Elapsed() uint64 { return m.tp.elapsed }
 
 // ThreadCycles returns the finishing clock of thread tid after the last Run.
-func (m *TimedMachine) ThreadCycles(tid int) uint64 { return m.threads[tid].clock }
+func (m *TimedMachine) ThreadCycles(tid int) uint64 { return m.tp.clocks[tid] }
 
-// capEff is the number of buffered stores a thread may hold: S, plus the
-// drain-stage entry when modelled (ObservableBound).
-func (m *TimedMachine) capEff() int { return m.cfg.ObservableBound() }
-
-// Run executes one program per configured thread to completion in virtual
-// time and records the makespan. Thread clocks reset at the start of each
-// Run; memory persists. It returns a *ProgramPanic if a program panics.
-func (m *TimedMachine) Run(progs ...func(Context)) error {
-	if len(progs) != m.cfg.Threads {
-		return fmt.Errorf("tso: machine has %d threads, Run got %d programs", m.cfg.Threads, len(progs))
+// reset zeroes the virtual clocks and drain-pipeline state. Thread clocks
+// restart at every Run; memory persists.
+func (p *timedPolicy) reset(m *Machine) {
+	for i := range p.clocks {
+		p.clocks[i] = 0
+		p.lastDone[i] = 0
 	}
-	m.reqCh = make(chan *request)
-	m.grants = make([]chan response, len(progs))
-	m.pending = make([]*request, len(progs))
-	for i := range m.threads {
-		m.threads[i].clock = 0
-		m.threads[i].buf = m.threads[i].buf[:0]
-		m.threads[i].lastDone = 0
-	}
-	for i := range m.cores {
-		m.cores[i] = 0
-	}
-	for i := range progs {
-		m.grants[i] = make(chan response)
-		go m.runThread(i, progs[i])
-	}
-	err := m.schedule(len(progs))
-	// Flush whatever is still buffered at the end of the run.
-	for _, t := range m.threads {
-		for _, e := range t.buf {
-			m.mem.write(e.addr, e.val)
-		}
-		t.buf = t.buf[:0]
-	}
-	m.elapsed = 0
-	for _, t := range m.threads {
-		if t.clock > m.elapsed {
-			m.elapsed = t.clock
-		}
-	}
-	return err
-}
-
-func (m *TimedMachine) runThread(tid int, prog func(Context)) {
-	defer func() {
-		switch v := recover(); v.(type) {
-		case nil:
-			m.reqCh <- &request{tid: tid, kind: opDone}
-		case abortSignal:
-			m.reqCh <- &request{tid: tid, kind: opDone}
-		default:
-			m.reqCh <- &request{tid: tid, kind: opPanic, panicVal: v}
-		}
-	}()
-	prog(&timedCtx{m: m, tid: tid})
-}
-
-func (m *TimedMachine) schedule(threads int) error {
-	live := threads
-	pendingN := 0
-	var fail error
-	for {
-		for pendingN < live {
-			r := <-m.reqCh
-			switch r.kind {
-			case opDone:
-				live--
-			case opPanic:
-				live--
-				if fail == nil {
-					fail = &ProgramPanic{Thread: r.tid, Value: r.panicVal}
-				}
-			default:
-				m.pending[r.tid] = r
-				pendingN++
-			}
-		}
-		if fail != nil {
-			m.abortPending(&pendingN)
-			m.drainDone(&live, &pendingN)
-			return fail
-		}
-		if live == 0 {
-			return nil
-		}
-		tid := m.minClockPending()
-		r := m.pending[tid]
-		m.pending[tid] = nil
-		pendingN--
-		m.grants[tid] <- m.exec(r)
+	for i := range p.cores {
+		p.cores[i] = 0
 	}
 }
 
-func (m *TimedMachine) abortPending(pendingN *int) {
-	for tid, r := range m.pending {
-		if r != nil {
-			m.pending[tid] = nil
-			*pendingN--
-			m.grants[tid] <- response{abort: true}
-		}
-	}
-}
-
-func (m *TimedMachine) drainDone(live, pendingN *int) {
-	for *live > 0 {
-		r := <-m.reqCh
-		switch r.kind {
-		case opDone, opPanic:
-			*live--
-		default:
-			m.grants[r.tid] <- response{abort: true}
-		}
-	}
-}
-
-// minClockPending picks the pending thread with the smallest virtual clock
-// (lowest tid on ties), which keeps virtual time causally consistent.
-func (m *TimedMachine) minClockPending() int {
+// next picks the pending thread with the smallest virtual clock (lowest
+// tid on ties), which keeps virtual time causally consistent. The timed
+// policy never emits drain actions: drains happen at their timestamps,
+// inside exec.
+func (p *timedPolicy) next(m *Machine) action {
 	best := -1
 	for tid, r := range m.pending {
 		if r == nil {
 			continue
 		}
-		if best == -1 || m.threads[tid].clock < m.threads[best].clock {
+		if best == -1 || p.clocks[tid] < p.clocks[best] {
 			best = tid
 		}
 	}
-	return best
+	return action{id: best}
+}
+
+func (p *timedPolicy) bounded() bool { return false }
+
+func (p *timedPolicy) zeroWorkIsNop() bool { return true }
+
+func (p *timedPolicy) drainLatency(m *Machine, e entry) uint64 { return e.done - e.born }
+
+// issue charges k instruction-issue cycles to thread tid starting no
+// earlier than its clock: on an SMT machine the cycles additionally
+// serialize on the owning core's clock, so a busy sibling delays them —
+// but a *stalled* sibling does not, because stalls never call issue.
+func (p *timedPolicy) issue(tid int, k uint64) {
+	if p.cores == nil {
+		p.clocks[tid] += k
+		return
+	}
+	core := tid / 2
+	start := p.clocks[tid]
+	if p.cores[core] > start {
+		start = p.cores[core]
+	}
+	p.clocks[tid] = start + k
+	p.cores[core] = start + k
 }
 
 // flushUpTo applies to memory, in drain-timestamp order, every buffered
 // store (any thread) whose drain completes at or before virtual time t.
-func (m *TimedMachine) flushUpTo(t uint64) {
+func (p *timedPolicy) flushUpTo(m *Machine, t uint64) {
 	for {
 		bestTid := -1
 		var bestDone uint64
-		for tid, th := range m.threads {
-			if len(th.buf) == 0 {
+		for tid, b := range m.bufs {
+			if len(b.entries) == 0 {
 				continue
 			}
-			if d := th.buf[0].done; d <= t && (bestTid == -1 || d < bestDone) {
+			if d := b.entries[0].done; d <= t && (bestTid == -1 || d < bestDone) {
 				bestTid = tid
 				bestDone = d
 			}
@@ -273,59 +141,58 @@ func (m *TimedMachine) flushUpTo(t uint64) {
 		if bestTid == -1 {
 			return
 		}
-		th := m.threads[bestTid]
-		e := th.buf[0]
-		th.buf = th.buf[1:]
-		m.mem.write(e.addr, e.val)
-		m.stats.Drains++
+		m.bufs[bestTid].drainOne(m.mem)
 	}
 }
 
-func (m *TimedMachine) exec(r *request) response {
-	th := m.threads[r.tid]
+func (p *timedPolicy) exec(m *Machine, r *request) response {
+	buf := m.bufs[r.tid]
 	cost := m.cfg.Cost
-	m.flushUpTo(th.clock)
+	p.flushUpTo(m, p.clocks[r.tid])
 	switch r.kind {
 	case opLoad:
 		m.stats.Loads++
-		m.issue(r.tid, cost.LoadCycles)
-		for i := len(th.buf) - 1; i >= 0; i-- {
-			if th.buf[i].addr == r.addr {
-				m.stats.ForwardLoads++
-				return response{val: th.buf[i].val}
-			}
+		p.issue(r.tid, cost.LoadCycles)
+		if v, ok := buf.forward(r.addr); ok {
+			m.stats.ForwardLoads++
+			m.metForward(r.tid)
+			return response{val: v}
 		}
 		return response{val: m.mem.read(r.addr)}
 	case opStore:
 		m.stats.Stores++
-		for len(th.buf) >= m.capEff() {
+		for buf.full() {
 			// Pipeline-entry stall: wait for the oldest entry to drain.
-			th.clock = maxU64(th.clock, th.buf[0].done)
-			m.flushUpTo(th.clock)
+			p.clocks[r.tid] = maxU64(p.clocks[r.tid], buf.entries[0].done)
+			p.flushUpTo(m, p.clocks[r.tid])
 		}
 		// Drains are pipelined: full latency from issue, but only the
 		// throughput spacing behind the previous drain.
-		done := maxU64(th.clock+cost.DrainCycles, th.lastDone+cost.DrainThroughputCycles)
-		th.buf = append(th.buf, timedEntry{addr: r.addr, val: r.val, done: done})
-		th.lastDone = done
-		if len(th.buf) > th.maxOcc {
-			th.maxOcc = len(th.buf)
-		}
-		m.issue(r.tid, cost.StoreCycles)
+		done := maxU64(p.clocks[r.tid]+cost.DrainCycles, p.lastDone[r.tid]+cost.DrainThroughputCycles)
+		buf.push(entry{addr: r.addr, val: r.val, done: done, born: p.clocks[r.tid]})
+		m.metPush(r.tid, buf)
+		p.lastDone[r.tid] = done
+		p.issue(r.tid, cost.StoreCycles)
 		return response{}
 	case opFence:
 		m.stats.Fences++
 		// The drain wait is a stall (no core issue); only the fence's own
 		// cycles are issued.
-		th.clock = maxU64(th.clock, th.lastDone)
-		m.issue(r.tid, cost.FenceCycles)
-		m.flushUpTo(th.clock)
+		if ld := p.lastDone[r.tid]; ld > p.clocks[r.tid] {
+			m.metFenceStall(r.tid, ld-p.clocks[r.tid])
+			p.clocks[r.tid] = ld
+		}
+		p.issue(r.tid, cost.FenceCycles)
+		p.flushUpTo(m, p.clocks[r.tid])
 		return response{}
 	case opCAS:
 		m.stats.CASes++
-		th.clock = maxU64(th.clock, th.lastDone) // stall: no core issue
-		m.flushUpTo(th.clock)
-		m.issue(r.tid, cost.CASCycles)
+		if ld := p.lastDone[r.tid]; ld > p.clocks[r.tid] {
+			m.metCASStall(r.tid, ld-p.clocks[r.tid])
+			p.clocks[r.tid] = ld // stall: no core issue
+		}
+		p.flushUpTo(m, p.clocks[r.tid])
+		p.issue(r.tid, cost.CASCycles)
 		cur := m.mem.read(r.addr)
 		if cur == r.val {
 			m.mem.write(r.addr, r.val2)
@@ -333,10 +200,24 @@ func (m *TimedMachine) exec(r *request) response {
 		}
 		return response{val: cur, ok: false}
 	case opWork:
-		m.issue(r.tid, r.val)
+		p.issue(r.tid, r.val)
 		return response{}
 	default:
-		panic(fmt.Sprintf("tso: unknown op %d", r.kind))
+		panic("tso: unknown op")
+	}
+}
+
+// flush writes whatever is still buffered at the end of the run (in
+// thread order, as the engine always has) and records the makespan.
+func (p *timedPolicy) flush(m *Machine) {
+	for _, b := range m.bufs {
+		b.drainAll(m.mem)
+	}
+	p.elapsed = 0
+	for _, c := range p.clocks {
+		if c > p.elapsed {
+			p.elapsed = c
+		}
 	}
 }
 
@@ -346,45 +227,3 @@ func maxU64(a, b uint64) uint64 {
 	}
 	return b
 }
-
-// timedCtx is the Context implementation handed to timed-engine threads.
-type timedCtx struct {
-	m   *TimedMachine
-	tid int
-}
-
-func (c *timedCtx) do(r request) response {
-	r.tid = c.tid
-	c.m.reqCh <- &r
-	resp := <-c.m.grants[c.tid]
-	if resp.abort {
-		panic(abortSignal{})
-	}
-	return resp
-}
-
-func (c *timedCtx) Load(a Addr) uint64 {
-	return c.do(request{kind: opLoad, addr: a}).val
-}
-
-func (c *timedCtx) Store(a Addr, v uint64) {
-	c.do(request{kind: opStore, addr: a, val: v})
-}
-
-func (c *timedCtx) Fence() {
-	c.do(request{kind: opFence})
-}
-
-func (c *timedCtx) CAS(a Addr, old, new uint64) (uint64, bool) {
-	r := c.do(request{kind: opCAS, addr: a, val: old, val2: new})
-	return r.val, r.ok
-}
-
-func (c *timedCtx) Work(cycles uint64) {
-	if cycles == 0 {
-		return
-	}
-	c.do(request{kind: opWork, val: cycles})
-}
-
-func (c *timedCtx) ThreadID() int { return c.tid }

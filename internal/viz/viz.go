@@ -120,3 +120,47 @@ func col(v, max float64, width int) int {
 func NormalizedChart(w io.Writer, title string, bars []Bar, maxPct float64) {
 	Chart(w, title, bars, Options{Reference: 100, Unit: "%", Max: maxPct})
 }
+
+// Histogram renders integer bucket counts — one bar per bucket index, the
+// metrics layer's occupancy-distribution view. Trailing all-zero buckets
+// are elided (but the slice's last bucket is always shown, so the
+// histogram's domain stays visible). Options.Width applies; Max/Reference
+// are scaled on the counts like Chart.
+func Histogram(w io.Writer, title string, buckets []int64, opts Options) {
+	if len(buckets) == 0 {
+		return
+	}
+	last := len(buckets) - 1
+	top := 0
+	for i, c := range buckets {
+		if c > 0 {
+			top = i
+		}
+	}
+	if top < last {
+		top++ // keep one empty bucket so the cut is visible
+	}
+	if opts.Width <= 0 {
+		opts.Width = 40
+	}
+	var max float64
+	for _, c := range buckets {
+		if float64(c) > max {
+			max = float64(c)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	labelW := len(fmt.Sprint(last))
+	for i := 0; i <= top; i++ {
+		n := col(float64(buckets[i]), max, opts.Width)
+		fmt.Fprintf(w, "%*d %s %d\n", labelW, i, strings.Repeat("#", n)+strings.Repeat(" ", opts.Width-n), buckets[i])
+	}
+	if top < last {
+		fmt.Fprintf(w, "%*s (buckets %d..%d empty)\n", labelW, "…", top+1, last)
+	}
+}

@@ -89,3 +89,47 @@ func TestEmptyBars(t *testing.T) {
 		t.Fatal("title missing for empty chart")
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "occ", []int64{4, 2, 0, 1, 0, 0, 0, 0}, Options{Width: 8})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "occ" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Buckets 0..3 have data; one trailing empty bucket (4) stays visible,
+	// then the elision marker covers 5..7.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "########") || !strings.Contains(lines[1], " 4") {
+		t.Errorf("bucket 0 = %q", lines[1])
+	}
+	if !strings.Contains(lines[5], " 0") {
+		t.Errorf("kept empty bucket = %q", lines[5])
+	}
+	if !strings.Contains(lines[6], "buckets 5..7 empty") {
+		t.Errorf("elision line = %q", lines[6])
+	}
+}
+
+func TestHistogramNoElision(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "", []int64{1, 2}, Options{Width: 4})
+	out := buf.String()
+	if strings.Contains(out, "empty") {
+		t.Fatalf("unexpected elision:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Fatalf("got %d lines:\n%s", got, out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "x", nil, Options{})
+	if buf.Len() != 0 {
+		t.Fatalf("output for empty buckets: %q", buf.String())
+	}
+}
