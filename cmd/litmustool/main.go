@@ -6,8 +6,11 @@
 //
 // Usage:
 //
-//	litmustool [-list] [-max 2000000] [file.litmus ...]
+//	litmustool [-list] [-max 2000000] [-par N] [-prune] [file.litmus ...]
 //
+// -par spreads the exploration over N workers; -prune turns on
+// canonical-state memoization, which proves the same outcome counts while
+// executing a fraction of the schedules (the executed= column).
 // See internal/litmusdsl for the file format.
 package main
 
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/litmusdsl"
+	"repro/internal/tso"
 )
 
 func main() {
@@ -29,6 +33,8 @@ func main() {
 	maxSched := flag.Int("max", 2_000_000, "schedule-exploration cap per test")
 	verbose := flag.Bool("v", false, "print every distinct outcome per test")
 	witness := flag.Bool("witness", false, "for allowed tests, print one schedule reaching the condition")
+	par := flag.Int("par", 1, "exploration workers per test")
+	prune := flag.Bool("prune", false, "canonical-state pruning (same counts, fewer executed schedules)")
 	flag.Parse()
 
 	if *list {
@@ -62,9 +68,12 @@ func main() {
 	}
 
 	failures := 0
+	var pruneTotal tso.PruneStats
 	for _, t := range tests {
 		start := time.Now()
-		res, err := litmusdsl.Run(t, litmusdsl.RunOptions{MaxSchedules: *maxSched, Witness: *witness})
+		res, err := litmusdsl.Run(t, litmusdsl.RunOptions{
+			MaxSchedules: *maxSched, Witness: *witness, Parallel: *par, Prune: *prune,
+		})
 		if err != nil {
 			log.Fatalf("%s: %v", t.Name, err)
 		}
@@ -73,9 +82,15 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("%s %-14s model=%-3s verdict=%-10s expect=%-9s schedules=%-7d complete=%-5v occ=%v %v\n",
-			status, t.Name, t.Model, res.Verdict, t.Expect, res.Schedules, res.Complete,
-			res.MaxOccupancy, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s %-14s model=%-3s verdict=%-10s expect=%-9s schedules=%-9d executed=%-7d complete=%-5v occ=%v tree=d%d/f%d/c%d %v\n",
+			status, t.Name, t.Model, res.Verdict, t.Expect, res.Schedules, res.Executed, res.Complete,
+			res.MaxOccupancy, res.Tree.MaxDepth, res.Tree.MaxFanout, res.Tree.ChoicePoints,
+			time.Since(start).Round(time.Millisecond))
+		pruneTotal.StatesSeen += res.Prune.StatesSeen
+		pruneTotal.StatesDeduped += res.Prune.StatesDeduped
+		pruneTotal.SubtreesCut += res.Prune.SubtreesCut
+		pruneTotal.SchedulesSaved += res.Prune.SchedulesSaved
+		pruneTotal.SleepSkips += res.Prune.SleepSkips
 		if *verbose {
 			keys := make([]string, 0, len(res.Outcomes))
 			for o := range res.Outcomes {
@@ -92,6 +107,10 @@ func main() {
 				fmt.Println("         " + line)
 			}
 		}
+	}
+	if *prune {
+		fmt.Printf("pruning: %d states seen, %d deduped, %d subtrees cut, %d schedules saved\n",
+			pruneTotal.StatesSeen, pruneTotal.StatesDeduped, pruneTotal.SubtreesCut, pruneTotal.SchedulesSaved)
 	}
 	if failures > 0 {
 		log.Fatalf("%d test(s) FAILED", failures)

@@ -2,11 +2,14 @@
 // it runs the classic store-buffering litmus test under many adversarial
 // schedules and tallies the observed outcomes, with and without fences,
 // and shows the bounded-reordering lag experiment that underpins the
-// fence-free queues.
+// fence-free queues. With -exhaustive the store-buffering tallies come
+// from the model-checking engine instead of sampling: every schedule is
+// accounted for exactly, optionally in parallel (-par) and with
+// canonical-state pruning (-prune).
 //
 // Usage:
 //
-//	tsoexplore [-s 4] [-runs 2000] [-stage]
+//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune]
 package main
 
 import (
@@ -23,30 +26,54 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsoexplore: ")
 	s := flag.Int("s", 4, "store buffer entries per thread")
-	runs := flag.Int("runs", 2000, "schedules to explore per experiment")
+	runs := flag.Int("runs", 2000, "schedules to sample per experiment (ignored with -exhaustive)")
 	stage := flag.Bool("stage", false, "model the post-retirement drain stage B (bound becomes S+1)")
+	exhaustive := flag.Bool("exhaustive", false, "explore every schedule of the SB test instead of sampling")
+	par := flag.Int("par", 1, "exploration workers for -exhaustive")
+	prune := flag.Bool("prune", false, "canonical-state pruning for -exhaustive")
 	flag.Parse()
 
 	cfg := tso.Config{Threads: 2, BufferSize: *s, DrainBuffer: *stage, DrainBias: 0.1}
 	fmt.Printf("Abstract TSO[%d] machine (drain stage: %v, observable bound %d)\n\n",
 		*s, *stage, cfg.ObservableBound())
 
-	sbOutcomes(cfg, *runs, false)
-	sbOutcomes(cfg, *runs, true)
+	if *exhaustive {
+		sbExhaustive(cfg, false, *par, *prune)
+		sbExhaustive(cfg, true, *par, *prune)
+	} else {
+		sbOutcomes(cfg, *runs, false)
+		sbOutcomes(cfg, *runs, true)
+	}
 	lagHistogram(cfg, *runs)
 }
 
-// sbOutcomes runs the SB litmus test (x:=1; r0:=y || y:=1; r1:=x) and
-// tallies result pairs.
+// sbTable renders the four SB outcome rows in their canonical order.
+func sbTable(counts map[string]int, fenced bool) {
+	rows := [][]string{}
+	for _, k := range [][2]uint64{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		note := ""
+		if k == [2]uint64{0, 0} {
+			if fenced {
+				note = "impossible with fences"
+			} else {
+				note = "the TSO reordering outcome"
+			}
+		}
+		key := fmt.Sprintf("r0=%d r1=%d", k[0], k[1])
+		rows = append(rows, []string{key, fmt.Sprintf("%d", counts[key]), note})
+	}
+	expt.WriteTable(os.Stdout, []string{"outcome", "count", ""}, rows)
+	fmt.Println()
+}
+
+// sbOutcomes samples the SB litmus test (x:=1; r0:=y || y:=1; r1:=x)
+// under seeded adversarial schedules via the shared engine and tallies
+// result pairs.
 func sbOutcomes(cfg tso.Config, runs int, fenced bool) {
-	counts := map[[2]uint64]int{}
-	for seed := 0; seed < runs; seed++ {
-		c := cfg
-		c.Seed = int64(seed)
-		m := tso.NewMachine(c)
+	var r0, r1 uint64
+	mk := func(m *tso.Machine) []func(tso.Context) {
 		x, y := m.Alloc(1), m.Alloc(1)
-		var r0, r1 uint64
-		err := m.Run(
+		return []func(tso.Context){
 			func(c tso.Context) {
 				c.Store(x, 1)
 				if fenced {
@@ -61,48 +88,77 @@ func sbOutcomes(cfg tso.Config, runs int, fenced bool) {
 				}
 				r1 = c.Load(x)
 			},
-		)
-		if err != nil {
-			log.Fatal(err)
 		}
-		counts[[2]uint64{r0, r1}]++
 	}
+	out := func(m *tso.Machine) string { return fmt.Sprintf("r0=%d r1=%d", r0, r1) }
+	set := tso.SampleOutcomes(cfg, runs, mk, out)
 	title := "without fences"
 	if fenced {
 		title = "with fences"
 	}
 	fmt.Printf("Store-buffering litmus, %s (%d schedules):\n", title, runs)
-	rows := [][]string{}
-	for _, k := range [][2]uint64{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
-		note := ""
-		if k == [2]uint64{0, 0} {
-			if fenced {
-				note = "impossible with fences"
-			} else {
-				note = "the TSO reordering outcome"
-			}
+	sbTable(set.Counts, fenced)
+}
+
+// sbExhaustive proves the SB tallies instead of sampling them: the counts
+// are over every schedule of the machine. The programs publish their
+// registers to result words (rather than captured locals) so the factory
+// is safe on the engine's concurrent workers.
+func sbExhaustive(cfg tso.Config, fenced bool, par int, prune bool) {
+	const xA, yA, r0A, r1A = tso.Addr(0), tso.Addr(1), tso.Addr(2), tso.Addr(3)
+	mk := func(m *tso.Machine) []func(tso.Context) {
+		m.Alloc(4)
+		return []func(tso.Context){
+			func(c tso.Context) {
+				c.Store(xA, 1)
+				if fenced {
+					c.Fence()
+				}
+				c.Store(r0A, c.Load(yA)+1)
+			},
+			func(c tso.Context) {
+				c.Store(yA, 1)
+				if fenced {
+					c.Fence()
+				}
+				c.Store(r1A, c.Load(xA)+1)
+			},
 		}
-		rows = append(rows, []string{fmt.Sprintf("r0=%d r1=%d", k[0], k[1]), fmt.Sprintf("%d", counts[k]), note})
 	}
-	expt.WriteTable(os.Stdout, []string{"outcome", "count", ""}, rows)
-	fmt.Println()
+	out := func(m *tso.Machine) string {
+		return fmt.Sprintf("r0=%d r1=%d", m.Peek(r0A)-1, m.Peek(r1A)-1)
+	}
+	set, res := tso.ExploreExhaustive(cfg, mk, out, tso.ExhaustiveOptions{
+		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
+		Parallel:       par,
+		Prune:          prune,
+	})
+	title := "without fences"
+	if fenced {
+		title = "with fences"
+	}
+	fmt.Printf("Store-buffering litmus, %s (every schedule: %d, executed %d, complete=%v):\n",
+		title, set.Total(), res.Runs, res.Complete)
+	if prune {
+		fmt.Printf("pruning: %d states deduped, %d schedules saved\n",
+			res.Prune.StatesDeduped, res.Prune.SchedulesSaved)
+	}
+	sbTable(set.Counts, fenced)
 }
 
 // lagHistogram measures how many of the worker's most recent stores a
 // concurrent reader missed — the quantity the TSO[S] bound caps and the
-// fence-free queues reason about.
+// fence-free queues reason about. The lag is a property of one sampled
+// schedule, so this experiment always samples via the shared engine.
 func lagHistogram(cfg tso.Config, runs int) {
 	bound := cfg.ObservableBound()
-	hist := make([]int, bound+2)
-	for seed := 0; seed < runs; seed++ {
-		c := cfg
-		c.Seed = int64(seed)
-		c.DrainBias = 0.05
-		m := tso.NewMachine(c)
+	var maxLag int
+	cfg.DrainBias = 0.05
+	mk := func(m *tso.Machine) []func(tso.Context) {
 		loc := m.Alloc(8)
 		issued := uint64(0)
-		maxLag := 0
-		err := m.Run(
+		maxLag = 0
+		return []func(tso.Context){
 			func(c tso.Context) {
 				for i := uint64(1); i <= 64; i++ {
 					c.Store(loc+tso.Addr(i%8), i)
@@ -123,18 +179,20 @@ func lagHistogram(cfg tso.Config, runs int) {
 					}
 				}
 			},
-		)
-		if err != nil {
-			log.Fatal(err)
 		}
-		if maxLag > bound+1 {
-			maxLag = bound + 1
-		}
-		hist[maxLag]++
 	}
+	out := func(m *tso.Machine) string {
+		lag := maxLag
+		if lag > bound+1 {
+			lag = bound + 1
+		}
+		return fmt.Sprintf("%d", lag)
+	}
+	set := tso.SampleOutcomes(cfg, runs, mk, out)
 	fmt.Printf("Max hidden-store lag per schedule (distinct addresses, %d schedules):\n", runs)
 	rows := [][]string{}
-	for lag, n := range hist {
+	for lag := 0; lag <= bound+1; lag++ {
+		n := set.Counts[fmt.Sprintf("%d", lag)]
 		if n == 0 {
 			continue
 		}

@@ -8,10 +8,11 @@ import (
 )
 
 // These tests use the machine's exhaustive schedule explorer on small
-// configurations. Where the exploration completes, the assertion is
-// *proved* over every interleaving of thread steps and store-buffer
-// drains; where the tree exceeds the run cap, the test still checks every
-// visited schedule and reports coverage.
+// configurations. Every assertion here is *proved* over every interleaving
+// of thread steps and store-buffer drains: configurations whose decision
+// trees used to exceed the run cap are driven through the pruned engine
+// (tso.ExploreExhaustive), which accounts for the full tree while
+// executing only the schedules canonical-state memoization cannot elide.
 
 // TestExploreFFCLAbortsAtRhoInEverySchedule: the §6 tightness violation,
 // exhaustively — a lone thief on a one-task FF-CL queue aborts in every
@@ -107,13 +108,14 @@ func doubleDelivered(outcome string) bool {
 	return false
 }
 
-// TestExploreFFCLSoundDeltaNeverDoubleDelivers: δ = S = 1 on a two-task
-// queue, worker takes both, thief steals once. Every schedule delivers
-// each task at most once and never loses one, and the thief does succeed
-// in some schedules (the steal path is genuinely exercised).
-func TestExploreFFCLSoundDeltaNeverDoubleDelivers(t *testing.T) {
-	mk, out, cfg := ffclDuel(2, 2, 1, 1 /*S*/, 1 /*δ=S*/)
-	set, res := tso.ExploreOutcomes(cfg, mk, out, tso.ExploreOptions{MaxRuns: exploreCap(t)})
+// noDuelViolations checks every outcome of an ffclDuel exploration: no
+// task delivered to both parties, total removals within [minRemoved,
+// maxRemoved] (exact when the duel is guaranteed to drain the queue; a
+// range when the fixed take/steal counts can leave tasks behind), and —
+// when requireSteal is set — the thief succeeds in at least one schedule,
+// so the steal path is genuinely exercised.
+func noDuelViolations(t *testing.T, set tso.OutcomeSet, minRemoved, maxRemoved int, requireSteal bool) {
+	t.Helper()
 	stole := false
 	for o, cnt := range set.Counts {
 		if doubleDelivered(o) {
@@ -124,7 +126,6 @@ func TestExploreFFCLSoundDeltaNeverDoubleDelivers(t *testing.T) {
 		if th != 0 {
 			stole = true
 		}
-		// No lost tasks: together they removed both.
 		digits := 0
 		for x := w; x > 0; x /= 10 {
 			digits++
@@ -132,36 +133,76 @@ func TestExploreFFCLSoundDeltaNeverDoubleDelivers(t *testing.T) {
 		for x := th; x > 0; x /= 10 {
 			digits++
 		}
-		if digits != 2 {
-			t.Fatalf("schedule lost a task: %q", o)
+		if digits < minRemoved || digits > maxRemoved {
+			t.Fatalf("schedule removed %d tasks, want %d..%d: %q", digits, minRemoved, maxRemoved, o)
 		}
 	}
-	if !stole {
+	if requireSteal && !stole {
 		t.Fatal("the thief never succeeded; scenario does not exercise stealing")
 	}
+}
+
+// TestExploreFFCLSoundDeltaNeverDoubleDelivers: δ = S = 1 on a two-task
+// queue, worker takes both, thief steals once. Every schedule delivers
+// each task at most once and never loses one, and the thief does succeed
+// in some schedules. The ~6.9M-schedule tree used to be far beyond a run
+// cap; the pruned engine proves it completely in a couple thousand runs.
+func TestExploreFFCLSoundDeltaNeverDoubleDelivers(t *testing.T) {
+	mk, out, cfg := ffclDuel(2, 2, 1, 1 /*S*/, 1 /*δ=S*/)
+	set, res := tso.ExploreExhaustive(cfg, mk, out,
+		tso.ExhaustiveOptions{ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 20}, Prune: true})
 	if !res.Complete {
-		t.Logf("coverage capped at %d schedules (no violation found)", res.Runs)
-	} else {
-		t.Logf("proved over %d schedules, outcomes %v", res.Runs, set.Counts)
+		t.Fatalf("incomplete after %d executed runs (prune %+v)", res.Runs, res.Prune)
 	}
+	noDuelViolations(t, set, 2, 2, true)
+	t.Logf("proved over %d schedules via %d executed runs, outcomes %v", set.Total(), res.Runs, set.Counts)
+}
+
+// TestExploreFFCLSoundDeltaLargerMachine is the same soundness proof on a
+// machine the sequential explorer cannot touch: S=2, δ=2, three tasks,
+// two takes against two steals — ~88M schedules, proved complete by the
+// pruned engine in a few thousand executed runs.
+func TestExploreFFCLSoundDeltaLargerMachine(t *testing.T) {
+	mk, out, cfg := ffclDuel(3, 2, 2, 2 /*S*/, 2 /*δ=S*/)
+	set, res := tso.ExploreExhaustive(cfg, mk, out,
+		tso.ExhaustiveOptions{ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 20}, Prune: true})
+	if !res.Complete {
+		t.Fatalf("incomplete after %d executed runs (prune %+v)", res.Runs, res.Prune)
+	}
+	// Two takes plus up to two steals against three tasks: at least the
+	// worker's two removals happen, and at most all three tasks go (a
+	// fourth removal would have to be a duplicate).
+	noDuelViolations(t, set, 2, 3, true)
+	if set.Total() <= res.Runs {
+		t.Fatalf("pruning accounted for nothing: %d schedules via %d runs", set.Total(), res.Runs)
+	}
+	t.Logf("proved over %d schedules via %d executed runs (%d states deduped)",
+		set.Total(), res.Runs, res.Prune.StatesDeduped)
 }
 
 // TestExploreFFCLUnsoundDeltaViolationReachable: S=2 with δ=1 — two plain
 // takes hide in the buffer while the thief steals through them, so some
-// schedule double-delivers task 2, and the explorer finds it quickly.
+// schedule double-delivers a task. The pruned engine explores the whole
+// tree, so the witness count is exact, not a lucky sample.
 func TestExploreFFCLUnsoundDeltaViolationReachable(t *testing.T) {
 	mk, out, cfg := ffclDuel(3, 2, 2, 2 /*S*/, 1 /*δ<S*/)
 	found := ""
-	set, res := tso.ExploreOutcomes(cfg, mk, out, tso.ExploreOptions{MaxRuns: 60_000})
-	for o := range set.Counts {
+	violating := 0
+	set, res := tso.ExploreExhaustive(cfg, mk, out,
+		tso.ExhaustiveOptions{ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 20}, Prune: true})
+	if !res.Complete {
+		t.Fatalf("incomplete after %d executed runs", res.Runs)
+	}
+	for o, cnt := range set.Counts {
 		if doubleDelivered(o) {
 			found = o
+			violating += cnt
 		}
 	}
 	if found == "" {
-		t.Fatalf("no double delivery among %d schedules (complete=%v): %v", res.Runs, res.Complete, set.Counts)
+		t.Fatalf("no double delivery among %d schedules: %v", set.Total(), set.Counts)
 	}
-	t.Logf("violation witness %q found within %d schedules (complete=%v)", found, res.Runs, res.Complete)
+	t.Logf("violation witness %q; %d of %d schedules double-deliver", found, violating, set.Total())
 }
 
 // TestExploreTHELoneStealAlwaysSucceeds: the tight baseline, exhaustively —
@@ -188,14 +229,4 @@ func TestExploreTHELoneStealAlwaysSucceeds(t *testing.T) {
 	if len(set.Counts) != 1 || !set.Has("42") { // OK status = 0, value 42
 		t.Fatalf("lone THE steal outcomes %v want only 42", set.Counts)
 	}
-}
-
-// exploreCap bounds the sound-δ coverage sweep: generous by default,
-// smaller under -short. The property is also proved complete on the
-// smaller machine in the tso package's explorer tests.
-func exploreCap(t *testing.T) int {
-	if testing.Short() {
-		return 20_000
-	}
-	return 150_000
 }

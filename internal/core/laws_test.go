@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/tso"
@@ -38,6 +39,49 @@ func TestLawsOfOrderFFRefusesAtRho(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestLawsOfOrderFFRefusalProvedExhaustively upgrades the single-seed
+// check above to a proof: in *every* schedule of the lone-thief program —
+// all interleavings of thread steps and store-buffer drains on an S=4
+// machine — the steal aborts and the subsequent take still returns the
+// task. This is the tightness violation of §6 as a theorem about the
+// model, not an observation about one run.
+//
+// (The worker-vs-thief duel at ρ is intractable for the exhaustive
+// engine even at S=1: both sides contend on the queue spinlock, and
+// lock-spin iterations differ only in step count, which canonical-state
+// pruning must keep in its key to stay sound under per-run step budgets.
+// The duel facts are instead proved on the spinlock-free paths by the
+// ffclDuel tests in explore_test.go.)
+func TestLawsOfOrderFFRefusalProvedExhaustively(t *testing.T) {
+	for _, algo := range []Algo{AlgoFFTHE, AlgoFFCL} {
+		var resA tso.Addr
+		mk := func(m *tso.Machine) []func(tso.Context) {
+			q := New(algo, m, 16, 1)
+			q.(Prefiller).Prefill(m, []uint64{77})
+			resA = m.Alloc(1)
+			return []func(tso.Context){
+				func(c tso.Context) {
+					_, st := q.Steal(c)
+					v, st2 := q.Take(c)
+					c.Store(resA, uint64(st)*10000+uint64(st2)*1000+v)
+					c.Fence()
+				},
+			}
+		}
+		out := func(m *tso.Machine) string { return fmt.Sprintf("%d", m.Peek(resA)) }
+		set, res := tso.ExploreExhaustive(tso.Config{Threads: 1, BufferSize: 4}, mk, out,
+			tso.ExhaustiveOptions{ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 20}, Prune: true})
+		if !res.Complete {
+			t.Fatalf("%v: incomplete after %d runs", algo, res.Runs)
+		}
+		// Abort=2 in the steal slot, OK=0 in the take slot, value 77.
+		if len(set.Counts) != 1 || !set.Has("20077") {
+			t.Fatalf("%v: lone thief at ρ outcomes %v want only steal=Abort,take=77,OK", algo, set.Counts)
+		}
+		t.Logf("%v: refusal at ρ proved over %d schedules (%d executed)", algo, set.Total(), res.Runs)
 	}
 }
 

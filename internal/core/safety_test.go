@@ -207,6 +207,55 @@ func TestClientStoresRestoreSoundnessUnderCoalescing(t *testing.T) {
 	}
 }
 
+// TestExploreCoalescingThreeTakesCannotDefeatDelta pins down the §7.3
+// boundary exactly, which the seed sweeps above cannot: on an S=1 machine
+// with the coalescing drain stage, δ = S+1 = 2 survives a worker doing
+// *three* back-to-back takes — the pruned engine proves every one of the
+// ~10^12 schedules of the three-take duel delivers each task exactly once.
+// The violation needs a fourth take (next test): only then can the chain
+// of coalesced decrements to T hide enough takes to outrun δ.
+func TestExploreCoalescingThreeTakesCannotDefeatDelta(t *testing.T) {
+	mk, out, cfg := ffclDuel(3, 3, 2, 1 /*S*/, 2 /*δ=S+1*/)
+	cfg.DrainBuffer = true
+	set, res := tso.ExploreExhaustive(cfg, mk, out,
+		tso.ExhaustiveOptions{ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 20}, Prune: true})
+	if !res.Complete {
+		t.Fatalf("incomplete after %d executed runs (prune %+v)", res.Runs, res.Prune)
+	}
+	noDuelViolations(t, set, 3, 3, true)
+	t.Logf("δ=S+1 proved safe for 3 takes under coalescing: %d schedules via %d runs", set.Total(), res.Runs)
+}
+
+// TestExploreCoalescingFourTakesDefeatDelta is the matching violation
+// proof: one more take and δ = S+1 breaks — the explorer finds schedules
+// where a task is delivered to both the worker and the thief, completing
+// the Figure 8b corner case as an exact boundary (3 takes safe, 4 not).
+// The full tree takes ~a minute to prove, so it is skipped under -short;
+// the seed sweep TestCoalescingDefeatsDeltaAtL0 covers the property there.
+func TestExploreCoalescingFourTakesDefeatDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~50s exhaustive proof; covered probabilistically by TestCoalescingDefeatsDeltaAtL0")
+	}
+	mk, out, cfg := ffclDuel(4, 4, 2, 1 /*S*/, 2 /*δ=S+1*/)
+	cfg.DrainBuffer = true
+	set, res := tso.ExploreExhaustive(cfg, mk, out,
+		tso.ExhaustiveOptions{ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 20}, Prune: true})
+	if !res.Complete {
+		t.Fatalf("incomplete after %d executed runs", res.Runs)
+	}
+	found := ""
+	for o := range set.Counts {
+		if doubleDelivered(o) {
+			found = o
+		}
+	}
+	if found == "" {
+		t.Fatalf("4-take duel under coalescing never double-delivered across %d schedules", set.Total())
+	}
+	t.Logf("coalescing defeats δ=S+1 at 4 takes: witness %q among %d schedules (%d runs)",
+		found, set.Total(), res.Runs)
+}
+
 // TestIdempotentAtLeastOnce: the idempotent queues may duplicate but must
 // never lose a task.
 func TestIdempotentAtLeastOnce(t *testing.T) {

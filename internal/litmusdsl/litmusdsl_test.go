@@ -1,6 +1,7 @@
 package litmusdsl
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -205,18 +206,86 @@ P2: r0=x; r1=y
 P3: r2=y; r3=x
 exists: P2.r0=1 & P2.r1=0 & P3.r2=1 & P3.r3=0
 expect: forbidden`)
-	// The 4-thread decision tree is too large to enumerate completely in
-	// a unit test, so this is a bounded check: the forbidden outcome must
-	// not be witnessed in a substantial prefix of the tree. (The machine
-	// is multi-copy atomic by construction — stores become globally
-	// visible at their single drain — so the outcome is truly
-	// unreachable; this guards against regressions that would break that.)
-	res, err := Run(tt, RunOptions{MaxSchedules: 120_000})
+	// The 4-thread decision tree (~9.6M schedules) used to be far beyond a
+	// unit test's budget, so this was a bounded could-not-witness check.
+	// With canonical-state pruning the whole tree collapses to a few
+	// thousand executed runs and the verdict becomes a *proof*.
+	res, err := Run(tt, RunOptions{MaxSchedules: 1 << 20, Prune: true, Parallel: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Witnessed {
+	if !res.Complete {
+		t.Fatalf("IRIW exploration incomplete: %d executed of budget (prune: %+v)", res.Executed, res.Prune)
+	}
+	if !res.Ok() {
 		t.Fatalf("IRIW outcome witnessed: the machine is not multi-copy atomic (outcomes: %v)", res.Outcomes)
 	}
-	t.Logf("IRIW unobserved over %d schedules (complete=%v)", res.Schedules, res.Complete)
+	if res.Executed >= res.Schedules/100 {
+		t.Fatalf("pruning ineffective: %d runs executed for %d schedules", res.Executed, res.Schedules)
+	}
+	t.Logf("IRIW proved forbidden: %d schedules via %d executed runs (%d states deduped, %d schedules saved)",
+		res.Schedules, res.Executed, res.Prune.StatesDeduped, res.Prune.SchedulesSaved)
+}
+
+// TestEngineEquivalenceAcrossLibrary is the acceptance bar for the
+// exhaustive engine: for every litmus test in the library, parallel+pruned
+// exploration must produce byte-identical outcome counts, the same
+// completeness, and the same occupancy high-water marks as the sequential
+// reference engine.
+func TestEngineEquivalenceAcrossLibrary(t *testing.T) {
+	for _, src := range Library {
+		tt := mustParse(t, src)
+		t.Run(tt.Name, func(t *testing.T) {
+			ref, err := Run(tt, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []RunOptions{
+				{Prune: true},
+				{Parallel: 4},
+				{Parallel: 4, Prune: true},
+			} {
+				got, err := Run(tt, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Complete != ref.Complete {
+					t.Errorf("par=%d prune=%v: complete=%v, reference %v", opts.Parallel, opts.Prune, got.Complete, ref.Complete)
+				}
+				if !reflect.DeepEqual(got.Outcomes, ref.Outcomes) {
+					t.Errorf("par=%d prune=%v: outcome counts diverge:\n got %v\nwant %v",
+						opts.Parallel, opts.Prune, got.Outcomes, ref.Outcomes)
+				}
+				if !reflect.DeepEqual(got.MaxOccupancy, ref.MaxOccupancy) {
+					t.Errorf("par=%d prune=%v: MaxOccupancy %v, want %v",
+						opts.Parallel, opts.Prune, got.MaxOccupancy, ref.MaxOccupancy)
+				}
+				if got.Verdict != ref.Verdict {
+					t.Errorf("par=%d prune=%v: verdict %q, want %q", opts.Parallel, opts.Prune, got.Verdict, ref.Verdict)
+				}
+			}
+			// Sleep sets only preserve the outcome *support* and verdict.
+			slept, err := Run(tt, RunOptions{Prune: true, SleepSets: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slept.Verdict != ref.Verdict || slept.Complete != ref.Complete {
+				t.Errorf("sleep sets: verdict %q complete=%v, want %q %v",
+					slept.Verdict, slept.Complete, ref.Verdict, ref.Complete)
+			}
+			for o := range ref.Outcomes {
+				if slept.Outcomes[o] == 0 {
+					t.Errorf("sleep sets lost outcome %q", o)
+				}
+			}
+			for o := range slept.Outcomes {
+				if ref.Outcomes[o] == 0 {
+					t.Errorf("sleep sets invented outcome %q", o)
+				}
+			}
+			if !reflect.DeepEqual(slept.MaxOccupancy, ref.MaxOccupancy) {
+				t.Errorf("sleep sets: MaxOccupancy %v, want %v", slept.MaxOccupancy, ref.MaxOccupancy)
+			}
+		})
+	}
 }

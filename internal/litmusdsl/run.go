@@ -15,8 +15,11 @@ type Result struct {
 	// Complete reports whether exploration covered every schedule; only
 	// then is a non-witnessed condition *proved* unreachable.
 	Complete bool
-	// Schedules is the number of schedules explored.
+	// Schedules is the number of schedules accounted for. Executed is the
+	// number actually run on a machine — smaller under pruning, which is
+	// the point.
 	Schedules int
+	Executed  int
 	// Outcomes tallies distinct final states (registers + condition
 	// variables), rendered canonically.
 	Outcomes map[string]int
@@ -31,6 +34,10 @@ type Result struct {
 	// across every explored schedule — how much of the TSO[S] bound the
 	// test actually exercised.
 	MaxOccupancy []int
+	// Tree is the shape of the explored decision tree; Prune reports the
+	// state-space reduction (zero without RunOptions.Prune).
+	Tree  tso.TreeStats
+	Prune tso.PruneStats
 }
 
 // Ok reports whether the verdict matches the test's expectation.
@@ -48,6 +55,15 @@ type RunOptions struct {
 	// Witness, when the condition is reachable, re-explores to the first
 	// witnessing schedule and records its event trace in Result.Witness.
 	Witness bool
+	// Parallel is the number of exploration workers (<= 1: sequential).
+	Parallel int
+	// Prune enables canonical-state memoization; outcome counts are
+	// unchanged while far fewer schedules execute (tso.ExhaustiveOptions).
+	Prune bool
+	// SleepSets additionally prunes commuting drain orders; outcome
+	// *counts* are then representative rather than exact, but the verdict,
+	// Complete, and MaxOccupancy are preserved.
+	SleepSets bool
 }
 
 // Run explores every schedule of the test on the abstract machine and
@@ -87,23 +103,38 @@ func Run(t *Test, opts RunOptions) (Result, error) {
 	}
 	varNames := sortedKeys(vars)
 
-	// Address layout (per run): one word per variable, then one result
-	// word per (proc, register), offset by +1 so "never written" is
-	// distinguishable if a test reads an unassigned register.
-	var varAddr map[string]tso.Addr
-	var regAddr []map[string]tso.Addr
+	// Address layout: one word per variable, then one result word per
+	// (proc, register), offset by +1 so "never written" is distinguishable
+	// if a test reads an unassigned register. Alloc hands out addresses
+	// deterministically, so the layout is computed once up front and the
+	// factory below only reads it — which is what makes it safe to run on
+	// the exhaustive engine's concurrent workers.
+	varAddr := map[string]tso.Addr{}
+	next := tso.Addr(0)
+	for _, v := range varNames {
+		varAddr[v] = next
+		next++
+	}
+	regAddr := make([]map[string]tso.Addr, len(t.Procs))
+	for pi := range t.Procs {
+		regAddr[pi] = map[string]tso.Addr{}
+		for _, r := range sortedKeys(regsPerProc[pi]) {
+			regAddr[pi][r] = next
+			next++
+		}
+	}
 
 	mk := func(m *tso.Machine) []func(tso.Context) {
-		varAddr = map[string]tso.Addr{}
 		for _, v := range varNames {
-			varAddr[v] = m.Alloc(1)
-			m.Poke(varAddr[v], t.Init[v])
+			a := m.Alloc(1)
+			if a != varAddr[v] {
+				panic("litmusdsl: address layout drifted from Alloc order")
+			}
+			m.Poke(a, t.Init[v])
 		}
-		regAddr = make([]map[string]tso.Addr, len(t.Procs))
 		for pi := range t.Procs {
-			regAddr[pi] = map[string]tso.Addr{}
-			for _, r := range sortedKeys(regsPerProc[pi]) {
-				regAddr[pi][r] = m.Alloc(1)
+			for range sortedKeys(regsPerProc[pi]) {
+				m.Alloc(1)
 			}
 		}
 		progs := make([]func(tso.Context), len(t.Procs))
@@ -152,10 +183,15 @@ func Run(t *Test, opts RunOptions) (Result, error) {
 	}
 
 	cfg := tso.Config{Threads: len(t.Procs), BufferSize: t.SBuf, Model: t.Model}
-	set, eres := tso.ExploreOutcomes(cfg, mk, outcome, tso.ExploreOptions{MaxRuns: opts.MaxSchedules})
+	set, eres := tso.ExploreExhaustive(cfg, mk, outcome, tso.ExhaustiveOptions{
+		ExploreOptions: tso.ExploreOptions{MaxRuns: opts.MaxSchedules},
+		Parallel:       opts.Parallel,
+		Prune:          opts.Prune,
+		SleepSets:      opts.SleepSets,
+	})
 
-	res := Result{Test: t, Complete: eres.Complete, Schedules: eres.Runs,
-		Outcomes: set.Counts, MaxOccupancy: set.MaxOccupancy}
+	res := Result{Test: t, Complete: eres.Complete, Schedules: set.Total(), Executed: eres.Runs,
+		Outcomes: set.Counts, MaxOccupancy: set.MaxOccupancy, Tree: eres.Tree, Prune: eres.Prune}
 	for o := range set.Counts {
 		if condHolds(t, o) {
 			res.Witnessed = true

@@ -146,6 +146,11 @@ const (
 // program (for example, a THEP thief waiting for a worker that never comes).
 var ErrStepLimit = errors.New("tso: step limit exceeded (livelock or deadlock)")
 
+// errRunCut is returned by Machine.Run when the installed policy cancelled
+// the schedule mid-run. Only the exhaustive engine's pruning path produces
+// it, and it never escapes the tso package.
+var errRunCut = errors.New("tso: run cut by the exploration engine")
+
 func (c Config) withDefaults() (Config, error) {
 	if c.Threads < 1 {
 		return c, fmt.Errorf("tso: config needs at least 1 thread, got %d", c.Threads)

@@ -42,14 +42,87 @@ func (o ExploreOptions) withDefaults() ExploreOptions {
 	return o
 }
 
+// TreeStats describes the shape of the explored decision tree.
+type TreeStats struct {
+	// MaxDepth is the longest schedule in decision steps.
+	MaxDepth int
+	// MaxFanout is the widest single decision (threads + drainable buffers).
+	MaxFanout int
+	// ChoicePoints counts the distinct tree nodes with fanout >= 2 — the
+	// places where the schedule genuinely branched.
+	ChoicePoints int64
+}
+
+func (t *TreeStats) node(depth, fanout int) {
+	if depth+1 > t.MaxDepth {
+		t.MaxDepth = depth + 1
+	}
+	if fanout > t.MaxFanout {
+		t.MaxFanout = fanout
+	}
+	if fanout >= 2 {
+		t.ChoicePoints++
+	}
+}
+
+func (t *TreeStats) merge(o TreeStats) {
+	if o.MaxDepth > t.MaxDepth {
+		t.MaxDepth = o.MaxDepth
+	}
+	if o.MaxFanout > t.MaxFanout {
+		t.MaxFanout = o.MaxFanout
+	}
+	t.ChoicePoints += o.ChoicePoints
+}
+
+// PruneStats reports the state-space reduction achieved by the exhaustive
+// engine's pruning (all zero when pruning is disabled).
+type PruneStats struct {
+	// StatesSeen is the number of canonical states hashed (one per tree
+	// node the engine actually entered).
+	StatesSeen int64
+	// StatesDeduped is the number of nodes whose canonical state was
+	// already memoized, so their subtree was credited from the memo table
+	// instead of re-explored.
+	StatesDeduped int64
+	// SubtreesCut is the total number of subtrees removed from the search:
+	// memo hits plus sleep-set skips.
+	SubtreesCut int64
+	// SchedulesSaved is the number of complete schedules accounted from the
+	// memo table without being executed.
+	SchedulesSaved int64
+	// SleepSkips counts branches skipped by the commutativity sleep sets.
+	SleepSkips int64
+}
+
+func (p *PruneStats) merge(o PruneStats) {
+	p.StatesSeen += o.StatesSeen
+	p.StatesDeduped += o.StatesDeduped
+	p.SubtreesCut += o.SubtreesCut
+	p.SchedulesSaved += o.SchedulesSaved
+	p.SleepSkips += o.SleepSkips
+}
+
 // ExploreResult summarizes an exploration.
 type ExploreResult struct {
-	// Runs is the number of schedules executed.
+	// Runs is the number of schedules executed on a machine. Under pruning
+	// this is smaller than the number of schedules accounted for (see
+	// OutcomeSet.Total), which is the whole point.
 	Runs int
 	// Complete reports whether the entire decision tree was covered.
 	Complete bool
 	// StepLimited counts runs that hit MaxStepsPerRun (blocking programs).
 	StepLimited int
+	// Tree reports the shape of the explored decision tree.
+	Tree TreeStats
+	// Prune reports the reduction achieved by the exhaustive engine
+	// (zero for the sequential reference engine).
+	Prune PruneStats
+	// Checkpoint holds the serialized unexplored frontier when an
+	// exhaustive exploration stopped at its run budget; pass it back via
+	// ExhaustiveOptions.Resume to continue. Nil when Complete, and always
+	// nil for the sequential reference engine.
+	Checkpoint *Checkpoint
 }
 
 // Explore enumerates schedules of the program built by mkProgs on fresh
@@ -86,7 +159,8 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 		m := NewMachine(c)
 		// Swap the chaos policy for deterministic enumeration: replay the
 		// recorded prefix, then take the first untried branch.
-		m.pol = &chooserPolicy{choose: func(n int) int {
+		m.pol = &chooserPolicy{choose: func(acts []action) int {
+			n := len(acts)
 			if depth < len(prefix) {
 				if depth < len(fanout) && fanout[depth] != n {
 					// The program is not replay-deterministic; flag it
@@ -97,6 +171,7 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 				depth++
 				return i
 			}
+			res.Tree.node(depth, n)
 			prefix = append(prefix, 0)
 			fanout = append(fanout, n)
 			depth++
@@ -176,3 +251,46 @@ func ExploreOutcomes(cfg Config, mkProgs func(m *Machine) []func(Context), outco
 
 // Has reports whether an outcome was observed.
 func (s OutcomeSet) Has(outcome string) bool { return s.Counts[outcome] > 0 }
+
+// Total is the number of schedules accounted for across all outcomes.
+// Without pruning it equals ExploreResult.Runs; with pruning it counts the
+// whole tree while Runs counts only the schedules actually executed.
+func (s OutcomeSet) Total() int {
+	n := 0
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// SampleOutcomes is the chaos-sampling counterpart of ExploreOutcomes: it
+// runs the program under `runs` seeded adversarial schedules (seeds
+// 0..runs-1) and buckets each run by its string outcome, so commands can
+// switch between sampling and exhaustive exploration without maintaining
+// two code paths. Like ExploreOutcomes it panics on a program failure and
+// buckets step-limited runs under "<step-limit>".
+func SampleOutcomes(cfg Config, runs int, mkProgs func(m *Machine) []func(Context), outcome func(m *Machine) string) OutcomeSet {
+	set := OutcomeSet{Counts: map[string]int{}, MaxOccupancy: make([]int, cfg.Threads)}
+	for seed := 0; seed < runs; seed++ {
+		c := cfg
+		c.Seed = int64(seed)
+		m := NewMachine(c)
+		progs := mkProgs(m)
+		err := m.Run(progs...)
+		for tid := range set.MaxOccupancy {
+			if occ := m.ThreadMaxOccupancy(tid); occ > set.MaxOccupancy[tid] {
+				set.MaxOccupancy[tid] = occ
+			}
+		}
+		switch {
+		case errors.Is(err, ErrStepLimit):
+			set.Counts["<step-limit>"]++
+		case err != nil:
+			panic(fmt.Sprintf("tso: sampled program failed: %v", err))
+		default:
+			set.Counts[outcome(m)]++
+		}
+	}
+	set.res = ExploreResult{Runs: runs}
+	return set
+}

@@ -1,0 +1,309 @@
+package tso
+
+// This file is the frontier layer of the exhaustive engine: it partitions
+// the decision tree into choice-prefix work units, drives them across a
+// worker pool, merges their results deterministically, and serializes the
+// unexplored remainder as a resumable Checkpoint.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Checkpoint is the serialized unexplored frontier of an exhaustive
+// exploration that stopped at its run budget: everything accounted so far
+// (outcome counts, occupancy high-water marks, tree/prune statistics) plus
+// the resumable position of every unfinished work unit. It round-trips
+// through JSON via Encode/DecodeCheckpoint.
+type Checkpoint struct {
+	Version      int              `json:"version"`
+	Threads      int              `json:"threads"`
+	BufferSize   int              `json:"buffer_size"`
+	Model        string           `json:"model"`
+	DrainBuffer  bool             `json:"drain_buffer,omitempty"`
+	Runs         int              `json:"runs"`
+	StepLimited  int              `json:"step_limited,omitempty"`
+	Counts       map[string]int   `json:"counts"`
+	MaxOccupancy []int            `json:"max_occupancy"`
+	Tree         TreeStats        `json:"tree"`
+	Prune        PruneStats       `json:"prune"`
+	Units        []UnitCheckpoint `json:"units"`
+}
+
+// UnitCheckpoint is the resumable position of one work unit: the unit's
+// root choice prefix and, when the unit had started, the full DFS path to
+// its next unexplored branch (with the recorded fanouts for the
+// replay-determinism check).
+type UnitCheckpoint struct {
+	Root       []int `json:"root,omitempty"`
+	RootFanout []int `json:"root_fanout,omitempty"`
+	Prefix     []int `json:"prefix,omitempty"`
+	Fanout     []int `json:"fanout,omitempty"`
+}
+
+// Encode writes the checkpoint as indented JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads a checkpoint previously written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
+	}
+	if cp.Version != 1 {
+		return nil, fmt.Errorf("tso: unsupported checkpoint version %d", cp.Version)
+	}
+	return &cp, nil
+}
+
+// validate rejects resuming under a configuration that would make the
+// checkpointed prefixes meaningless.
+func (cp *Checkpoint) validate(c Config) error {
+	switch {
+	case cp.Threads != c.Threads:
+		return fmt.Errorf("tso: checkpoint is for %d threads, config has %d", cp.Threads, c.Threads)
+	case cp.BufferSize != c.BufferSize:
+		return fmt.Errorf("tso: checkpoint is for S=%d, config has S=%d", cp.BufferSize, c.BufferSize)
+	case cp.Model != c.Model.String():
+		return fmt.Errorf("tso: checkpoint is for %s, config is %s", cp.Model, c.Model)
+	case cp.DrainBuffer != c.DrainBuffer:
+		return fmt.Errorf("tso: checkpoint and config disagree on the drain stage")
+	}
+	return nil
+}
+
+// ExploreExhaustive is the scalable counterpart of ExploreOutcomes: the
+// same enumeration of every schedule of the program built by mkProgs,
+// restructured as parallel, pruned, resumable model checking (see mc.go
+// for the pruning mechanics and their soundness arguments).
+//
+// With opts at its zero value the result is equivalent to ExploreOutcomes;
+// with Prune set the outcome counts are still byte-identical while Runs —
+// the schedules actually executed — shrinks by the memoized subtrees. Like
+// ExploreOutcomes it panics on a program failure, and buckets step-limited
+// schedules under "<step-limit>".
+//
+// With Parallel > 1, mkProgs and outcome run concurrently on distinct
+// machines and must not write shared captured state. Frontier-splitting
+// probe runs are not charged against MaxRuns.
+func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), outcome func(m *Machine) string, opts ExhaustiveOptions) (OutcomeSet, ExploreResult) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		panic(err)
+	}
+	o := opts.withDefaults()
+	e := &mcEngine{cfg: c, mk: mkProgs, outcome: outcome, opts: o}
+	if o.Prune {
+		e.memo = map[stateKey]*memoEntry{}
+	}
+
+	set := OutcomeSet{Counts: map[string]int{}, MaxOccupancy: make([]int, c.Threads)}
+	var agg ExploreResult
+	var units []*mcUnit
+	if o.Resume != nil {
+		if err := o.Resume.validate(c); err != nil {
+			panic(err)
+		}
+		for k, v := range o.Resume.Counts {
+			set.Counts[k] += v
+		}
+		for i, v := range o.Resume.MaxOccupancy {
+			if i < len(set.MaxOccupancy) && v > set.MaxOccupancy[i] {
+				set.MaxOccupancy[i] = v
+			}
+		}
+		agg.Runs = o.Resume.Runs
+		agg.StepLimited = o.Resume.StepLimited
+		agg.Tree = o.Resume.Tree
+		agg.Prune = o.Resume.Prune
+		for _, uc := range o.Resume.Units {
+			u := &mcUnit{
+				root:    append([]int(nil), uc.Root...),
+				rootFan: append([]int(nil), uc.RootFanout...),
+			}
+			if len(uc.Prefix) > 0 {
+				u.prefix = append([]int(nil), uc.Prefix...)
+				u.fanout = append([]int(nil), uc.Fanout...)
+				u.resumed = true
+			}
+			units = append(units, u)
+		}
+	} else {
+		units = e.split()
+		agg.Tree.merge(e.splitTree)
+	}
+
+	workers := o.Parallel
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicVal = p })
+					e.stopped.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1))
+				if i >= len(units) || e.stopped.Load() {
+					return
+				}
+				e.exploreUnit(units[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+
+	complete := true
+	for _, u := range units {
+		for k, v := range u.acc.counts {
+			set.Counts[k] += v
+		}
+		for i, v := range u.acc.maxOcc {
+			if v > set.MaxOccupancy[i] {
+				set.MaxOccupancy[i] = v
+			}
+		}
+		agg.Runs += u.res.Runs
+		agg.StepLimited += u.res.StepLimited
+		agg.Tree.merge(u.res.Tree)
+		agg.Prune.merge(u.res.Prune)
+		if !u.complete {
+			complete = false
+		}
+	}
+	agg.Complete = complete
+	if !complete {
+		agg.Checkpoint = buildCheckpoint(c, units, set, agg)
+	}
+	set.res = agg
+	return set, agg
+}
+
+func buildCheckpoint(c Config, units []*mcUnit, set OutcomeSet, agg ExploreResult) *Checkpoint {
+	cp := &Checkpoint{
+		Version:      1,
+		Threads:      c.Threads,
+		BufferSize:   c.BufferSize,
+		Model:        c.Model.String(),
+		DrainBuffer:  c.DrainBuffer,
+		Runs:         agg.Runs,
+		StepLimited:  agg.StepLimited,
+		Counts:       map[string]int{},
+		MaxOccupancy: append([]int(nil), set.MaxOccupancy...),
+		Tree:         agg.Tree,
+		Prune:        agg.Prune,
+	}
+	for k, v := range set.Counts {
+		cp.Counts[k] = v
+	}
+	for _, u := range units {
+		if u.complete {
+			continue
+		}
+		uc := UnitCheckpoint{Root: u.root, RootFanout: u.rootFan}
+		if u.started {
+			uc.Prefix = u.prefix
+			uc.Fanout = u.fanout
+		}
+		cp.Units = append(cp.Units, uc)
+	}
+	return cp
+}
+
+// probeFanout executes one throwaway schedule replaying root and reports
+// the fanout of the first choice past it (0 when the run ends first). Its
+// outcome is discarded — the node's subtree belongs to exactly the units
+// split from it.
+func (e *mcEngine) probeFanout(root, rootFan []int) int {
+	depth := 0
+	fan := 0
+	mismatch := false
+	c := e.cfg
+	c.MaxSteps = e.opts.MaxStepsPerRun
+	m := NewMachine(c)
+	m.pol = &chooserPolicy{choose: func(acts []action) int {
+		d := depth
+		depth++
+		if d < len(root) {
+			if rootFan[d] != len(acts) {
+				mismatch = true
+			}
+			return root[d]
+		}
+		if d == len(root) {
+			fan = len(acts)
+		}
+		return 0
+	}}
+	err := m.Run(e.mk(m)...)
+	if mismatch {
+		panic("tso: Explore program is not replay-deterministic (fanout changed under an identical choice prefix)")
+	}
+	if err != nil && !errors.Is(err, ErrStepLimit) {
+		panic(fmt.Sprintf("tso: litmus program failed: %v", err))
+	}
+	return fan
+}
+
+// split partitions the decision tree into roughly opts.Units work units by
+// breadth-first probe runs: a node with fanout f is replaced by its f
+// child prefixes until the target is met. The resulting unit roots
+// partition the tree's schedules exactly, so merging unit results never
+// double-counts. Choice points consumed by splitting are recorded in
+// e.splitTree to keep the reported tree statistics whole.
+func (e *mcEngine) split() []*mcUnit {
+	type pend struct{ root, fan []int }
+	// A defensive ceiling: past this depth a chain is cheaper to explore
+	// than to keep probing.
+	const maxSplitDepth = 64
+	q := []pend{{nil, nil}}
+	var done []*mcUnit
+	for len(q) > 0 && len(q)+len(done) < e.opts.Units {
+		p := q[0]
+		q = q[1:]
+		if len(p.root) >= maxSplitDepth {
+			done = append(done, &mcUnit{root: p.root, rootFan: p.fan})
+			continue
+		}
+		fan := e.probeFanout(p.root, p.fan)
+		if fan < 2 {
+			done = append(done, &mcUnit{root: p.root, rootFan: p.fan})
+			continue
+		}
+		e.splitTree.node(len(p.root), fan)
+		for b := 0; b < fan; b++ {
+			q = append(q, pend{
+				root: append(append([]int(nil), p.root...), b),
+				fan:  append(append([]int(nil), p.fan...), fan),
+			})
+		}
+	}
+	for _, p := range q {
+		done = append(done, &mcUnit{root: p.root, rootFan: p.fan})
+	}
+	return done
+}

@@ -242,6 +242,14 @@ func (m *Machine) schedule(threads int) error {
 		m.steps++
 
 		act := m.pol.next(m)
+		if m.pol.cancelled() {
+			// The policy abandoned the run mid-schedule (the exhaustive
+			// engine's memoization cut). Unwind every thread and report the
+			// sentinel so the engine can tell a cut from a real failure.
+			m.abortPending(&pendingN)
+			m.drainDone(&live, &pendingN)
+			return errRunCut
+		}
 		if act.drain {
 			m.drainStep(act)
 			continue

@@ -1,0 +1,677 @@
+package tso
+
+// This file is the exhaustive model-checking engine behind
+// ExploreExhaustive: the same replay-based schedule enumeration as
+// ExploreUntil, restructured around three scalability mechanisms the
+// sequential reference engine lacks.
+//
+//   - An explicit frontier: the decision tree is partitioned into
+//     choice-prefix work units (frontier.go) so independent subtrees run
+//     in parallel on a worker pool and the unexplored remainder can be
+//     serialized as a Checkpoint and resumed later.
+//
+//   - Canonical-state memoization: at every new tree node the engine
+//     hashes the machine's canonical state — shared memory, every store
+//     buffer's contents, each thread's operation/response history, and the
+//     step count — and, when the state was fully explored before, credits
+//     the memoized outcome multiset instead of re-exploring the subtree.
+//     Because the credit is the exact multiset of schedules under the
+//     node, pruned exploration produces byte-identical OutcomeSet.Counts
+//     to the sequential engine; redundant interleavings that converge to
+//     the same state (the classic drain/op commutation diamonds) collapse
+//     to a single exploration. The step count is part of the key so a
+//     memoized suffix can never behave differently under MaxStepsPerRun
+//     than it did when first explored; the cost is that only same-depth
+//     convergence dedups, which is where virtually all of it lives.
+//
+//   - Commutativity sleep sets (optional): store-buffer drains by
+//     different threads whose memory effects target different addresses
+//     commute, so of the two interleavings only one needs running. Sleep
+//     sets prune the redundant orders outright, which reduces the
+//     *multiplicity* of each outcome while provably preserving the set of
+//     reachable final states, Complete-ness, and the per-thread occupancy
+//     high-water marks (a buffer's occupancy history depends only on its
+//     own thread's order of pushes and drains, which is invariant across
+//     the pruned reorderings). Use it for verdict-style questions
+//     ("is this outcome reachable?"); leave it off when exact schedule
+//     counts matter.
+//
+// A thread's local state (registers, loop counters) lives in its program
+// closure and cannot be inspected, so the canonical state instead hashes
+// the thread's full request/response history: a replay-deterministic
+// program is a deterministic function of the responses it received, so
+// equal histories imply equal future behaviour. This is exactly the
+// replay-determinism contract Explore already imposes.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ExhaustiveOptions configures ExploreExhaustive. The zero value matches
+// the sequential reference engine (one worker, no pruning).
+type ExhaustiveOptions struct {
+	ExploreOptions
+
+	// Parallel is the number of worker goroutines exploring subtree work
+	// units (<= 1: sequential). With Parallel > 1 the mkProgs and outcome
+	// callbacks are invoked concurrently on distinct machines and must not
+	// write shared captured state (compute address layouts up front).
+	Parallel int
+
+	// Prune enables canonical-state memoization. Counts stay byte-identical
+	// to the sequential engine; Runs shrinks by the deduplicated subtrees.
+	Prune bool
+
+	// SleepSets additionally prunes redundant orders of commuting drains.
+	// The set of reachable outcomes, Complete, and MaxOccupancy are
+	// preserved; per-outcome counts are reduced to one representative per
+	// commutation class. Implies Prune's bookkeeping but not its memo
+	// table; the two compose.
+	SleepSets bool
+
+	// Units is the target number of frontier work units (default
+	// 4×Parallel when parallel, 1 when sequential).
+	Units int
+
+	// MemoLimit bounds the memo table (entries); once full, new states are
+	// still explored but no longer recorded. Default 1 << 22.
+	MemoLimit int
+
+	// Resume continues a budget-interrupted exploration from its
+	// serialized frontier. The configuration must match the one that
+	// produced the checkpoint. MaxRuns is a fresh budget for this call;
+	// reported Runs accumulate across resumes.
+	Resume *Checkpoint
+}
+
+func (o ExhaustiveOptions) withDefaults() ExhaustiveOptions {
+	o.ExploreOptions = o.ExploreOptions.withDefaults()
+	if o.Parallel <= 0 {
+		o.Parallel = 1
+	}
+	if o.Units <= 0 {
+		if o.Parallel > 1 {
+			o.Units = 4 * o.Parallel
+		} else {
+			o.Units = 1
+		}
+	}
+	if o.MemoLimit <= 0 {
+		o.MemoLimit = 1 << 22
+	}
+	return o
+}
+
+// actID identifies a schedulable action for the commutativity analysis:
+// a drain is named by its thread and the memory address its next step
+// writes (-1 when the step is internal to the buffer: a move into the
+// drain stage, or a same-address coalesce). Thread actions never commute
+// under this conservative analysis and carry drain=false.
+type actID struct {
+	drain bool
+	tid   int
+	addr  Addr
+}
+
+// independent reports whether two actions commute: drains by different
+// threads whose memory effects cannot conflict. Everything else is
+// conservatively dependent.
+func independent(a, b actID) bool {
+	return a.drain && b.drain && a.tid != b.tid &&
+		(a.addr < 0 || b.addr < 0 || a.addr != b.addr)
+}
+
+// drainEffect mirrors storeBuffer.drainOne/drainAt: the address the drain
+// writes to memory, or -1 for buffer-internal steps.
+func drainEffect(m *Machine, act action) Addr {
+	b := m.bufs[act.id]
+	if m.cfg.Model == ModelPSO {
+		return b.entries[act.idx].addr
+	}
+	if !b.useStage {
+		return b.entries[0].addr
+	}
+	switch {
+	case len(b.entries) == 0 && b.hasStage:
+		return b.stage.addr
+	case !b.hasStage:
+		return -1 // head moves into the empty stage
+	case b.entries[0].addr == b.stage.addr:
+		return -1 // same-address coalesce
+	default:
+		return b.stage.addr
+	}
+}
+
+// stateKey is a 2×64-bit canonical-state fingerprint. Collisions would be
+// unsound, so the key is wide enough to make them implausible at model-
+// checking scale (two independently seeded FNV-1a passes over the
+// serialized state).
+type stateKey struct{ a, b uint64 }
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+	// fnvOffset2 is an arbitrary second basis decorrelating the two passes.
+	fnvOffset2 uint64 = 0x9e3779b97f4a7c15
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// memoEntry is the exact aggregate of one fully explored subtree: the
+// multiset of final outcomes, the number of schedules it contains, how
+// many hit the step limit, and the per-thread occupancy high-water mark
+// over the subtree's schedules. Entries are immutable once published.
+type memoEntry struct {
+	counts      map[string]int
+	runs        int64
+	stepLimited int
+	maxOcc      []int
+}
+
+func (a *memoEntry) addLeaf(outcome string, hw []int, stepLimited bool) {
+	if a.counts == nil {
+		a.counts = map[string]int{}
+	}
+	a.counts[outcome]++
+	a.runs++
+	if stepLimited {
+		a.stepLimited++
+	}
+	a.foldOcc(hw)
+}
+
+// fold absorbs a finished child subtree.
+func (a *memoEntry) fold(b *memoEntry) {
+	if b.counts != nil {
+		if a.counts == nil {
+			a.counts = map[string]int{}
+		}
+		for k, v := range b.counts {
+			a.counts[k] += v
+		}
+	}
+	a.runs += b.runs
+	a.stepLimited += b.stepLimited
+	a.foldOcc(b.maxOcc)
+}
+
+// foldCredit absorbs a memoized subtree reached at a point whose
+// schedules so far peaked at hwNow buffered stores per thread. The
+// credited high-water mark max(hwNow, memo) can only over-approximate by
+// a value some executed schedule genuinely reached, so the exploration's
+// final MaxOccupancy is exact (see the equivalence tests).
+func (a *memoEntry) foldCredit(b *memoEntry, hwNow []int) {
+	if b != nil {
+		a.fold(b)
+	}
+	a.foldOcc(hwNow)
+}
+
+func (a *memoEntry) foldOcc(hw []int) {
+	if len(hw) == 0 {
+		return
+	}
+	if a.maxOcc == nil {
+		a.maxOcc = make([]int, len(hw))
+	}
+	for i, v := range hw {
+		if v > a.maxOcc[i] {
+			a.maxOcc[i] = v
+		}
+	}
+}
+
+// mcFrame is the engine's bookkeeping for one tree node on the current
+// DFS path of a work unit.
+type mcFrame struct {
+	depth  int
+	fanout int
+	// acc aggregates the node's fully explored children and leaves.
+	acc memoEntry
+	// key/hashed: canonical state (Prune mode).
+	key    stateKey
+	hashed bool
+	// noMemo marks frames whose exploration spans a checkpoint boundary:
+	// their accumulators miss pre-checkpoint results, so they must never
+	// be published to the memo table.
+	noMemo bool
+	// acts/sleep/skip: commutativity bookkeeping (SleepSets mode). skip[b]
+	// marks branch b as covered by an earlier commuting exploration.
+	acts  []actID
+	sleep []actID
+	skip  []bool
+}
+
+// firstAllowed returns the smallest non-skipped branch, or -1.
+func (f *mcFrame) firstAllowed() int {
+	for b := 0; b < f.fanout; b++ {
+		if f.skip == nil || !f.skip[b] {
+			return b
+		}
+	}
+	return -1
+}
+
+// nextAllowed returns the smallest non-skipped branch > cur, or -1.
+func (f *mcFrame) nextAllowed(cur int) int {
+	for b := cur + 1; b < f.fanout; b++ {
+		if f.skip == nil || !f.skip[b] {
+			return b
+		}
+	}
+	return -1
+}
+
+// mcUnit is one frontier work unit: the subtree under a choice prefix,
+// explored by exactly one worker.
+type mcUnit struct {
+	// root is the unit's choice prefix; rootFan the recorded fanout at
+	// each root depth (for the replay-determinism check).
+	root    []int
+	rootFan []int
+	// prefix/fanout are the DFS position: the full current path, root
+	// included. Non-nil before the first run only when resuming.
+	prefix, fanout []int
+	resumed        bool
+
+	frames []*mcFrame
+	// acc aggregates the unit root's fully explored subtree.
+	acc      memoEntry
+	res      ExploreResult
+	complete bool
+	started  bool
+
+	scratch []byte // serialization buffer for state hashing
+}
+
+// mcEngine is the shared state of one ExploreExhaustive call.
+type mcEngine struct {
+	cfg     Config
+	mk      func(m *Machine) []func(Context)
+	outcome func(m *Machine) string
+	opts    ExhaustiveOptions
+
+	memoMu sync.RWMutex
+	memo   map[stateKey]*memoEntry
+
+	executed atomic.Int64 // machine runs charged against MaxRuns
+	stopped  atomic.Bool  // budget exhausted or a worker panicked
+
+	splitTree TreeStats // choice points consumed by frontier splitting
+}
+
+func (e *mcEngine) memoGet(k stateKey) *memoEntry {
+	e.memoMu.RLock()
+	ent := e.memo[k]
+	e.memoMu.RUnlock()
+	return ent
+}
+
+func (e *mcEngine) memoPut(k stateKey, ent *memoEntry) {
+	e.memoMu.Lock()
+	if len(e.memo) < e.opts.MemoLimit {
+		if _, dup := e.memo[k]; !dup {
+			e.memo[k] = ent
+		}
+	}
+	e.memoMu.Unlock()
+}
+
+// stateKeyFor hashes the machine's canonical state at a choice point:
+// step count, allocated memory, per-thread buffer contents and
+// request/response histories, plus the arriving sleep set (two states
+// explored under different sleep sets have different residual subtrees,
+// so the sleep set is part of the identity in SleepSets mode).
+func (u *mcUnit) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKey {
+	buf := u.scratch[:0]
+	put := func(v uint64) {
+		buf = append(buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	put(uint64(m.steps))
+	put(uint64(m.next))
+	for a := Addr(0); a < m.next; a++ {
+		put(m.mem.words[a])
+	}
+	for tid, b := range m.bufs {
+		put(uint64(tid)<<32 | uint64(len(b.entries)))
+		for _, en := range b.entries {
+			put(uint64(en.addr))
+			put(en.val)
+		}
+		if b.hasStage {
+			put(1)
+			put(uint64(b.stage.addr))
+			put(b.stage.val)
+		} else {
+			put(0)
+		}
+		put(hist[tid])
+	}
+	if len(sleep) > 0 {
+		ids := append([]actID(nil), sleep...)
+		sort.Slice(ids, func(i, j int) bool {
+			return ids[i].tid < ids[j].tid || (ids[i].tid == ids[j].tid && ids[i].addr < ids[j].addr)
+		})
+		for _, id := range ids {
+			put(uint64(id.tid)<<32 ^ uint64(id.addr))
+		}
+	}
+	u.scratch = buf
+	ka, kb := fnvOffset, fnvOffset2
+	for _, c := range buf {
+		ka = (ka ^ uint64(c)) * fnvPrime
+		kb = (kb ^ uint64(c)) * fnvPrime
+	}
+	return stateKey{ka, kb}
+}
+
+// actIDsFor names every action at a choice point for the commutativity
+// analysis.
+func actIDsFor(m *Machine, acts []action) []actID {
+	ids := make([]actID, len(acts))
+	for i, a := range acts {
+		if a.drain {
+			ids[i] = actID{drain: true, tid: a.id, addr: drainEffect(m, a)}
+		} else {
+			ids[i] = actID{tid: a.id}
+		}
+	}
+	return ids
+}
+
+// childSleep computes the sleep set arriving at the child reached from
+// the unit's deepest frame via its current branch: inherited entries
+// still independent of the chosen action, plus every earlier-explored
+// commuting sibling.
+func (u *mcUnit) childSleep() []actID {
+	if len(u.frames) == 0 {
+		return nil
+	}
+	p := u.frames[len(u.frames)-1]
+	if p.acts == nil {
+		return nil // resumed frame: action identities unknown
+	}
+	chosen := u.prefix[p.depth]
+	a := p.acts[chosen]
+	var sleep []actID
+	for _, t := range p.sleep {
+		if independent(t, a) {
+			sleep = append(sleep, t)
+		}
+	}
+	for j := 0; j < chosen; j++ {
+		if p.skip != nil && p.skip[j] {
+			continue // never explored here; covered via an ancestor
+		}
+		if independent(p.acts[j], a) {
+			sleep = append(sleep, p.acts[j])
+		}
+	}
+	return sleep
+}
+
+func machineHW(m *Machine) []int {
+	hw := make([]int, len(m.bufs))
+	for i, b := range m.bufs {
+		hw[i] = b.maxOcc
+	}
+	return hw
+}
+
+// exploreUnit runs the unit's subtree to completion or until the shared
+// budget stops the engine, in which case the unit snapshots its resumable
+// position.
+func (e *mcEngine) exploreUnit(u *mcUnit) {
+	u.started = true
+	rootLen := len(u.root)
+	if u.prefix == nil {
+		u.prefix = append([]int(nil), u.root...)
+		u.fanout = append([]int(nil), u.rootFan...)
+	} else if u.resumed {
+		// Rebuild empty frames for the checkpointed path. Their subtrees
+		// were partially counted before the checkpoint, so they must not
+		// be memoized, and sleep-set identities are gone: the remaining
+		// branches are all explored (sound, merely less pruned).
+		for d := rootLen; d < len(u.prefix); d++ {
+			u.frames = append(u.frames, &mcFrame{depth: d, fanout: u.fanout[d], noMemo: true})
+		}
+	}
+	for {
+		if e.stopped.Load() {
+			u.snapshot()
+			return
+		}
+		if n := e.executed.Add(1); int(n) > e.opts.MaxRuns {
+			e.stopped.Store(true)
+			u.snapshot()
+			return
+		}
+		leafDepth, cut := e.runOne(u)
+		if cut {
+			// Prefix already ends at the cut node; nothing was appended.
+			if !e.advance(u, rootLen) {
+				return
+			}
+			continue
+		}
+		// Leaf: bookkeeping was already truncated to the depth reached.
+		_ = leafDepth
+		if !e.advance(u, rootLen) {
+			return
+		}
+	}
+}
+
+// runOne executes one schedule: replay the unit's current prefix, then
+// descend first-allowed branches, creating frames (and consulting the
+// memo table) at every new node. Returns the leaf depth, or cut=true when
+// the run was abandoned at a memoized (or fully slept) node, which has
+// already been credited.
+func (e *mcEngine) runOne(u *mcUnit) (int, bool) {
+	depth := 0
+	mismatch := false
+	cut := false
+	c := e.cfg
+	c.MaxSteps = e.opts.MaxStepsPerRun
+	m := NewMachine(c)
+
+	var hist []uint64
+	pol := &chooserPolicy{}
+	if e.opts.Prune {
+		hist = make([]uint64, c.Threads)
+		pol.onExec = func(r *request, resp response) {
+			h := hist[r.tid]
+			h = fnvMix(h, uint64(r.kind))
+			h = fnvMix(h, uint64(r.addr))
+			h = fnvMix(h, r.val)
+			h = fnvMix(h, r.val2)
+			h = fnvMix(h, resp.val)
+			if resp.ok {
+				h = fnvMix(h, 1)
+			}
+			hist[r.tid] = h
+		}
+	}
+	var credit *memoEntry
+	var cutHW []int
+	pol.choose = func(acts []action) int {
+		d := depth
+		n := len(acts)
+		if d < len(u.prefix) {
+			if u.fanout[d] != n {
+				mismatch = true
+			}
+			depth++
+			return u.prefix[d]
+		}
+		f := &mcFrame{depth: d, fanout: n}
+		u.res.Tree.node(d, n)
+		if e.opts.SleepSets {
+			f.acts = actIDsFor(m, acts)
+			f.sleep = u.childSleep()
+			if len(f.sleep) > 0 {
+				f.skip = make([]bool, n)
+				for i, a := range f.acts {
+					if !a.drain {
+						continue
+					}
+					for _, t := range f.sleep {
+						if t == a {
+							f.skip[i] = true
+							u.res.Prune.SleepSkips++
+							u.res.Prune.SubtreesCut++
+							break
+						}
+					}
+				}
+			}
+		}
+		if e.opts.Prune {
+			f.key = u.stateKeyFor(m, hist, f.sleep)
+			f.hashed = true
+			u.res.Prune.StatesSeen++
+			if ent := e.memoGet(f.key); ent != nil {
+				credit = ent
+				cutHW = machineHW(m)
+				cut = true
+				pol.cancel = true
+				return 0
+			}
+		}
+		b := f.firstAllowed()
+		if b < 0 {
+			// Every branch is covered by commuting explorations elsewhere:
+			// the node contributes nothing of its own.
+			cutHW = machineHW(m)
+			cut = true
+			pol.cancel = true
+			return 0
+		}
+		u.frames = append(u.frames, f)
+		u.prefix = append(u.prefix, b)
+		u.fanout = append(u.fanout, n)
+		depth++
+		return b
+	}
+
+	m.pol = pol
+	progs := e.mk(m)
+	err := m.Run(progs...)
+	if mismatch {
+		panic("tso: Explore program is not replay-deterministic (fanout changed under an identical choice prefix)")
+	}
+	if cut {
+		if !errors.Is(err, errRunCut) && err != nil && !errors.Is(err, ErrStepLimit) {
+			panic(fmt.Sprintf("tso: litmus program failed: %v", err))
+		}
+		u.res.Runs++ // the aborted pass-through still ran on a machine
+		if credit != nil {
+			u.res.Prune.StatesDeduped++
+			u.res.Prune.SubtreesCut++
+			u.res.Prune.SchedulesSaved += credit.runs
+		}
+		acc := &u.acc
+		if len(u.frames) > 0 {
+			acc = &u.frames[len(u.frames)-1].acc
+		}
+		acc.foldCredit(credit, cutHW)
+		return depth, true
+	}
+
+	// A run can end before consuming the whole prefix only on the replay
+	// of choices that previously went deeper — which replay determinism
+	// rules out — so the depth reached always covers the prefix.
+	if depth < len(u.prefix) {
+		panic("tso: exhaustive engine: run ended inside its replay prefix")
+	}
+	stepLimited := false
+	var o string
+	switch {
+	case errors.Is(err, ErrStepLimit):
+		stepLimited = true
+		o = "<step-limit>"
+	case err != nil:
+		panic(fmt.Sprintf("tso: litmus program failed: %v", err))
+	default:
+		o = e.outcome(m)
+	}
+	u.res.Runs++
+	if stepLimited {
+		u.res.StepLimited++
+	}
+	acc := &u.acc
+	if len(u.frames) > 0 {
+		acc = &u.frames[len(u.frames)-1].acc
+	}
+	acc.addLeaf(o, machineHW(m), stepLimited)
+	return depth, false
+}
+
+// advance moves the unit's DFS position to the next unexplored branch at
+// or below the unit root, finalizing (and memoizing) every node it
+// retreats past. It reports false when the unit's subtree is exhausted.
+func (e *mcEngine) advance(u *mcUnit, rootLen int) bool {
+	for i := len(u.prefix) - 1; i >= rootLen; i-- {
+		f := u.frames[i-rootLen]
+		if nb := f.nextAllowed(u.prefix[i]); nb >= 0 {
+			e.finalizeFrames(u, i+1)
+			u.prefix = u.prefix[:i+1]
+			u.fanout = u.fanout[:i+1]
+			u.prefix[i] = nb
+			return true
+		}
+	}
+	e.finalizeFrames(u, rootLen)
+	u.complete = true
+	return false
+}
+
+// finalizeFrames pops every frame at depth >= downTo, publishing complete
+// subtrees to the memo table and folding them into their parent.
+func (e *mcEngine) finalizeFrames(u *mcUnit, downTo int) {
+	for len(u.frames) > 0 {
+		f := u.frames[len(u.frames)-1]
+		if f.depth < downTo {
+			return
+		}
+		u.frames = u.frames[:len(u.frames)-1]
+		if f.hashed && !f.noMemo {
+			e.memoPut(f.key, &f.acc)
+		}
+		if len(u.frames) > 0 {
+			u.frames[len(u.frames)-1].acc.fold(&f.acc)
+		} else {
+			u.acc.fold(&f.acc)
+		}
+	}
+}
+
+// snapshot flushes partial frame accumulators into the unit result (they
+// are part of the counts already reported via the checkpoint) and leaves
+// prefix/fanout as the resumable position. Nothing is memoized: the
+// flushed subtrees are incomplete.
+func (u *mcUnit) snapshot() {
+	for len(u.frames) > 0 {
+		f := u.frames[len(u.frames)-1]
+		u.frames = u.frames[:len(u.frames)-1]
+		if len(u.frames) > 0 {
+			u.frames[len(u.frames)-1].acc.fold(&f.acc)
+		} else {
+			u.acc.fold(&f.acc)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package tso
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sbProgsShared is a parallel-safe SB litmus: the address layout is fixed
+// by Alloc's deterministic order, so the factory writes no shared captured
+// state and may run on concurrent machines.
+func sbProgsShared(fenced bool) (func(m *Machine) []func(Context), func(m *Machine) string) {
+	const xA, yA, r0A, r1A = Addr(0), Addr(1), Addr(2), Addr(3)
+	mk := func(m *Machine) []func(Context) {
+		x, y := m.Alloc(1), m.Alloc(1)
+		r0a, r1a := m.Alloc(1), m.Alloc(1)
+		return []func(Context){
+			func(c Context) {
+				c.Store(x, 1)
+				if fenced {
+					c.Fence()
+				}
+				c.Store(r0a, c.Load(y)+100)
+			},
+			func(c Context) {
+				c.Store(y, 1)
+				if fenced {
+					c.Fence()
+				}
+				c.Store(r1a, c.Load(x)+100)
+			},
+		}
+	}
+	out := func(m *Machine) string {
+		return fmt.Sprintf("r0=%d r1=%d", m.Peek(r0A+2)-100, m.Peek(r1A+2)-100)
+	}
+	_ = xA
+	_ = yA
+	return mk, out
+}
+
+// mpProgsShared is a parallel-safe message-passing litmus.
+func mpProgsShared() (func(m *Machine) []func(Context), func(m *Machine) string) {
+	mk := func(m *Machine) []func(Context) {
+		x, y := m.Alloc(1), m.Alloc(1)
+		r0a, r1a := m.Alloc(1), m.Alloc(1)
+		return []func(Context){
+			func(c Context) {
+				c.Store(x, 1)
+				c.Store(y, 1)
+			},
+			func(c Context) {
+				r0 := c.Load(y)
+				r1 := c.Load(x)
+				c.Store(r0a, r0)
+				c.Store(r1a, r1)
+			},
+		}
+	}
+	out := func(m *Machine) string {
+		return fmt.Sprintf("flag=%d data=%d", m.Peek(2), m.Peek(3))
+	}
+	return mk, out
+}
+
+// TestExhaustiveMatchesSequential is the engine-equivalence bar: for every
+// litmus/config pair, every combination of parallelism and dedup pruning
+// must reproduce the sequential reference engine's outcome counts,
+// completeness, and occupancy high-water marks byte-identically.
+func TestExhaustiveMatchesSequential(t *testing.T) {
+	sbMk, sbOut := sbProgsShared(false)
+	sbfMk, sbfOut := sbProgsShared(true)
+	mpMk, mpOut := mpProgsShared()
+	cases := []struct {
+		name string
+		cfg  Config
+		mk   func(m *Machine) []func(Context)
+		out  func(m *Machine) string
+	}{
+		{"SB/S=2", Config{Threads: 2, BufferSize: 2}, sbMk, sbOut},
+		{"SB+fence/S=2", Config{Threads: 2, BufferSize: 2}, sbfMk, sbfOut},
+		{"MP/S=2", Config{Threads: 2, BufferSize: 2}, mpMk, mpOut},
+		{"MP/S=2+stage", Config{Threads: 2, BufferSize: 2, DrainBuffer: true}, mpMk, mpOut},
+	}
+	variants := []struct {
+		name string
+		opts ExhaustiveOptions
+	}{
+		{"seq", ExhaustiveOptions{}},
+		{"prune", ExhaustiveOptions{Prune: true}},
+		{"par", ExhaustiveOptions{Parallel: 4}},
+		{"par+prune", ExhaustiveOptions{Parallel: 4, Prune: true}},
+	}
+	for _, tc := range cases {
+		want, wantRes := ExploreOutcomes(tc.cfg, tc.mk, tc.out, ExploreOptions{})
+		if !wantRes.Complete {
+			t.Fatalf("%s: reference exploration incomplete", tc.name)
+		}
+		for _, v := range variants {
+			set, res := ExploreExhaustive(tc.cfg, tc.mk, tc.out, v.opts)
+			if !res.Complete {
+				t.Errorf("%s/%s: incomplete after %d runs", tc.name, v.name, res.Runs)
+			}
+			if !reflect.DeepEqual(set.Counts, want.Counts) {
+				t.Errorf("%s/%s: counts diverge from sequential engine:\n got %v\nwant %v",
+					tc.name, v.name, set.Counts, want.Counts)
+			}
+			if !reflect.DeepEqual(set.MaxOccupancy, want.MaxOccupancy) {
+				t.Errorf("%s/%s: MaxOccupancy %v, want %v", tc.name, v.name, set.MaxOccupancy, want.MaxOccupancy)
+			}
+			if set.Total() != wantRes.Runs {
+				t.Errorf("%s/%s: accounted %d schedules, reference enumerated %d",
+					tc.name, v.name, set.Total(), wantRes.Runs)
+			}
+		}
+	}
+}
+
+// TestExhaustivePruneSavesWork checks that dedup pruning actually cuts the
+// search on a litmus with converging interleavings, not just matches it.
+func TestExhaustivePruneSavesWork(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	_, seqRes := ExploreOutcomes(cfg, mk, out, ExploreOptions{})
+	set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{Prune: true})
+	if res.Prune.StatesDeduped == 0 || res.Prune.SchedulesSaved == 0 {
+		t.Fatalf("no dedup on SB: %+v", res.Prune)
+	}
+	if res.Runs >= seqRes.Runs {
+		t.Fatalf("pruned engine executed %d runs, sequential needed %d", res.Runs, seqRes.Runs)
+	}
+	if set.Total() != seqRes.Runs {
+		t.Fatalf("pruned engine accounted %d schedules, want %d", set.Total(), seqRes.Runs)
+	}
+	t.Logf("SB S=2: %d runs executed for %d schedules (%d states seen, %d deduped, %d saved)",
+		res.Runs, set.Total(), res.Prune.StatesSeen, res.Prune.StatesDeduped, res.Prune.SchedulesSaved)
+}
+
+// TestExhaustiveSleepSetsPreserveSupport: sleep sets drop redundant orders
+// of commuting drains, so schedule counts shrink, but the reachable
+// outcome set, completeness, and occupancy bounds must survive.
+func TestExhaustiveSleepSetsPreserveSupport(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	want, _ := ExploreOutcomes(cfg, mk, out, ExploreOptions{})
+	set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{Prune: true, SleepSets: true})
+	if !res.Complete {
+		t.Fatalf("incomplete after %d runs", res.Runs)
+	}
+	if res.Prune.SleepSkips == 0 {
+		t.Fatalf("no sleep-set skips on SB: %+v", res.Prune)
+	}
+	for o := range want.Counts {
+		if !set.Has(o) {
+			t.Errorf("outcome %q lost under sleep sets (got %v)", o, set.Counts)
+		}
+	}
+	for o := range set.Counts {
+		if !want.Has(o) {
+			t.Errorf("outcome %q invented under sleep sets", o)
+		}
+	}
+	if !reflect.DeepEqual(set.MaxOccupancy, want.MaxOccupancy) {
+		t.Errorf("MaxOccupancy %v, want %v", set.MaxOccupancy, want.MaxOccupancy)
+	}
+}
+
+// TestExhaustiveResumeRoundTrip drives an exploration through repeated
+// budget exhaustion, serializing the frontier to JSON and resuming from it
+// each leg, and checks the union of legs reproduces the one-shot result.
+func TestExhaustiveResumeRoundTrip(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	want, wantRes := ExploreOutcomes(cfg, mk, out, ExploreOptions{})
+
+	opts := ExhaustiveOptions{ExploreOptions: ExploreOptions{MaxRuns: 7}}
+	set, res := ExploreExhaustive(cfg, mk, out, opts)
+	if res.Complete || res.Checkpoint == nil {
+		t.Fatalf("expected a budget-limited frontier, got complete=%v checkpoint=%v", res.Complete, res.Checkpoint)
+	}
+	legs := 1
+	for !res.Complete {
+		if legs > 10*wantRes.Runs/7+10 {
+			t.Fatalf("resume not converging after %d legs", legs)
+		}
+		var buf bytes.Buffer
+		if err := res.Checkpoint.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Resume = cp
+		set, res = ExploreExhaustive(cfg, mk, out, opts)
+		legs++
+	}
+	if !reflect.DeepEqual(set.Counts, want.Counts) {
+		t.Fatalf("resumed counts diverge after %d legs:\n got %v\nwant %v", legs, set.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(set.MaxOccupancy, want.MaxOccupancy) {
+		t.Fatalf("resumed MaxOccupancy %v, want %v", set.MaxOccupancy, want.MaxOccupancy)
+	}
+	if res.Runs != wantRes.Runs {
+		t.Fatalf("cumulative runs %d, want %d", res.Runs, wantRes.Runs)
+	}
+	t.Logf("converged in %d legs of ≤7 runs", legs)
+}
+
+// TestExhaustiveResumeRejectsMismatchedConfig: a checkpoint's choice
+// prefixes are meaningless under a different machine, so resuming must
+// fail loudly.
+func TestExhaustiveResumeRejectsMismatchedConfig(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	_, res := ExploreExhaustive(Config{Threads: 2, BufferSize: 2}, mk, out,
+		ExhaustiveOptions{ExploreOptions: ExploreOptions{MaxRuns: 5}})
+	if res.Checkpoint == nil {
+		t.Fatal("expected a checkpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resume under S=3 accepted a S=2 checkpoint")
+		}
+	}()
+	ExploreExhaustive(Config{Threads: 2, BufferSize: 3}, mk, out, ExhaustiveOptions{Resume: res.Checkpoint})
+}
+
+// TestExploreTreeStatsReported: the tree-shape report must see through to
+// the litmus's structure — SB at S=2 branches somewhere, and both engines
+// agree on depth and fanout.
+func TestExploreTreeStatsReported(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	_, seqRes := ExploreOutcomes(cfg, mk, out, ExploreOptions{})
+	if seqRes.Tree.ChoicePoints == 0 || seqRes.Tree.MaxDepth == 0 || seqRes.Tree.MaxFanout < 2 {
+		t.Fatalf("degenerate tree stats: %+v", seqRes.Tree)
+	}
+	_, exRes := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+	if exRes.Tree != seqRes.Tree {
+		t.Fatalf("exhaustive tree stats %+v, sequential %+v", exRes.Tree, seqRes.Tree)
+	}
+}
+
+// --- ExploreUntil edge cases (the sequential reference engine) ---
+
+// TestExploreErrorRunsTruncateAndContinue: a program that panics on some
+// schedules must not wedge the enumeration — error runs are unwound,
+// counted, and the search still covers the rest of the tree.
+func TestExploreErrorRunsTruncateAndContinue(t *testing.T) {
+	mk := func(m *Machine) []func(Context) {
+		x := m.Alloc(1)
+		seen := m.Alloc(1)
+		return []func(Context){
+			func(c Context) {
+				c.Store(x, 1)
+			},
+			func(c Context) {
+				if c.Load(x) == 1 {
+					panic("observed the store")
+				}
+				c.Store(seen, 1)
+			},
+		}
+	}
+	var okRuns, errRuns int
+	res := Explore(Config{Threads: 2, BufferSize: 1}, mk, ExploreOptions{}, func(m *Machine, err error) {
+		if err != nil {
+			var pp *ProgramPanic
+			if !strings.Contains(err.Error(), "observed the store") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			_ = pp
+			errRuns++
+			return
+		}
+		okRuns++
+	})
+	if !res.Complete {
+		t.Fatalf("incomplete after %d runs", res.Runs)
+	}
+	if errRuns == 0 || okRuns == 0 {
+		t.Fatalf("expected both failing and clean schedules, got ok=%d err=%d", okRuns, errRuns)
+	}
+	if okRuns+errRuns != res.Runs {
+		t.Fatalf("visit saw %d runs, engine reports %d", okRuns+errRuns, res.Runs)
+	}
+}
+
+// TestExploreReplayDeterminismPanics: a factory whose program behaves
+// differently across runs breaks the replay contract; the engine must
+// refuse to explore garbage.
+func TestExploreReplayDeterminismPanics(t *testing.T) {
+	runN := 0
+	mk := func(m *Machine) []func(Context) {
+		x := m.Alloc(1)
+		runN++
+		extra := runN > 1
+		return []func(Context){
+			func(c Context) {
+				c.Store(x, 1)
+				if extra {
+					c.Store(x, 2) // changes the action set mid-replay
+				}
+			},
+			func(c Context) {
+				c.Load(x)
+			},
+		}
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("non-replay-deterministic program explored without panic")
+		}
+		if !strings.Contains(fmt.Sprint(v), "replay-deterministic") {
+			t.Fatalf("unexpected panic: %v", v)
+		}
+	}()
+	Explore(Config{Threads: 2, BufferSize: 2}, mk, ExploreOptions{}, func(m *Machine, err error) {})
+}
+
+// TestExploreMaxRunsExactlyLastSchedule: when the budget lands exactly on
+// the tree's final schedule the exploration IS complete, and must say so.
+func TestExploreMaxRunsExactlyLastSchedule(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	_, full := ExploreOutcomes(cfg, mk, out, ExploreOptions{})
+	if !full.Complete {
+		t.Fatal("reference incomplete")
+	}
+	_, exact := ExploreOutcomes(cfg, mk, out, ExploreOptions{MaxRuns: full.Runs})
+	if !exact.Complete {
+		t.Fatalf("budget of exactly %d runs reported incomplete", full.Runs)
+	}
+	if exact.Runs != full.Runs {
+		t.Fatalf("runs=%d want %d", exact.Runs, full.Runs)
+	}
+	// One fewer must flip it.
+	_, short := ExploreOutcomes(cfg, mk, out, ExploreOptions{MaxRuns: full.Runs - 1})
+	if short.Complete {
+		t.Fatal("budget one short of the tree claimed completeness")
+	}
+	// Same contract for the exhaustive engine.
+	_, exEx := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{ExploreOptions: ExploreOptions{MaxRuns: full.Runs}})
+	if !exEx.Complete {
+		t.Fatalf("exhaustive engine: budget of exactly %d runs reported incomplete", full.Runs)
+	}
+}
+
+// TestSampleOutcomesMatchesChaosRuns: the shared sampling helper must be
+// schedule-for-schedule identical to hand-rolled seeded chaos loops (it
+// replaces several in cmd/), and its outcomes stay within the exhaustive
+// set.
+func TestSampleOutcomesMatchesChaosRuns(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2, DrainBias: 0.3}
+	want := map[string]int{}
+	for seed := 0; seed < 50; seed++ {
+		c := cfg
+		c.Seed = int64(seed)
+		m := NewMachine(c)
+		progs := mk(m)
+		if err := m.Run(progs...); err != nil {
+			t.Fatal(err)
+		}
+		want[out(m)]++
+	}
+	set := SampleOutcomes(cfg, 50, mk, out)
+	if !reflect.DeepEqual(set.Counts, want) {
+		t.Fatalf("SampleOutcomes %v, hand-rolled loop %v", set.Counts, want)
+	}
+	exact, _ := ExploreOutcomes(cfg, mk, out, ExploreOptions{})
+	for o := range set.Counts {
+		if !exact.Has(o) {
+			t.Fatalf("sampled outcome %q outside the exhaustive set", o)
+		}
+	}
+}

@@ -23,6 +23,11 @@ type policy interface {
 	// zeroWorkIsNop reports whether Work(0) can skip its scheduling point
 	// (the timed engine's historical behaviour).
 	zeroWorkIsNop() bool
+	// cancelled reports whether the policy wants the current Run torn down
+	// immediately (the schedule loop then unwinds every thread and returns
+	// errRunCut). The exhaustive engine uses it to abandon a schedule the
+	// moment state memoization proves its suffix redundant.
+	cancelled() bool
 	// drainLatency is the metrics clock: how long entry e spent buffered,
 	// in the policy's time unit (scheduler steps or virtual cycles).
 	drainLatency(m *Machine, e entry) uint64
@@ -42,6 +47,8 @@ func (bufferedPolicy) flush(m *Machine) { m.flushBuffered() }
 func (bufferedPolicy) bounded() bool { return true }
 
 func (bufferedPolicy) zeroWorkIsNop() bool { return false }
+
+func (bufferedPolicy) cancelled() bool { return false }
 
 func (bufferedPolicy) drainLatency(m *Machine, e entry) uint64 { return uint64(m.steps) - e.born }
 
@@ -95,11 +102,20 @@ func (p *chaosPolicy) pickRunnable(m *Machine) int {
 // chooserPolicy replaces random scheduling with deterministic enumeration:
 // at every step it lists the possible actions (run each thread with a
 // pending request, drain each non-empty buffer, in deterministic order)
-// and asks choose to pick one. Explore uses it to enumerate schedules
-// exhaustively.
+// and asks choose to pick one. Explore and the exhaustive engine use it to
+// enumerate schedules.
 type chooserPolicy struct {
 	bufferedPolicy
-	choose func(n int) int
+	// choose picks one of the listed actions. The slice is only valid for
+	// the duration of the call.
+	choose func(acts []action) int
+	// onExec, when non-nil, observes every executed request and its
+	// response — the exhaustive engine folds them into per-thread history
+	// hashes for canonical-state pruning.
+	onExec func(r *request, resp response)
+	// cancel, when set by choose, tears the current run down (see
+	// policy.cancelled).
+	cancel bool
 }
 
 func (p *chooserPolicy) next(m *Machine) action {
@@ -122,5 +138,15 @@ func (p *chooserPolicy) next(m *Machine) action {
 		}
 		acts = append(acts, action{drain: true, id: tid})
 	}
-	return acts[p.choose(len(acts))]
+	return acts[p.choose(acts)]
 }
+
+func (p *chooserPolicy) exec(m *Machine, r *request) response {
+	resp := m.execBuffered(r)
+	if p.onExec != nil {
+		p.onExec(r, resp)
+	}
+	return resp
+}
+
+func (p *chooserPolicy) cancelled() bool { return p.cancel }

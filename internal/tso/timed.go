@@ -103,6 +103,8 @@ func (p *timedPolicy) bounded() bool { return false }
 
 func (p *timedPolicy) zeroWorkIsNop() bool { return true }
 
+func (p *timedPolicy) cancelled() bool { return false }
+
 func (p *timedPolicy) drainLatency(m *Machine, e entry) uint64 { return e.done - e.born }
 
 // issue charges k instruction-issue cycles to thread tid starting no
