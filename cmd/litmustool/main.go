@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	litmustool [-list] [-max 2000000] [-par N] [-prune] [file.litmus ...]
+//	litmustool [-list] [-max 2000000] [-par N] [-prune] [-cpuprofile f] [-memprofile f] [file.litmus ...]
 //
 // -par spreads the exploration over N workers; -prune turns on
 // canonical-state memoization, which proves the same outcome counts while
@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/litmusdsl"
+	"repro/internal/runner"
 	"repro/internal/tso"
 )
 
@@ -35,7 +36,19 @@ func main() {
 	witness := flag.Bool("witness", false, "for allowed tests, print one schedule reaching the condition")
 	par := flag.Int("par", 1, "exploration workers per test")
 	prune := flag.Bool("prune", false, "canonical-state pruning (same counts, fewer executed schedules)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *list {
 		for _, src := range litmusdsl.Library {
@@ -113,6 +126,9 @@ func main() {
 			pruneTotal.StatesSeen, pruneTotal.StatesDeduped, pruneTotal.SubtreesCut, pruneTotal.SchedulesSaved)
 	}
 	if failures > 0 {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
 		log.Fatalf("%d test(s) FAILED", failures)
 	}
 }

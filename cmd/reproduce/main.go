@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	reproduce [-quick] [-full] [-p N] [-json] [-metrics] [-cache] [-cachedir DIR]
+//	reproduce [-quick] [-full] [-p N] [-json] [-metrics] [-cache] [-cachedir DIR] [-cpuprofile f] [-memprofile f]
 //
 // -quick uses reduced sizes/seeds; the default full run takes a few
 // minutes. -p sets the worker-pool size for the sweeps (default
@@ -63,7 +63,19 @@ func main() {
 	metrics := flag.Bool("metrics", false, "append an instrumented metrics run (occupancy/stall/drain series)")
 	useCache := flag.Bool("cache", true, "reuse cached figure results from -cachedir")
 	cacheDir := flag.String("cachedir", runner.DefaultCacheDir, "result cache directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	size := apps.SizeBench
 	runs := 5
@@ -306,6 +318,9 @@ func main() {
 	if len(s.failures) > 0 {
 		for _, f := range s.failures {
 			log.Printf("FAILED %s", f)
+		}
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
 		}
 		os.Exit(1)
 	}

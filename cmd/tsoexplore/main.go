@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune]
+//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/expt"
+	"repro/internal/runner"
 	"repro/internal/tso"
 )
 
@@ -31,7 +32,19 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "explore every schedule of the SB test instead of sampling")
 	par := flag.Int("par", 1, "exploration workers for -exhaustive")
 	prune := flag.Bool("prune", false, "canonical-state pruning for -exhaustive")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := tso.Config{Threads: 2, BufferSize: *s, DrainBuffer: *stage, DrainBias: 0.1}
 	fmt.Printf("Abstract TSO[%d] machine (drain stage: %v, observable bound %d)\n\n",

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1] [-metrics] [-p N]
+//	wsbench [-platform westmere|haswell|both] [-runs 5] [-size test|bench] [-table1] [-metrics] [-p N] [-cpuprofile f] [-memprofile f]
 //
 // -p runs the app × algorithm × seed matrix on a worker pool (0 =
 // GOMAXPROCS); the tables are byte-identical at any pool size.
@@ -36,7 +36,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
 	metrics := flag.Bool("metrics", false, "also print an instrumented metrics run per platform")
 	workers := flag.Int("p", 0, "worker-pool size for the matrix (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *table1 {
 		printTable1()

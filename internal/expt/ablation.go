@@ -123,9 +123,10 @@ func AblationDrainLatency() ([]AblationRow, error) {
 // wide flat task graph where thieves hammer one victim.
 func AblationStealBackoff(p Platform) ([]AblationRow, error) {
 	rows := []AblationRow{}
+	m := tso.NewTimedMachine(p.Cfg)
+	defer m.Close()
 	for _, backoff := range []uint64{1, 4, 16, 64} {
-		cfg := p.Cfg
-		m := tso.NewTimedMachine(cfg)
+		m.Reset()
 		pool := sched.NewPool(m, sched.Options{Algo: core.AlgoTHE, StealBackoff: backoff, Seed: 1})
 		st, err := pool.Run(func(w *sched.Worker) {
 			for i := 0; i < 300; i++ {

@@ -69,6 +69,7 @@ func runApp(app apps.App, size apps.Size, cfg tso.Config, threads int,
 	opt sched.Options) (uint64, sched.Stats, error) {
 	cfg.Threads = threads
 	m := tso.NewTimedMachine(cfg)
+	defer m.Close()
 	p := sched.NewPool(m, opt)
 	root, verify := app.Build(size)
 	st, err := p.Run(root)

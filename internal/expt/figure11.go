@@ -139,6 +139,7 @@ func Figure11ProblemCtx(ctx context.Context, r *runner.Runner, p Platform, probl
 		cfg := p.Cfg
 		cfg.Threads = c.wl.Threads
 		m := tso.NewTimedMachine(cfg)
+		defer m.Close()
 		pool := sched.NewPool(m, sched.Options{Algo: c.al.Algo, Delta: core.DefaultDelta(s), Seed: c.seed})
 		root, verify := c.problem.build(c.g, 0)
 		st, err := pool.Run(root)

@@ -138,6 +138,7 @@ func RunPointCtx(ctx context.Context, cfg tso.Config, l, delta int, opts Options
 // runOnce is one execution of Figure 9: returns taken+stolen.
 func runOnce(cfg tso.Config, algo core.Algo, l, delta, tasks int) (int, error) {
 	m := tso.NewMachine(cfg)
+	defer m.Close()
 	q := core.New(algo, m, tasks+1, delta)
 	vals := make([]uint64, tasks)
 	for i := range vals {

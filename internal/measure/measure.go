@@ -77,8 +77,10 @@ func StoreBufferCapacity(cfg tso.Config, opts CapacityOptions) []Point {
 	cfg.Cost.StoreCycles = 0
 	opts = opts.withDefaults(cfg)
 	points := make([]Point, 0, opts.MaxSeq)
+	m := tso.NewTimedMachine(cfg)
+	defer m.Close()
 	for seq := 1; seq <= opts.MaxSeq; seq++ {
-		m := tso.NewTimedMachine(cfg)
+		m.Reset()
 		base := m.Alloc(opts.MaxSeq + 1)
 		err := m.Run(func(c tso.Context) {
 			for k := 0; k < opts.Iters; k++ {

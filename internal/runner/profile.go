@@ -1,0 +1,58 @@
+package runner
+
+// Profiling support for the experiment commands: every cmd exposes
+// -cpuprofile/-memprofile backed by StartProfiles, so engine-level
+// optimisation work (the channel-free execution substrate, the pruned
+// model checker) can be driven by pprof evidence instead of guesses.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling to cpuPath and arranges for a heap
+// profile to be written to memPath; either path may be empty to skip that
+// profile. The returned stop function flushes and closes both profiles;
+// calls after the first are no-ops, so a main may both defer it and invoke
+// it explicitly before an os.Exit path such as log.Fatalf. When both paths
+// are empty, StartProfiles is a no-op returning a no-op stop.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("runner: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("runner: starting CPU profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("runner: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("runner: creating heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("runner: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -32,6 +32,20 @@ type storeBuffer struct {
 	// (coalesced-away entries excluded). Set only when Config.Metrics is
 	// enabled, so the common path pays one nil check.
 	onDrain func(entry)
+
+	// elig is eligibleDrains' reusable result slice, so the PSO hot path
+	// allocates nothing.
+	elig []int
+}
+
+// reset empties the buffer and clears its counters, keeping the entry
+// array and any armed onDrain hook — the buffer half of Machine.Reset.
+func (b *storeBuffer) reset() {
+	b.entries = b.entries[:0]
+	b.hasStage = false
+	b.drains = 0
+	b.coalesces = 0
+	b.maxOcc = 0
 }
 
 func newStoreBuffer(capacity int, drainStage bool) *storeBuffer {
@@ -76,6 +90,18 @@ func (b *storeBuffer) push(e entry) {
 	}
 }
 
+// popFront removes and returns the FIFO head, shifting the remaining
+// entries down in place. The backing array stays anchored at its original
+// allocation — slicing the head off (entries = entries[1:]) would walk
+// the array forward and force a reallocation on a later push, which is
+// what the zero-allocation guarantee of the step path forbids.
+func (b *storeBuffer) popFront() entry {
+	e := b.entries[0]
+	n := copy(b.entries, b.entries[1:])
+	b.entries = b.entries[:n]
+	return e
+}
+
 // forward returns the newest buffered value for address a, searching the
 // FIFO from tail to head and then the drain stage (rule 2 of the abstract
 // machine: a load reads the newest matching store in its own buffer).
@@ -104,8 +130,7 @@ func (b *storeBuffer) drainOne(mem *memory) {
 		if len(b.entries) == 0 {
 			panic("tso: drain of empty store buffer")
 		}
-		e := b.entries[0]
-		b.entries = b.entries[1:]
+		e := b.popFront()
 		mem.write(e.addr, e.val)
 		b.drains++
 		if b.onDrain != nil {
@@ -123,8 +148,7 @@ func (b *storeBuffer) drainOne(mem *memory) {
 			b.onDrain(b.stage)
 		}
 	case len(b.entries) > 0 && !b.hasStage:
-		b.stage = b.entries[0]
-		b.entries = b.entries[1:]
+		b.stage = b.popFront()
 		b.hasStage = true
 		b.drains++
 	case len(b.entries) > 0 && b.hasStage:
@@ -133,16 +157,14 @@ func (b *storeBuffer) drainOne(mem *memory) {
 			// Same-address coalescing: the older value is discarded
 			// without ever reaching memory. This is legal under TSO only
 			// because the two stores are consecutive in the drain order.
-			b.stage = head
-			b.entries = b.entries[1:]
+			b.stage = b.popFront()
 			b.coalesces++
 			b.drains++
 			return
 		}
 		old := b.stage
 		mem.write(old.addr, old.val)
-		b.stage = head
-		b.entries = b.entries[1:]
+		b.stage = b.popFront()
 		b.drains++
 		if b.onDrain != nil {
 			b.onDrain(old)
@@ -162,19 +184,28 @@ func (b *storeBuffer) drainAll(mem *memory) {
 
 // eligibleDrains returns the indices of entries the PSO drain rule may
 // write next: the oldest entry for each distinct address (per-address FIFO
-// is all PSO preserves). Only valid without the drain stage.
+// is all PSO preserves). Only valid without the drain stage. The returned
+// slice is owned by the buffer and valid until the next call; the
+// first-occurrence scan is quadratic in occupancy, which the capacity
+// bound keeps tiny (S ≤ a few dozen).
 func (b *storeBuffer) eligibleDrains() []int {
 	if b.useStage {
 		panic("tso: PSO drains with drain stage")
 	}
-	var out []int
-	seen := map[Addr]bool{}
+	out := b.elig[:0]
 	for i, e := range b.entries {
-		if !seen[e.addr] {
-			seen[e.addr] = true
+		first := true
+		for j := 0; j < i; j++ {
+			if b.entries[j].addr == e.addr {
+				first = false
+				break
+			}
+		}
+		if first {
 			out = append(out, i)
 		}
 	}
+	b.elig = out
 	return out
 }
 
@@ -191,13 +222,21 @@ func (b *storeBuffer) drainAt(mem *memory, i int) {
 }
 
 // memory is the simulated shared memory: a growable array of 64-bit words,
-// all initially zero.
+// all initially zero. It tracks the dirty high-watermark so reset zeroes
+// only the words a run actually touched, not the full default arena.
 type memory struct {
 	words []uint64
+	hi    Addr // highest address ever written since the last reset
 }
 
 func newMemory(words int) *memory {
 	return &memory{words: make([]uint64, words)}
+}
+
+// reset rezeroes every written word — the memory half of Machine.Reset.
+func (m *memory) reset() {
+	clear(m.words[:m.hi+1])
+	m.hi = 0
 }
 
 func (m *memory) read(a Addr) uint64 {
@@ -208,6 +247,9 @@ func (m *memory) read(a Addr) uint64 {
 func (m *memory) write(a Addr, v uint64) {
 	m.ensure(a)
 	m.words[a] = v
+	if a > m.hi {
+		m.hi = a
+	}
 }
 
 func (m *memory) ensure(a Addr) {

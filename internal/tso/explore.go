@@ -150,33 +150,41 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 	// prefix holds the choice taken at each decision step of the current
 	// run; fanout holds the number of alternatives that were available.
 	var prefix, fanout []int
+	var depth int
+	var mismatch bool
+
+	// One machine serves the whole exploration: each run Resets it back to
+	// the just-constructed state instead of paying NewMachine (zeroed
+	// memory arena, buffer allocation, goroutine spawns) per schedule.
+	c := cfg
+	c.MaxSteps = opts.MaxStepsPerRun
+	m := NewMachine(c)
+	defer m.Close()
+	// Swap the chaos policy for deterministic enumeration: replay the
+	// recorded prefix, then take the first untried branch.
+	m.pol = &chooserPolicy{choose: func(acts []action) int {
+		n := len(acts)
+		if depth < len(prefix) {
+			if depth < len(fanout) && fanout[depth] != n {
+				// The program is not replay-deterministic; flag it
+				// rather than silently exploring garbage.
+				mismatch = true
+			}
+			i := prefix[depth]
+			depth++
+			return i
+		}
+		res.Tree.node(depth, n)
+		prefix = append(prefix, 0)
+		fanout = append(fanout, n)
+		depth++
+		return 0
+	}}
 
 	for {
-		depth := 0
-		mismatch := false
-		c := cfg
-		c.MaxSteps = opts.MaxStepsPerRun
-		m := NewMachine(c)
-		// Swap the chaos policy for deterministic enumeration: replay the
-		// recorded prefix, then take the first untried branch.
-		m.pol = &chooserPolicy{choose: func(acts []action) int {
-			n := len(acts)
-			if depth < len(prefix) {
-				if depth < len(fanout) && fanout[depth] != n {
-					// The program is not replay-deterministic; flag it
-					// rather than silently exploring garbage.
-					mismatch = true
-				}
-				i := prefix[depth]
-				depth++
-				return i
-			}
-			res.Tree.node(depth, n)
-			prefix = append(prefix, 0)
-			fanout = append(fanout, n)
-			depth++
-			return 0
-		}}
+		depth = 0
+		mismatch = false
+		m.Reset()
 		progs := mkProgs(m)
 		err := m.Run(progs...)
 		if mismatch {
@@ -271,24 +279,28 @@ func (s OutcomeSet) Total() int {
 // buckets step-limited runs under "<step-limit>".
 func SampleOutcomes(cfg Config, runs int, mkProgs func(m *Machine) []func(Context), outcome func(m *Machine) string) OutcomeSet {
 	set := OutcomeSet{Counts: map[string]int{}, MaxOccupancy: make([]int, cfg.Threads)}
-	for seed := 0; seed < runs; seed++ {
+	if runs > 0 {
 		c := cfg
-		c.Seed = int64(seed)
+		c.Seed = 0
 		m := NewMachine(c)
-		progs := mkProgs(m)
-		err := m.Run(progs...)
-		for tid := range set.MaxOccupancy {
-			if occ := m.ThreadMaxOccupancy(tid); occ > set.MaxOccupancy[tid] {
-				set.MaxOccupancy[tid] = occ
+		defer m.Close()
+		for seed := 0; seed < runs; seed++ {
+			m.ResetSeed(int64(seed))
+			progs := mkProgs(m)
+			err := m.Run(progs...)
+			for tid := range set.MaxOccupancy {
+				if occ := m.ThreadMaxOccupancy(tid); occ > set.MaxOccupancy[tid] {
+					set.MaxOccupancy[tid] = occ
+				}
 			}
-		}
-		switch {
-		case errors.Is(err, ErrStepLimit):
-			set.Counts["<step-limit>"]++
-		case err != nil:
-			panic(fmt.Sprintf("tso: sampled program failed: %v", err))
-		default:
-			set.Counts[outcome(m)]++
+			switch {
+			case errors.Is(err, ErrStepLimit):
+				set.Counts["<step-limit>"]++
+			case err != nil:
+				panic(fmt.Sprintf("tso: sampled program failed: %v", err))
+			default:
+				set.Counts[outcome(m)]++
+			}
 		}
 	}
 	set.res = ExploreResult{Runs: runs}

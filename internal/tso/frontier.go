@@ -163,12 +163,16 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 					e.stopped.Store(true)
 				}
 			}()
+			// Each worker reuses one machine (and its policy, history
+			// hashes and scratch) for every schedule it executes.
+			r := e.newRunner()
+			defer r.m.Close()
 			for {
 				i := int(next.Add(1))
 				if i >= len(units) || e.stopped.Load() {
 					return
 				}
-				e.exploreUnit(units[i])
+				e.exploreUnit(r, units[i])
 			}
 		}()
 	}
@@ -234,17 +238,15 @@ func buildCheckpoint(c Config, units []*mcUnit, set OutcomeSet, agg ExploreResul
 	return cp
 }
 
-// probeFanout executes one throwaway schedule replaying root and reports
-// the fanout of the first choice past it (0 when the run ends first). Its
-// outcome is discarded — the node's subtree belongs to exactly the units
-// split from it.
-func (e *mcEngine) probeFanout(root, rootFan []int) int {
+// probeFanout executes one throwaway schedule on m (Reset here) replaying
+// root and reports the fanout of the first choice past it (0 when the run
+// ends first). Its outcome is discarded — the node's subtree belongs to
+// exactly the units split from it.
+func (e *mcEngine) probeFanout(m *Machine, root, rootFan []int) int {
 	depth := 0
 	fan := 0
 	mismatch := false
-	c := e.cfg
-	c.MaxSteps = e.opts.MaxStepsPerRun
-	m := NewMachine(c)
+	m.Reset()
 	m.pol = &chooserPolicy{choose: func(acts []action) int {
 		d := depth
 		depth++
@@ -282,6 +284,14 @@ func (e *mcEngine) split() []*mcUnit {
 	const maxSplitDepth = 64
 	q := []pend{{nil, nil}}
 	var done []*mcUnit
+	// One machine serves every probe; splitting is sequential. Created
+	// lazily so single-unit explorations pay nothing here.
+	var pm *Machine
+	defer func() {
+		if pm != nil {
+			pm.Close()
+		}
+	}()
 	for len(q) > 0 && len(q)+len(done) < e.opts.Units {
 		p := q[0]
 		q = q[1:]
@@ -289,7 +299,12 @@ func (e *mcEngine) split() []*mcUnit {
 			done = append(done, &mcUnit{root: p.root, rootFan: p.fan})
 			continue
 		}
-		fan := e.probeFanout(p.root, p.fan)
+		if pm == nil {
+			c := e.cfg
+			c.MaxSteps = e.opts.MaxStepsPerRun
+			pm = NewMachine(c)
+		}
+		fan := e.probeFanout(pm, p.root, p.fan)
 		if fan < 2 {
 			done = append(done, &mcUnit{root: p.root, rootFan: p.fan})
 			continue

@@ -1,0 +1,83 @@
+package tso
+
+import "testing"
+
+// BenchmarkHandoff measures the raw cost of one simulated operation: the
+// round trip from a program goroutine through the scheduler and back. This
+// is the floor under every simulated load/store/CAS in the repo, so a
+// regression here taxes every figure and every exhaustive proof.
+func BenchmarkHandoff(b *testing.B) {
+	b.Run("chaos/load", func(b *testing.B) {
+		m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: 1})
+		x := m.Alloc(1)
+		b.ResetTimer()
+		err := m.Run(func(c Context) {
+			for i := 0; i < b.N; i++ {
+				c.Load(x)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("chaos/store", func(b *testing.B) {
+		m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: 1})
+		x := m.Alloc(1)
+		b.ResetTimer()
+		err := m.Run(func(c Context) {
+			for i := 0; i < b.N; i++ {
+				c.Store(x, uint64(i))
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("timed/load", func(b *testing.B) {
+		m := NewTimedMachine(Config{Threads: 1, BufferSize: 33})
+		x := m.Alloc(1)
+		b.ResetTimer()
+		err := m.Run(func(c Context) {
+			for i := 0; i < b.N; i++ {
+				c.Load(x)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkMachineRun measures whole-run overhead on a small SB-shaped
+// program — the cost every explored schedule pays around its handful of
+// simulated operations.
+func BenchmarkMachineRun(b *testing.B) {
+	prog0 := func(x, y Addr) func(Context) {
+		return func(c Context) { c.Store(x, 1); c.Load(y) }
+	}
+	b.Run("new", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMachine(Config{Threads: 2, BufferSize: 4, Seed: 1})
+			x, y := m.Alloc(1), m.Alloc(1)
+			if err := m.Run(prog0(x, y), prog0(y, x)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		m := NewMachine(Config{Threads: 2, BufferSize: 4, Seed: 1})
+		defer m.Close()
+		x, y := m.Alloc(1), m.Alloc(1)
+		p0, p1 := prog0(x, y), prog0(y, x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			m.Alloc(2) // re-reserve the words the reset rewound
+			if err := m.Run(p0, p1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -3,6 +3,8 @@ package tso
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 )
 
 // Machine is the unified abstract TSO[S] machine core. One request/grant
@@ -21,9 +23,21 @@ import (
 // Exactly one simulated thread executes at a time; between any two thread
 // actions a policy may drain store-buffer entries.
 //
+// The request/grant rendezvous is channel-free on its steady-state path:
+// each simulated thread is a pooled worker goroutine (spawned at the first
+// Run, reused across Runs) whose single in-flight request is embedded in
+// the worker itself, and the two directions of the handoff are parked
+// single-slot gates (an atomic state word backed by a 1-slot semaphore —
+// see gate). A simulated operation therefore performs zero heap
+// allocations and no shared-channel traffic; the only per-operation cost
+// is the two goroutine switches the one-thread-at-a-time semantics demand.
+//
 // A Machine is not safe for concurrent use; each Run call owns it until it
 // returns. Memory contents persist across Run calls, so a harness can
 // initialize state, run one program phase, inspect memory, and run another.
+// Reset rewinds the machine to its just-constructed state without giving
+// up any allocation, which is how the exploration engines execute millions
+// of runs on a handful of machines.
 type Machine struct {
 	cfg  Config
 	mem  *memory
@@ -31,15 +45,29 @@ type Machine struct {
 	rng  *rand.Rand
 	next Addr
 
+	// rngStale defers the RNG reseed a Reset implies until the first draw:
+	// seeding math/rand's source regenerates its whole 607-word feedback
+	// state (microseconds), which would dominate Reset for the
+	// deterministic engines that never draw.
+	rngStale bool
+
 	stats Stats
 	met   *MachineMetrics // non-nil iff Config.Metrics
 
 	// pol is the engine's scheduling/cost policy.
 	pol policy
 
-	// per-Run scheduler state
-	reqCh   chan *request
-	grants  []chan response
+	// workers are the pooled per-thread goroutines; nil until the first
+	// Run (or after Close). reqGate is the scheduler's side of the
+	// handoff: workers post requests by flagging themselves and releasing
+	// it. reaper carries the GC finalizer that reclaims the workers of a
+	// machine dropped without Close (see spawnWorkers).
+	workers []*worker
+	reaper  *reaper
+	reqGate gate
+
+	// pending[tid] points at tid's posted-but-ungranted request (embedded
+	// in its worker); the slice is allocated once and reused across Runs.
 	pending []*request
 	steps   int64
 
@@ -84,6 +112,57 @@ type response struct {
 	abort bool
 }
 
+// gate is a single-consumer park/unpark primitive: one atomic state word
+// counting banked signals (with -1 meaning "consumer parked") backed by a
+// 1-slot semaphore channel that is touched only when a park actually
+// happens. release banks a signal or unparks the parked consumer; acquire
+// consumes a banked signal without blocking, or parks until one arrives.
+// Multiple producers may release concurrently; at most one goroutine may
+// acquire. The atomic read-modify-writes give the same happens-before
+// edges a channel would, so plain writes made before release are visible
+// after the matching acquire.
+type gate struct {
+	state atomic.Int32
+	sem   chan struct{}
+}
+
+func (g *gate) init() { g.sem = make(chan struct{}, 1) }
+
+func (g *gate) release() {
+	if g.state.Add(1) <= 0 {
+		// The consumer was parked (-1 → 0): hand it the semaphore slot.
+		g.sem <- struct{}{}
+	}
+}
+
+func (g *gate) acquire() {
+	if g.state.Add(-1) >= 0 {
+		return // a signal was banked: no park
+	}
+	<-g.sem
+}
+
+// worker is one pooled simulated-thread goroutine and its half of the
+// handoff: the thread's single in-flight request and response live here,
+// so the steady-state operation path allocates nothing. The goroutine
+// itself parks on start between Runs holding no reference to the machine,
+// which lets an un-Closed machine be finalized (see Close).
+type worker struct {
+	m     *Machine
+	tid   int
+	req   request
+	resp  response
+	grant gate        // scheduler → thread: response ready
+	start chan func() // Run → goroutine: next program bound and ready
+	run   func()      // pre-bound runProg, sent on start each Run
+	prog  func(Context)
+
+	// posted tells the scheduler's gather scan that req holds a fresh
+	// request; the store-release/CAS-acquire pair carries the request
+	// fields across.
+	posted atomic.Bool
+}
+
 // abortSignal is panicked inside simulated threads when the machine tears a
 // run down (step limit or another thread's panic); the thread wrapper
 // recovers it and exits cleanly.
@@ -116,7 +195,9 @@ func NewMachine(cfg Config) *Machine {
 	for i := range m.bufs {
 		m.bufs[i] = newStoreBuffer(c.BufferSize, c.DrainBuffer)
 	}
-	m.pol = &chaosPolicy{rng: m.rng}
+	m.pending = make([]*request, c.Threads)
+	m.reqGate.init()
+	m.pol = &chaosPolicy{}
 	if c.Metrics {
 		m.enableMetrics()
 	}
@@ -163,6 +244,107 @@ func (m *Machine) Stats() Stats {
 	return s
 }
 
+// Reset rewinds the machine to its just-constructed state — memory zeroed,
+// the allocator at address 0, store buffers empty, statistics, metrics and
+// the high-water marks cleared, the chaos scheduler RNG reseeded from
+// Config.Seed — while keeping every allocation: the memory words, the
+// buffer arrays, and the pooled worker goroutines. A Reset machine behaves
+// byte-for-byte like a fresh NewMachine/NewTimedMachine of the same
+// Config, which is what lets the exploration engines reuse one machine
+// across millions of runs. Reset must only be called between Runs.
+func (m *Machine) Reset() {
+	m.mem.reset()
+	for _, b := range m.bufs {
+		b.reset()
+	}
+	m.next = 0
+	m.steps = 0
+	m.stats = Stats{}
+	m.rngStale = m.rng != nil
+	if m.met != nil {
+		m.resetMetrics()
+	}
+}
+
+// ResetSeed is Reset under a new chaos-scheduler seed — the sampling
+// engines' path for sweeping seeds across one reused machine.
+func (m *Machine) ResetSeed(seed int64) {
+	m.cfg.Seed = seed
+	m.Reset()
+}
+
+// rand returns the chaos scheduler's RNG, reseeding it first if a Reset
+// left it stale. Only the chaos policy draws, so machines under a
+// deterministic policy never pay for the seed.
+func (m *Machine) rand() *rand.Rand {
+	if m.rngStale {
+		m.rng.Seed(m.cfg.Seed)
+		m.rngStale = false
+	}
+	return m.rng
+}
+
+// Close releases the machine's pooled worker goroutines. It must not be
+// called concurrently with Run; calling Run afterwards is allowed (the
+// workers respawn). Machines that are dropped without Close are closed by
+// a GC finalizer — the parked workers hold no reference to the machine —
+// so forgetting Close leaks nothing permanently, but harnesses that churn
+// machines in a loop should Close (or Reset and reuse) deterministically.
+func (m *Machine) Close() {
+	if m.workers == nil {
+		return
+	}
+	runtime.SetFinalizer(m.reaper, nil)
+	m.reaper.reap()
+	m.reaper = nil
+	m.workers = nil
+}
+
+// reaper closes a worker pool's start channels, releasing the parked
+// goroutines. It exists as a separate object because the GC finalizer
+// cannot live on the Machine itself: machine and workers reference each
+// other, and a finalizer on a member of a reference cycle is not
+// guaranteed to run. The reaper is referenced one-way (machine → reaper →
+// channels), so it becomes unreachable exactly when the machine's cycle
+// is collected, and its finalizer then reaps the workers.
+type reaper struct {
+	starts []chan func()
+}
+
+func (r *reaper) reap() {
+	for _, ch := range r.starts {
+		close(ch)
+	}
+}
+
+// spawnWorkers starts the pooled per-thread goroutines on first use. The
+// goroutines park on their start channels holding nothing but the channel,
+// so an unreachable machine can still be finalized and its workers
+// reclaimed.
+func (m *Machine) spawnWorkers() {
+	m.workers = make([]*worker, m.cfg.Threads)
+	m.reaper = &reaper{starts: make([]chan func(), m.cfg.Threads)}
+	for i := range m.workers {
+		w := &worker{m: m, tid: i}
+		w.req.tid = i
+		w.grant.init()
+		// Capacity 1 is load-bearing: Run may send the next program before
+		// the worker has looped back from posting its previous opDone.
+		w.start = make(chan func(), 1)
+		w.run = w.runProg
+		m.workers[i] = w
+		m.reaper.starts[i] = w.start
+		go workerLoop(w.start)
+	}
+	runtime.SetFinalizer(m.reaper, (*reaper).reap)
+}
+
+func workerLoop(start chan func()) {
+	for f := range start {
+		f()
+	}
+}
+
 // Run executes one simulated program per configured thread to completion,
 // then flushes all store buffers. Under a bounded policy (chaos, chooser)
 // it returns ErrStepLimit if the schedule exceeds Config.MaxSteps
@@ -171,14 +353,18 @@ func (m *Machine) Run(progs ...func(Context)) error {
 	if len(progs) != m.cfg.Threads {
 		return fmt.Errorf("tso: machine has %d threads, Run got %d programs", m.cfg.Threads, len(progs))
 	}
-	m.reqCh = make(chan *request)
-	m.grants = make([]chan response, len(progs))
-	m.pending = make([]*request, len(progs))
+	if m.workers == nil {
+		m.spawnWorkers()
+	}
+	for i := range m.pending {
+		m.pending[i] = nil
+	}
 	m.steps = 0
 	m.pol.reset(m)
-	for i := range progs {
-		m.grants[i] = make(chan response)
-		go m.runThread(i, progs[i])
+	for i, p := range progs {
+		w := m.workers[i]
+		w.prog = p
+		w.start <- w.run
 	}
 	err := m.schedule(len(progs))
 	m.pol.flush(m)
@@ -186,18 +372,60 @@ func (m *Machine) Run(progs ...func(Context)) error {
 	return err
 }
 
-func (m *Machine) runThread(tid int, prog func(Context)) {
+// runProg is one worker cycle: run the bound program, then post the
+// terminal opDone/opPanic through the embedded request. It reuses the
+// request in place, so the wrapper path allocates nothing either.
+func (w *worker) runProg() {
 	defer func() {
+		w.req.addr = 0
+		w.req.val = 0
+		w.req.val2 = 0
+		w.req.panicVal = nil
 		switch v := recover(); v.(type) {
-		case nil:
-			m.reqCh <- &request{tid: tid, kind: opDone}
-		case abortSignal:
-			m.reqCh <- &request{tid: tid, kind: opDone}
+		case nil, abortSignal:
+			w.req.kind = opDone
 		default:
-			m.reqCh <- &request{tid: tid, kind: opPanic, panicVal: v}
+			w.req.kind = opPanic
+			w.req.panicVal = v
 		}
+		w.m.post(w)
 	}()
-	prog(&threadCtx{m: m, tid: tid})
+	w.prog(w)
+}
+
+// post publishes w's embedded request to the scheduler: flag the worker,
+// then release the scheduler's gate. The flag store happens-before the
+// gather scan's consuming CAS, which carries the request fields across.
+func (m *Machine) post(w *worker) {
+	w.posted.Store(true)
+	m.reqGate.release()
+}
+
+// gather blocks until some worker has posted a request and returns it,
+// consuming exactly one post. Which posted worker is returned first when
+// several race (Run start, teardown) is scheduling-dependent, but the
+// schedule loop collects until every live thread has a pending request
+// before consulting the policy, so the machine's behaviour — and the
+// chaos engine's same-seed determinism — do not depend on gather order.
+func (m *Machine) gather() *worker {
+	m.reqGate.acquire()
+	for {
+		for _, w := range m.workers {
+			if w.posted.Load() && w.posted.CompareAndSwap(true, false) {
+				return w
+			}
+		}
+		// The release that satisfied acquire is always preceded by its
+		// flag store, so the scan cannot miss forever; this retry only
+		// spins if we consumed a flag whose release is still in flight.
+	}
+}
+
+// grant hands tid's response back and unparks its worker.
+func (m *Machine) grant(tid int, resp response) {
+	w := m.workers[tid]
+	w.resp = resp
+	w.grant.release()
 }
 
 // schedule is the machine's main loop. Invariant: a live thread is either
@@ -212,23 +440,23 @@ func (m *Machine) schedule(threads int) error {
 
 	for {
 		for pendingN < live {
-			r := <-m.reqCh
-			switch r.kind {
+			w := m.gather()
+			switch w.req.kind {
 			case opDone:
 				live--
 			case opPanic:
 				live--
 				if fail == nil {
-					fail = &ProgramPanic{Thread: r.tid, Value: r.panicVal}
+					fail = &ProgramPanic{Thread: w.tid, Value: w.req.panicVal}
 				}
 			default:
-				m.pending[r.tid] = r
+				m.pending[w.tid] = &w.req
 				pendingN++
 			}
 		}
 		if fail != nil {
 			m.abortPending(&pendingN)
-			m.drainDone(&live, &pendingN)
+			m.drainDone(&live)
 			return fail
 		}
 		if live == 0 {
@@ -236,7 +464,7 @@ func (m *Machine) schedule(threads int) error {
 		}
 		if m.pol.bounded() && m.steps >= m.cfg.MaxSteps {
 			m.abortPending(&pendingN)
-			m.drainDone(&live, &pendingN)
+			m.drainDone(&live)
 			return fmt.Errorf("%w after %d steps", ErrStepLimit, m.steps)
 		}
 		m.steps++
@@ -247,7 +475,7 @@ func (m *Machine) schedule(threads int) error {
 			// engine's memoization cut). Unwind every thread and report the
 			// sentinel so the engine can tell a cut from a real failure.
 			m.abortPending(&pendingN)
-			m.drainDone(&live, &pendingN)
+			m.drainDone(&live)
 			return errRunCut
 		}
 		if act.drain {
@@ -258,7 +486,7 @@ func (m *Machine) schedule(threads int) error {
 		r := m.pending[tid]
 		m.pending[tid] = nil
 		pendingN--
-		m.grants[tid] <- m.pol.exec(m, r)
+		m.grant(tid, m.pol.exec(m, r))
 	}
 }
 
@@ -374,69 +602,91 @@ func (m *Machine) abortPending(pendingN *int) {
 		if r != nil {
 			m.pending[tid] = nil
 			*pendingN--
-			m.grants[tid] <- response{abort: true}
+			m.grant(tid, response{abort: true})
 		}
 	}
 }
 
 // drainDone consumes the opDone notifications of unwinding threads so no
-// goroutine is left blocked on reqCh.
-func (m *Machine) drainDone(live, pendingN *int) {
+// worker is left mid-cycle when Run returns.
+func (m *Machine) drainDone(live *int) {
 	for *live > 0 {
-		r := <-m.reqCh
-		switch r.kind {
+		w := m.gather()
+		switch w.req.kind {
 		case opDone, opPanic:
 			*live--
 		default:
 			// A thread that was computing issued one more request before
 			// observing the abort; bounce it.
-			m.grants[r.tid] <- response{abort: true}
+			m.grant(w.tid, response{abort: true})
 		}
 	}
 }
 
-// threadCtx is the Context implementation handed to simulated threads of
-// every engine; the installed policy interprets the requests.
-type threadCtx struct {
-	m   *Machine
-	tid int
-}
+// The worker doubles as the Context implementation handed to its simulated
+// thread; the installed policy interprets the requests. Embedding the
+// request and response in the worker makes every operation below
+// allocation-free.
 
-func (c *threadCtx) do(r request) response {
-	r.tid = c.tid
-	c.m.reqCh <- &r
-	resp := <-c.m.grants[c.tid]
-	if resp.abort {
+func (w *worker) do() response {
+	w.m.post(w)
+	w.grant.acquire()
+	if w.resp.abort {
 		panic(abortSignal{})
 	}
-	return resp
+	return w.resp
 }
 
-func (c *threadCtx) Load(a Addr) uint64 {
-	return c.do(request{kind: opLoad, addr: a}).val
+// The Context methods assign every request field, not just the ones the
+// op reads: the embedded request is reused across ops, and observers of
+// the whole struct (the model checker's history hashes) must see the
+// same bytes a freshly zeroed request would carry.
+
+func (w *worker) Load(a Addr) uint64 {
+	w.req.kind = opLoad
+	w.req.addr = a
+	w.req.val = 0
+	w.req.val2 = 0
+	return w.do().val
 }
 
-func (c *threadCtx) Store(a Addr, v uint64) {
-	c.do(request{kind: opStore, addr: a, val: v})
+func (w *worker) Store(a Addr, v uint64) {
+	w.req.kind = opStore
+	w.req.addr = a
+	w.req.val = v
+	w.req.val2 = 0
+	w.do()
 }
 
-func (c *threadCtx) Fence() {
-	c.do(request{kind: opFence})
+func (w *worker) Fence() {
+	w.req.kind = opFence
+	w.req.addr = 0
+	w.req.val = 0
+	w.req.val2 = 0
+	w.do()
 }
 
-func (c *threadCtx) CAS(a Addr, old, new uint64) (uint64, bool) {
-	r := c.do(request{kind: opCAS, addr: a, val: old, val2: new})
+func (w *worker) CAS(a Addr, old, new uint64) (uint64, bool) {
+	w.req.kind = opCAS
+	w.req.addr = a
+	w.req.val = old
+	w.req.val2 = new
+	r := w.do()
 	return r.val, r.ok
 }
 
-func (c *threadCtx) Work(cycles uint64) {
+func (w *worker) Work(cycles uint64) {
 	// Work is a scheduling point: a policy may run other threads or drain
 	// buffers "during" the computation. The timed policy charges the
 	// cycles to the thread's clock and treats zero-cycle work as a no-op.
-	if cycles == 0 && c.m.pol.zeroWorkIsNop() {
+	if cycles == 0 && w.m.pol.zeroWorkIsNop() {
 		return
 	}
-	c.do(request{kind: opWork, val: cycles})
+	w.req.kind = opWork
+	w.req.addr = 0
+	w.req.val = cycles
+	w.req.val2 = 0
+	w.do()
 }
 
-func (c *threadCtx) ThreadID() int { return c.tid }
+func (w *worker) ThreadID() int { return w.tid }

@@ -292,8 +292,57 @@ type mcUnit struct {
 	res      ExploreResult
 	complete bool
 	started  bool
+}
 
+// mcRunner is one worker's reusable execution state: a machine (Reset
+// between schedules instead of rebuilt), the chooser policy driving it
+// with its pre-bound choose/onExec hooks, the per-thread history hashes,
+// and the hashing scratch. Each frontier worker owns exactly one runner
+// for its whole lifetime, so the steady-state exploration loop performs no
+// machine construction and no per-run closure allocation.
+type mcRunner struct {
+	e    *mcEngine
+	m    *Machine
+	pol  *chooserPolicy
+	hist []uint64 // per-thread request/response history hashes (Prune)
+
+	// Per-run state referenced by the pre-bound choose hook.
+	u        *mcUnit
+	depth    int
+	mismatch bool
+	cut      bool
+	credit   *memoEntry
+	cutHW    []int
+
+	hw      []int  // leaf high-water-mark scratch
 	scratch []byte // serialization buffer for state hashing
+}
+
+// newRunner builds a worker's runner: the one machine and policy it will
+// reuse for every schedule it executes. Callers own the machine's
+// lifetime (Close it when the worker retires).
+func (e *mcEngine) newRunner() *mcRunner {
+	c := e.cfg
+	c.MaxSteps = e.opts.MaxStepsPerRun
+	r := &mcRunner{e: e, m: NewMachine(c), pol: &chooserPolicy{}}
+	r.pol.choose = r.choose
+	if e.opts.Prune {
+		r.hist = make([]uint64, c.Threads)
+		r.pol.onExec = func(req *request, resp response) {
+			h := r.hist[req.tid]
+			h = fnvMix(h, uint64(req.kind))
+			h = fnvMix(h, uint64(req.addr))
+			h = fnvMix(h, req.val)
+			h = fnvMix(h, req.val2)
+			h = fnvMix(h, resp.val)
+			if resp.ok {
+				h = fnvMix(h, 1)
+			}
+			r.hist[req.tid] = h
+		}
+	}
+	r.m.pol = r.pol
+	return r
 }
 
 // mcEngine is the shared state of one ExploreExhaustive call.
@@ -334,8 +383,8 @@ func (e *mcEngine) memoPut(k stateKey, ent *memoEntry) {
 // request/response histories, plus the arriving sleep set (two states
 // explored under different sleep sets have different residual subtrees,
 // so the sleep set is part of the identity in SleepSets mode).
-func (u *mcUnit) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKey {
-	buf := u.scratch[:0]
+func (r *mcRunner) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKey {
+	buf := r.scratch[:0]
 	put := func(v uint64) {
 		buf = append(buf,
 			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
@@ -370,7 +419,7 @@ func (u *mcUnit) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKey 
 			put(uint64(id.tid)<<32 ^ uint64(id.addr))
 		}
 	}
-	u.scratch = buf
+	r.scratch = buf
 	ka, kb := fnvOffset, fnvOffset2
 	for _, c := range buf {
 		ka = (ka ^ uint64(c)) * fnvPrime
@@ -424,18 +473,21 @@ func (u *mcUnit) childSleep() []actID {
 	return sleep
 }
 
-func machineHW(m *Machine) []int {
-	hw := make([]int, len(m.bufs))
-	for i, b := range m.bufs {
-		hw[i] = b.maxOcc
+// machineHWInto fills dst with the per-thread occupancy high-water marks.
+// Callers pass a reusable scratch slice; every consumer (foldOcc) copies
+// the values out, so aliasing the scratch is safe.
+func machineHWInto(m *Machine, dst []int) []int {
+	dst = dst[:0]
+	for _, b := range m.bufs {
+		dst = append(dst, b.maxOcc)
 	}
-	return hw
+	return dst
 }
 
 // exploreUnit runs the unit's subtree to completion or until the shared
 // budget stops the engine, in which case the unit snapshots its resumable
-// position.
-func (e *mcEngine) exploreUnit(u *mcUnit) {
+// position. r is the calling worker's reusable runner.
+func (e *mcEngine) exploreUnit(r *mcRunner, u *mcUnit) {
 	u.started = true
 	rootLen := len(u.root)
 	if u.prefix == nil {
@@ -460,7 +512,7 @@ func (e *mcEngine) exploreUnit(u *mcUnit) {
 			u.snapshot()
 			return
 		}
-		leafDepth, cut := e.runOne(u)
+		leafDepth, cut := e.runOne(r, u)
 		if cut {
 			// Prefix already ends at the cut node; nothing was appended.
 			if !e.advance(u, rootLen) {
@@ -476,126 +528,111 @@ func (e *mcEngine) exploreUnit(u *mcUnit) {
 	}
 }
 
-// runOne executes one schedule: replay the unit's current prefix, then
-// descend first-allowed branches, creating frames (and consulting the
-// memo table) at every new node. Returns the leaf depth, or cut=true when
-// the run was abandoned at a memoized (or fully slept) node, which has
-// already been credited.
-func (e *mcEngine) runOne(u *mcUnit) (int, bool) {
-	depth := 0
-	mismatch := false
-	cut := false
-	c := e.cfg
-	c.MaxSteps = e.opts.MaxStepsPerRun
-	m := NewMachine(c)
-
-	var hist []uint64
-	pol := &chooserPolicy{}
-	if e.opts.Prune {
-		hist = make([]uint64, c.Threads)
-		pol.onExec = func(r *request, resp response) {
-			h := hist[r.tid]
-			h = fnvMix(h, uint64(r.kind))
-			h = fnvMix(h, uint64(r.addr))
-			h = fnvMix(h, r.val)
-			h = fnvMix(h, r.val2)
-			h = fnvMix(h, resp.val)
-			if resp.ok {
-				h = fnvMix(h, 1)
-			}
-			hist[r.tid] = h
+// choose is the runner's pre-bound chooserPolicy hook: replay the unit's
+// current prefix, then descend first-allowed branches, creating frames
+// (and consulting the memo table) at every new node.
+func (r *mcRunner) choose(acts []action) int {
+	e, u, m := r.e, r.u, r.m
+	d := r.depth
+	n := len(acts)
+	if d < len(u.prefix) {
+		if u.fanout[d] != n {
+			r.mismatch = true
 		}
+		r.depth++
+		return u.prefix[d]
 	}
-	var credit *memoEntry
-	var cutHW []int
-	pol.choose = func(acts []action) int {
-		d := depth
-		n := len(acts)
-		if d < len(u.prefix) {
-			if u.fanout[d] != n {
-				mismatch = true
-			}
-			depth++
-			return u.prefix[d]
-		}
-		f := &mcFrame{depth: d, fanout: n}
-		u.res.Tree.node(d, n)
-		if e.opts.SleepSets {
-			f.acts = actIDsFor(m, acts)
-			f.sleep = u.childSleep()
-			if len(f.sleep) > 0 {
-				f.skip = make([]bool, n)
-				for i, a := range f.acts {
-					if !a.drain {
-						continue
-					}
-					for _, t := range f.sleep {
-						if t == a {
-							f.skip[i] = true
-							u.res.Prune.SleepSkips++
-							u.res.Prune.SubtreesCut++
-							break
-						}
+	f := &mcFrame{depth: d, fanout: n}
+	u.res.Tree.node(d, n)
+	if e.opts.SleepSets {
+		f.acts = actIDsFor(m, acts)
+		f.sleep = u.childSleep()
+		if len(f.sleep) > 0 {
+			f.skip = make([]bool, n)
+			for i, a := range f.acts {
+				if !a.drain {
+					continue
+				}
+				for _, t := range f.sleep {
+					if t == a {
+						f.skip[i] = true
+						u.res.Prune.SleepSkips++
+						u.res.Prune.SubtreesCut++
+						break
 					}
 				}
 			}
 		}
-		if e.opts.Prune {
-			f.key = u.stateKeyFor(m, hist, f.sleep)
-			f.hashed = true
-			u.res.Prune.StatesSeen++
-			if ent := e.memoGet(f.key); ent != nil {
-				credit = ent
-				cutHW = machineHW(m)
-				cut = true
-				pol.cancel = true
-				return 0
-			}
-		}
-		b := f.firstAllowed()
-		if b < 0 {
-			// Every branch is covered by commuting explorations elsewhere:
-			// the node contributes nothing of its own.
-			cutHW = machineHW(m)
-			cut = true
-			pol.cancel = true
+	}
+	if e.opts.Prune {
+		f.key = r.stateKeyFor(m, r.hist, f.sleep)
+		f.hashed = true
+		u.res.Prune.StatesSeen++
+		if ent := e.memoGet(f.key); ent != nil {
+			r.credit = ent
+			r.cutHW = machineHWInto(m, r.cutHW)
+			r.cut = true
+			r.pol.cancel = true
 			return 0
 		}
-		u.frames = append(u.frames, f)
-		u.prefix = append(u.prefix, b)
-		u.fanout = append(u.fanout, n)
-		depth++
-		return b
 	}
+	b := f.firstAllowed()
+	if b < 0 {
+		// Every branch is covered by commuting explorations elsewhere:
+		// the node contributes nothing of its own.
+		r.cutHW = machineHWInto(m, r.cutHW)
+		r.cut = true
+		r.pol.cancel = true
+		return 0
+	}
+	u.frames = append(u.frames, f)
+	u.prefix = append(u.prefix, b)
+	u.fanout = append(u.fanout, n)
+	r.depth++
+	return b
+}
 
-	m.pol = pol
+// runOne executes one schedule on the runner's reused machine. Returns
+// the leaf depth, or cut=true when the run was abandoned at a memoized
+// (or fully slept) node, which has already been credited.
+func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
+	r.u = u
+	r.depth = 0
+	r.mismatch = false
+	r.cut = false
+	r.credit = nil
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
+	m := r.m
+	m.Reset()
 	progs := e.mk(m)
 	err := m.Run(progs...)
-	if mismatch {
+	if r.mismatch {
 		panic("tso: Explore program is not replay-deterministic (fanout changed under an identical choice prefix)")
 	}
-	if cut {
+	if r.cut {
 		if !errors.Is(err, errRunCut) && err != nil && !errors.Is(err, ErrStepLimit) {
 			panic(fmt.Sprintf("tso: litmus program failed: %v", err))
 		}
 		u.res.Runs++ // the aborted pass-through still ran on a machine
-		if credit != nil {
+		if r.credit != nil {
 			u.res.Prune.StatesDeduped++
 			u.res.Prune.SubtreesCut++
-			u.res.Prune.SchedulesSaved += credit.runs
+			u.res.Prune.SchedulesSaved += r.credit.runs
 		}
 		acc := &u.acc
 		if len(u.frames) > 0 {
 			acc = &u.frames[len(u.frames)-1].acc
 		}
-		acc.foldCredit(credit, cutHW)
-		return depth, true
+		acc.foldCredit(r.credit, r.cutHW)
+		return r.depth, true
 	}
 
 	// A run can end before consuming the whole prefix only on the replay
 	// of choices that previously went deeper — which replay determinism
 	// rules out — so the depth reached always covers the prefix.
-	if depth < len(u.prefix) {
+	if r.depth < len(u.prefix) {
 		panic("tso: exhaustive engine: run ended inside its replay prefix")
 	}
 	stepLimited := false
@@ -617,8 +654,9 @@ func (e *mcEngine) runOne(u *mcUnit) (int, bool) {
 	if len(u.frames) > 0 {
 		acc = &u.frames[len(u.frames)-1].acc
 	}
-	acc.addLeaf(o, machineHW(m), stepLimited)
-	return depth, false
+	r.hw = machineHWInto(m, r.hw)
+	acc.addLeaf(o, r.hw, stepLimited)
+	return r.depth, false
 }
 
 // advance moves the unit's DFS position to the next unexplored branch at

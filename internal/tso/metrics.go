@@ -82,6 +82,18 @@ func (m *Machine) enableMetrics() {
 	}
 }
 
+// resetMetrics zeroes the recorded series in place, keeping the histogram
+// slices and the armed onDrain hooks (they read m.met at call time) — the
+// metrics half of Machine.Reset.
+func (m *Machine) resetMetrics() {
+	for i := range m.met.Threads {
+		t := &m.met.Threads[i]
+		hist := t.OccupancyHist
+		clear(hist)
+		*t = ThreadMetrics{Thread: i, OccupancyHist: hist}
+	}
+}
+
 // Metrics returns a snapshot of the per-thread metric series, folding in
 // the counters kept inside the store buffers, or nil when Config.Metrics
 // is unset.

@@ -1,7 +1,5 @@
 package tso
 
-import "math/rand"
-
 // policy is the pluggable scheduling/cost engine behind the unified
 // machine core. The core owns the request/grant plumbing, the memory and
 // store-buffer substrate and the stats sink; the policy decides what
@@ -53,10 +51,15 @@ func (bufferedPolicy) cancelled() bool { return false }
 func (bufferedPolicy) drainLatency(m *Machine, e entry) uint64 { return uint64(m.steps) - e.born }
 
 // chaosPolicy samples schedules under a seeded RNG with a configurable
-// drain bias — the adversarial engine behind the litmus grids.
+// drain bias — the adversarial engine behind the litmus grids. It draws
+// from the machine's RNG via m.rand(), which reseeds lazily after Reset.
 type chaosPolicy struct {
 	bufferedPolicy
-	rng *rand.Rand
+
+	// drainable/runnable are reusable candidate buffers so the per-step
+	// path allocates nothing.
+	drainable []int
+	runnable  []int
 }
 
 func (p *chaosPolicy) next(m *Machine) action {
@@ -65,7 +68,7 @@ func (p *chaosPolicy) next(m *Machine) action {
 		a := action{drain: true, id: k}
 		if pso {
 			el := m.bufs[k].eligibleDrains()
-			a.idx = el[p.rng.Intn(len(el))]
+			a.idx = el[m.rand().Intn(len(el))]
 		}
 		return a
 	}
@@ -74,29 +77,31 @@ func (p *chaosPolicy) next(m *Machine) action {
 
 // pickDrain decides whether this step drains a buffer entry, and whose.
 func (p *chaosPolicy) pickDrain(m *Machine) (int, bool) {
-	var drainable []int
+	drainable := p.drainable[:0]
 	for i, b := range m.bufs {
 		if b.occupancy() > 0 {
 			drainable = append(drainable, i)
 		}
 	}
+	p.drainable = drainable
 	if len(drainable) == 0 {
 		return 0, false
 	}
-	if p.rng.Float64() >= m.cfg.DrainBias {
+	if m.rand().Float64() >= m.cfg.DrainBias {
 		return 0, false
 	}
-	return drainable[p.rng.Intn(len(drainable))], true
+	return drainable[m.rand().Intn(len(drainable))], true
 }
 
 func (p *chaosPolicy) pickRunnable(m *Machine) int {
-	var runnable []int
+	runnable := p.runnable[:0]
 	for tid, r := range m.pending {
 		if r != nil {
 			runnable = append(runnable, tid)
 		}
 	}
-	return runnable[p.rng.Intn(len(runnable))]
+	p.runnable = runnable
+	return runnable[m.rand().Intn(len(runnable))]
 }
 
 // chooserPolicy replaces random scheduling with deterministic enumeration:
@@ -116,11 +121,14 @@ type chooserPolicy struct {
 	// cancel, when set by choose, tears the current run down (see
 	// policy.cancelled).
 	cancel bool
+	// acts is next's reusable action buffer (see the choose contract: the
+	// slice is only valid for the duration of the call).
+	acts []action
 }
 
 func (p *chooserPolicy) next(m *Machine) action {
 	pso := m.cfg.Model == ModelPSO
-	var acts []action
+	acts := p.acts[:0]
 	for tid, r := range m.pending {
 		if r != nil {
 			acts = append(acts, action{id: tid})
@@ -138,8 +146,14 @@ func (p *chooserPolicy) next(m *Machine) action {
 		}
 		acts = append(acts, action{drain: true, id: tid})
 	}
+	p.acts = acts
 	return acts[p.choose(acts)]
 }
+
+// reset clears a previous run's cancellation: a chooser policy outlives
+// the runs it drives (the engines reuse one machine and policy across an
+// entire exploration).
+func (p *chooserPolicy) reset(*Machine) { p.cancel = false }
 
 func (p *chooserPolicy) exec(m *Machine, r *request) response {
 	resp := m.execBuffered(r)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package tso
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-count tests skip themselves under -race: the detector
+// instruments every allocation site, so testing.AllocsPerRun measures the
+// detector, not the engine.
+const raceEnabled = false

@@ -56,6 +56,8 @@ func NewTimedMachine(cfg Config) *TimedMachine {
 		// is exactly the observable S+1 bound.
 		m.bufs[i] = newStoreBuffer(c.ObservableBound(), false)
 	}
+	m.pending = make([]*request, c.Threads)
+	m.reqGate.init()
 	m.pol = tp
 	if c.Metrics {
 		m.enableMetrics()
@@ -66,6 +68,15 @@ func NewTimedMachine(cfg Config) *TimedMachine {
 // Elapsed returns the makespan of the last Run in virtual cycles: the
 // maximum finishing clock over all threads.
 func (m *TimedMachine) Elapsed() uint64 { return m.tp.elapsed }
+
+// Reset rewinds the timed machine to its just-constructed state (see
+// Machine.Reset); on top of the core state it clears the recorded
+// makespan. Per-thread clocks need no clearing here — they restart at
+// every Run.
+func (m *TimedMachine) Reset() {
+	m.Machine.Reset()
+	m.tp.elapsed = 0
+}
 
 // ThreadCycles returns the finishing clock of thread tid after the last Run.
 func (m *TimedMachine) ThreadCycles(tid int) uint64 { return m.tp.clocks[tid] }
