@@ -119,6 +119,7 @@ func main() {
 			for _, line := range res.Witness {
 				fmt.Println("         " + line)
 			}
+			fmt.Printf("       witness choices (replayable with tso.ReplaySchedule): %v\n", res.WitnessChoices)
 		}
 	}
 	if *prune {

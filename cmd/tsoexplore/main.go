@@ -7,18 +7,29 @@
 // accounted for exactly, optionally in parallel (-par) and with
 // canonical-state pruning (-prune).
 //
+// With -fuzz N the tool instead differential-fuzzes the deque
+// implementations: it generates N random small put/take/steal programs
+// (random buffer size, drain stage, prefill and thief mix), runs every
+// implemented algorithm on each under the semantic oracle's spec for that
+// algorithm (exactly-once for the precise queues, at-least-once for the
+// idempotent ones), and exits nonzero if any sampled schedule violates.
+//
 // Usage:
 //
 //	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-cpuprofile f] [-memprofile f]
+//	tsoexplore -fuzz N [-seed S] [-runs per-program schedules]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/expt"
+	"repro/internal/oracle"
 	"repro/internal/runner"
 	"repro/internal/tso"
 )
@@ -32,6 +43,8 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "explore every schedule of the SB test instead of sampling")
 	par := flag.Int("par", 1, "exploration workers for -exhaustive")
 	prune := flag.Bool("prune", false, "canonical-state pruning for -exhaustive")
+	fuzz := flag.Int("fuzz", 0, "differential-fuzz N random deque programs across every algorithm (0: off)")
+	seed := flag.Int64("seed", 1, "base RNG seed for -fuzz program generation")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
@@ -46,6 +59,16 @@ func main() {
 		}
 	}()
 
+	if *fuzz > 0 {
+		if !oracleFuzz(*fuzz, *seed, *runs) {
+			if err := stopProfiles(); err != nil {
+				log.Print(err)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := tso.Config{Threads: 2, BufferSize: *s, DrainBuffer: *stage, DrainBias: 0.1}
 	fmt.Printf("Abstract TSO[%d] machine (drain stage: %v, observable bound %d)\n\n",
 		*s, *stage, cfg.ObservableBound())
@@ -58,6 +81,55 @@ func main() {
 		sbOutcomes(cfg, *runs, true)
 	}
 	lagHistogram(cfg, *runs)
+}
+
+// oracleFuzz is the -fuzz mode: nprogs random programs, every algorithm,
+// sampled schedules under the semantic oracle. Returns false if any
+// violation was found.
+func oracleFuzz(nprogs int, seed int64, samples int) bool {
+	if samples <= 0 {
+		samples = 50
+	}
+	r := rand.New(rand.NewSource(seed))
+	fmt.Printf("Differential deque fuzzing: %d random programs x %d algorithms x %d sampled schedules (seed %d)\n\n",
+		nprogs, len(core.AllAlgos), samples, seed)
+	rows := [][]string{}
+	violations := 0
+	for i := 0; i < nprogs; i++ {
+		p := oracle.RandomProgram(r)
+		worst := "ok"
+		for _, algo := range core.AllAlgos {
+			q := p
+			q.Algo = algo
+			q.Delta = q.Config().ObservableBound()
+			rep := oracle.Run(q.Scenario(), oracle.RunOptions{
+				Spec:           q.Spec(),
+				SampleRuns:     samples,
+				MaxStepsPerRun: 100_000,
+				Counterexample: true,
+			})
+			if rep.Violating == 0 {
+				continue
+			}
+			violations++
+			worst = fmt.Sprintf("%s under %s spec: %d/%d schedules violate", algo, rep.Spec, rep.Violating, samples)
+			fmt.Printf("VIOLATION: %s\n  %s\n", q, worst)
+			if ce := rep.Counterexample; ce != nil {
+				fmt.Printf("  counterexample: seed %d, verdict %q\n", ce.Seed, ce.Outcome)
+				for _, line := range ce.Trace {
+					fmt.Println("    " + line)
+				}
+			}
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", i), p.String(), worst})
+	}
+	expt.WriteTable(os.Stdout, []string{"#", "program", "result"}, rows)
+	if violations > 0 {
+		fmt.Printf("\n%d violating (program, algorithm) pairs — see counterexamples above.\n", violations)
+		return false
+	}
+	fmt.Printf("\nAll programs satisfied their specs on every sampled schedule.\n")
+	return true
 }
 
 // sbTable renders the four SB outcome rows in their canonical order.

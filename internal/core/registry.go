@@ -33,6 +33,12 @@ const (
 // Algos lists every implemented algorithm.
 var Algos = []Algo{AlgoTHE, AlgoFFTHE, AlgoTHEP, AlgoChaseLev, AlgoFFCL, AlgoIdempotentLIFO, AlgoIdempotentDE}
 
+// AllAlgos is Algos plus the variants excluded from the paper's §8
+// evaluation set (currently AlgoIdempotentFIFO). The semantic oracle's
+// differential fuzzing harness cross-checks every implemented algorithm,
+// not just the evaluated ones.
+var AllAlgos = []Algo{AlgoTHE, AlgoFFTHE, AlgoTHEP, AlgoChaseLev, AlgoFFCL, AlgoIdempotentLIFO, AlgoIdempotentDE, AlgoIdempotentFIFO}
+
 func (a Algo) String() string {
 	switch a {
 	case AlgoTHE:

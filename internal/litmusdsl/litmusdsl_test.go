@@ -179,6 +179,20 @@ func TestWitnessExtraction(t *testing.T) {
 			t.Fatalf("witness missing %q:\n%s", want, joined)
 		}
 	}
+	if len(res.WitnessChoices) == 0 {
+		t.Fatal("witness recorded without its schedule choices")
+	}
+}
+
+func TestNoWitnessChoicesForForbidden(t *testing.T) {
+	tt := mustParse(t, Library[3]) // MP, forbidden
+	res, err := Run(tt, RunOptions{Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WitnessChoices) != 0 {
+		t.Fatalf("forbidden test produced witness choices: %v", res.WitnessChoices)
+	}
 }
 
 func TestNoWitnessForForbidden(t *testing.T) {

@@ -30,6 +30,9 @@ type Result struct {
 	// Witness is the event trace of one schedule reaching the condition
 	// (RunOptions.Witness).
 	Witness []string
+	// WitnessChoices is that schedule's decision prefix, replayable with
+	// tso.ReplaySchedule (RunOptions.Witness).
+	WitnessChoices []int
 	// MaxOccupancy is each process's high-water mark of buffered stores
 	// across every explored schedule — how much of the TSO[S] bound the
 	// test actually exercised.
@@ -216,12 +219,13 @@ func Run(t *Test, opts RunOptions) (Result, error) {
 			m.SetTracer(tr)
 			return mk(m)
 		}
-		tso.ExploreUntil(cfg, mkTraced, tso.ExploreOptions{MaxRuns: opts.MaxSchedules},
-			func(m *tso.Machine, err error) bool {
+		tso.ExploreWithChoices(cfg, mkTraced, tso.ExploreOptions{MaxRuns: opts.MaxSchedules},
+			func(m *tso.Machine, err error, choices []int) bool {
 				if err == nil && condHolds(t, outcome(m)) {
 					for _, e := range tr.Events() {
 						res.Witness = append(res.Witness, e.String())
 					}
+					res.WitnessChoices = append([]int(nil), choices...)
 					return true
 				}
 				return false

@@ -1,0 +1,211 @@
+package oracle
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"regenerate the testdata/corpus counterexample files from exhaustive exploration")
+
+// corpusCase pins one known-buggy configuration: the program that
+// violates, the spec it violates, and a repaired twin of the program that
+// the very same schedule must leave clean. The checked-in JSON file holds
+// the minimized violating schedule so the regression runs as a single
+// replay, not a re-exploration.
+type corpusCase struct {
+	file    string
+	comment string
+	program Program
+	spec    string
+	fixed   Program
+	// budget caps the regeneration search and the fixed twin's bounded
+	// clean check (0: engine default).
+	budget int
+	// exhaustiveFixed proves the fixed twin clean over the complete
+	// schedule space. Off for the staged cases, whose space is far too
+	// large to finish: those twins get chaos sampling plus the recorded
+	// schedule's replay instead.
+	exhaustiveFixed bool
+}
+
+func corpusCases() []corpusCase {
+	// The FF-CL δ<S duel: with two steal attempts racing a worker running
+	// back-to-back takes, δ=1 under S=2 lets the thief act on a tail the
+	// owner has already privately moved past — the paper's δ must cover
+	// the full observable bound. Raising δ to the bound repairs it.
+	duel := Program{Algo: core.AlgoFFCL, S: 2, Delta: 1, Prefill: 3, WorkerOps: "TT", Thieves: []int{2}}
+	duelFixed := duel
+	duelFixed.Delta = duel.Config().ObservableBound()
+
+	// The coalescing boundary: the §7.3 post-retirement drain stage
+	// widens the observable bound from S to S+1, so a δ that was sound
+	// for the bare buffer (δ=S=1) is one short once the stage is on.
+	// Setting δ to the staged bound repairs it.
+	stage := Program{Algo: core.AlgoFFTHE, S: 1, Stage: true, Delta: 1, Prefill: 2, WorkerOps: "TT", Thieves: []int{1}}
+	stageFixed := stage
+	stageFixed.Delta = stage.Config().ObservableBound()
+
+	return []corpusCase{
+		{
+			file:            "ffcl-delta-below-bound.json",
+			comment:         "FF-CL duel with δ=1 < S=2: thief steals a task the owner already took",
+			program:         duel,
+			spec:            "precise",
+			fixed:           duelFixed,
+			exhaustiveFixed: true,
+		},
+		{
+			file:    "ffthe-stage-coalescing-boundary.json",
+			comment: "FF-THE with δ=S=1 under the drain stage: the stage widens the bound to S+1, defeating δ",
+			program: stage,
+			spec:    "precise",
+			fixed:   stageFixed,
+			budget:  1 << 20,
+		},
+	}
+}
+
+// TestSeededCorpus replays every checked-in counterexample and asserts the
+// oracle still flags it with the recorded verdict — and that the same
+// schedule on the repaired configuration is clean. With -update-corpus the
+// files are regenerated from a fresh exhaustive exploration.
+func TestSeededCorpus(t *testing.T) {
+	for _, c := range corpusCases() {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			path := filepath.Join("testdata", "corpus", c.file)
+			if *updateCorpus {
+				regenerateCorpusEntry(t, c, path)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading corpus entry (regenerate with -update-corpus): %v", err)
+			}
+			var e CorpusEntry
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatalf("corpus entry: %v", err)
+			}
+			if !reflect.DeepEqual(e.Program, c.program) {
+				t.Fatalf("corpus file program drifted from the case table:\n file %+v\ntable %+v\nrerun with -update-corpus", e.Program, c.program)
+			}
+			spec, ok := SpecByName(e.Spec)
+			if !ok {
+				t.Fatalf("corpus entry names unknown spec %q", e.Spec)
+			}
+			viols, trace, err := Replay(e.Program.Scenario(), spec, e.Choices)
+			if err != nil {
+				t.Fatalf("replay did not complete: %v", err)
+			}
+			if len(viols) == 0 {
+				t.Fatalf("recorded schedule no longer violates %s for %s\ntrace tail: %v",
+					e.Spec, e.Program, tail(trace, 10))
+			}
+			if got := RenderVerdict(viols); got != e.Outcome {
+				t.Fatalf("replay verdict %q, corpus recorded %q", got, e.Outcome)
+			}
+			// The repaired twin under the very same schedule must be clean.
+			fviols, ftrace, err := Replay(c.fixed.Scenario(), spec, e.Choices)
+			if err != nil {
+				t.Fatalf("fixed-config replay did not complete: %v", err)
+			}
+			if len(fviols) > 0 {
+				t.Fatalf("fixed config %s still violates on the recorded schedule: %v\ntrace tail: %v",
+					c.fixed, RenderVerdict(fviols), tail(ftrace, 10))
+			}
+		})
+	}
+}
+
+// TestSeededCorpusFixedConfigsClean checks the repaired twins beyond the
+// recorded schedule — the other half of the regression: the fix is a fix,
+// not a dodge of one interleaving. Where the schedule space is tractable
+// the twin is proved clean exhaustively; the staged twins instead get chaos
+// sampling (their recorded schedule's clean replay is asserted by
+// TestSeededCorpus).
+func TestSeededCorpusFixedConfigsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule exploration in -short mode")
+	}
+	for _, c := range corpusCases() {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			spec, _ := SpecByName(c.spec)
+			if c.exhaustiveFixed {
+				rep := Run(c.fixed.Scenario(), RunOptions{
+					Spec: spec, Prune: true, Parallel: 2, MaxSchedules: c.budget,
+				})
+				if !rep.Complete {
+					t.Fatalf("exploration of fixed config incomplete after %d schedules", rep.Schedules)
+				}
+				if rep.Violating != 0 {
+					t.Fatalf("fixed config %s violates %s on %d/%d schedules: %v",
+						c.fixed, c.spec, rep.Violating, rep.Schedules, rep.Outcomes)
+				}
+				return
+			}
+			rep := Run(c.fixed.Scenario(), RunOptions{Spec: spec, SampleRuns: 2000, Counterexample: true})
+			if rep.Violating != 0 {
+				t.Fatalf("fixed config %s violates %s on %d/%d sampled schedules: %v",
+					c.fixed, c.spec, rep.Violating, rep.Executed, rep.Outcomes)
+			}
+		})
+	}
+}
+
+// regenerateCorpusEntry searches the case's program for its first
+// violating schedule (DFS with early exit — completing the exploration is
+// not required, which keeps the staged cases tractable), minimizes the
+// choice list (ReplaySchedule pads with zeros, so a trailing-zero suffix
+// is redundant), and writes the JSON file.
+func regenerateCorpusEntry(t *testing.T, c corpusCase, path string) {
+	t.Helper()
+	spec, ok := SpecByName(c.spec)
+	if !ok {
+		t.Fatalf("case names unknown spec %q", c.spec)
+	}
+	ce := findCounterexample(c.program.Scenario(), spec, RunOptions{MaxSchedules: c.budget})
+	if ce == nil || len(ce.Choices) == 0 {
+		t.Fatalf("%s: no replayable violation found — the case table is stale", c.file)
+	}
+	choices := append([]int(nil), ce.Choices...)
+	for len(choices) > 0 && choices[len(choices)-1] == 0 {
+		choices = choices[:len(choices)-1]
+	}
+	if viols, _, err := Replay(c.program.Scenario(), spec, choices); err != nil || RenderVerdict(viols) != ce.Outcome {
+		// Minimization changed the outcome (should not happen — zero
+		// padding is exact); fall back to the full prefix.
+		choices = ce.Choices
+	}
+	e := CorpusEntry{
+		Comment: c.comment,
+		Program: c.program,
+		Spec:    c.spec,
+		Choices: choices,
+		Outcome: ce.Outcome,
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: recorded %q via %d choices", c.file, ce.Outcome, len(choices))
+}
+
+func tail(lines []string, n int) []string {
+	if len(lines) <= n {
+		return lines
+	}
+	return lines[len(lines)-n:]
+}

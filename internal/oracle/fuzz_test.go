@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// decodeHistory turns raw fuzz bytes into an arbitrary — including
+// malformed — history, 4 bytes per step. Unlike the machine-driven
+// histories the checker normally sees, these can interleave begins and
+// ends in every broken way, which is the point: the checker must classify
+// anything without panicking.
+func decodeHistory(data []byte) *History {
+	h := NewHistory()
+	if len(data) == 0 {
+		return h
+	}
+	npre := int(data[0]) % 4
+	for i := 0; i < npre; i++ {
+		h.RecordPrefill([]uint64{uint64(i + 1)})
+	}
+	if data[0]%2 == 0 {
+		h.ExpectDrained()
+	}
+	for i := 1; i+3 < len(data); i += 4 {
+		thread := int(data[i]) % 3
+		kind := OpKind(int(data[i+1]) % 3)
+		task := uint64(data[i+2]) % 8
+		st := core.Status(int(data[i+3]) % 3)
+		if data[i+1]%2 == 0 {
+			h.Begin(thread, kind, task)
+		} else {
+			h.End(thread, kind, task, st)
+		}
+	}
+	return h
+}
+
+// FuzzCheckerMetamorphic feeds the checker arbitrary histories and pins
+// its metamorphic invariants: Check never panics, verdicts are
+// deterministic, and Idempotent is a strict weakening of Precise — every
+// violation the relaxed spec reports must also be reported (same class,
+// same task or thread) by the strict one.
+func FuzzCheckerMetamorphic(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 1, 0, 0, 1, 1, 0}) // prefill + begin/end pair
+	f.Add([]byte{1, 1, 2, 5, 0})             // steal begins, never ends
+	f.Add([]byte{3, 0, 3, 7, 1})             // end without begin
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := decodeHistory(data)
+		precise := Precise{}.Check(h)
+		relaxed := Idempotent{}.Check(h)
+		if got, again := RenderVerdict(precise), RenderVerdict(Precise{}.Check(h)); got != again {
+			t.Fatalf("precise verdict unstable: %q then %q", got, again)
+		}
+		match := func(want Violation) bool {
+			for _, v := range precise {
+				if v.Verdict != want.Verdict {
+					continue
+				}
+				if want.Verdict == VerdictTorn && v.Thread == want.Thread {
+					return true
+				}
+				if want.Verdict != VerdictTorn && v.Task == want.Task {
+					return true
+				}
+			}
+			return false
+		}
+		for _, v := range relaxed {
+			if v.Verdict == VerdictDuplicate {
+				t.Fatalf("idempotent spec reported a duplicate: %v", v)
+			}
+			if !match(v) {
+				t.Fatalf("idempotent violation %v has no precise counterpart %v", v, precise)
+			}
+		}
+	})
+}
+
+// fuzzSampleSeeds is how many chaos seeds each differential fuzz
+// iteration samples per algorithm; fuzzStepLimit bounds a sampled
+// schedule so spin-heavy interleavings (an echo-protocol thief waiting on
+// a worker the scheduler starves) cost bounded time and bucket as
+// "<step-limit>" rather than hanging the fuzzer.
+const (
+	fuzzSampleSeeds = 12
+	fuzzStepLimit   = 20_000
+)
+
+// FuzzDifferentialPrograms decodes a small workload shape from the fuzz
+// input and runs it across EVERY implemented algorithm under that
+// algorithm's own contract: precise queues must deliver exactly-once,
+// idempotent ones at-least-once. The decoded configurations are sound by
+// construction (δ at the machine's observable bound), so any violation is
+// a real implementation bug, not a paper-predicted unsound parameter.
+func FuzzDifferentialPrograms(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 0, 2, 1, 2})            // drained put/take mix, one thief
+	f.Add([]byte{4, 1, 3, 2, 3, 0, 1, 2})         // FF-CL, S=2, prefetched takes
+	f.Add([]byte{7, 0, 1, 1, 5, 3, 0, 1, 2, 3})   // idempotent FIFO duel
+	f.Add([]byte{2, 1, 0, 2, 4, 1, 1, 0, 0, 255}) // THEP with drain stage off
+	f.Fuzz(func(t *testing.T, data []byte) {
+		shape, ok := DecodeProgram(data)
+		if !ok {
+			t.Skip("input too short for a program")
+		}
+		for _, algo := range core.AllAlgos {
+			p := shape
+			p.Algo = algo
+			p.Delta = p.Config().ObservableBound()
+			rep := Run(p.Scenario(), RunOptions{
+				Spec:           p.Spec(),
+				SampleRuns:     fuzzSampleSeeds,
+				MaxStepsPerRun: fuzzStepLimit,
+				Counterexample: true,
+			})
+			if rep.Violating != 0 {
+				t.Errorf("%s violates %s spec: %v (counterexample: %+v)",
+					p, rep.Spec, rep.Outcomes, rep.Counterexample)
+			}
+		}
+	})
+}
+
+// FuzzReplaySound replays arbitrary byte-derived schedules against a
+// soundly configured FF-CL duel: whatever interleaving the (clamped)
+// choices select, a completed run must satisfy the precise spec. This
+// drives ReplaySchedule's clamping through schedules no exploration order
+// would produce.
+func FuzzReplaySound(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 2, 1, 1, 0, 3})
+	f.Add([]byte{255, 254, 253, 7, 9, 11, 13, 2, 1, 0})
+	p := Program{Algo: core.AlgoFFCL, S: 2, Delta: 2, Prefill: 2, WorkerOps: "T", Thieves: []int{1}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			t.Skip("choice prefix longer than any schedule of this program")
+		}
+		choices := make([]int, len(data))
+		for i, b := range data {
+			choices[i] = int(b) - 128 // exercise negative clamping too
+		}
+		viols, _, err := Replay(p.Scenario(), Precise{}, choices)
+		if err != nil {
+			t.Fatalf("replay of a terminating program failed: %v", err)
+		}
+		if len(viols) != 0 {
+			t.Fatalf("sound FF-CL violated the precise spec under choices %v: %v", choices, viols)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package oracle
+
+import (
+	"repro/internal/core"
+	"repro/internal/tso"
+)
+
+// Instrumented wraps a core.Deque so every Put/Take/Steal emits begin and
+// end events into a History. The wrapper adds no simulated memory
+// operations — recording happens in harness (host) code around the inner
+// calls — so an instrumented run explores exactly the schedules of the
+// uninstrumented one, and disabling the oracle cannot change any
+// experiment's outcome.
+type Instrumented struct {
+	inner core.Deque
+	hist  *History
+}
+
+// Instrument wraps d so its operations are recorded into h.
+func Instrument(d core.Deque, h *History) *Instrumented {
+	return &Instrumented{inner: d, hist: h}
+}
+
+// Name implements core.Deque.
+func (q *Instrumented) Name() string { return q.inner.Name() }
+
+// Put implements core.Deque, recording the enqueue.
+func (q *Instrumented) Put(c tso.Context, v uint64) {
+	q.hist.Begin(c.ThreadID(), OpPut, v)
+	q.inner.Put(c, v)
+	q.hist.End(c.ThreadID(), OpPut, v, core.OK)
+}
+
+// Take implements core.Deque, recording the dequeue and its outcome.
+func (q *Instrumented) Take(c tso.Context) (uint64, core.Status) {
+	q.hist.Begin(c.ThreadID(), OpTake, 0)
+	v, st := q.inner.Take(c)
+	q.hist.End(c.ThreadID(), OpTake, v, st)
+	return v, st
+}
+
+// Steal implements core.Deque, recording the dequeue and its outcome.
+func (q *Instrumented) Steal(c tso.Context) (uint64, core.Status) {
+	q.hist.Begin(c.ThreadID(), OpSteal, 0)
+	v, st := q.inner.Steal(c)
+	q.hist.End(c.ThreadID(), OpSteal, v, st)
+	return v, st
+}
+
+// Prefill implements core.Prefiller by delegating to the wrapped queue
+// (which must itself be a Prefiller) and recording the installed tasks.
+func (q *Instrumented) Prefill(p core.Poker, vals []uint64) {
+	q.inner.(core.Prefiller).Prefill(p, vals)
+	q.hist.RecordPrefill(vals)
+}

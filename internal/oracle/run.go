@@ -1,0 +1,264 @@
+package oracle
+
+import (
+	"sync"
+
+	"repro/internal/tso"
+)
+
+// Scenario is one oracle-checked workload: a machine configuration plus a
+// factory that builds the per-thread programs and the history they record
+// into. Build is invoked once per explored schedule (concurrently on
+// distinct machines when the exhaustive engine runs parallel workers), so
+// it must construct fresh state — queue, history, task counters — on
+// every call and must not write captured shared state.
+type Scenario struct {
+	// Name identifies the scenario in reports and corpus files.
+	Name string
+	// Config is the machine configuration the scenario runs under.
+	Config tso.Config
+	// Build allocates the scenario on m and returns one program per
+	// configured thread plus the run's history.
+	Build func(m *tso.Machine) ([]func(tso.Context), *History)
+}
+
+// RunOptions configures an oracle Run.
+type RunOptions struct {
+	// Spec is the contract to check (default Precise).
+	Spec Spec
+	// MaxSchedules caps exhaustive exploration (default 1<<20 schedules;
+	// see tso.ExploreOptions.MaxRuns).
+	MaxSchedules int
+	// MaxStepsPerRun bounds each schedule; step-limited runs are bucketed
+	// under "<step-limit>" and not spec-checked (their histories are
+	// legitimately torn). Default 100_000.
+	MaxStepsPerRun int64
+	// Parallel is the exhaustive engine's worker count (<=1 sequential).
+	Parallel int
+	// Prune enables the exhaustive engine's canonical-state memoization.
+	// Sound for oracle verdicts because every Spec is order-insensitive
+	// (see the package comment).
+	Prune bool
+	// SleepSets additionally prunes commuting drain orders; the set of
+	// reachable verdicts is preserved, per-verdict counts are not.
+	SleepSets bool
+	// SampleRuns, when positive, switches from exhaustive exploration to
+	// chaos sampling under seeds 0..SampleRuns-1 — the cheap mode the
+	// fuzzing harness uses.
+	SampleRuns int
+	// Counterexample asks Run to re-explore a violating schedule
+	// sequentially and attach its replayable choices and trace. The
+	// sequential re-exploration is bounded by MaxSchedules (or SampleRuns
+	// seeds in sampling mode), so a counterexample that only pruned or
+	// deep exploration reaches may come back nil even when Violating > 0.
+	Counterexample bool
+}
+
+// Counterexample is a replayable witness of a spec violation: the
+// schedule that produced it (decision choices for Replay, or a chaos seed
+// in sampling mode) plus the machine-level trace of the interleaving.
+type Counterexample struct {
+	// Outcome is the canonical verdict string (RenderVerdict).
+	Outcome string `json:"outcome"`
+	// Violations are the spec violations the schedule produced.
+	Violations []Violation `json:"-"`
+	// Choices is the schedule's decision prefix, replayable with Replay /
+	// tso.ReplaySchedule. Nil for sampling-mode counterexamples.
+	Choices []int `json:"choices"`
+	// Seed is the chaos seed that produced the violation in sampling
+	// mode, -1 otherwise.
+	Seed int64 `json:"seed"`
+	// Trace is the machine-level event dump (tso.Event strings, schedule
+	// order, most recent window) of the violating run.
+	Trace []string `json:"-"`
+}
+
+// Report summarizes an oracle Run over a scenario's schedules.
+type Report struct {
+	// Scenario and Spec name what ran and against which contract.
+	Scenario string
+	// Spec is the checked specification's name.
+	Spec string
+	// Outcomes tallies schedules by canonical verdict string ("ok",
+	// "lost t3", "<step-limit>", …).
+	Outcomes map[string]int
+	// Schedules is the number of schedules accounted for (with pruning,
+	// more than were executed).
+	Schedules int
+	// Executed is the number of schedules actually run on a machine.
+	Executed int
+	// Complete reports whether the whole decision tree was covered
+	// (always false in sampling mode).
+	Complete bool
+	// StepLimited counts schedules that hit MaxStepsPerRun.
+	StepLimited int
+	// Violating is the number of accounted schedules whose verdict was a
+	// violation (neither "ok" nor "<step-limit>").
+	Violating int
+	// Counterexample is a replayable violating schedule, when requested
+	// and found; see RunOptions.Counterexample.
+	Counterexample *Counterexample
+}
+
+// Run explores the scenario's schedules — exhaustively (optionally
+// parallel and pruned) or by chaos sampling — checking every completed
+// run's history against the spec and bucketing it by verdict.
+func Run(sc Scenario, opts RunOptions) Report {
+	spec := opts.Spec
+	if spec == nil {
+		spec = Precise{}
+	}
+	// The engines call mk and outcome for the same run on the same worker
+	// and machine; the map carries each machine's current history from
+	// one to the other across the engine's reuse of machines.
+	var mu sync.Mutex
+	hists := map[*tso.Machine]*History{}
+	mk := func(m *tso.Machine) []func(tso.Context) {
+		progs, h := sc.Build(m)
+		mu.Lock()
+		hists[m] = h
+		mu.Unlock()
+		return progs
+	}
+	out := func(m *tso.Machine) string {
+		mu.Lock()
+		h := hists[m]
+		mu.Unlock()
+		return RenderVerdict(spec.Check(h))
+	}
+
+	rep := Report{Scenario: sc.Name, Spec: spec.Name()}
+	if opts.SampleRuns > 0 {
+		c := sc.Config
+		if opts.MaxStepsPerRun > 0 {
+			c.MaxSteps = opts.MaxStepsPerRun
+		}
+		set := tso.SampleOutcomes(c, opts.SampleRuns, mk, out)
+		rep.Outcomes = set.Counts
+		rep.Schedules = set.Total()
+		rep.Executed = opts.SampleRuns
+	} else {
+		set, res := tso.ExploreExhaustive(sc.Config, mk, out, tso.ExhaustiveOptions{
+			ExploreOptions: tso.ExploreOptions{MaxRuns: opts.MaxSchedules, MaxStepsPerRun: opts.MaxStepsPerRun},
+			Parallel:       opts.Parallel,
+			Prune:          opts.Prune,
+			SleepSets:      opts.SleepSets,
+		})
+		rep.Outcomes = set.Counts
+		rep.Schedules = set.Total()
+		rep.Executed = res.Runs
+		rep.Complete = res.Complete
+		rep.StepLimited = res.StepLimited
+	}
+	for o, n := range rep.Outcomes {
+		if o != "ok" && o != "<step-limit>" {
+			rep.Violating += n
+		}
+	}
+	if rep.Violating > 0 && opts.Counterexample {
+		rep.Counterexample = findCounterexample(sc, spec, opts)
+	}
+	return rep
+}
+
+// traceWindow is how many machine events a counterexample retains.
+const traceWindow = 4096
+
+// findCounterexample re-explores the scenario looking for the first
+// violating schedule and packages it replayably. Returns nil when the
+// bounded search does not reach a violation.
+func findCounterexample(sc Scenario, spec Spec, opts RunOptions) *Counterexample {
+	if opts.SampleRuns > 0 {
+		c := sc.Config
+		if opts.MaxStepsPerRun > 0 {
+			c.MaxSteps = opts.MaxStepsPerRun
+		}
+		m := tso.NewMachine(c)
+		defer m.Close()
+		for seed := 0; seed < opts.SampleRuns; seed++ {
+			m.ResetSeed(int64(seed))
+			tr := tso.NewRingTracer(traceWindow)
+			m.SetTracer(tr)
+			progs, h := sc.Build(m)
+			if err := m.Run(progs...); err != nil {
+				continue
+			}
+			viols := spec.Check(h)
+			if len(viols) == 0 {
+				continue
+			}
+			return &Counterexample{
+				Outcome:    RenderVerdict(viols),
+				Violations: viols,
+				Seed:       int64(seed),
+				Trace:      traceLines(tr),
+			}
+		}
+		return nil
+	}
+	var ce *Counterexample
+	var tr *tso.RingTracer
+	var hist *History
+	mk := func(m *tso.Machine) []func(tso.Context) {
+		tr = tso.NewRingTracer(traceWindow)
+		m.SetTracer(tr)
+		progs, h := sc.Build(m)
+		hist = h
+		return progs
+	}
+	eopts := tso.ExploreOptions{MaxRuns: opts.MaxSchedules, MaxStepsPerRun: opts.MaxStepsPerRun}
+	tso.ExploreWithChoices(sc.Config, mk, eopts, func(m *tso.Machine, err error, choices []int) bool {
+		if err != nil {
+			return false
+		}
+		viols := spec.Check(hist)
+		if len(viols) == 0 {
+			return false
+		}
+		ce = &Counterexample{
+			Outcome:    RenderVerdict(viols),
+			Violations: viols,
+			Choices:    append([]int(nil), choices...),
+			Seed:       -1,
+			Trace:      traceLines(tr),
+		}
+		return true
+	})
+	return ce
+}
+
+// Replay re-executes one recorded schedule of the scenario (a
+// Counterexample's Choices, or a corpus file's) and returns the spec's
+// violations for that single run plus its machine-level trace. A non-nil
+// error means the replayed schedule did not complete (step limit or
+// program panic); its history is not checked.
+func Replay(sc Scenario, spec Spec, choices []int) ([]Violation, []string, error) {
+	if spec == nil {
+		spec = Precise{}
+	}
+	var tr *tso.RingTracer
+	var hist *History
+	mk := func(m *tso.Machine) []func(tso.Context) {
+		tr = tso.NewRingTracer(traceWindow)
+		m.SetTracer(tr)
+		progs, h := sc.Build(m)
+		hist = h
+		return progs
+	}
+	cfg := sc.Config
+	err := tso.ReplaySchedule(cfg, mk, choices, nil)
+	if err != nil {
+		return nil, traceLines(tr), err
+	}
+	return spec.Check(hist), traceLines(tr), nil
+}
+
+// traceLines renders a ring tracer's retained events, oldest first.
+func traceLines(tr *tso.RingTracer) []string {
+	evs := tr.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
+}

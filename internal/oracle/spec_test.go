@@ -1,0 +1,238 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// buildHistory hand-constructs a history from a compact op script so the
+// checker is tested independently of any machine. Each step is applied to
+// the given thread in order.
+type histStep struct {
+	thread int
+	kind   OpKind
+	begin  bool
+	task   uint64
+	status core.Status
+}
+
+func mkHist(drained bool, prefill []uint64, steps []histStep) *History {
+	h := NewHistory()
+	h.RecordPrefill(prefill)
+	if drained {
+		h.ExpectDrained()
+	}
+	for _, s := range steps {
+		if s.begin {
+			h.Begin(s.thread, s.kind, s.task)
+		} else {
+			h.End(s.thread, s.kind, s.task, s.status)
+		}
+	}
+	return h
+}
+
+// op builds the begin+end pair of one completed operation.
+func op(thread int, kind OpKind, task uint64, st core.Status) []histStep {
+	return []histStep{
+		{thread: thread, kind: kind, begin: true, task: task},
+		{thread: thread, kind: kind, task: task, status: st},
+	}
+}
+
+func cat(groups ...[]histStep) []histStep {
+	var out []histStep
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func TestCheckerVerdictTable(t *testing.T) {
+	cases := []struct {
+		name           string
+		drained        bool
+		prefill        []uint64
+		steps          []histStep
+		wantPrecise    string // RenderVerdict under Precise
+		wantIdempotent string // RenderVerdict under Idempotent
+	}{
+		{
+			name:    "ok: put-take-steal balance",
+			drained: true,
+			prefill: []uint64{1},
+			steps: cat(
+				op(0, OpPut, 2, core.OK),
+				op(1, OpSteal, 1, core.OK),
+				op(0, OpTake, 2, core.OK),
+				op(0, OpTake, 0, core.Empty),
+			),
+			wantPrecise:    "ok",
+			wantIdempotent: "ok",
+		},
+		{
+			name:    "ok: undrained run may leave tasks behind",
+			drained: false,
+			prefill: []uint64{1, 2},
+			steps:   op(1, OpSteal, 1, core.OK),
+			// Task 2 was never removed, but the scenario did not drain, so
+			// neither spec may call it lost.
+			wantPrecise:    "ok",
+			wantIdempotent: "ok",
+		},
+		{
+			name:    "lost: drained run with an unremoved task",
+			drained: true,
+			prefill: []uint64{1, 2},
+			steps: cat(
+				op(0, OpTake, 2, core.OK),
+				op(0, OpTake, 0, core.Empty),
+			),
+			wantPrecise:    "lost t1",
+			wantIdempotent: "lost t1",
+		},
+		{
+			name:    "duplicate: precise fails, idempotent accepts",
+			drained: true,
+			prefill: []uint64{1},
+			steps: cat(
+				op(0, OpTake, 1, core.OK),
+				op(1, OpSteal, 1, core.OK),
+			),
+			wantPrecise:    "duplicate t1",
+			wantIdempotent: "ok",
+		},
+		{
+			name:    "phantom: removal of a task never put",
+			drained: false,
+			prefill: []uint64{1},
+			steps:   op(1, OpSteal, 99, core.OK),
+			// Garbage is a violation under both contracts.
+			wantPrecise:    "phantom t99",
+			wantIdempotent: "phantom t99",
+		},
+		{
+			name:    "torn: steal never ends",
+			drained: false,
+			prefill: []uint64{1},
+			steps: []histStep{
+				{thread: 1, kind: OpSteal, begin: true},
+			},
+			wantPrecise:    "torn th1",
+			wantIdempotent: "torn th1",
+		},
+		{
+			name:    "torn: end without begin",
+			drained: false,
+			steps: []histStep{
+				{thread: 0, kind: OpTake, status: core.Empty},
+			},
+			wantPrecise:    "torn th0",
+			wantIdempotent: "torn th0",
+		},
+		{
+			name:    "torn: op begins inside an open op",
+			drained: false,
+			steps: []histStep{
+				{thread: 0, kind: OpPut, begin: true, task: 1},
+				{thread: 0, kind: OpTake, begin: true},
+				{thread: 0, kind: OpTake, task: 1, status: core.OK},
+				{thread: 0, kind: OpPut, task: 1, status: core.OK},
+			},
+			// Two torn findings: the take begins inside the open put, and
+			// the put's own end is then orphaned.
+			wantPrecise:    "torn th0; torn th0",
+			wantIdempotent: "torn th0; torn th0",
+		},
+		{
+			name:    "multiple violations render sorted",
+			drained: true,
+			prefill: []uint64{1, 2},
+			steps: cat(
+				op(0, OpTake, 2, core.OK),
+				op(1, OpSteal, 2, core.OK),
+				op(1, OpSteal, 7, core.OK),
+			),
+			// lost t1 (never removed), duplicate t2, phantom t7 — sorted by
+			// verdict class then task.
+			wantPrecise:    "lost t1; duplicate t2; phantom t7",
+			wantIdempotent: "lost t1; phantom t7",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := mkHist(tc.drained, tc.prefill, tc.steps)
+			if got := RenderVerdict(Precise{}.Check(h)); got != tc.wantPrecise {
+				t.Errorf("precise: got %q want %q", got, tc.wantPrecise)
+			}
+			if got := RenderVerdict(Idempotent{}.Check(h)); got != tc.wantIdempotent {
+				t.Errorf("idempotent: got %q want %q", got, tc.wantIdempotent)
+			}
+		})
+	}
+}
+
+func TestCheckerViolationDetails(t *testing.T) {
+	h := mkHist(true, []uint64{1}, cat(
+		op(0, OpTake, 1, core.OK),
+		op(1, OpSteal, 1, core.OK),
+	))
+	viols := Precise{}.Check(h)
+	if len(viols) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(viols), viols)
+	}
+	v := viols[0]
+	if v.Verdict != VerdictDuplicate || v.Task != 1 {
+		t.Fatalf("wrong violation: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "2x") || !strings.Contains(v.String(), "duplicate t1") {
+		t.Fatalf("uninformative violation: %q / %q", v.Detail, v.String())
+	}
+}
+
+func TestSpecForMatchesRegistry(t *testing.T) {
+	for _, a := range core.AllAlgos {
+		want := "precise"
+		if a.Idempotent() {
+			want = "idempotent"
+		}
+		if got := SpecFor(a).Name(); got != want {
+			t.Errorf("%s: spec %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestHistoryReset(t *testing.T) {
+	h := mkHist(true, []uint64{1}, op(0, OpTake, 1, core.OK))
+	h.Reset()
+	if len(h.Events()) != 0 || len(h.Prefilled()) != 0 || h.Drained() {
+		t.Fatal("Reset did not clear the history")
+	}
+	if got := RenderVerdict(Precise{}.Check(h)); got != "ok" {
+		t.Fatalf("empty history verdict %q", got)
+	}
+}
+
+func TestEventAndKindStrings(t *testing.T) {
+	for _, k := range []OpKind{OpPut, OpTake, OpSteal, OpKind(99)} {
+		if k.String() == "" {
+			t.Fatalf("empty String for kind %d", int(k))
+		}
+	}
+	evs := []Event{
+		{Seq: 0, Thread: 0, Kind: OpPut, Begin: true, Task: 3},
+		{Seq: 1, Thread: 1, Kind: OpSteal, Begin: true},
+		{Seq: 2, Thread: 1, Kind: OpSteal, Task: 3, Status: core.OK},
+		{Seq: 3, Thread: 0, Kind: OpTake, Status: core.Empty},
+	}
+	for _, e := range evs {
+		if e.String() == "" {
+			t.Fatalf("empty String for %+v", e)
+		}
+	}
+	if !strings.Contains(evs[2].String(), "task=3") {
+		t.Fatalf("steal end missing task: %q", evs[2])
+	}
+}

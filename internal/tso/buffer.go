@@ -8,6 +8,7 @@ type entry struct {
 	val  uint64
 	done uint64 // timed policy: virtual time at which the store reaches memory
 	born uint64 // issue time (virtual cycles) or issue step (chaos), for drain-latency metrics
+	id   int64  // op id of the issuing store (buffered engines), linking the drain event back to it
 }
 
 // storeBuffer is a bounded FIFO store buffer, optionally extended with the

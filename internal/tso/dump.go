@@ -17,10 +17,10 @@ func (m *Machine) DumpState(w io.Writer, memLo, memHi Addr) {
 	for tid, b := range m.bufs {
 		fmt.Fprintf(w, "thread %d buffer (%d/%d):", tid, b.occupancy(), m.cfg.ObservableBound())
 		if b.hasStage {
-			fmt.Fprintf(w, " stage{[%d]=%d}", b.stage.addr, b.stage.val)
+			fmt.Fprintf(w, " stage{[%d]=%d op%d}", b.stage.addr, b.stage.val, b.stage.id)
 		}
 		for _, e := range b.entries {
-			fmt.Fprintf(w, " [%d]=%d", e.addr, e.val)
+			fmt.Fprintf(w, " [%d]=%d op%d", e.addr, e.val, e.id)
 		}
 		fmt.Fprintln(w)
 	}

@@ -30,6 +30,9 @@ func TestDumpStateShowsBuffersAndMemory(t *testing.T) {
 	if !strings.Contains(out, "=11") || !strings.Contains(out, "=22") {
 		t.Fatalf("buffered stores not shown:\n%s", out)
 	}
+	if !strings.Contains(out, "=11 op") || !strings.Contains(out, "=22 op") {
+		t.Fatalf("buffered stores missing op ids:\n%s", out)
+	}
 	if !strings.Contains(out, "model=TSO") {
 		t.Fatalf("missing model:\n%s", out)
 	}

@@ -144,6 +144,19 @@ func Explore(cfg Config, mkProgs func(m *Machine) []func(Context), opts ExploreO
 // a witness schedule for a reachable outcome without enumerating the rest
 // of the tree.
 func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts ExploreOptions, visit func(m *Machine, err error) bool) ExploreResult {
+	return ExploreWithChoices(cfg, mkProgs, opts, func(m *Machine, err error, _ []int) bool {
+		return visit(m, err)
+	})
+}
+
+// ExploreWithChoices is ExploreUntil additionally handing visit the run's
+// schedule: choices[i] is the branch taken at decision step i (an index
+// into the step's action list — threads with pending requests in thread
+// order, then drainable buffers in thread order). The slice is reused
+// across runs and only valid for the duration of the call; callers that
+// keep a schedule (a witness, a counterexample for ReplaySchedule) must
+// copy it.
+func ExploreWithChoices(cfg Config, mkProgs func(m *Machine) []func(Context), opts ExploreOptions, visit func(m *Machine, err error, choices []int) bool) ExploreResult {
 	opts = opts.withDefaults()
 	var res ExploreResult
 
@@ -194,7 +207,7 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 			res.StepLimited++
 		}
 		res.Runs++
-		if visit(m, err) {
+		if visit(m, err, prefix[:depth]) {
 			return res
 		}
 
@@ -220,6 +233,45 @@ func ExploreUntil(cfg Config, mkProgs func(m *Machine) []func(Context), opts Exp
 		fanout = fanout[:i+1]
 		prefix[i]++
 	}
+}
+
+// ReplaySchedule executes exactly one schedule of the program built by
+// mkProgs: the machine follows the recorded choices (the slice a previous
+// ExploreWithChoices visit handed out, or a corpus file), then takes the
+// first available action once the prefix is exhausted. A choice outside
+// the step's action range clamps to the last alternative, so arbitrary
+// byte-derived prefixes (fuzzers) replay some schedule rather than
+// panicking. mkProgs may attach a tracer via Machine.SetTracer to dump
+// the replayed interleaving; visit (optional) receives the machine before
+// it is closed. Returns the run error (nil, step-limit, or panic).
+func ReplaySchedule(cfg Config, mkProgs func(m *Machine) []func(Context), choices []int, visit func(m *Machine, err error)) error {
+	c := cfg
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 100_000
+	}
+	m := NewMachine(c)
+	defer m.Close()
+	depth := 0
+	m.pol = &chooserPolicy{choose: func(acts []action) int {
+		i := 0
+		if depth < len(choices) {
+			i = choices[depth]
+			if i >= len(acts) {
+				i = len(acts) - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+		}
+		depth++
+		return i
+	}}
+	progs := mkProgs(m)
+	err := m.Run(progs...)
+	if visit != nil {
+		visit(m, err)
+	}
+	return err
 }
 
 // OutcomeSet is a convenience for litmus-style explorations: it tallies

@@ -53,6 +53,70 @@ func TestExploreSBUnfencedAllFourOutcomes(t *testing.T) {
 	t.Logf("SB unfenced: %d schedules, outcomes %v", res.Runs, set.Counts)
 }
 
+func TestExploreWithChoicesReplaysWitness(t *testing.T) {
+	// Extract the schedule that reaches the TSO reordering outcome, then
+	// replay it on a fresh machine via ReplaySchedule: the outcome must
+	// reproduce exactly, and the replayed trace must pair every store with
+	// its drain by op id.
+	mk, out := sbProgs(false)
+	var witness []int
+	res := ExploreWithChoices(Config{Threads: 2, BufferSize: 2}, mk, ExploreOptions{}, func(m *Machine, err error, choices []int) bool {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out(m) != "r0=0 r1=0" {
+			return false
+		}
+		witness = append([]int(nil), choices...)
+		return true
+	})
+	if witness == nil {
+		t.Fatalf("r0=r1=0 not found in %d runs", res.Runs)
+	}
+	var tr *RingTracer
+	mkTraced := func(m *Machine) []func(Context) {
+		tr = NewRingTracer(256)
+		m.SetTracer(tr)
+		return mk(m)
+	}
+	err := ReplaySchedule(Config{Threads: 2, BufferSize: 2}, mkTraced, witness, func(m *Machine, err error) {
+		if got := out(m); got != "r0=0 r1=0" {
+			t.Fatalf("replayed outcome %q, want r0=0 r1=0", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[int64]bool{}
+	for _, e := range tr.Events() {
+		if e.Kind == "store" {
+			stores[e.ID] = true
+		}
+		if e.Kind == "drain" && !stores[e.ID] {
+			t.Fatalf("replayed drain op %d without its store:\n%v", e.ID, tr.Events())
+		}
+	}
+}
+
+func TestReplayScheduleClampsWildChoices(t *testing.T) {
+	// Fuzz-derived prefixes carry arbitrary ints; replay must clamp them
+	// to the action range and still complete a legal schedule.
+	mk, out := sbProgs(false)
+	err := ReplaySchedule(Config{Threads: 2, BufferSize: 2}, mk, []int{99, -3, 7, 0, 42}, func(m *Machine, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out(m)
+		legal := map[string]bool{"r0=0 r1=0": true, "r0=0 r1=1": true, "r0=1 r1=0": true, "r0=1 r1=1": true}
+		if !legal[got] {
+			t.Fatalf("illegal outcome %q", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestExploreSBFencedExcludesZeroZero(t *testing.T) {
 	mk, out := sbProgs(true)
 	set, res := ExploreOutcomes(Config{Threads: 2, BufferSize: 2}, mk, out, ExploreOptions{})

@@ -71,6 +71,13 @@ type Machine struct {
 	pending []*request
 	steps   int64
 
+	// opSeq numbers every executed request on the buffered substrate since
+	// the last Reset. The id is assigned whether or not a tracer is
+	// attached, so trace event ids are stable across re-runs of the same
+	// schedule with tracing toggled — the property counterexample replay
+	// relies on. A store's drain event carries the store's id (see entry.id).
+	opSeq int64
+
 	// tracer, when non-nil, receives every executed action in schedule
 	// order (see trace.go).
 	tracer Tracer
@@ -259,6 +266,7 @@ func (m *Machine) Reset() {
 	}
 	m.next = 0
 	m.steps = 0
+	m.opSeq = 0
 	m.stats = Stats{}
 	m.rngStale = m.rng != nil
 	if m.met != nil {
@@ -511,7 +519,7 @@ func (m *Machine) drainStep(act action) {
 		default:
 			e = b.entries[0]
 		}
-		m.trace("drain", act.id, e.addr, e.val, false)
+		m.trace("drain", act.id, e.addr, e.val, false, e.id)
 	}
 	if m.cfg.Model == ModelPSO {
 		b.drainAt(m.mem, act.idx)
@@ -526,17 +534,19 @@ func (m *Machine) drainStep(act action) {
 // share it.
 func (m *Machine) execBuffered(r *request) response {
 	buf := m.bufs[r.tid]
+	m.opSeq++
+	id := m.opSeq
 	switch r.kind {
 	case opLoad:
 		m.stats.Loads++
 		if v, ok := buf.forward(r.addr); ok {
 			m.stats.ForwardLoads++
 			m.metForward(r.tid)
-			m.trace("load", r.tid, r.addr, v, false)
+			m.trace("load", r.tid, r.addr, v, false, id)
 			return response{val: v}
 		}
 		v := m.mem.read(r.addr)
-		m.trace("load", r.tid, r.addr, v, false)
+		m.trace("load", r.tid, r.addr, v, false, id)
 		return response{val: v}
 	case opStore:
 		m.stats.Stores++
@@ -545,15 +555,15 @@ func (m *Machine) execBuffered(r *request) response {
 		for buf.full() {
 			buf.drainOne(m.mem)
 		}
-		buf.push(entry{addr: r.addr, val: r.val, born: uint64(m.steps)})
+		buf.push(entry{addr: r.addr, val: r.val, born: uint64(m.steps), id: id})
 		m.metPush(r.tid, buf)
-		m.trace("store", r.tid, r.addr, r.val, false)
+		m.trace("store", r.tid, r.addr, r.val, false, id)
 		return response{}
 	case opFence:
 		m.stats.Fences++
 		m.metFenceStall(r.tid, uint64(buf.occupancy()))
 		buf.drainAll(m.mem)
-		m.trace("fence", r.tid, 0, 0, false)
+		m.trace("fence", r.tid, 0, 0, false, id)
 		return response{}
 	case opCAS:
 		m.stats.CASes++
@@ -564,13 +574,13 @@ func (m *Machine) execBuffered(r *request) response {
 		cur := m.mem.read(r.addr)
 		if cur == r.val {
 			m.mem.write(r.addr, r.val2)
-			m.trace("cas", r.tid, r.addr, r.val2, true)
+			m.trace("cas", r.tid, r.addr, r.val2, true, id)
 			return response{val: cur, ok: true}
 		}
-		m.trace("cas", r.tid, r.addr, r.val2, false)
+		m.trace("cas", r.tid, r.addr, r.val2, false, id)
 		return response{val: cur, ok: false}
 	case opWork:
-		m.trace("work", r.tid, 0, 0, false)
+		m.trace("work", r.tid, 0, 0, false, id)
 		return response{}
 	default:
 		panic(fmt.Sprintf("tso: unknown op %d", r.kind))
@@ -589,7 +599,7 @@ func (m *Machine) flushBuffered() {
 				} else {
 					e = b.stage
 				}
-				m.trace("drain", tid, e.addr, e.val, false)
+				m.trace("drain", tid, e.addr, e.val, false, e.id)
 			}
 			b.drainOne(m.mem)
 		}

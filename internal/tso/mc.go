@@ -327,7 +327,17 @@ func (e *mcEngine) newRunner() *mcRunner {
 	r := &mcRunner{e: e, m: NewMachine(c), pol: &chooserPolicy{}}
 	r.pol.choose = r.choose
 	if e.opts.Prune {
+		// The rolling hashes MUST start from the FNV offset basis, not 0:
+		// 0 is a fixed point of FNV-1a under zero bytes, so a zero-seeded
+		// hash cannot tell apart histories that differ only by a prefix of
+		// all-zero records (e.g. repeated loads of address 0 reading 0 —
+		// exactly a thief polling an untouched head index). Such
+		// different-length histories would share a key and falsely merge
+		// their subtrees.
 		r.hist = make([]uint64, c.Threads)
+		for i := range r.hist {
+			r.hist[i] = fnvOffset
+		}
 		r.pol.onExec = func(req *request, resp response) {
 			h := r.hist[req.tid]
 			h = fnvMix(h, uint64(req.kind))
@@ -335,9 +345,15 @@ func (e *mcEngine) newRunner() *mcRunner {
 			h = fnvMix(h, req.val)
 			h = fnvMix(h, req.val2)
 			h = fnvMix(h, resp.val)
+			// The ok bit is mixed unconditionally so every executed request
+			// contributes a fixed-width record; mixing it only when set would
+			// leave the stream ambiguous between an ok bit and a following
+			// request whose kind is 1.
+			var ok uint64
 			if resp.ok {
-				h = fnvMix(h, 1)
+				ok = 1
 			}
+			h = fnvMix(h, ok)
 			r.hist[req.tid] = h
 		}
 	}
@@ -602,7 +618,7 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 	r.cut = false
 	r.credit = nil
 	for i := range r.hist {
-		r.hist[i] = 0
+		r.hist[i] = fnvOffset
 	}
 	m := r.m
 	m.Reset()

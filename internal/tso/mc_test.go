@@ -378,3 +378,71 @@ func TestSampleOutcomesMatchesChaosRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestExhaustivePruneHistorySeed pins the count-preservation contract on a
+// CAS-heavy program whose thief begins by polling an untouched address: a
+// self-contained port of the FF-CL duel the semantic oracle runs. It is a
+// regression test for two ways the per-thread history hash could merge
+// distinct histories: a zero-seeded rolling FNV (0 is a fixed point under
+// the all-zero record of "load address 0, read 0", so history lengths
+// vanish) and an ok bit mixed only when set (ambiguous against a following
+// request of kind 1).
+func TestExhaustivePruneHistorySeed(t *testing.T) {
+	mk := func(m *Machine) []func(Context) {
+		H := m.Alloc(1)
+		T := m.Alloc(1)
+		tasks := m.Alloc(4)
+		m.Poke(tasks, 11)
+		m.Poke(tasks+1, 22)
+		m.Poke(H, 0)
+		m.Poke(T, 2)
+		take := func(c Context) {
+			tt := int64(c.Load(T)) - 1
+			c.Store(T, uint64(tt))
+			h := int64(c.Load(H))
+			if tt > h {
+				c.Load(tasks + Addr(tt%4))
+				return
+			}
+			if tt < h {
+				c.Store(T, uint64(h))
+				return
+			}
+			c.Store(T, uint64(h+1))
+			if _, ok := c.CAS(H, uint64(h), uint64(h+1)); ok {
+				c.Load(tasks + Addr(tt%4))
+			}
+		}
+		worker := func(c Context) { take(c); take(c) }
+		thief := func(c Context) {
+			for {
+				h := int64(c.Load(H))
+				tt := int64(c.Load(T))
+				if h >= tt {
+					return
+				}
+				if tt-1 <= h {
+					return
+				}
+				c.Load(tasks + Addr(h%4))
+				if _, ok := c.CAS(H, uint64(h), uint64(h+1)); ok {
+					return
+				}
+			}
+		}
+		return []func(Context){worker, thief}
+	}
+	out := func(m *Machine) string { return fmt.Sprintf("h=%d t=%d", m.Peek(0), m.Peek(1)) }
+	cfg := Config{Threads: 2, BufferSize: 2}
+	plain, res1 := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+	pruned, res2 := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{Prune: true})
+	if !res1.Complete || !res2.Complete {
+		t.Fatalf("incomplete exploration: plain %v pruned %v", res1.Complete, res2.Complete)
+	}
+	if !reflect.DeepEqual(plain.Counts, pruned.Counts) {
+		t.Fatalf("pruned counts diverge from sequential engine:\n got %v\nwant %v", pruned.Counts, plain.Counts)
+	}
+	if res2.Prune.StatesDeduped == 0 {
+		t.Fatalf("no dedup on the duel: %+v", res2.Prune)
+	}
+}

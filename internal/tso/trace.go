@@ -14,22 +14,30 @@ type Event struct {
 	Addr   Addr
 	Value  uint64 // store value / load result / CAS new value
 	OK     bool   // CAS success (meaningless otherwise)
+
+	// ID is the stable op id: thread operations are numbered in execution
+	// order (1, 2, …) since the machine's last Reset, and a drain carries
+	// the id of the store it advances — the link that lets a counterexample
+	// replay pair every "store" event with the exact "drain" that made it
+	// globally visible. A coalesced drain carries the id of the surviving
+	// (younger) store, whose value is the one memory will eventually see.
+	ID int64
 }
 
 func (e Event) String() string {
 	switch e.Kind {
 	case "load":
-		return fmt.Sprintf("#%d t%d load  [%d] -> %d", e.Step, e.Thread, e.Addr, e.Value)
+		return fmt.Sprintf("#%d t%d load  [%d] -> %d (op %d)", e.Step, e.Thread, e.Addr, e.Value, e.ID)
 	case "store":
-		return fmt.Sprintf("#%d t%d store [%d] := %d (buffered)", e.Step, e.Thread, e.Addr, e.Value)
+		return fmt.Sprintf("#%d t%d store [%d] := %d (buffered, op %d)", e.Step, e.Thread, e.Addr, e.Value, e.ID)
 	case "drain":
-		return fmt.Sprintf("#%d t%d drain [%d] := %d reaches memory", e.Step, e.Thread, e.Addr, e.Value)
+		return fmt.Sprintf("#%d t%d drain [%d] := %d reaches memory (op %d)", e.Step, e.Thread, e.Addr, e.Value, e.ID)
 	case "cas":
-		return fmt.Sprintf("#%d t%d cas   [%d] -> %d (ok=%v)", e.Step, e.Thread, e.Addr, e.Value, e.OK)
+		return fmt.Sprintf("#%d t%d cas   [%d] -> %d (ok=%v, op %d)", e.Step, e.Thread, e.Addr, e.Value, e.OK, e.ID)
 	case "fence":
-		return fmt.Sprintf("#%d t%d fence", e.Step, e.Thread)
+		return fmt.Sprintf("#%d t%d fence (op %d)", e.Step, e.Thread, e.ID)
 	case "work":
-		return fmt.Sprintf("#%d t%d work", e.Step, e.Thread)
+		return fmt.Sprintf("#%d t%d work (op %d)", e.Step, e.Thread, e.ID)
 	default:
 		return fmt.Sprintf("#%d t%d %s", e.Step, e.Thread, e.Kind)
 	}
@@ -47,11 +55,11 @@ type Tracer interface {
 // that led to a safety violation or step-limit abort.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
-func (m *Machine) trace(kind string, thread int, addr Addr, val uint64, ok bool) {
+func (m *Machine) trace(kind string, thread int, addr Addr, val uint64, ok bool, id int64) {
 	if m.tracer == nil {
 		return
 	}
-	m.tracer.Record(Event{Step: m.steps, Thread: thread, Kind: kind, Addr: addr, Value: val, OK: ok})
+	m.tracer.Record(Event{Step: m.steps, Thread: thread, Kind: kind, Addr: addr, Value: val, OK: ok, ID: id})
 }
 
 // RingTracer keeps the last N events — enough to answer "what just

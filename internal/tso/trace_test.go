@@ -126,6 +126,121 @@ func TestEventStringKinds(t *testing.T) {
 	}
 }
 
+func TestTraceOpIDLinksStoreToDrain(t *testing.T) {
+	m := NewMachine(Config{Threads: 1, BufferSize: 4, Seed: 1})
+	tr := NewRingTracer(64)
+	m.SetTracer(tr)
+	x := m.Alloc(2)
+	if err := m.Run(func(c Context) {
+		c.Store(x, 7)
+		c.Store(x+1, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stores := map[int64]Event{}
+	drained := map[int64]bool{}
+	lastID := int64(0)
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case "store":
+			if e.ID <= lastID {
+				t.Fatalf("store op ids not increasing: %v", tr.Events())
+			}
+			lastID = e.ID
+			stores[e.ID] = e
+		case "drain":
+			s, ok := stores[e.ID]
+			if !ok {
+				t.Fatalf("drain op %d has no earlier store:\n%v", e.ID, tr.Events())
+			}
+			if s.Addr != e.Addr || s.Value != e.Value {
+				t.Fatalf("drain %v does not match its store %v", e, s)
+			}
+			if drained[e.ID] {
+				t.Fatalf("op %d drained twice", e.ID)
+			}
+			drained[e.ID] = true
+		}
+	}
+	if len(stores) != 2 {
+		t.Fatalf("saw %d stores, want 2", len(stores))
+	}
+	for id := range stores {
+		if !drained[id] {
+			t.Fatalf("store op %d never linked to a drain", id)
+		}
+	}
+}
+
+func TestTraceOpIDResetsWithMachine(t *testing.T) {
+	// Replays of a recorded schedule rely on op ids restarting after Reset:
+	// two identical runs must produce byte-identical event lists.
+	runOnce := func(m *Machine) []Event {
+		tr := NewRingTracer(64)
+		m.SetTracer(tr)
+		x := m.Alloc(1)
+		if err := m.Run(func(c Context) {
+			c.Store(x, 1)
+			c.Load(x)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Events()
+	}
+	m := NewMachine(Config{Threads: 1, BufferSize: 2, Seed: 3})
+	first := runOnce(m)
+	m.Reset()
+	second := runOnce(m)
+	if len(first) != len(second) {
+		t.Fatalf("event counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("event %d differs after Reset: %v vs %v", i, first[i], second[i])
+		}
+	}
+	if first[0].ID != 1 {
+		t.Fatalf("first op id = %d, want 1", first[0].ID)
+	}
+}
+
+func TestTraceOpIDCoalescedDrain(t *testing.T) {
+	// Under the §7.3 drain stage, a coalesced store never reaches memory:
+	// the final drain event for the address must carry the id of the last
+	// (surviving) store, whatever the schedule did before it.
+	m := NewMachine(Config{Threads: 1, BufferSize: 2, DrainBuffer: true, Seed: 1, DrainBias: 0.01})
+	tr := NewRingTracer(64)
+	m.SetTracer(tr)
+	x := m.Alloc(1)
+	if err := m.Run(func(c Context) {
+		c.Store(x, 1)
+		c.Store(x, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var secondStore, lastDrain Event
+	for _, e := range tr.Events() {
+		if e.Kind == "store" && e.Value == 2 {
+			secondStore = e
+		}
+		if e.Kind == "drain" && e.Addr == x {
+			lastDrain = e
+		}
+	}
+	if secondStore.Kind == "" || lastDrain.Kind == "" {
+		t.Fatalf("missing store/drain events:\n%v", tr.Events())
+	}
+	if lastDrain.ID != secondStore.ID || lastDrain.Value != 2 {
+		t.Fatalf("final drain %v does not carry the surviving store %v", lastDrain, secondStore)
+	}
+	if m.Peek(x) != 2 {
+		t.Fatalf("memory [x]=%d, want 2", m.Peek(x))
+	}
+	if m.Stats().Coalesces < 1 {
+		t.Fatalf("schedule under seed 1 did not coalesce; pick another seed")
+	}
+}
+
 func TestRingTracerMinimumSize(t *testing.T) {
 	tr := NewRingTracer(0)
 	tr.Record(Event{Step: 1})
