@@ -14,13 +14,20 @@
 // algorithm (exactly-once for the precise queues, at-least-once for the
 // idempotent ones), and exits nonzero if any sampled schedule violates.
 //
+// An exhaustive run with -checkpoint PREFIX is interruptible: on SIGTERM
+// or SIGINT the engine stops at the next run boundary and the unexplored
+// frontier is written to PREFIX-<phase>.json in the same wire format the
+// tsoserve spool uses; rerunning the same command resumes it (and
+// deletes the file once the phase completes).
+//
 // Usage:
 //
-//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-cpuprofile f] [-memprofile f]
+//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-checkpoint PREFIX] [-cpuprofile f] [-memprofile f]
 //	tsoexplore -fuzz N [-seed S] [-runs per-program schedules]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +38,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/oracle"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/tso"
 )
 
@@ -43,6 +51,7 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "explore every schedule of the SB test instead of sampling")
 	par := flag.Int("par", 1, "exploration workers for -exhaustive")
 	prune := flag.Bool("prune", false, "canonical-state pruning for -exhaustive")
+	checkpoint := flag.String("checkpoint", "", "frontier checkpoint path prefix for interruptible -exhaustive runs")
 	fuzz := flag.Int("fuzz", 0, "differential-fuzz N random deque programs across every algorithm (0: off)")
 	seed := flag.Int64("seed", 1, "base RNG seed for -fuzz program generation")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -74,8 +83,16 @@ func main() {
 		*s, *stage, cfg.ObservableBound())
 
 	if *exhaustive {
-		sbExhaustive(cfg, false, *par, *prune)
-		sbExhaustive(cfg, true, *par, *prune)
+		// SIGTERM/SIGINT stop the engine at a run boundary; with
+		// -checkpoint the frontier is spooled and the process exits
+		// cleanly instead of losing the exploration.
+		ctx, cancel := serve.SignalDrain(context.Background())
+		defer cancel()
+		if !sbExhaustive(ctx, cfg, false, *par, *prune, *checkpoint) ||
+			!sbExhaustive(ctx, cfg, true, *par, *prune, *checkpoint) {
+			fmt.Println("interrupted: rerun the same command to resume from the checkpoint")
+			return
+		}
 	} else {
 		sbOutcomes(cfg, *runs, false)
 		sbOutcomes(cfg, *runs, true)
@@ -188,8 +205,11 @@ func sbOutcomes(cfg tso.Config, runs int, fenced bool) {
 // sbExhaustive proves the SB tallies instead of sampling them: the counts
 // are over every schedule of the machine. The programs publish their
 // registers to result words (rather than captured locals) so the factory
-// is safe on the engine's concurrent workers.
-func sbExhaustive(cfg tso.Config, fenced bool, par int, prune bool) {
+// is safe on the engine's concurrent workers. With a checkpoint prefix
+// the phase resumes from PREFIX-<phase>.json when present and spools the
+// remaining frontier there when ctx is cancelled mid-exploration; the
+// return value reports whether the phase ran to completion.
+func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, prune bool, ckptPrefix string) bool {
 	const xA, yA, r0A, r1A = tso.Addr(0), tso.Addr(1), tso.Addr(2), tso.Addr(3)
 	mk := func(m *tso.Machine) []func(tso.Context) {
 		m.Alloc(4)
@@ -213,14 +233,62 @@ func sbExhaustive(cfg tso.Config, fenced bool, par int, prune bool) {
 	out := func(m *tso.Machine) string {
 		return fmt.Sprintf("r0=%d r1=%d", m.Peek(r0A)-1, m.Peek(r1A)-1)
 	}
-	set, res := tso.ExploreExhaustive(cfg, mk, out, tso.ExhaustiveOptions{
+	title := "without fences"
+	phase := "sb"
+	if fenced {
+		title = "with fences"
+		phase = "sb-fenced"
+	}
+
+	opts := tso.ExhaustiveOptions{
 		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
 		Parallel:       par,
 		Prune:          prune,
-	})
-	title := "without fences"
-	if fenced {
-		title = "with fences"
+		Interrupt:      ctx.Done(),
+	}
+	ckptFile := ""
+	if ckptPrefix != "" {
+		ckptFile = ckptPrefix + "-" + phase + ".json"
+		if f, err := os.Open(ckptFile); err == nil {
+			cp, derr := tso.DecodeCheckpoint(f)
+			f.Close()
+			if derr != nil {
+				log.Fatalf("checkpoint %s: %v", ckptFile, derr)
+			}
+			if err := cp.CompatibleWith(cfg); err != nil {
+				log.Fatalf("checkpoint %s: %v", ckptFile, err)
+			}
+			opts.Resume = cp
+			fmt.Printf("resuming %s from %s (%d runs done, %d frontier units)\n",
+				phase, ckptFile, cp.Runs, len(cp.Units))
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("checkpoint %s: %v", ckptFile, err)
+		}
+	}
+
+	set, res := tso.ExploreExhaustive(cfg, mk, out, opts)
+	if !res.Complete && res.Checkpoint != nil && ctx.Err() != nil {
+		if ckptFile == "" {
+			log.Fatalf("interrupted %s with no -checkpoint prefix; exploration lost", phase)
+		}
+		f, err := os.Create(ckptFile)
+		if err != nil {
+			log.Fatalf("checkpoint %s: %v", ckptFile, err)
+		}
+		if err := res.Checkpoint.Encode(f); err != nil {
+			log.Fatalf("checkpoint %s: %v", ckptFile, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("checkpoint %s: %v", ckptFile, err)
+		}
+		fmt.Printf("interrupted %s after %d runs; frontier (%d units) spooled to %s\n",
+			phase, res.Checkpoint.Runs, len(res.Checkpoint.Units), ckptFile)
+		return false
+	}
+	if ckptFile != "" {
+		if err := os.Remove(ckptFile); err != nil && !os.IsNotExist(err) {
+			log.Print(err)
+		}
 	}
 	fmt.Printf("Store-buffering litmus, %s (every schedule: %d, executed %d, complete=%v):\n",
 		title, set.Total(), res.Runs, res.Complete)
@@ -229,6 +297,7 @@ func sbExhaustive(cfg tso.Config, fenced bool, par int, prune bool) {
 			res.Prune.StatesDeduped, res.Prune.SchedulesSaved)
 	}
 	sbTable(set.Counts, fenced)
+	return true
 }
 
 // lagHistogram measures how many of the worker's most recent stores a

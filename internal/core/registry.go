@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/tso"
 )
@@ -60,6 +61,26 @@ func (a Algo) String() string {
 	default:
 		return fmt.Sprintf("Algo(%d)", int(a))
 	}
+}
+
+// ParseAlgo resolves an algorithm by its String name, ignoring case and
+// the separators that vary between spellings ("ff-cl", "FF CL", and
+// "ffcl" all resolve to AlgoFFCL). It accepts every algorithm in
+// AllAlgos. The boolean reports whether the name was recognized.
+func ParseAlgo(name string) (Algo, bool) {
+	canon := func(s string) string {
+		s = strings.ToLower(s)
+		s = strings.ReplaceAll(s, "-", "")
+		s = strings.ReplaceAll(s, "_", "")
+		return strings.ReplaceAll(s, " ", "")
+	}
+	want := canon(name)
+	for _, a := range AllAlgos {
+		if canon(a.String()) == want {
+			return a, true
+		}
+	}
+	return 0, false
 }
 
 // FenceFree reports whether the algorithm's take() issues no fence.

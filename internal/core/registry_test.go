@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// TestParseAlgoRoundTrip: every implemented algorithm must resolve from
+// its own String name and from the case/separator variants a config file
+// or job request plausibly spells.
+func TestParseAlgoRoundTrip(t *testing.T) {
+	for _, a := range AllAlgos {
+		got, ok := ParseAlgo(a.String())
+		if !ok || got != a {
+			t.Fatalf("ParseAlgo(%q) = %v, %v", a.String(), got, ok)
+		}
+	}
+	variants := map[string]Algo{
+		"ff-cl":           AlgoFFCL,
+		"FFCL":            AlgoFFCL,
+		"ff cl":           AlgoFFCL,
+		"chase-lev":       AlgoChaseLev,
+		"chase_lev":       AlgoChaseLev,
+		"idempotent lifo": AlgoIdempotentLIFO,
+		"IDEMPOTENT-DE":   AlgoIdempotentDE,
+		"the":             AlgoTHE,
+		"thep":            AlgoTHEP,
+	}
+	for name, want := range variants {
+		got, ok := ParseAlgo(name)
+		if !ok || got != want {
+			t.Fatalf("ParseAlgo(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "ABP", "Algo(9)", "fence-free"} {
+		if got, ok := ParseAlgo(bad); ok {
+			t.Fatalf("ParseAlgo(%q) accepted as %v", bad, got)
+		}
+	}
+}

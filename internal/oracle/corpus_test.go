@@ -170,7 +170,7 @@ func regenerateCorpusEntry(t *testing.T, c corpusCase, path string) {
 	if !ok {
 		t.Fatalf("case names unknown spec %q", c.spec)
 	}
-	ce := findCounterexample(c.program.Scenario(), spec, RunOptions{MaxSchedules: c.budget})
+	ce := FindCounterexample(c.program.Scenario(), spec, RunOptions{MaxSchedules: c.budget})
 	if ce == nil || len(ce.Choices) == 0 {
 		t.Fatalf("%s: no replayable violation found — the case table is stale", c.file)
 	}

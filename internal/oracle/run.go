@@ -22,6 +22,37 @@ type Scenario struct {
 	Build func(m *tso.Machine) ([]func(tso.Context), *History)
 }
 
+// Outcomes adapts the scenario to the exhaustive engine's callback pair:
+// a program factory and a per-run verdict function checking spec (nil
+// means Precise). The pair shares internal state and is safe for the
+// engine's parallel workers; callers that drive tso.ExploreExhaustive,
+// tso.ShardFrontier, or a resumed shard directly (the verification
+// service's dispatcher) get verdict bucketing identical to Run's.
+func (sc Scenario) Outcomes(spec Spec) (mk func(m *tso.Machine) []func(tso.Context), out func(m *tso.Machine) string) {
+	if spec == nil {
+		spec = Precise{}
+	}
+	// The engines call mk and out for the same run on the same worker and
+	// machine; the map carries each machine's current history from one to
+	// the other across the engine's reuse of machines.
+	var mu sync.Mutex
+	hists := map[*tso.Machine]*History{}
+	mk = func(m *tso.Machine) []func(tso.Context) {
+		progs, h := sc.Build(m)
+		mu.Lock()
+		hists[m] = h
+		mu.Unlock()
+		return progs
+	}
+	out = func(m *tso.Machine) string {
+		mu.Lock()
+		h := hists[m]
+		mu.Unlock()
+		return RenderVerdict(spec.Check(h))
+	}
+	return mk, out
+}
+
 // RunOptions configures an oracle Run.
 type RunOptions struct {
 	// Spec is the contract to check (default Precise).
@@ -108,24 +139,7 @@ func Run(sc Scenario, opts RunOptions) Report {
 	if spec == nil {
 		spec = Precise{}
 	}
-	// The engines call mk and outcome for the same run on the same worker
-	// and machine; the map carries each machine's current history from
-	// one to the other across the engine's reuse of machines.
-	var mu sync.Mutex
-	hists := map[*tso.Machine]*History{}
-	mk := func(m *tso.Machine) []func(tso.Context) {
-		progs, h := sc.Build(m)
-		mu.Lock()
-		hists[m] = h
-		mu.Unlock()
-		return progs
-	}
-	out := func(m *tso.Machine) string {
-		mu.Lock()
-		h := hists[m]
-		mu.Unlock()
-		return RenderVerdict(spec.Check(h))
-	}
+	mk, out := sc.Outcomes(spec)
 
 	rep := Report{Scenario: sc.Name, Spec: spec.Name()}
 	if opts.SampleRuns > 0 {
@@ -156,7 +170,7 @@ func Run(sc Scenario, opts RunOptions) Report {
 		}
 	}
 	if rep.Violating > 0 && opts.Counterexample {
-		rep.Counterexample = findCounterexample(sc, spec, opts)
+		rep.Counterexample = FindCounterexample(sc, spec, opts)
 	}
 	return rep
 }
@@ -164,10 +178,17 @@ func Run(sc Scenario, opts RunOptions) Report {
 // traceWindow is how many machine events a counterexample retains.
 const traceWindow = 4096
 
-// findCounterexample re-explores the scenario looking for the first
-// violating schedule and packages it replayably. Returns nil when the
-// bounded search does not reach a violation.
-func findCounterexample(sc Scenario, spec Spec, opts RunOptions) *Counterexample {
+// FindCounterexample re-explores the scenario looking for the first
+// schedule that violates spec (nil means Precise) and packages it
+// replayably. The search is sequential and bounded by opts.MaxSchedules
+// (or opts.SampleRuns seeds in sampling mode), so a violation that only
+// pruned or deeper exploration reaches comes back nil. Run calls this
+// when RunOptions.Counterexample is set; the verification service calls
+// it directly to attach a witness to a finished job.
+func FindCounterexample(sc Scenario, spec Spec, opts RunOptions) *Counterexample {
+	if spec == nil {
+		spec = Precise{}
+	}
 	if opts.SampleRuns > 0 {
 		c := sc.Config
 		if opts.MaxStepsPerRun > 0 {

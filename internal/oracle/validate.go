@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Validation error taxonomy for Program. Each exported sentinel names one
+// rejected field so ingestion boundaries (the verification service's job
+// intake, corpus loaders) can classify failures with errors.Is while the
+// wrapped message carries the offending value.
+var (
+	// ErrBadAlgo rejects an algorithm outside the implemented registry.
+	ErrBadAlgo = errors.New("oracle: unknown algorithm")
+	// ErrBadBufferSize rejects a non-positive store-buffer size.
+	ErrBadBufferSize = errors.New("oracle: store-buffer size must be >= 1")
+	// ErrBadDelta rejects a δ that is negative, or missing (zero) for an
+	// algorithm that is parameterized by δ.
+	ErrBadDelta = errors.New("oracle: bad delta")
+	// ErrBadCapacity rejects a negative queue capacity (zero selects the
+	// default).
+	ErrBadCapacity = errors.New("oracle: queue capacity must be >= 0")
+	// ErrBadPrefill rejects a negative prefill count.
+	ErrBadPrefill = errors.New("oracle: prefill must be >= 0")
+	// ErrBadWorkerOps rejects a worker script with characters other than
+	// 'P' and 'T'.
+	ErrBadWorkerOps = errors.New("oracle: worker ops must be 'P' or 'T'")
+	// ErrBadThieves rejects a thief with a non-positive attempt budget.
+	ErrBadThieves = errors.New("oracle: thief attempts must be >= 1")
+	// ErrTooManyThreads rejects a program whose thread count (worker plus
+	// thieves) exceeds MaxProgramThreads — exhaustive exploration beyond
+	// that is intractable, and the bound keeps service inputs sane.
+	ErrTooManyThreads = errors.New("oracle: too many threads")
+)
+
+// MaxProgramThreads bounds a validated program's total thread count
+// (one worker plus its thieves).
+const MaxProgramThreads = 8
+
+// Validate checks the program's fields against the taxonomy above and
+// returns the first violation, wrapped so errors.Is matches the sentinel
+// and the message names the offending value. A nil error means Scenario
+// and Config produce a well-formed, explorable workload. Fuzz-decoded
+// and corpus programs always validate; the method exists for inputs that
+// cross a trust boundary, like the verification service's job intake.
+func (p Program) Validate() error {
+	if _, ok := core.ParseAlgo(p.Algo.String()); !ok {
+		return fmt.Errorf("%w: %d", ErrBadAlgo, int(p.Algo))
+	}
+	if p.S < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadBufferSize, p.S)
+	}
+	if p.Delta < 0 {
+		return fmt.Errorf("%w: negative delta %d", ErrBadDelta, p.Delta)
+	}
+	if p.Delta == 0 && p.Algo.UsesDelta() {
+		return fmt.Errorf("%w: %s is parameterized by delta, got 0", ErrBadDelta, p.Algo)
+	}
+	if p.Capacity < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadCapacity, p.Capacity)
+	}
+	if p.Prefill < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadPrefill, p.Prefill)
+	}
+	for i, op := range p.WorkerOps {
+		if op != 'P' && op != 'T' {
+			return fmt.Errorf("%w: op %d is %q", ErrBadWorkerOps, i, string(op))
+		}
+	}
+	for i, attempts := range p.Thieves {
+		if attempts < 1 {
+			return fmt.Errorf("%w: thief %d has budget %d", ErrBadThieves, i, attempts)
+		}
+	}
+	if threads := 1 + len(p.Thieves); threads > MaxProgramThreads {
+		return fmt.Errorf("%w: %d threads, max %d", ErrTooManyThreads, threads, MaxProgramThreads)
+	}
+	return nil
+}

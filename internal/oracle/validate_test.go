@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func validProgram() Program {
+	return Program{
+		Algo:      core.AlgoFFCL,
+		S:         2,
+		Delta:     2,
+		Prefill:   1,
+		WorkerOps: "PT",
+		Thieves:   []int{2},
+	}
+}
+
+// TestProgramValidate drives each field of the taxonomy through its
+// rejection and checks errors.Is classification.
+func TestProgramValidate(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(p *Program)
+		want error
+	}{
+		{"algo", func(p *Program) { p.Algo = core.Algo(99) }, ErrBadAlgo},
+		{"buffer-size", func(p *Program) { p.S = 0 }, ErrBadBufferSize},
+		{"negative-delta", func(p *Program) { p.Delta = -1 }, ErrBadDelta},
+		{"missing-delta", func(p *Program) { p.Delta = 0 }, ErrBadDelta},
+		{"capacity", func(p *Program) { p.Capacity = -1 }, ErrBadCapacity},
+		{"prefill", func(p *Program) { p.Prefill = -2 }, ErrBadPrefill},
+		{"worker-ops", func(p *Program) { p.WorkerOps = "PXT" }, ErrBadWorkerOps},
+		{"thieves", func(p *Program) { p.Thieves = []int{1, 0} }, ErrBadThieves},
+		{"threads", func(p *Program) { p.Thieves = make([]int, MaxProgramThreads) }, ErrTooManyThreads},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validProgram()
+			if tc.name == "threads" {
+				// Thief budgets must individually validate so the thread
+				// bound is the only violation.
+				tc.mut(&p)
+				for i := range p.Thieves {
+					p.Thieves[i] = 1
+				}
+			} else {
+				tc.mut(&p)
+			}
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q accepted", tc.name)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("mutation %q: error %q is not %q", tc.name, err, tc.want)
+			}
+		})
+	}
+
+	// Zero delta is fine for algorithms that ignore δ.
+	p := validProgram()
+	p.Algo, p.Delta = core.AlgoChaseLev, 0
+	if err := p.Validate(); err != nil {
+		t.Fatalf("delta-free algorithm rejected for delta=0: %v", err)
+	}
+
+	// Every fuzz-decoded program is inside the validated space — the
+	// service can ingest regression programs straight from the fuzzers.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if err := RandomProgram(r).Validate(); err != nil {
+			t.Fatalf("fuzz-decoded program rejected: %v", err)
+		}
+	}
+}

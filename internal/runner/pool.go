@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Go after Close: the pool accepts no
+// further jobs.
+var ErrPoolClosed = errors.New("runner: pool closed")
+
+// Pool is the long-lived counterpart of Runner.Run: a fixed set of
+// worker goroutines draining an unbounded FIFO of jobs submitted one at
+// a time, for callers whose work arrives over time (the verification
+// service's dispatcher) rather than as a batch. It keeps Runner's
+// guarantees — a panicking job fails that job, not the process, and jobs
+// not started before cancellation report the context error — and adds a
+// per-job completion callback, since a long-lived pool has no single
+// "all outcomes" return point.
+//
+// The queue is deliberately unbounded: dispatchers re-enqueue follow-up
+// slices from completion callbacks, which would deadlock against a full
+// bounded queue. Admission control belongs upstream, at the boundary
+// where new work enters (the service's job intake).
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []poolJob
+	closed bool
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// poolJob pairs a job with its completion callback.
+type poolJob struct {
+	job  Job
+	done func(Outcome)
+}
+
+// NewPool starts workers goroutines (minimum 1) draining the pool's
+// queue. Cancelling ctx makes queued-but-unstarted jobs complete with
+// ctx's error; running jobs observe it through their own ctx argument.
+func NewPool(ctx context.Context, workers int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.ctx, p.cancel = context.WithCancel(ctx)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Go enqueues a job. done (optional) is invoked with the job's Outcome
+// from the worker goroutine that ran it — including the panic and
+// cancellation outcomes — exactly once per accepted job. Returns
+// ErrPoolClosed after Close.
+func (p *Pool) Go(job Job, done func(Outcome)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, poolJob{job: job, done: done})
+	p.cond.Signal()
+	return nil
+}
+
+// Queued reports the number of accepted jobs not yet picked up by a
+// worker.
+func (p *Pool) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Close stops intake and waits for the workers to exit. When runQueued
+// is true the workers first drain the jobs already accepted; otherwise
+// the pool context is cancelled, so queued jobs complete with the
+// context error and running jobs are told to stop. Close is idempotent;
+// concurrent Go calls during Close get ErrPoolClosed.
+func (p *Pool) Close(runQueued bool) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		if !runQueued {
+			p.cancel()
+		}
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.cancel()
+}
+
+// worker drains the queue until the pool is closed and empty.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	r := &Runner{}
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		pj := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		// runOne checks p.ctx first, so after a hard Close (runQueued
+		// false) still-queued jobs report the cancellation error without
+		// running.
+		o := r.runOne(p.ctx, pj.job)
+		if pj.done != nil {
+			pj.done(o)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsAll: every accepted job's done callback fires exactly once
+// with its value, across many jobs and workers.
+func TestPoolRunsAll(t *testing.T) {
+	p := NewPool(context.Background(), 4)
+	const n = 100
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		err := p.Go(Job{
+			Name: "job",
+			Fn:   func(context.Context) (any, error) { return i, nil },
+		}, func(o Outcome) {
+			defer wg.Done()
+			if o.Err != nil {
+				t.Errorf("job failed: %v", o.Err)
+				return
+			}
+			sum.Add(int64(o.Value.(int)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	p.Close(true)
+	if got, want := sum.Load(), int64(n*(n-1)/2); got != want {
+		t.Fatalf("sum of results %d, want %d", got, want)
+	}
+	if err := p.Go(Job{}, nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Go after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolPanicIsolation: a panicking job reports a *PanicError through
+// its callback and the pool keeps serving.
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(context.Background(), 1)
+	defer p.Close(false)
+	outc := make(chan Outcome, 2)
+	done := func(o Outcome) { outc <- o }
+	if err := p.Go(Job{Name: "boom", Fn: func(context.Context) (any, error) { panic("kaput") }}, done); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Go(Job{Name: "after", Fn: func(context.Context) (any, error) { return "ok", nil }}, done); err != nil {
+		t.Fatal(err)
+	}
+	o := <-outc
+	var pe *PanicError
+	if !errors.As(o.Err, &pe) || pe.Value != "kaput" {
+		t.Fatalf("panic outcome = %+v", o)
+	}
+	if o = <-outc; o.Err != nil || o.Value != "ok" {
+		t.Fatalf("job after panic = %+v", o)
+	}
+}
+
+// TestPoolHardClose: Close(false) cancels the pool context, so queued
+// jobs complete with the cancellation error instead of running, and a
+// running job observes the cancellation through its ctx.
+func TestPoolHardClose(t *testing.T) {
+	p := NewPool(context.Background(), 1)
+	started := make(chan struct{})
+	var blocker, queued Outcome
+	var wg sync.WaitGroup
+	wg.Add(2)
+	if err := p.Go(Job{Name: "blocker", Fn: func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // released by Close(false)'s cancellation
+		return nil, ctx.Err()
+	}}, func(o Outcome) { blocker = o; wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := p.Go(Job{Name: "queued", Fn: func(context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	}}, func(o Outcome) { queued = o; wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	p.Close(false)
+	wg.Wait()
+	if !errors.Is(blocker.Err, context.Canceled) {
+		t.Fatalf("running job did not observe cancellation: %+v", blocker)
+	}
+	if ran || !errors.Is(queued.Err, context.Canceled) {
+		t.Fatalf("queued job ran=%v err=%v, want skipped with context.Canceled", ran, queued.Err)
+	}
+}
+
+// TestPoolCloseDrains: Close(true) runs everything already accepted.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(context.Background(), 2)
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := p.Go(Job{Name: "j", Fn: func(context.Context) (any, error) {
+			ran.Add(1)
+			return nil, nil
+		}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close(true)
+	if ran.Load() != 20 {
+		t.Fatalf("drained close ran %d of 20 jobs", ran.Load())
+	}
+	if p.Queued() != 0 {
+		t.Fatalf("queue not empty after drain: %d", p.Queued())
+	}
+}

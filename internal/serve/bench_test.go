@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestBenchThroughput measures end-to-end service throughput over the
+// HTTP front: a batch of small exhaustive jobs submitted at once, timed
+// from first POST to last terminal state. It only runs when
+// BENCH_SERVE_OUT names an output file, where it writes a one-object
+// JSON summary (CI uploads it as the BENCH_serve.json artifact; the
+// checked-in copy under results/ is the local reference point).
+func TestBenchThroughput(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVE_OUT=path to run the throughput bench")
+	}
+	const jobs = 16
+	s, ts := newTestServer(t, Config{QueueDepth: jobs})
+	defer ts.Close()
+	defer s.Drain()
+
+	start := time.Now()
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		ids = append(ids, postJob(t, ts, smallSpec()).ID)
+	}
+	var runs, schedules int
+	for _, id := range ids {
+		st := waitDone(t, func() JobStatus { return getStatus(t, ts, id) }, 120*time.Second)
+		if st.State != StateDone || st.Result == nil || !st.Result.Complete {
+			t.Fatalf("bench job %s did not complete: %+v", id, st)
+		}
+		runs += st.Result.Executed
+		schedules += st.Result.Schedules
+	}
+	secs := time.Since(start).Seconds()
+
+	summary := map[string]any{
+		"jobs":              jobs,
+		"runs_executed":     runs,
+		"schedules":         schedules,
+		"seconds":           secs,
+		"jobs_per_sec":      float64(jobs) / secs,
+		"runs_per_sec":      float64(runs) / secs,
+		"schedules_per_sec": float64(schedules) / secs,
+		"workers":           s.cfg.Workers,
+		"slice_runs":        s.cfg.SliceRuns,
+		"shard_units":       s.cfg.ShardUnits,
+	}
+	b, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d jobs, %d runs in %.2fs (%.1f jobs/s)", jobs, runs, secs, float64(jobs)/secs)
+}

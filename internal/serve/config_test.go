@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestConfigDefaults: the zero config is valid and every default is
+// filled.
+func TestConfigDefaults(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	c := DefaultConfig()
+	if c.ListenAddr == "" || c.SpoolDir == "" || c.Workers < 1 || c.QueueDepth < 1 ||
+		c.ShardUnits < 1 || c.SliceRuns < 1 || c.MaxJobRuns < 1 || c.MaxStepsPerRun < 1 ||
+		c.CheckpointInterval <= 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+// TestConfigValidateRejects drives each field through its sentinel.
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(c *Config)
+		want error
+	}{
+		{"workers", func(c *Config) { c.Workers = -1 }, ErrBadWorkers},
+		{"queue-depth", func(c *Config) { c.QueueDepth = -4 }, ErrBadQueueDepth},
+		{"shard-units", func(c *Config) { c.ShardUnits = -1 }, ErrBadShardUnits},
+		{"slice-runs", func(c *Config) { c.SliceRuns = -2 }, ErrBadSliceRuns},
+		{"job-runs", func(c *Config) { c.MaxJobRuns = -1 }, ErrBadJobRuns},
+		{"step-limit", func(c *Config) { c.MaxStepsPerRun = -1 }, ErrBadStepLimit},
+		{"interval", func(c *Config) { c.CheckpointInterval = Duration(-time.Second) }, ErrBadInterval},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Config
+			tc.mut(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q accepted", tc.name)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("mutation %q: error %q is not %q", tc.name, err, tc.want)
+			}
+		})
+	}
+
+	// A spool path that is a file, not a directory.
+	f := filepath.Join(t.TempDir(), "spool")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{SpoolDir: f}).Validate(); !errors.Is(err, ErrBadSpoolDir) {
+		t.Fatalf("file spool path: %v", err)
+	}
+}
+
+// TestLoadConfig: strict decoding — durations as strings, unknown
+// fields rejected, invalid values rejected.
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{
+		"listen_addr": "127.0.0.1:0",
+		"workers": 2,
+		"slice_runs": 128,
+		"checkpoint_interval": "250ms"
+	}`)
+	c, err := LoadConfig(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != 2 || c.SliceRuns != 128 || time.Duration(c.CheckpointInterval) != 250*time.Millisecond {
+		t.Fatalf("loaded config %+v", c)
+	}
+
+	if _, err := LoadConfig(write("unknown.json", `{"worker_count": 2}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := LoadConfig(write("dur.json", `{"checkpoint_interval": "fast"}`)); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if _, err := LoadConfig(write("neg.json", `{"workers": -3}`)); !errors.Is(err, ErrBadWorkers) {
+		t.Fatalf("negative workers: %v", err)
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestJobSpecCompile covers the envelope taxonomy and δ defaulting.
+func TestJobSpecCompile(t *testing.T) {
+	spec := JobSpec{Algorithm: "ff-cl", S: 2, Prefill: 1, WorkerOps: "PT", Thieves: []int{2}}
+	p, check, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Config().ObservableBound(); p.Delta != want {
+		t.Fatalf("delta not defaulted to the observable bound: %d, want %d", p.Delta, want)
+	}
+	if check == nil {
+		t.Fatal("no spec resolved")
+	}
+
+	bad := spec
+	bad.Algorithm = "ABP"
+	if _, _, err := bad.Compile(); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	bad = spec
+	bad.Model = "PSO"
+	if _, _, err := bad.Compile(); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("PSO model: %v", err)
+	}
+	bad = spec
+	bad.Spec = "linearizable"
+	if _, _, err := bad.Compile(); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unknown spec: %v", err)
+	}
+	bad = spec
+	bad.MaxSchedules = -1
+	if _, _, err := bad.Compile(); !errors.Is(err, ErrBadBudget) {
+		t.Fatalf("negative budget: %v", err)
+	}
+	bad = spec
+	bad.WorkerOps = "PXT"
+	if _, _, err := bad.Compile(); err == nil {
+		t.Fatal("bad worker ops accepted")
+	}
+}

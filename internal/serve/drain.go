@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalDrain returns a context cancelled on SIGTERM or SIGINT — the
+// shutdown trigger shared by tsoserve (graceful HTTP drain) and
+// tsoexplore (final checkpoint write). A second signal restores the
+// default handler, so a stuck drain can still be killed by hand.
+func SignalDrain(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		select {
+		case <-ch:
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	return ctx, cancel
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's Prometheus-style counter set. All fields are
+// monotonic counters except where noted; WritePrometheus renders them in
+// the text exposition format. Exploration counters are sourced from the
+// engine's own statistics (ExploreResult, TreeStats, PruneStats) as
+// slices fold, so they agree exactly with job results.
+type Metrics struct {
+	start time.Time
+
+	// jobsSubmitted counts accepted submissions.
+	jobsSubmitted atomic.Int64
+	// jobsRejected counts submissions refused at intake (validation,
+	// queue full, draining).
+	jobsRejected atomic.Int64
+	// jobsCompleted counts jobs that reached the done state.
+	jobsCompleted atomic.Int64
+	// jobsFailed counts jobs that reached the failed state.
+	jobsFailed atomic.Int64
+	// jobsResumed counts jobs recovered from the spool at startup.
+	jobsResumed atomic.Int64
+	// jobsActive is the current number of queued or running jobs (gauge).
+	jobsActive atomic.Int64
+
+	// runsExecuted counts schedules actually executed on a machine.
+	runsExecuted atomic.Int64
+	// schedulesAccounted counts schedules accounted for, including those
+	// credited from the memo table without execution.
+	schedulesAccounted atomic.Int64
+	// stepLimited counts schedules that hit the per-run step bound.
+	stepLimited atomic.Int64
+	// violations counts accounted schedules with violating verdicts.
+	violations atomic.Int64
+	// choicePoints accumulates TreeStats.ChoicePoints across slices.
+	choicePoints atomic.Int64
+	// pruneSeen and pruneDeduped accumulate PruneStats hashing and memo
+	// hits; their ratio is the exposed hit rate.
+	pruneSeen    atomic.Int64
+	pruneDeduped atomic.Int64
+	// schedulesSaved accumulates PruneStats.SchedulesSaved.
+	schedulesSaved atomic.Int64
+
+	// slices counts pool tasks executed (plan and explore).
+	slices atomic.Int64
+	// checkpointWrites counts durable spool writes.
+	checkpointWrites atomic.Int64
+}
+
+// NewMetrics returns a metrics set anchored at now (for the uptime and
+// throughput gauges).
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// WritePrometheus renders every metric in the Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	uptime := time.Since(m.start).Seconds()
+	executed := m.runsExecuted.Load()
+	var perSec float64
+	if uptime > 0 {
+		perSec = float64(executed) / uptime
+	}
+	var hitRate float64
+	if seen := m.pruneSeen.Load(); seen > 0 {
+		hitRate = float64(m.pruneDeduped.Load()) / float64(seen)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("tsoserve_jobs_submitted_total", "Jobs accepted at intake.", m.jobsSubmitted.Load())
+	counter("tsoserve_jobs_rejected_total", "Submissions refused (validation, queue full, draining).", m.jobsRejected.Load())
+	counter("tsoserve_jobs_completed_total", "Jobs finished with a result.", m.jobsCompleted.Load())
+	counter("tsoserve_jobs_failed_total", "Jobs that errored.", m.jobsFailed.Load())
+	counter("tsoserve_jobs_resumed_total", "Jobs recovered from the spool at startup.", m.jobsResumed.Load())
+	gauge("tsoserve_jobs_active", "Queued or running jobs right now.", float64(m.jobsActive.Load()))
+	counter("tsoserve_runs_executed_total", "Schedules executed on a machine.", executed)
+	counter("tsoserve_schedules_accounted_total", "Schedules accounted for, including memoized credits.", m.schedulesAccounted.Load())
+	counter("tsoserve_step_limited_total", "Schedules that hit the per-run step bound.", m.stepLimited.Load())
+	counter("tsoserve_violations_total", "Accounted schedules with violating verdicts.", m.violations.Load())
+	counter("tsoserve_tree_choice_points_total", "Decision-tree nodes with fanout >= 2 explored.", m.choicePoints.Load())
+	counter("tsoserve_prune_states_seen_total", "Canonical states hashed by the memoizer.", m.pruneSeen.Load())
+	counter("tsoserve_prune_states_deduped_total", "Canonical states found already memoized.", m.pruneDeduped.Load())
+	counter("tsoserve_prune_schedules_saved_total", "Schedules credited from the memo table without execution.", m.schedulesSaved.Load())
+	gauge("tsoserve_prune_hit_rate", "StatesDeduped / StatesSeen over the process lifetime.", hitRate)
+	counter("tsoserve_slices_total", "Pool tasks executed (plan + explore slices).", m.slices.Load())
+	counter("tsoserve_checkpoint_writes_total", "Durable spool writes.", m.checkpointWrites.Load())
+	gauge("tsoserve_runs_per_second", "Executed schedules per second of uptime.", perSec)
+	gauge("tsoserve_uptime_seconds", "Seconds since the server started.", uptime)
+}

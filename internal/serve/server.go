@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/oracle"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs      submit a JobSpec; 202 with the queued status
+//	GET  /v1/jobs      list every job's status, submission order
+//	GET  /v1/jobs/{id} one job's status (result + witness once done)
+//	GET  /healthz      200 "ok", 503 "draining" during shutdown
+//	GET  /metrics      Prometheus text exposition
+//
+// Reads keep working during and after Drain, so an orchestrator can poll
+// results while the process shuts down.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// submitStatus maps a Submit error to its HTTP status: validation
+// failures are the client's (400), capacity and lifecycle rejections are
+// the server's (429, 503).
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleSubmit decodes and admits a job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		s.metrics.jobsRejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeJSON(w, submitStatus(err), apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleList renders every job's status.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+// handleGet renders one job's status.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing new submissions to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+// ReplayWitness re-executes a job result's witness against its spec and
+// returns the violations it reproduces — the server-side form of the
+// corpus replay check, exported for clients embedding the package.
+func ReplayWitness(spec JobSpec, wit *Witness) ([]oracle.Violation, error) {
+	prog, check, err := spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	viols, _, err := oracle.Replay(prog.Scenario(), check, wit.Choices)
+	return viols, err
+}

@@ -52,16 +52,110 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 	return enc.Encode(cp)
 }
 
-// DecodeCheckpoint reads a checkpoint previously written by Encode.
+// DecodeCheckpoint reads a checkpoint previously written by Encode and
+// rejects structurally invalid input via Validate: checkpoints arrive
+// from disk spools and the verification service's wire, so malformed
+// frontiers must fail loudly here rather than corrupt a later merge.
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var cp Checkpoint
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
 	}
-	if cp.Version != 1 {
-		return nil, fmt.Errorf("tso: unsupported checkpoint version %d", cp.Version)
+	if err := cp.Validate(); err != nil {
+		return nil, err
 	}
 	return &cp, nil
+}
+
+// Validate checks the checkpoint's structural integrity independent of
+// any machine configuration: a supported version, a known memory-model
+// string, non-negative progress counters, and per-unit choice prefixes
+// whose recorded fanouts are consistent (every choice within its fanout,
+// resume paths extending their unit root). It does not check that the
+// checkpoint matches a particular Config — resume does that — only that
+// the frontier is a well-formed tree position at all.
+func (cp *Checkpoint) Validate() error {
+	if cp.Version != 1 {
+		return fmt.Errorf("tso: unsupported checkpoint version %d", cp.Version)
+	}
+	if cp.Threads < 1 {
+		return fmt.Errorf("tso: checkpoint needs at least 1 thread, got %d", cp.Threads)
+	}
+	if cp.BufferSize < 1 {
+		return fmt.Errorf("tso: checkpoint store-buffer size must be >= 1, got %d", cp.BufferSize)
+	}
+	switch cp.Model {
+	case ModelTSO.String(), ModelPSO.String():
+	default:
+		return fmt.Errorf("tso: checkpoint names unknown memory model %q", cp.Model)
+	}
+	if cp.Runs < 0 {
+		return fmt.Errorf("tso: checkpoint has negative run count %d", cp.Runs)
+	}
+	if cp.StepLimited < 0 {
+		return fmt.Errorf("tso: checkpoint has negative step-limited count %d", cp.StepLimited)
+	}
+	for o, n := range cp.Counts {
+		if n < 0 {
+			return fmt.Errorf("tso: checkpoint counts outcome %q %d times", o, n)
+		}
+	}
+	if len(cp.MaxOccupancy) != cp.Threads {
+		return fmt.Errorf("tso: checkpoint records occupancy for %d threads, config says %d", len(cp.MaxOccupancy), cp.Threads)
+	}
+	for i, u := range cp.Units {
+		if err := u.validate(); err != nil {
+			return fmt.Errorf("tso: checkpoint unit %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validate checks one work unit's positions: paired choice/fanout
+// lengths, every choice within its recorded fanout, and a resume prefix
+// that extends the unit root it belongs to.
+func (uc *UnitCheckpoint) validate() error {
+	if len(uc.Root) != len(uc.RootFanout) {
+		return fmt.Errorf("root has %d choices but %d fanouts", len(uc.Root), len(uc.RootFanout))
+	}
+	for d, b := range uc.Root {
+		if uc.RootFanout[d] < 1 || b < 0 || b >= uc.RootFanout[d] {
+			return fmt.Errorf("root choice %d at depth %d outside fanout %d", b, d, uc.RootFanout[d])
+		}
+	}
+	if len(uc.Prefix) != len(uc.Fanout) {
+		return fmt.Errorf("prefix has %d choices but %d fanouts", len(uc.Prefix), len(uc.Fanout))
+	}
+	if len(uc.Prefix) == 0 {
+		return nil
+	}
+	if len(uc.Prefix) < len(uc.Root) {
+		return fmt.Errorf("resume prefix (%d choices) shorter than unit root (%d)", len(uc.Prefix), len(uc.Root))
+	}
+	for d := range uc.Root {
+		if uc.Prefix[d] != uc.Root[d] || uc.Fanout[d] != uc.RootFanout[d] {
+			return fmt.Errorf("resume prefix diverges from unit root at depth %d", d)
+		}
+	}
+	for d, b := range uc.Prefix {
+		if uc.Fanout[d] < 1 || b < 0 || b >= uc.Fanout[d] {
+			return fmt.Errorf("prefix choice %d at depth %d outside fanout %d", b, d, uc.Fanout[d])
+		}
+	}
+	return nil
+}
+
+// CompatibleWith reports whether the checkpoint can be resumed under the
+// configuration — same thread count, buffer size, memory model and drain
+// stage — so callers holding externally supplied checkpoints (a spool
+// directory, a wire request) can reject mismatches gracefully instead of
+// panicking inside ExploreExhaustive.
+func (cp *Checkpoint) CompatibleWith(c Config) error {
+	cd, err := c.withDefaults()
+	if err != nil {
+		return err
+	}
+	return cp.validate(cd)
 }
 
 // validate rejects resuming under a configuration that would make the
@@ -139,6 +233,28 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 	} else {
 		units = e.split()
 		agg.Tree.merge(e.splitTree)
+	}
+
+	if o.Interrupt != nil {
+		// The watcher translates external interruption (a signal handler,
+		// a server drain) into the same stop the run budget uses: workers
+		// notice at their next run boundary and snapshot their units. An
+		// interrupt already pending here is honored synchronously so no
+		// worker executes a single run.
+		select {
+		case <-o.Interrupt:
+			e.stopped.Store(true)
+		default:
+			watchDone := make(chan struct{})
+			defer close(watchDone)
+			go func() {
+				select {
+				case <-o.Interrupt:
+					e.stopped.Store(true)
+				case <-watchDone:
+				}
+			}()
+		}
 	}
 
 	workers := o.Parallel

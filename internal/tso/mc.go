@@ -86,6 +86,14 @@ type ExhaustiveOptions struct {
 	// produced the checkpoint. MaxRuns is a fresh budget for this call;
 	// reported Runs accumulate across resumes.
 	Resume *Checkpoint
+
+	// Interrupt, when non-nil, stops the exploration early once it
+	// becomes receivable (typically a context's Done channel or a signal
+	// handler's): workers stop at their next run boundary and the result
+	// carries a resumable Checkpoint, exactly as if MaxRuns had been
+	// exhausted. This is how SIGTERM drains land a final checkpoint
+	// instead of dying mid-frontier.
+	Interrupt <-chan struct{}
 }
 
 func (o ExhaustiveOptions) withDefaults() ExhaustiveOptions {

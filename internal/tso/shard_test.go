@@ -1,0 +1,181 @@
+package tso
+
+import (
+	"reflect"
+	"testing"
+)
+
+// foldShards explores every shard independently (sequentially here; the
+// fold is order-insensitive) with the given per-slice budget, looping
+// each shard's remainder until it completes, and folds all deltas.
+func foldShards(t *testing.T, cfg Config, mk func(m *Machine) []func(Context), out func(m *Machine) string,
+	base *Checkpoint, shards []*Checkpoint, sliceRuns int, prune bool) (OutcomeSet, ExploreResult) {
+	t.Helper()
+	fold := NewFold(cfg.Threads)
+	fold.AddBase(base)
+	for _, shard := range shards {
+		cp := shard
+		for {
+			set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{
+				ExploreOptions: ExploreOptions{MaxRuns: sliceRuns},
+				Prune:          prune,
+				Resume:         cp,
+			})
+			fold.Add(set, res)
+			if res.Complete {
+				break
+			}
+			if res.Checkpoint == nil {
+				t.Fatal("incomplete shard slice without a checkpoint")
+			}
+			// The slice's delta is folded already, so the remainder must
+			// resume from a zero-progress checkpoint — Shards() strips the
+			// accumulated counts into a base this loop discards.
+			_, rest := res.Checkpoint.Shards()
+			if len(rest) != 1 {
+				t.Fatalf("single-unit shard resumed into %d units", len(rest))
+			}
+			cp = rest[0]
+		}
+	}
+	return fold.Result(true)
+}
+
+// TestShardFrontierFoldMatchesDirect: splitting the SB tree into shards,
+// exploring each independently and folding must reproduce the undivided
+// exploration byte-for-byte — counts, occupancy, and tree shape — with
+// and without pruning.
+func TestShardFrontierFoldMatchesDirect(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+
+	// Pruned shards memoize independently, so only the unpruned fold can
+	// match the direct tree shape and run tally; counts must match always.
+	want, wantRes := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+
+	for _, prune := range []bool{false, true} {
+		cp, err := ShardFrontier(cfg, mk, ExhaustiveOptions{Units: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cp.Units) < 2 {
+			t.Fatalf("frontier did not split: %d units", len(cp.Units))
+		}
+		if cp.Runs != 0 || len(cp.Counts) != 0 {
+			t.Fatalf("ShardFrontier checkpoint carries progress: %+v", cp)
+		}
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("ShardFrontier checkpoint invalid: %v", err)
+		}
+		base, shards := cp.Shards()
+		if len(shards) != len(cp.Units) {
+			t.Fatalf("Shards returned %d shards for %d units", len(shards), len(cp.Units))
+		}
+		set, res := foldShards(t, cfg, mk, out, base, shards, 1<<20, prune)
+		if !reflect.DeepEqual(set.Counts, want.Counts) {
+			t.Fatalf("prune=%v: folded counts %v, want %v", prune, set.Counts, want.Counts)
+		}
+		if !reflect.DeepEqual(set.MaxOccupancy, want.MaxOccupancy) {
+			t.Fatalf("prune=%v: folded occupancy %v, want %v", prune, set.MaxOccupancy, want.MaxOccupancy)
+		}
+		if !prune {
+			if res.Tree != wantRes.Tree {
+				t.Fatalf("folded tree %+v, want %+v", res.Tree, wantRes.Tree)
+			}
+			if res.Runs != wantRes.Runs {
+				t.Fatalf("unpruned folded runs %d, want %d", res.Runs, wantRes.Runs)
+			}
+		}
+	}
+}
+
+// TestShardSliceResumeMatchesDirect: the service's actual execution shape
+// — every shard explored in small budget slices, each slice resumed from
+// the previous remainder, deltas folded in — must still land on the
+// undivided counts.
+func TestShardSliceResumeMatchesDirect(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	want, _ := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+
+	cp, err := ShardFrontier(cfg, mk, ExhaustiveOptions{Units: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, shards := cp.Shards()
+	set, res := foldShards(t, cfg, mk, out, base, shards, 9, false)
+	if !reflect.DeepEqual(set.Counts, want.Counts) {
+		t.Fatalf("sliced counts %v, want %v", set.Counts, want.Counts)
+	}
+	if !res.Complete {
+		t.Fatal("fold not marked complete")
+	}
+	if set.Total() != want.Total() {
+		t.Fatalf("sliced total %d, want %d", set.Total(), want.Total())
+	}
+}
+
+// TestInterruptBeforeStartCheckpointsWholeFrontier: an interrupt that is
+// already receivable stops workers before any schedule executes, so the
+// checkpoint must hand back the entire frontier, and resuming it must
+// reproduce the full exploration.
+func TestInterruptBeforeStartCheckpointsWholeFrontier(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	want, _ := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+
+	interrupted := make(chan struct{})
+	close(interrupted)
+	set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{
+		Parallel:  2,
+		Interrupt: interrupted,
+	})
+	if res.Complete {
+		t.Fatal("interrupted exploration reported complete")
+	}
+	if res.Checkpoint == nil {
+		t.Fatal("interrupted exploration carries no checkpoint")
+	}
+	if res.Runs != 0 || set.Total() != 0 {
+		t.Fatalf("interrupt-before-start still executed %d runs (%d outcomes)", res.Runs, set.Total())
+	}
+	got, gotRes := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{Resume: res.Checkpoint})
+	if !gotRes.Complete {
+		t.Fatal("resume after interrupt incomplete")
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Fatalf("resumed counts %v, want %v", got.Counts, want.Counts)
+	}
+}
+
+// TestInterruptMidFlightResumes: interrupting a running exploration from
+// another goroutine must yield either a completed result or a resumable
+// checkpoint whose continuation reproduces the direct counts exactly.
+func TestInterruptMidFlightResumes(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 3}
+	want, _ := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+
+	interrupt := make(chan struct{})
+	go close(interrupt) // race the workers deliberately
+	set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{
+		Parallel:  2,
+		Units:     8,
+		Interrupt: interrupt,
+	})
+	// Resumed checkpoints carry cumulative counts, so the final leg's set
+	// is the whole exploration.
+	legs := 0
+	for !res.Complete {
+		if res.Checkpoint == nil {
+			t.Fatal("incomplete interrupted exploration without a checkpoint")
+		}
+		if legs++; legs > 1000 {
+			t.Fatal("interrupt resume not converging")
+		}
+		set, res = ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{Resume: res.Checkpoint})
+	}
+	if !reflect.DeepEqual(set.Counts, want.Counts) {
+		t.Fatalf("post-interrupt counts %v, want %v", set.Counts, want.Counts)
+	}
+}
