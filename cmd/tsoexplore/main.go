@@ -16,13 +16,19 @@
 //
 // An exhaustive run with -checkpoint PREFIX is interruptible: on SIGTERM
 // or SIGINT the engine stops at the next run boundary and the unexplored
-// frontier is written to PREFIX-<phase>.json in the same wire format the
-// tsoserve spool uses; rerunning the same command resumes it (and
-// deletes the file once the phase completes).
+// frontier is written atomically (temp file + rename) to
+// PREFIX-<phase>.ckpt in the binary frontier wire format the tsoserve
+// spool uses; rerunning the same command resumes it (and deletes the
+// file once the phase completes). Legacy PREFIX-<phase>.json spools from
+// the JSON-checkpoint era still resume; if both files exist the run
+// refuses with an ambiguity error rather than guessing, and a checkpoint
+// whose embedded phase label does not match the phase resolving to its
+// path (a prefix collision) is rejected rather than silently folded into
+// the wrong experiment.
 //
 // Usage:
 //
-//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-checkpoint PREFIX] [-cpuprofile f] [-memprofile f]
+//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-reorder K] [-checkpoint PREFIX] [-cpuprofile f] [-memprofile f]
 //	tsoexplore -fuzz N [-seed S] [-runs per-program schedules]
 package main
 
@@ -33,6 +39,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/expt"
@@ -51,6 +58,7 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "explore every schedule of the SB test instead of sampling")
 	par := flag.Int("par", 1, "exploration workers for -exhaustive")
 	prune := flag.Bool("prune", false, "canonical-state pruning for -exhaustive")
+	reorder := flag.Int("reorder", 0, "with -exhaustive, bound the store→load reorderings per schedule (<=0: unbounded)")
 	checkpoint := flag.String("checkpoint", "", "frontier checkpoint path prefix for interruptible -exhaustive runs")
 	fuzz := flag.Int("fuzz", 0, "differential-fuzz N random deque programs across every algorithm (0: off)")
 	seed := flag.Int64("seed", 1, "base RNG seed for -fuzz program generation")
@@ -88,10 +96,15 @@ func main() {
 		// cleanly instead of losing the exploration.
 		ctx, cancel := serve.SignalDrain(context.Background())
 		defer cancel()
-		if !sbExhaustive(ctx, cfg, false, *par, *prune, *checkpoint) ||
-			!sbExhaustive(ctx, cfg, true, *par, *prune, *checkpoint) {
-			fmt.Println("interrupted: rerun the same command to resume from the checkpoint")
-			return
+		for _, fenced := range []bool{false, true} {
+			done, err := sbExhaustive(ctx, cfg, fenced, *par, *prune, *reorder, *checkpoint)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !done {
+				fmt.Println("interrupted: rerun the same command to resume from the checkpoint")
+				return
+			}
 		}
 	} else {
 		sbOutcomes(cfg, *runs, false)
@@ -202,14 +215,99 @@ func sbOutcomes(cfg tso.Config, runs int, fenced bool) {
 	sbTable(set.Counts, fenced)
 }
 
-// sbExhaustive proves the SB tallies instead of sampling them: the counts
-// are over every schedule of the machine. The programs publish their
-// registers to result words (rather than captured locals) so the factory
-// is safe on the engine's concurrent workers. With a checkpoint prefix
-// the phase resumes from PREFIX-<phase>.json when present and spools the
-// remaining frontier there when ctx is cancelled mid-exploration; the
-// return value reports whether the phase ran to completion.
-func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, prune bool, ckptPrefix string) bool {
+// spoolPaths maps a checkpoint prefix and phase name to the phase's two
+// possible spool files: the binary-format path every new spool uses and
+// the legacy JSON-era path old spools may still sit at.
+func spoolPaths(prefix, phase string) (ckpt, legacy string) {
+	base := prefix + "-" + phase
+	return base + ".ckpt", base + ".json"
+}
+
+// loadCheckpoint resolves a phase's spooled frontier, if any. It accepts
+// either wire format (the package decoder sniffs), refuses to guess when
+// both the binary and the legacy file exist, and rejects checkpoints that
+// are incompatible with the machine or options — including a phase label
+// that disagrees with the phase this path resolved to, which is what a
+// prefix collision between two phases looks like on disk. A nil
+// checkpoint with a nil error means there is nothing to resume.
+func loadCheckpoint(prefix, phase string, cfg tso.Config, opts tso.ExhaustiveOptions) (*tso.Checkpoint, error) {
+	ckpt, legacy := spoolPaths(prefix, phase)
+	var have []string
+	for _, p := range []string{ckpt, legacy} {
+		if _, err := os.Stat(p); err == nil {
+			have = append(have, p)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint %s: %w", p, err)
+		}
+	}
+	switch len(have) {
+	case 0:
+		return nil, nil
+	case 2:
+		return nil, fmt.Errorf("ambiguous checkpoint for phase %s: both %s and %s exist; remove the stale one", phase, ckpt, legacy)
+	}
+	f, err := os.Open(have[0])
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", have[0], err)
+	}
+	defer f.Close()
+	cp, err := tso.DecodeCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", have[0], err)
+	}
+	if err := cp.CompatibleWithOptions(cfg, opts); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w (prefix collision between phases?)", have[0], err)
+	}
+	return cp, nil
+}
+
+// writeCheckpoint spools cp for the phase atomically: the frontier is
+// encoded to a temp file in the destination directory and renamed over
+// the final path, so an interrupted write can never leave a truncated
+// checkpoint where the next run would trust it (os.Rename replaces the
+// destination on every supported platform). A superseded legacy JSON
+// spool is removed so the next resume is unambiguous.
+func writeCheckpoint(prefix, phase string, cp *tso.Checkpoint) error {
+	ckpt, legacy := spoolPaths(prefix, phase)
+	tmp, err := os.CreateTemp(filepath.Dir(ckpt), filepath.Base(ckpt)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := cp.Encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint %s: %w", ckpt, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint %s: %w", ckpt, err)
+	}
+	if err := os.Rename(tmp.Name(), ckpt); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Remove(legacy); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// clearCheckpoint removes a completed phase's spool files, both formats.
+func clearCheckpoint(prefix, phase string) error {
+	ckpt, legacy := spoolPaths(prefix, phase)
+	for _, p := range []string{ckpt, legacy} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// sbProgs builds the exhaustive-mode SB programs: registers publish to
+// result words (offset by one so "stored 0" and "never stored" differ)
+// rather than captured locals, keeping the factory safe on the engine's
+// concurrent workers. Shared with the checkpoint-spool regression tests.
+func sbProgs(fenced bool) (func(m *tso.Machine) []func(tso.Context), func(m *tso.Machine) string) {
 	const xA, yA, r0A, r1A = tso.Addr(0), tso.Addr(1), tso.Addr(2), tso.Addr(3)
 	mk := func(m *tso.Machine) []func(tso.Context) {
 		m.Alloc(4)
@@ -233,6 +331,20 @@ func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, pru
 	out := func(m *tso.Machine) string {
 		return fmt.Sprintf("r0=%d r1=%d", m.Peek(r0A)-1, m.Peek(r1A)-1)
 	}
+	return mk, out
+}
+
+// sbExhaustive proves the SB tallies instead of sampling them: the counts
+// are over every schedule of the machine (or, with reorder >= 1, every
+// schedule with at most that many store→load reorderings). The programs
+// publish their registers to result words (rather than captured locals)
+// so the factory is safe on the engine's concurrent workers. With a
+// checkpoint prefix the phase resumes from its spool file when present
+// and spools the remaining frontier there when ctx is cancelled
+// mid-exploration; the first return value reports whether the phase ran
+// to completion.
+func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, prune bool, reorder int, ckptPrefix string) (bool, error) {
+	mk, out := sbProgs(fenced)
 	title := "without fences"
 	phase := "sb"
 	if fenced {
@@ -244,60 +356,56 @@ func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, pru
 		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
 		Parallel:       par,
 		Prune:          prune,
+		MaxReorderings: reorder,
+		Label:          phase,
 		Interrupt:      ctx.Done(),
 	}
-	ckptFile := ""
 	if ckptPrefix != "" {
-		ckptFile = ckptPrefix + "-" + phase + ".json"
-		if f, err := os.Open(ckptFile); err == nil {
-			cp, derr := tso.DecodeCheckpoint(f)
-			f.Close()
-			if derr != nil {
-				log.Fatalf("checkpoint %s: %v", ckptFile, derr)
-			}
-			if err := cp.CompatibleWith(cfg); err != nil {
-				log.Fatalf("checkpoint %s: %v", ckptFile, err)
-			}
+		cp, err := loadCheckpoint(ckptPrefix, phase, cfg, opts)
+		if err != nil {
+			return false, err
+		}
+		if cp != nil {
 			opts.Resume = cp
-			fmt.Printf("resuming %s from %s (%d runs done, %d frontier units)\n",
-				phase, ckptFile, cp.Runs, len(cp.Units))
-		} else if !os.IsNotExist(err) {
-			log.Fatalf("checkpoint %s: %v", ckptFile, err)
+			fmt.Printf("resuming %s (%d runs done, %d frontier units)\n",
+				phase, cp.Runs, len(cp.Units))
 		}
 	}
 
 	set, res := tso.ExploreExhaustive(cfg, mk, out, opts)
 	if !res.Complete && res.Checkpoint != nil && ctx.Err() != nil {
-		if ckptFile == "" {
-			log.Fatalf("interrupted %s with no -checkpoint prefix; exploration lost", phase)
+		if ckptPrefix == "" {
+			return false, fmt.Errorf("interrupted %s with no -checkpoint prefix; exploration lost", phase)
 		}
-		f, err := os.Create(ckptFile)
-		if err != nil {
-			log.Fatalf("checkpoint %s: %v", ckptFile, err)
+		if err := writeCheckpoint(ckptPrefix, phase, res.Checkpoint); err != nil {
+			return false, err
 		}
-		if err := res.Checkpoint.Encode(f); err != nil {
-			log.Fatalf("checkpoint %s: %v", ckptFile, err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("checkpoint %s: %v", ckptFile, err)
-		}
+		ckptFile, _ := spoolPaths(ckptPrefix, phase)
 		fmt.Printf("interrupted %s after %d runs; frontier (%d units) spooled to %s\n",
 			phase, res.Checkpoint.Runs, len(res.Checkpoint.Units), ckptFile)
-		return false
+		return false, nil
 	}
-	if ckptFile != "" {
-		if err := os.Remove(ckptFile); err != nil && !os.IsNotExist(err) {
+	if ckptPrefix != "" {
+		if err := clearCheckpoint(ckptPrefix, phase); err != nil {
 			log.Print(err)
 		}
 	}
-	fmt.Printf("Store-buffering litmus, %s (every schedule: %d, executed %d, complete=%v):\n",
-		title, set.Total(), res.Runs, res.Complete)
+	space := "every schedule"
+	if reorder >= 1 {
+		space = fmt.Sprintf("every schedule with <=%d reorderings", reorder)
+	}
+	fmt.Printf("Store-buffering litmus, %s (%s: %d, executed %d, complete=%v):\n",
+		title, space, set.Total(), res.Runs, res.Complete)
 	if prune {
 		fmt.Printf("pruning: %d states deduped, %d schedules saved\n",
 			res.Prune.StatesDeduped, res.Prune.SchedulesSaved)
 	}
+	if reorder >= 1 {
+		fmt.Printf("reorder bound %d: %d subtrees cut (%d schedules skipped)\n",
+			reorder, res.Prune.SubtreesCut, res.Prune.ReorderSkips)
+	}
 	sbTable(set.Counts, fenced)
-	return true
+	return true, nil
 }
 
 // lagHistogram measures how many of the worker's most recent stores a

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	tsoserve [-config FILE] [-listen ADDR] [-spool DIR] [-workers N] [-print-config]
+//	tsoserve [-config FILE] [-listen ADDR] [-spool DIR] [-workers N] [-spool-codec binary|json] [-print-config]
 //
 // Flags override the config file. With -print-config the effective
 // configuration is printed and the server does not start.
@@ -33,6 +33,7 @@ func main() {
 	listen := flag.String("listen", "", "listen address (overrides the config file)")
 	spool := flag.String("spool", "", "checkpoint spool directory (overrides the config file)")
 	workers := flag.Int("workers", 0, "exploration workers (overrides the config file)")
+	spoolCodec := flag.String("spool-codec", "", `checkpoint wire format for spool writes: "binary" (default) or "json" (legacy; reads accept both either way)`)
 	printConfig := flag.Bool("print-config", false, "print the effective config and exit")
 	flag.Parse()
 
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *spoolCodec != "" {
+		cfg.SpoolCodec = *spoolCodec
 	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/tso"
+)
+
+// iriwProgs is the four-thread IRIW litmus: two writers publish x and y,
+// two readers load the pair in opposite orders, each publishing its two
+// observations (offset by one so "read 0" and "never ran" differ).
+func iriwProgs() (func(m *tso.Machine) []func(tso.Context), func(m *tso.Machine) string) {
+	const xA, yA = tso.Addr(0), tso.Addr(1)
+	mk := func(m *tso.Machine) []func(tso.Context) {
+		m.Alloc(6)
+		reader := func(first, second tso.Addr, res tso.Addr) func(tso.Context) {
+			return func(c tso.Context) {
+				a := c.Load(first)
+				b := c.Load(second)
+				c.Store(res, a+1)
+				c.Store(res+1, b+1)
+				c.Fence()
+			}
+		}
+		return []func(tso.Context){
+			func(c tso.Context) { c.Store(xA, 1) },
+			func(c tso.Context) { c.Store(yA, 1) },
+			reader(xA, yA, 2),
+			reader(yA, xA, 4),
+		}
+	}
+	out := func(m *tso.Machine) string {
+		return fmt.Sprintf("r1=%d%d r2=%d%d", m.Peek(2)-1, m.Peek(3)-1, m.Peek(4)-1, m.Peek(5)-1)
+	}
+	return mk, out
+}
+
+// TestBenchExplore measures the exploration core's two canonical
+// workloads — the pruned four-thread IRIW litmus and the FF-CL S=2
+// δ-soundness duel — plus the frontier checkpoint's wire cost per unit
+// under both codecs. It only runs when BENCH_EXPLORE_OUT names an output
+// file, where it writes a one-object JSON summary (CI uploads it as the
+// BENCH_explore.json artifact; the checked-in copy under results/ is the
+// local reference point).
+func TestBenchExplore(t *testing.T) {
+	out := os.Getenv("BENCH_EXPLORE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_EXPLORE_OUT=path to run the exploration bench")
+	}
+
+	iriwCfg := tso.Config{Threads: 4, BufferSize: 1}
+	iriwMk, iriwOut := iriwProgs()
+	start := time.Now()
+	iriwSet, iriwRes := tso.ExploreExhaustive(iriwCfg, iriwMk, iriwOut, tso.ExhaustiveOptions{
+		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
+		Parallel:       4,
+		Prune:          true,
+	})
+	iriwSecs := time.Since(start).Seconds()
+	if !iriwRes.Complete {
+		t.Fatalf("IRIW exploration incomplete after %d executed runs", iriwRes.Runs)
+	}
+
+	ffclMk, ffclOut, ffclCfg := ffclDuel(3, 2, 2, 2 /*S*/, 2 /*δ=S*/)
+	start = time.Now()
+	ffclSet, ffclRes := tso.ExploreExhaustive(ffclCfg, ffclMk, ffclOut, tso.ExhaustiveOptions{
+		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
+		Parallel:       4,
+		Prune:          true,
+	})
+	ffclSecs := time.Since(start).Seconds()
+	if !ffclRes.Complete {
+		t.Fatalf("FF-CL duel exploration incomplete after %d executed runs", ffclRes.Runs)
+	}
+
+	// Wire cost per frontier unit, both codecs, on a realistic sharded
+	// IRIW frontier.
+	const units = 64
+	cp, err := tso.ShardFrontier(iriwCfg, iriwMk, tso.ExhaustiveOptions{Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin, js bytes.Buffer
+	if err := (tso.BinaryCodec{}).EncodeCheckpoint(&bin, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := (tso.JSONCodec{}).EncodeCheckpoint(&js, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	summary := map[string]any{
+		"iriw_schedules":          iriwSet.Total(),
+		"iriw_executed":           iriwRes.Runs,
+		"iriw_seconds":            iriwSecs,
+		"ffcl_s2_schedules":       ffclSet.Total(),
+		"ffcl_s2_executed":        ffclRes.Runs,
+		"ffcl_s2_seconds":         ffclSecs,
+		"checkpoint_units":        len(cp.Units),
+		"checkpoint_bytes_binary": bin.Len(),
+		"checkpoint_bytes_json":   js.Len(),
+		"bytes_per_unit_binary":   float64(bin.Len()) / float64(len(cp.Units)),
+		"bytes_per_unit_json":     float64(js.Len()) / float64(len(cp.Units)),
+		"json_over_binary_ratio":  float64(js.Len()) / float64(bin.Len()),
+	}
+	b, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("IRIW %d schedules in %.2fs; FF-CL S=2 %d schedules in %.2fs; checkpoint %dB binary vs %dB JSON (%.1fx)",
+		iriwSet.Total(), iriwSecs, ffclSet.Total(), ffclSecs, bin.Len(), js.Len(),
+		float64(js.Len())/float64(bin.Len()))
+}

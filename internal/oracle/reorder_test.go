@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// s4Proof is the FF-CL δ-soundness workload the reorder bound unlocks: an
+// S=4 machine, a worker interleaving three put/take rounds over a
+// two-task prefill, and a three-attempt thief. Its oracle histories make
+// canonical states far more distinct than the bare-queue duels in
+// internal/core (every delivery lands in the history words), so the memo
+// table alone no longer collapses the space into a small executed-run
+// budget the way it does there.
+func s4Proof(t *testing.T) Program {
+	t.Helper()
+	p := Program{Algo: core.AlgoFFCL, S: 4, Prefill: 2, WorkerOps: "PTPTPT", Thieves: []int{3}}
+	p.Delta = p.Config().ObservableBound()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// s4Budget is the executed-schedule budget both runs below get. The
+// sequential engine is deterministic, so the two sides of the boundary
+// are exact, not timing-dependent: unbounded exploration needs 7703
+// executed runs to cover the ~10.6T-schedule space and runs out of this
+// budget, while the k=1-bounded space (~15.9B schedules) completes in
+// 2092 — roughly 2x clear of the budget on both sides.
+const s4Budget = 1 << 12
+
+// TestReorderBoundUnlocksS4Soundness is the acceptance proof for the
+// reorder-bounded mode: an FF-CL δ-soundness result at S=4 — past the
+// S=2 machines the unbounded suite proves — completes under the
+// documented bound k=1 within an executed-run budget that unbounded
+// exploration exceeds. The verdict is weaker by construction: zero
+// violations over every schedule with at most one store→load reordering,
+// not over all of TSO[4]. The companion test below pins the unbounded
+// side of the same budget.
+func TestReorderBoundUnlocksS4Soundness(t *testing.T) {
+	p := s4Proof(t)
+	rep := Run(p.Scenario(), RunOptions{
+		Spec: p.Spec(), Prune: true, MaxSchedules: s4Budget, MaxReorderings: 1,
+	})
+	if !rep.Complete {
+		t.Fatalf("bounded exploration incomplete after %d executed schedules", rep.Executed)
+	}
+	if rep.Violating != 0 {
+		t.Fatalf("FF-CL violated its spec in the k=1-bounded space: %v", rep.Outcomes)
+	}
+	if rep.Outcomes["ok"] == 0 {
+		t.Fatalf("no ok schedules recorded: %v", rep.Outcomes)
+	}
+	t.Logf("k=1: %d schedules proved clean via %d executed runs, outcomes %v",
+		rep.Schedules, rep.Executed, rep.Outcomes)
+}
+
+// TestReorderBoundS4UnboundedBustsBudget documents why the bound above is
+// load-bearing: the same workload without a reorder bound exhausts the
+// same executed-run budget before covering its tree. If this ever starts
+// completing, the engine got enough faster that the proof above should be
+// promoted to a larger machine or a bigger k.
+func TestReorderBoundS4UnboundedBustsBudget(t *testing.T) {
+	p := s4Proof(t)
+	rep := Run(p.Scenario(), RunOptions{
+		Spec: p.Spec(), Prune: true, MaxSchedules: s4Budget,
+	})
+	if rep.Complete {
+		t.Fatalf("unbounded exploration completed in %d executed schedules; raise the proof's ambition", rep.Executed)
+	}
+	if rep.Executed < s4Budget {
+		t.Fatalf("unbounded exploration stopped early at %d executed schedules", rep.Executed)
+	}
+}

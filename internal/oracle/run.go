@@ -73,6 +73,12 @@ type RunOptions struct {
 	// SleepSets additionally prunes commuting drain orders; the set of
 	// reachable verdicts is preserved, per-verdict counts are not.
 	SleepSets bool
+	// MaxReorderings, when >= 1, restricts exhaustive exploration to
+	// schedules with at most that many store→load reorderings
+	// (tso.ExhaustiveOptions.MaxReorderings). Zero or negative explores
+	// the full TSO[S] schedule space. A clean verdict under a bound k is
+	// a proof over the k-bounded schedule space only.
+	MaxReorderings int
 	// SampleRuns, when positive, switches from exhaustive exploration to
 	// chaos sampling under seeds 0..SampleRuns-1 — the cheap mode the
 	// fuzzing harness uses.
@@ -157,6 +163,7 @@ func Run(sc Scenario, opts RunOptions) Report {
 			Parallel:       opts.Parallel,
 			Prune:          opts.Prune,
 			SleepSets:      opts.SleepSets,
+			MaxReorderings: opts.MaxReorderings,
 		})
 		rep.Outcomes = set.Counts
 		rep.Schedules = set.Total()

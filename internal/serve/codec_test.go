@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/tso"
+)
+
+// spoolRecord returns a running-state record with a realistic frontier
+// checkpoint for direct Store tests.
+func spoolRecord(t *testing.T) *Record {
+	t.Helper()
+	js := mediumSpec()
+	prog, _, err := js.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := prog.Scenario()
+	mk, _ := sc.Outcomes(oracle.Precise{})
+	cp, err := tso.ShardFrontier(sc.Config, mk, tso.ExhaustiveOptions{Units: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Record{ID: "job-000042", Spec: js, State: StateRunning, Budget: 1000, Checkpoint: cp}
+}
+
+// TestStoreBinaryWire: the default store must spool checkpoints as a
+// binary blob (checkpoint_bin), round-trip them exactly, and leave the
+// legacy embedded-JSON field unused; the "json" codec must do the
+// reverse. Either store must read what the other wrote.
+func TestStoreBinaryWire(t *testing.T) {
+	rec := spoolRecord(t)
+	for _, tc := range []struct {
+		codec    string
+		wantBin  bool
+		wantJSON bool
+	}{
+		{"", true, false},
+		{"binary", true, false},
+		{"json", false, true},
+	} {
+		dir := t.TempDir()
+		st, err := OpenStoreCodec(dir, tc.codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(st.path(rec.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.Contains(raw, []byte(`"checkpoint_bin"`)); got != tc.wantBin {
+			t.Errorf("codec %q: checkpoint_bin present=%v, want %v", tc.codec, got, tc.wantBin)
+		}
+		if got := bytes.Contains(raw, []byte(`"checkpoint"`)) && !bytes.Contains(raw, []byte(`"checkpoint_bin"`)); got != tc.wantJSON {
+			t.Errorf("codec %q: embedded checkpoint present=%v, want %v", tc.codec, got, tc.wantJSON)
+		}
+
+		// Every store reads every wire form.
+		for _, reader := range []string{"", "json"} {
+			rd, err := OpenStoreCodec(dir, reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rd.Get(rec.ID)
+			if err != nil {
+				t.Fatalf("codec %q read by %q: %v", tc.codec, reader, err)
+			}
+			if !reflect.DeepEqual(got.Checkpoint, rec.Checkpoint) {
+				t.Errorf("codec %q read by %q: checkpoint diverged", tc.codec, reader)
+			}
+		}
+	}
+	if _, err := OpenStoreCodec(t.TempDir(), "protobuf"); err == nil {
+		t.Fatal("unknown spool codec accepted")
+	}
+}
+
+// TestStoreRejectsAmbiguousRecord: a spool file carrying both checkpoint
+// forms is operator error (or corruption) and must fail the read, not
+// silently pick one.
+func TestStoreRejectsAmbiguousRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path("job-000001"), []byte(`{
+  "id": "job-000001",
+  "state": "running",
+  "checkpoint": {"version": 1},
+  "checkpoint_bin": "VFNPRg=="
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("job-000001"); err == nil || !strings.Contains(err.Error(), "both checkpoint forms") {
+		t.Fatalf("ambiguous record: got %v, want both-forms error", err)
+	}
+}
+
+// TestLegacyJSONSpoolResumesUnderBinaryDefault is the migration bar: a
+// spool written entirely by a JSON-codec server (the legacy era) must
+// resume under a binary-default server to the same final counts as a
+// direct in-process exploration — and the resumed server's own writes
+// switch the record to the binary wire.
+func TestLegacyJSONSpoolResumesUnderBinaryDefault(t *testing.T) {
+	spool := t.TempDir()
+	legacy := Config{SpoolDir: spool, Workers: 2, SliceRuns: 32,
+		CheckpointInterval: Duration(time.Hour), SpoolCodec: "json"}
+	s, err := NewServer(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(mediumSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := s.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateDone {
+			t.Fatal("job finished before the drain; shrink SliceRuns")
+		}
+		if cur.State == StateRunning && cur.Executed >= 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never got going: %+v", cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain()
+
+	raw, err := os.ReadFile(s.store.path(st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"checkpoint"`)) || bytes.Contains(raw, []byte(`"checkpoint_bin"`)) {
+		t.Fatal("legacy server did not write an embedded-JSON checkpoint")
+	}
+
+	// Resume with the binary default.
+	modern := legacy
+	modern.SpoolCodec = ""
+	modern.CheckpointInterval = Duration(2 * time.Millisecond)
+	s2, err := NewServer(modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	final := waitServer(t, s2, st.ID, 120*time.Second)
+	if final.State != StateDone || final.Result == nil || !final.Result.Complete {
+		t.Fatalf("migrated job did not complete: %+v", final)
+	}
+	want := directReport(t, mediumSpec())
+	if !reflect.DeepEqual(final.Result.Outcomes, want.Outcomes) {
+		t.Fatalf("migrated outcomes %v, want %v", final.Result.Outcomes, want.Outcomes)
+	}
+	if final.Result.Schedules != want.Schedules {
+		t.Fatalf("migrated schedules %d, want %d", final.Result.Schedules, want.Schedules)
+	}
+	raw, err = os.ReadFile(s2.store.path(st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed server rewrote the record; whatever it holds now (a
+	// binary checkpoint mid-flight, or none once terminal), the legacy
+	// embedded-JSON form must be gone.
+	if bytes.Contains(raw, []byte(`"checkpoint":`)) {
+		t.Fatalf("resumed server left a legacy embedded checkpoint: %s", raw)
+	}
+}
+
+// TestReorderBoundedJob: a job submitted with a reorder bound must fold
+// to byte-identical counts with a direct bounded in-process exploration,
+// spool the bound into its checkpoints, and report reorder skips.
+func TestReorderBoundedJob(t *testing.T) {
+	spool := t.TempDir()
+	s, err := NewServer(Config{SpoolDir: spool, Workers: 4, SliceRuns: 256,
+		CheckpointInterval: Duration(10 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	js := mediumSpec()
+	js.MaxReorderings = 1
+	st, err := s.Submit(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitServer(t, s, st.ID, 120*time.Second)
+	if final.State != StateDone || final.Result == nil || !final.Result.Complete {
+		t.Fatalf("bounded job did not complete: %+v", final)
+	}
+
+	prog, check, err := js.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Run(prog.Scenario(), oracle.RunOptions{
+		Spec: check, Parallel: 4, Prune: true, MaxSchedules: 1 << 20, MaxReorderings: 1,
+	})
+	if !reflect.DeepEqual(final.Result.Outcomes, want.Outcomes) {
+		t.Fatalf("bounded outcomes %v, want %v", final.Result.Outcomes, want.Outcomes)
+	}
+	if final.Result.Schedules != want.Schedules {
+		t.Fatalf("bounded schedules %d, want %d", final.Result.Schedules, want.Schedules)
+	}
+	if final.Result.Prune.ReorderSkips == 0 {
+		t.Fatalf("bound never bound anything: %+v", final.Result.Prune)
+	}
+
+	// The bound must also shrink the accounted space vs the unbounded job.
+	full := directReport(t, mediumSpec())
+	if final.Result.Schedules >= full.Schedules {
+		t.Fatalf("bounded job accounted %d schedules, unbounded %d", final.Result.Schedules, full.Schedules)
+	}
+
+	// Rejection path: negative bounds are intake errors.
+	bad := mediumSpec()
+	bad.MaxReorderings = -1
+	if _, err := s.Submit(bad); !errors.Is(err, ErrBadReorder) {
+		t.Fatalf("negative bound: got %v, want ErrBadReorder", err)
+	}
+}
+
+// TestMetricsMemoAndReorderGauges: the /metrics text must expose the memo
+// arena and reorder-bound series, with the arena counters live after a
+// pruned job.
+func TestMetricsMemoAndReorderGauges(t *testing.T) {
+	s, err := NewServer(Config{SpoolDir: t.TempDir(), Workers: 2, SliceRuns: 256,
+		CheckpointInterval: Duration(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	js := mediumSpec()
+	js.MaxReorderings = 1
+	st, err := s.Submit(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitServer(t, s, st.ID, 120*time.Second)
+
+	var buf bytes.Buffer
+	s.Metrics().WritePrometheus(&buf)
+	text := buf.String()
+	for _, name := range []string{
+		"tsoserve_memo_entries",
+		"tsoserve_memo_admitted_total",
+		"tsoserve_memo_evicted_total",
+		"tsoserve_memo_stripe_contention_total",
+		"tsoserve_reorder_skips_total",
+	} {
+		if !strings.Contains(text, "\n"+name+" ") {
+			t.Errorf("metric %s missing from /metrics output", name)
+		}
+	}
+	if strings.Contains(text, "\ntsoserve_memo_admitted_total 0\n") {
+		t.Error("memo admitted counter stayed zero after a pruned job")
+	}
+	if strings.Contains(text, "\ntsoserve_reorder_skips_total 0\n") {
+		t.Error("reorder skip counter stayed zero after a bounded job")
+	}
+}

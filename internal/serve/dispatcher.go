@@ -79,7 +79,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := OpenStore(c.SpoolDir)
+	store, err := OpenStoreCodec(c.SpoolDir, c.SpoolCodec)
 	if err != nil {
 		return nil, err
 	}
@@ -301,6 +301,7 @@ func (s *Server) plan(ctx context.Context, id string) error {
 	cp, err := tso.ShardFrontier(cfg, mk, tso.ExhaustiveOptions{
 		ExploreOptions: tso.ExploreOptions{MaxStepsPerRun: s.cfg.MaxStepsPerRun},
 		Units:          s.cfg.ShardUnits,
+		MaxReorderings: j.spec.MaxReorderings,
 	})
 	if err != nil {
 		return err
@@ -340,13 +341,14 @@ func (s *Server) enqueueSliceLocked(j *job, uid int) {
 // shardCheckpoint builds a zero-progress single-unit checkpoint for a
 // slice resume; slices are deep-copied so engine and dispatcher never
 // alias.
-func shardCheckpoint(cfg tso.Config, model string, u tso.UnitCheckpoint) *tso.Checkpoint {
+func shardCheckpoint(cfg tso.Config, model string, reorder int, u tso.UnitCheckpoint) *tso.Checkpoint {
 	return &tso.Checkpoint{
 		Version:      1,
 		Threads:      cfg.Threads,
 		BufferSize:   cfg.BufferSize,
 		Model:        model,
 		DrainBuffer:  cfg.DrainBuffer,
+		Reorder:      reorder,
 		Counts:       map[string]int{},
 		MaxOccupancy: make([]int, cfg.Threads),
 		Units: []tso.UnitCheckpoint{{
@@ -386,9 +388,10 @@ func (s *Server) explore(ctx context.Context, id string, uid int) error {
 		return nil
 	}
 	j.budget -= take
-	cp := shardCheckpoint(j.cfg, j.cfg.Model.String(), unit)
+	cp := shardCheckpoint(j.cfg, j.cfg.Model.String(), j.spec.MaxReorderings, unit)
 	mk, out, cfg := j.mk, j.out, j.cfg
 	prune := !j.spec.NoPrune
+	reorder := j.spec.MaxReorderings
 	s.mu.Unlock()
 	if ctx.Err() != nil {
 		s.mu.Lock()
@@ -401,6 +404,7 @@ func (s *Server) explore(ctx context.Context, id string, uid int) error {
 	set, res := tso.ExploreExhaustive(cfg, mk, out, tso.ExhaustiveOptions{
 		ExploreOptions: tso.ExploreOptions{MaxRuns: take, MaxStepsPerRun: s.cfg.MaxStepsPerRun},
 		Prune:          prune,
+		MaxReorderings: reorder,
 		Resume:         cp,
 		Interrupt:      s.stopCh,
 	})
@@ -449,6 +453,13 @@ func (s *Server) foldMetrics(set tso.OutcomeSet, res tso.ExploreResult) {
 	s.metrics.pruneSeen.Add(res.Prune.StatesSeen)
 	s.metrics.pruneDeduped.Add(res.Prune.StatesDeduped)
 	s.metrics.schedulesSaved.Add(res.Prune.SchedulesSaved)
+	s.metrics.reorderSkips.Add(res.Prune.ReorderSkips)
+	s.metrics.memoAdmitted.Add(res.Memo.Admitted)
+	s.metrics.memoEvicted.Add(res.Memo.Evicted)
+	s.metrics.memoContended.Add(res.Memo.Contended)
+	if res.Memo.Entries > 0 {
+		s.metrics.memoEntries.Store(int64(res.Memo.Entries))
+	}
 	for o, n := range set.Counts {
 		if o != "ok" && o != "<step-limit>" {
 			s.metrics.violations.Add(int64(n))
@@ -510,6 +521,7 @@ func (s *Server) finalizeLocked(j *job) *Record {
 		MaxOccupancy: set.MaxOccupancy,
 		Tree:         res.Tree,
 		Prune:        res.Prune,
+		Memo:         res.Memo,
 	}
 	for o, n := range set.Counts {
 		if o != "ok" && o != "<step-limit>" {
@@ -660,7 +672,9 @@ func (s *Server) resume() error {
 			s.enqueuePlanLocked(j)
 			continue
 		}
-		if err := rec.Checkpoint.CompatibleWith(j.cfg); err != nil {
+		if err := rec.Checkpoint.CompatibleWithOptions(j.cfg, tso.ExhaustiveOptions{
+			MaxReorderings: j.spec.MaxReorderings,
+		}); err != nil {
 			return fmt.Errorf("serve: resuming %s: %w", rec.ID, err)
 		}
 		base, shards := rec.Checkpoint.Shards()

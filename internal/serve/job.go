@@ -21,6 +21,8 @@ var (
 	ErrBadSpec = errors.New("serve: unknown spec")
 	// ErrBadBudget rejects a negative schedule budget.
 	ErrBadBudget = errors.New("serve: max schedules must be >= 0")
+	// ErrBadReorder rejects a negative reorder bound.
+	ErrBadReorder = errors.New("serve: max reorderings must be >= 0")
 )
 
 // JobState is a job's position in its lifecycle.
@@ -78,6 +80,12 @@ type JobSpec struct {
 	// NoPrune disables the count-preserving canonical-state memoization
 	// for this job (diagnostics; the counts do not change).
 	NoPrune bool `json:"no_prune,omitempty"`
+	// MaxReorderings, when >= 1, bounds the store→load reorderings of
+	// each explored schedule (tso.ExhaustiveOptions.MaxReorderings);
+	// zero explores the full TSO[S] schedule space. The bound is stamped
+	// into spooled checkpoints, so a restarted server resumes the job
+	// under the same bound or refuses loudly.
+	MaxReorderings int `json:"max_reorderings,omitempty"`
 }
 
 // Compile validates the spec and lowers it to the oracle types: the
@@ -94,6 +102,9 @@ func (js JobSpec) Compile() (oracle.Program, oracle.Spec, error) {
 	}
 	if js.MaxSchedules < 0 {
 		return oracle.Program{}, nil, fmt.Errorf("%w: got %d", ErrBadBudget, js.MaxSchedules)
+	}
+	if js.MaxReorderings < 0 {
+		return oracle.Program{}, nil, fmt.Errorf("%w: got %d", ErrBadReorder, js.MaxReorderings)
 	}
 	p := oracle.Program{
 		Algo:      algo,
@@ -164,6 +175,9 @@ type JobResult struct {
 	Tree tso.TreeStats `json:"tree"`
 	// Prune reports the memoization savings.
 	Prune tso.PruneStats `json:"prune"`
+	// Memo reports the striped memo arena's saturation and contention,
+	// summed across the job's slices.
+	Memo tso.MemoStats `json:"memo"`
 	// Witness is a replayable violating schedule, when one was found
 	// within the budget; nil for clean jobs.
 	Witness *Witness `json:"witness,omitempty"`

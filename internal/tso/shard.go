@@ -30,14 +30,20 @@ func ShardFrontier(cfg Config, mkProgs func(m *Machine) []func(Context), opts Ex
 		return nil, err
 	}
 	o := opts.withDefaults()
-	e := &mcEngine{cfg: c, mk: mkProgs, opts: o}
+	e := &mcEngine{cfg: c, mk: mkProgs, opts: o, bound: o.MaxReorderings}
 	units := e.split()
+	reorder := 0
+	if o.MaxReorderings > 0 {
+		reorder = o.MaxReorderings
+	}
 	cp := &Checkpoint{
 		Version:      1,
 		Threads:      c.Threads,
 		BufferSize:   c.BufferSize,
 		Model:        c.Model.String(),
 		DrainBuffer:  c.DrainBuffer,
+		Label:        o.Label,
+		Reorder:      reorder,
 		Counts:       map[string]int{},
 		MaxOccupancy: make([]int, c.Threads),
 		Tree:         e.splitTree,
@@ -73,6 +79,8 @@ func (cp *Checkpoint) Shards() (base *Checkpoint, shards []*Checkpoint) {
 		BufferSize:   cp.BufferSize,
 		Model:        cp.Model,
 		DrainBuffer:  cp.DrainBuffer,
+		Label:        cp.Label,
+		Reorder:      cp.Reorder,
 		Runs:         cp.Runs,
 		StepLimited:  cp.StepLimited,
 		Counts:       map[string]int{},
@@ -90,6 +98,8 @@ func (cp *Checkpoint) Shards() (base *Checkpoint, shards []*Checkpoint) {
 			BufferSize:   cp.BufferSize,
 			Model:        cp.Model,
 			DrainBuffer:  cp.DrainBuffer,
+			Label:        cp.Label,
+			Reorder:      cp.Reorder,
 			Counts:       map[string]int{},
 			MaxOccupancy: make([]int, cp.Threads),
 			Units:        []UnitCheckpoint{cloneUnit(u)},
@@ -113,6 +123,9 @@ type Fold struct {
 	stepLimited int
 	tree        TreeStats
 	prune       PruneStats
+	memo        MemoStats
+	label       string
+	reorder     int
 }
 
 // NewFold returns an empty fold for a machine with the given thread
@@ -136,6 +149,11 @@ func (f *Fold) AddBase(cp *Checkpoint) {
 	f.stepLimited += cp.StepLimited
 	f.tree.merge(cp.Tree)
 	f.prune.merge(cp.Prune)
+	// The base's identity metadata carries into every checkpoint the fold
+	// writes, so sliced explorations keep the phase label and reorder
+	// bound their shards were cut under.
+	f.label = cp.Label
+	f.reorder = cp.Reorder
 }
 
 // Add folds one shard exploration's delta — the OutcomeSet and
@@ -152,6 +170,7 @@ func (f *Fold) Add(set OutcomeSet, res ExploreResult) {
 	f.stepLimited += res.StepLimited
 	f.tree.merge(res.Tree)
 	f.prune.merge(res.Prune)
+	f.memo.merge(res.Memo)
 }
 
 func (f *Fold) foldOcc(occ []int) {
@@ -175,6 +194,7 @@ func (f *Fold) Result(complete bool) (OutcomeSet, ExploreResult) {
 		StepLimited: f.stepLimited,
 		Tree:        f.tree,
 		Prune:       f.prune,
+		Memo:        f.memo,
 	}
 	set := OutcomeSet{Counts: map[string]int{}, MaxOccupancy: append([]int(nil), f.maxOcc...), res: res}
 	for k, v := range f.counts {
@@ -200,6 +220,8 @@ func (f *Fold) Checkpoint(cfg Config, units []UnitCheckpoint) (*Checkpoint, erro
 		BufferSize:   c.BufferSize,
 		Model:        c.Model.String(),
 		DrainBuffer:  c.DrainBuffer,
+		Label:        f.label,
+		Reorder:      f.reorder,
 		Runs:         f.runs,
 		StepLimited:  f.stepLimited,
 		Counts:       map[string]int{},
