@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	litmustool [-list] [-max 2000000] [-par N] [-prune] [-cpuprofile f] [-memprofile f] [file.litmus ...]
+//	litmustool [-list] [-max 2000000] [-par N] [-prune] [-dpor] [-reorder K] [-cpuprofile f] [-memprofile f] [file.litmus ...]
 //
 // -par spreads the exploration over N workers; -prune turns on
 // canonical-state memoization, which proves the same outcome counts while
-// executing a fraction of the schedules (the executed= column).
-// See internal/litmusdsl for the file format.
+// executing a fraction of the schedules (the executed= column). -dpor
+// switches to source-set dynamic partial-order reduction: the outcome
+// set and verdict are identical while only one schedule per equivalence
+// class executes (PSO tests in the run fall back to unreduced
+// exploration). -reorder K bounds exploration to schedules with at most
+// K store->load reorderings — verdicts are then proofs over the
+// K-bounded space only. See internal/litmusdsl for the file format.
 package main
 
 import (
@@ -36,9 +41,15 @@ func main() {
 	witness := flag.Bool("witness", false, "for allowed tests, print one schedule reaching the condition")
 	par := flag.Int("par", 1, "exploration workers per test")
 	prune := flag.Bool("prune", false, "canonical-state pruning (same counts, fewer executed schedules)")
+	dpor := flag.Bool("dpor", false, "source-set DPOR (same outcome set and verdict, one executed schedule per equivalence class; PSO tests run unreduced)")
+	reorder := flag.Int("reorder", 0, "bound schedules to at most K store->load reorderings (0: unbounded); verdicts are proofs over the bounded space only")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
+
+	if *dpor && *reorder > 0 {
+		log.Fatal("-dpor cannot combine with -reorder: the reorder bound is not closed under commuting swaps")
+	}
 
 	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -84,8 +95,10 @@ func main() {
 	var pruneTotal tso.PruneStats
 	for _, t := range tests {
 		start := time.Now()
+		useDPOR := *dpor && t.Model != tso.ModelPSO
 		res, err := litmusdsl.Run(t, litmusdsl.RunOptions{
 			MaxSchedules: *maxSched, Witness: *witness, Parallel: *par, Prune: *prune,
+			DPOR: useDPOR, MaxReorderings: *reorder,
 		})
 		if err != nil {
 			log.Fatalf("%s: %v", t.Name, err)
@@ -104,6 +117,9 @@ func main() {
 		pruneTotal.SubtreesCut += res.Prune.SubtreesCut
 		pruneTotal.SchedulesSaved += res.Prune.SchedulesSaved
 		pruneTotal.SleepSkips += res.Prune.SleepSkips
+		pruneTotal.DPORRaces += res.Prune.DPORRaces
+		pruneTotal.DPORBacktracks += res.Prune.DPORBacktracks
+		pruneTotal.DPORSleepSkips += res.Prune.DPORSleepSkips
 		if *verbose {
 			keys := make([]string, 0, len(res.Outcomes))
 			for o := range res.Outcomes {
@@ -125,6 +141,10 @@ func main() {
 	if *prune {
 		fmt.Printf("pruning: %d states seen, %d deduped, %d subtrees cut, %d schedules saved\n",
 			pruneTotal.StatesSeen, pruneTotal.StatesDeduped, pruneTotal.SubtreesCut, pruneTotal.SchedulesSaved)
+	}
+	if *dpor {
+		fmt.Printf("dpor: %d races detected, %d backtracks, %d sleep skips\n",
+			pruneTotal.DPORRaces, pruneTotal.DPORBacktracks, pruneTotal.DPORSleepSkips)
 	}
 	if failures > 0 {
 		if err := stopProfiles(); err != nil {

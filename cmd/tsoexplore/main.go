@@ -28,7 +28,7 @@
 //
 // Usage:
 //
-//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-reorder K] [-checkpoint PREFIX] [-cpuprofile f] [-memprofile f]
+//	tsoexplore [-s 4] [-runs 2000] [-stage] [-exhaustive] [-par N] [-prune] [-dpor] [-reorder K] [-checkpoint PREFIX] [-cpuprofile f] [-memprofile f]
 //	tsoexplore -fuzz N [-seed S] [-runs per-program schedules]
 package main
 
@@ -59,12 +59,17 @@ func main() {
 	par := flag.Int("par", 1, "exploration workers for -exhaustive")
 	prune := flag.Bool("prune", false, "canonical-state pruning for -exhaustive")
 	reorder := flag.Int("reorder", 0, "with -exhaustive, bound the store→load reorderings per schedule (<=0: unbounded)")
+	dpor := flag.Bool("dpor", false, "with -exhaustive, source-set DPOR (same outcome set, one executed schedule per equivalence class; excludes -reorder)")
 	checkpoint := flag.String("checkpoint", "", "frontier checkpoint path prefix for interruptible -exhaustive runs")
 	fuzz := flag.Int("fuzz", 0, "differential-fuzz N random deque programs across every algorithm (0: off)")
 	seed := flag.Int64("seed", 1, "base RNG seed for -fuzz program generation")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap (allocs) profile to this file on exit")
 	flag.Parse()
+
+	if *dpor && *reorder > 0 {
+		log.Fatal("-dpor cannot combine with -reorder: the reorder bound is not closed under commuting swaps")
+	}
 
 	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -97,7 +102,7 @@ func main() {
 		ctx, cancel := serve.SignalDrain(context.Background())
 		defer cancel()
 		for _, fenced := range []bool{false, true} {
-			done, err := sbExhaustive(ctx, cfg, fenced, *par, *prune, *reorder, *checkpoint)
+			done, err := sbExhaustive(ctx, cfg, fenced, *par, *prune, *dpor, *reorder, *checkpoint)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -343,7 +348,7 @@ func sbProgs(fenced bool) (func(m *tso.Machine) []func(tso.Context), func(m *tso
 // and spools the remaining frontier there when ctx is cancelled
 // mid-exploration; the first return value reports whether the phase ran
 // to completion.
-func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, prune bool, reorder int, ckptPrefix string) (bool, error) {
+func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, prune, dpor bool, reorder int, ckptPrefix string) (bool, error) {
 	mk, out := sbProgs(fenced)
 	title := "without fences"
 	phase := "sb"
@@ -356,6 +361,7 @@ func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, pru
 		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
 		Parallel:       par,
 		Prune:          prune,
+		DPOR:           dpor,
 		MaxReorderings: reorder,
 		Label:          phase,
 		Interrupt:      ctx.Done(),
@@ -399,6 +405,10 @@ func sbExhaustive(ctx context.Context, cfg tso.Config, fenced bool, par int, pru
 	if prune {
 		fmt.Printf("pruning: %d states deduped, %d schedules saved\n",
 			res.Prune.StatesDeduped, res.Prune.SchedulesSaved)
+	}
+	if dpor {
+		fmt.Printf("dpor: %d races detected, %d backtracks, %d sleep skips (counts below are per-class representatives)\n",
+			res.Prune.DPORRaces, res.Prune.DPORBacktracks, res.Prune.DPORSleepSkips)
 	}
 	if reorder >= 1 {
 		fmt.Printf("reorder bound %d: %d subtrees cut (%d schedules skipped)\n",

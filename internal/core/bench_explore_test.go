@@ -41,12 +41,14 @@ func iriwProgs() (func(m *tso.Machine) []func(tso.Context), func(m *tso.Machine)
 }
 
 // TestBenchExplore measures the exploration core's two canonical
-// workloads — the pruned four-thread IRIW litmus and the FF-CL S=2
-// δ-soundness duel — plus the frontier checkpoint's wire cost per unit
-// under both codecs. It only runs when BENCH_EXPLORE_OUT names an output
-// file, where it writes a one-object JSON summary (CI uploads it as the
-// BENCH_explore.json artifact; the checked-in copy under results/ is the
-// local reference point).
+// workloads — the four-thread IRIW litmus and the FF-CL S=2 δ-soundness
+// duel, each explored under Prune and under DPOR — plus the frontier
+// checkpoint's wire cost per unit under both codecs. It only runs when
+// BENCH_EXPLORE_OUT names an output file, where it writes a one-object
+// JSON summary (CI uploads it as the BENCH_explore.json artifact). The
+// checked-in copy under results/ doubles as a regression gate: executed-
+// run counts are deterministic, so any count more than 25% above its
+// reference value fails the bench.
 func TestBenchExplore(t *testing.T) {
 	out := os.Getenv("BENCH_EXPLORE_OUT")
 	if out == "" {
@@ -78,6 +80,45 @@ func TestBenchExplore(t *testing.T) {
 		t.Fatalf("FF-CL duel exploration incomplete after %d executed runs", ffclRes.Runs)
 	}
 
+	// The same two workloads under source-set DPOR. The executed-run
+	// counts are the headline: one schedule per Mazurkiewicz class, so
+	// any growth here means the dependence layer got coarser.
+	start = time.Now()
+	iriwDSet, iriwDRes := tso.ExploreExhaustive(iriwCfg, iriwMk, iriwOut, tso.ExhaustiveOptions{
+		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
+		Parallel:       4,
+		DPOR:           true,
+	})
+	iriwDSecs := time.Since(start).Seconds()
+	if !iriwDRes.Complete {
+		t.Fatalf("IRIW DPOR exploration incomplete after %d executed runs", iriwDRes.Runs)
+	}
+	start = time.Now()
+	ffclDSet, ffclDRes := tso.ExploreExhaustive(ffclCfg, ffclMk, ffclOut, tso.ExhaustiveOptions{
+		ExploreOptions: tso.ExploreOptions{MaxRuns: 1 << 22},
+		Parallel:       4,
+		DPOR:           true,
+	})
+	ffclDSecs := time.Since(start).Seconds()
+	if !ffclDRes.Complete {
+		t.Fatalf("FF-CL duel DPOR exploration incomplete after %d executed runs", ffclDRes.Runs)
+	}
+	for _, w := range []struct {
+		name       string
+		pruned, dp tso.OutcomeSet
+	}{{"iriw", iriwSet, iriwDSet}, {"ffcl_s2", ffclSet, ffclDSet}} {
+		for o := range w.pruned.Counts {
+			if !w.dp.Has(o) {
+				t.Errorf("%s: outcome %q lost under DPOR", w.name, o)
+			}
+		}
+		for o := range w.dp.Counts {
+			if !w.pruned.Has(o) {
+				t.Errorf("%s: outcome %q invented under DPOR", w.name, o)
+			}
+		}
+	}
+
 	// Wire cost per frontier unit, both codecs, on a realistic sharded
 	// IRIW frontier.
 	const units = 64
@@ -97,9 +138,13 @@ func TestBenchExplore(t *testing.T) {
 		"iriw_schedules":          iriwSet.Total(),
 		"iriw_executed":           iriwRes.Runs,
 		"iriw_seconds":            iriwSecs,
+		"iriw_dpor_executed":      iriwDRes.Runs,
+		"iriw_dpor_seconds":       iriwDSecs,
 		"ffcl_s2_schedules":       ffclSet.Total(),
 		"ffcl_s2_executed":        ffclRes.Runs,
 		"ffcl_s2_seconds":         ffclSecs,
+		"ffcl_s2_dpor_executed":   ffclDRes.Runs,
+		"ffcl_s2_dpor_seconds":    ffclDSecs,
 		"checkpoint_units":        len(cp.Units),
 		"checkpoint_bytes_binary": bin.Len(),
 		"checkpoint_bytes_json":   js.Len(),
@@ -114,7 +159,36 @@ func TestBenchExplore(t *testing.T) {
 	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("IRIW %d schedules in %.2fs; FF-CL S=2 %d schedules in %.2fs; checkpoint %dB binary vs %dB JSON (%.1fx)",
-		iriwSet.Total(), iriwSecs, ffclSet.Total(), ffclSecs, bin.Len(), js.Len(),
+	t.Logf("IRIW %d schedules in %.2fs (DPOR executed %d vs pruned %d); FF-CL S=2 %d schedules in %.2fs (DPOR executed %d vs pruned %d); checkpoint %dB binary vs %dB JSON (%.1fx)",
+		iriwSet.Total(), iriwSecs, iriwDRes.Runs, iriwRes.Runs,
+		ffclSet.Total(), ffclSecs, ffclDRes.Runs, ffclRes.Runs, bin.Len(), js.Len(),
 		float64(js.Len())/float64(bin.Len()))
+
+	// Regression gate against the checked-in reference. Executed-run
+	// counts are deterministic functions of the engine's reduction
+	// machinery (timings are not gated — CI runners jitter), so a count
+	// >25% above its reference value means a reduction regressed.
+	ref, err := os.ReadFile("../../results/BENCH_explore.json")
+	if err != nil {
+		t.Fatalf("no checked-in reference to gate against: %v", err)
+	}
+	var refCols map[string]float64
+	if err := json.Unmarshal(ref, &refCols); err != nil {
+		t.Fatalf("results/BENCH_explore.json: %v", err)
+	}
+	for col, got := range map[string]int{
+		"iriw_executed":         iriwRes.Runs,
+		"iriw_dpor_executed":    iriwDRes.Runs,
+		"ffcl_s2_executed":      ffclRes.Runs,
+		"ffcl_s2_dpor_executed": ffclDRes.Runs,
+	} {
+		want, ok := refCols[col]
+		if !ok {
+			t.Errorf("reference BENCH_explore.json lacks %q; regenerate it", col)
+			continue
+		}
+		if float64(got) > want*1.25 {
+			t.Errorf("%s regressed >25%%: executed %d runs, reference %d", col, got, int64(want))
+		}
+	}
 }

@@ -49,12 +49,14 @@ func TestLawsOfOrderFFRefusesAtRho(t *testing.T) {
 // task. This is the tightness violation of §6 as a theorem about the
 // model, not an observation about one run.
 //
-// (The worker-vs-thief duel at ρ is intractable for the exhaustive
-// engine even at S=1: both sides contend on the queue spinlock, and
+// (The worker-vs-thief duel at ρ — both sides contending on the queue
+// spinlock — was long documented intractable here: unbounded lock spins
+// make the schedule tree infinite, and bounding runs by steps makes
 // lock-spin iterations differ only in step count, which canonical-state
-// pruning must keep in its key to stay sound under per-run step budgets.
-// The duel facts are instead proved on the spinlock-free paths by the
-// ffclDuel tests in explore_test.go.)
+// pruning must keep in its key to stay sound. The dependence-layer DPOR
+// engine closes it as a bounded proof instead:
+// TestLawsOfOrderDuelAtRhoBoundedProof below. The spinlock-free duel
+// facts remain proved by the ffclDuel tests in explore_test.go.)
 func TestLawsOfOrderFFRefusalProvedExhaustively(t *testing.T) {
 	for _, algo := range []Algo{AlgoFFTHE, AlgoFFCL} {
 		var resA tso.Addr
@@ -83,6 +85,91 @@ func TestLawsOfOrderFFRefusalProvedExhaustively(t *testing.T) {
 		}
 		t.Logf("%v: refusal at ρ proved over %d schedules (%d executed)", algo, set.Total(), res.Runs)
 	}
+}
+
+// TestLawsOfOrderDuelAtRhoBoundedProof completes the duel the file-level
+// comment used to document as intractable: a worker take racing a thief
+// steal at ρ (one task, S=1), both sides contending on the queue
+// spinlock. The spin makes the schedule tree infinite, so the proof is
+// over the step-bounded space: every schedule either completes within
+// the per-run step budget or is accounted under "<step-limit>", and the
+// source-set DPOR engine — whose backtracking re-opens every node a
+// truncated run crosses, keeping the reduction sound under the bound —
+// covers that space completely.
+//
+// The facts proved: THE is tight at ρ (both the worker-wins and the
+// thief-wins outcomes occur, task delivered exactly once either way),
+// while FF-THE's thief refuses in *every* completed bounded schedule —
+// the strongly-non-commutative execution the laws of order require
+// never happens, which is the §6 tightness violation as a theorem over
+// the bounded schedule space.
+func TestLawsOfOrderDuelAtRhoBoundedProof(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("~20s bounded duel proof, >10m under -race; CI runs it race-free in perf-smoke")
+	}
+	duel := func(algo Algo, lim int64) (tso.OutcomeSet, tso.ExploreResult) {
+		var wA, tA tso.Addr
+		mk := func(m *tso.Machine) []func(tso.Context) {
+			q := New(algo, m, 16, 1)
+			q.(Prefiller).Prefill(m, []uint64{7})
+			wA, tA = m.Alloc(1), m.Alloc(1)
+			return []func(tso.Context){
+				func(c tso.Context) {
+					v, st := q.Take(c)
+					c.Store(wA, uint64(st)*10+v)
+					c.Fence()
+				},
+				func(c tso.Context) {
+					v, st := q.Steal(c)
+					c.Store(tA, uint64(st)*10+v)
+					c.Fence()
+				},
+			}
+		}
+		out := func(m *tso.Machine) string {
+			return fmt.Sprintf("w=%d t=%d", m.Peek(wA), m.Peek(tA))
+		}
+		return tso.ExploreExhaustive(tso.Config{Threads: 2, BufferSize: 1}, mk, out,
+			tso.ExhaustiveOptions{
+				ExploreOptions: tso.ExploreOptions{MaxRuns: 4 << 20, MaxStepsPerRun: lim},
+				DPOR:           true,
+				Parallel:       4,
+			})
+	}
+
+	// THE: tight. The encoding is status*10+value (OK=0, Empty=1), so
+	// "w=7 t=10" is worker-wins and "w=10 t=7" is thief-wins; both must
+	// occur, and nothing else completes (no double delivery, no lost
+	// task).
+	set, res := duel(AlgoTHE, 20)
+	if !res.Complete {
+		t.Fatalf("THE duel incomplete after %d runs", res.Runs)
+	}
+	for o := range set.Counts {
+		if o != "<step-limit>" && o != "w=7 t=10" && o != "w=10 t=7" {
+			t.Errorf("THE duel reached %q: task lost or double-delivered", o)
+		}
+	}
+	if !set.Has("w=7 t=10") || !set.Has("w=10 t=7") {
+		t.Errorf("THE is tight at ρ: both duel winners must occur, got %v", set.Counts)
+	}
+	t.Logf("THE duel: %d executed runs, %d step-limited, outcomes %v", res.Runs, res.StepLimited, set.Counts)
+
+	// FF-THE: the thief refuses (Abort=2) in every completed schedule —
+	// the worker always wins the task.
+	set, res = duel(AlgoFFTHE, 18)
+	if !res.Complete {
+		t.Fatalf("FF-THE duel incomplete after %d runs", res.Runs)
+	}
+	for o := range set.Counts {
+		if o != "<step-limit>" && o != "w=7 t=20" {
+			t.Errorf("FF-THE duel reached %q: the thief must refuse at ρ", o)
+		}
+	}
+	if !set.Has("w=7 t=20") {
+		t.Errorf("FF-THE duel never completed a schedule: %v", set.Counts)
+	}
+	t.Logf("FF-THE duel: %d executed runs, %d step-limited, outcomes %v", res.Runs, res.StepLimited, set.Counts)
 }
 
 // TestLawsOfOrderTHEPBlocksAtRho: a lone THEP thief at ρ waits for a worker

@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// bounded duel proofs skip themselves under -race: the exploration is
+// single-purpose wall-clock work (hundreds of thousands of executed
+// runs) that the detector slows ~30×, and the concurrency it would
+// check is the frontier machinery already race-tested in internal/tso.
+const raceEnabled = false

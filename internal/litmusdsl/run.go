@@ -67,6 +67,22 @@ type RunOptions struct {
 	// *counts* are then representative rather than exact, but the verdict,
 	// Complete, and MaxOccupancy are preserved.
 	SleepSets bool
+	// MaxReorderings, when >= 1, restricts exploration to schedules with
+	// at most that many store->load reorderings
+	// (tso.ExhaustiveOptions.MaxReorderings). Zero or negative explores
+	// the full schedule space. A "forbidden" verdict under a bound k
+	// proves unreachability over the k-bounded schedule space only;
+	// Result does not record the bound, so callers reporting a bounded
+	// verdict must.
+	MaxReorderings int
+	// DPOR enables source-set dynamic partial-order reduction
+	// (tso.ExhaustiveOptions.DPOR): one executed schedule per
+	// Mazurkiewicz equivalence class. The outcome *set*, the verdict,
+	// Complete, and MaxOccupancy are preserved exactly; per-outcome
+	// counts collapse to one per class. Requires the TSO model and no
+	// MaxReorderings (Run returns an error otherwise); Prune and
+	// SleepSets are superseded and auto-disabled under it.
+	DPOR bool
 }
 
 // Run explores every schedule of the test on the abstract machine and
@@ -74,6 +90,16 @@ type RunOptions struct {
 func Run(t *Test, opts RunOptions) (Result, error) {
 	if opts.MaxSchedules <= 0 {
 		opts.MaxSchedules = 2_000_000
+	}
+	if opts.DPOR {
+		// Mirror tso's dporCheck so misconfiguration surfaces as an error
+		// from Run rather than a panic out of the exploration engine.
+		if t.Model == tso.ModelPSO {
+			return Result{}, fmt.Errorf("litmusdsl: %s: DPOR requires the TSO model, test declares PSO", t.Name)
+		}
+		if opts.MaxReorderings > 0 {
+			return Result{}, fmt.Errorf("litmusdsl: %s: DPOR cannot combine with a reorder bound", t.Name)
+		}
 	}
 	// Collect the variables and registers the test mentions.
 	vars := map[string]bool{}
@@ -191,6 +217,8 @@ func Run(t *Test, opts RunOptions) (Result, error) {
 		Parallel:       opts.Parallel,
 		Prune:          opts.Prune,
 		SleepSets:      opts.SleepSets,
+		MaxReorderings: opts.MaxReorderings,
+		DPOR:           opts.DPOR,
 	})
 
 	res := Result{Test: t, Complete: eres.Complete, Schedules: set.Total(), Executed: eres.Runs,

@@ -1,0 +1,70 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestOracleDPORPreservesVerdicts is the oracle-level preservation bar
+// for source-set DPOR: on a 3-thread workload (worker plus two thieves)
+// the set of reachable verdicts, completeness, and whether any violation
+// exists must match a Prune-only complete exploration exactly.
+// Per-verdict counts are NOT compared: DPOR executes one representative
+// per Mazurkiewicz class, so its tallies are class counts.
+func TestOracleDPORPreservesVerdicts(t *testing.T) {
+	p := Program{Algo: core.AlgoIdempotentFIFO, S: 1, Prefill: 2, WorkerOps: "T", Thieves: []int{1, 1}, Drain: true}
+	pruned := Run(p.Scenario(), RunOptions{Spec: Precise{}, Prune: true, Parallel: 2})
+	dpor := Run(p.Scenario(), RunOptions{Spec: Precise{}, DPOR: true, Parallel: 2})
+	if !pruned.Complete || !dpor.Complete {
+		t.Fatalf("incomplete exploration: pruned=%v dpor=%v", pruned.Complete, dpor.Complete)
+	}
+	for o := range pruned.Outcomes {
+		if dpor.Outcomes[o] == 0 {
+			t.Errorf("verdict %q lost under DPOR (got %v)", o, dpor.Outcomes)
+		}
+	}
+	for o := range dpor.Outcomes {
+		if pruned.Outcomes[o] == 0 {
+			t.Errorf("verdict %q invented under DPOR", o)
+		}
+	}
+	if (pruned.Violating > 0) != (dpor.Violating > 0) {
+		t.Errorf("violation existence diverged: pruned %d, DPOR %d", pruned.Violating, dpor.Violating)
+	}
+	t.Logf("3-thread idempotent FIFO: pruned executed %d, DPOR executed %d, verdicts %v",
+		pruned.Executed, dpor.Executed, dpor.Outcomes)
+}
+
+// TestOracleDPORExecutedRunReduction is the acceptance criterion from the
+// dependence-layer work: on 3-thread oracle workloads DPOR must execute
+// at least 5x fewer schedules than the Prune-only engine while reaching
+// the same verdict set (checked above). The workloads are worker-take vs
+// two thief-steals on a prefilled Chase-Lev deque — the two ends touch
+// disjoint cells, exactly the commuting structure a dependence-aware
+// reduction collapses and canonical-state memoization cannot. (The
+// reverse exists too: CAS-retry-heavy workloads like the idempotent FIFO
+// converge state-wise and favor the memoizer — see EXPERIMENTS.md.)
+func TestOracleDPORExecutedRunReduction(t *testing.T) {
+	cases := []Program{
+		{Algo: core.AlgoChaseLev, S: 1, Prefill: 3, WorkerOps: "T", Thieves: []int{1, 1}},
+		{Algo: core.AlgoChaseLev, S: 2, Prefill: 3, WorkerOps: "T", Thieves: []int{1, 1}},
+		{Algo: core.AlgoChaseLev, S: 1, Prefill: 3, WorkerOps: "TT", Thieves: []int{1, 1}},
+	}
+	for _, p := range cases {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			pruned := Run(p.Scenario(), RunOptions{Spec: p.Spec(), Prune: true, Parallel: 2})
+			dpor := Run(p.Scenario(), RunOptions{Spec: p.Spec(), DPOR: true, Parallel: 2})
+			if !pruned.Complete || !dpor.Complete {
+				t.Fatalf("incomplete exploration: pruned=%v dpor=%v", pruned.Complete, dpor.Complete)
+			}
+			if dpor.Executed*5 > pruned.Executed {
+				t.Errorf("DPOR executed %d runs, prune-only %d: reduction below 5x",
+					dpor.Executed, pruned.Executed)
+			}
+			t.Logf("%s: prune-only executed %d, DPOR executed %d (%.1fx)",
+				p.Algo, pruned.Executed, dpor.Executed, float64(pruned.Executed)/float64(dpor.Executed))
+		})
+	}
+}

@@ -79,6 +79,15 @@ type RunOptions struct {
 	// the full TSO[S] schedule space. A clean verdict under a bound k is
 	// a proof over the k-bounded schedule space only.
 	MaxReorderings int
+	// DPOR enables source-set dynamic partial-order reduction
+	// (tso.ExhaustiveOptions.DPOR): one executed run per Mazurkiewicz
+	// class. Sound for oracle verdicts — the set of reachable verdicts,
+	// Complete, and Violating > 0 are preserved — but per-verdict counts
+	// collapse to class representatives, so a DPOR report's Outcomes
+	// tallies are not comparable to an unreduced run's. Incompatible
+	// with MaxReorderings and PSO (tso.ExhaustiveOptions.DPOR); Prune
+	// and SleepSets are superseded and auto-disabled under it.
+	DPOR bool
 	// SampleRuns, when positive, switches from exhaustive exploration to
 	// chaos sampling under seeds 0..SampleRuns-1 — the cheap mode the
 	// fuzzing harness uses.
@@ -164,6 +173,7 @@ func Run(sc Scenario, opts RunOptions) Report {
 			Prune:          opts.Prune,
 			SleepSets:      opts.SleepSets,
 			MaxReorderings: opts.MaxReorderings,
+			DPOR:           opts.DPOR,
 		})
 		rep.Outcomes = set.Counts
 		rep.Schedules = set.Total()

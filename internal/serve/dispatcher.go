@@ -302,6 +302,7 @@ func (s *Server) plan(ctx context.Context, id string) error {
 		ExploreOptions: tso.ExploreOptions{MaxStepsPerRun: s.cfg.MaxStepsPerRun},
 		Units:          s.cfg.ShardUnits,
 		MaxReorderings: j.spec.MaxReorderings,
+		DPOR:           j.spec.DPOR,
 	})
 	if err != nil {
 		return err
@@ -341,7 +342,7 @@ func (s *Server) enqueueSliceLocked(j *job, uid int) {
 // shardCheckpoint builds a zero-progress single-unit checkpoint for a
 // slice resume; slices are deep-copied so engine and dispatcher never
 // alias.
-func shardCheckpoint(cfg tso.Config, model string, reorder int, u tso.UnitCheckpoint) *tso.Checkpoint {
+func shardCheckpoint(cfg tso.Config, model string, reorder int, dpor bool, u tso.UnitCheckpoint) *tso.Checkpoint {
 	return &tso.Checkpoint{
 		Version:      1,
 		Threads:      cfg.Threads,
@@ -349,6 +350,7 @@ func shardCheckpoint(cfg tso.Config, model string, reorder int, u tso.UnitCheckp
 		Model:        model,
 		DrainBuffer:  cfg.DrainBuffer,
 		Reorder:      reorder,
+		DPOR:         dpor,
 		Counts:       map[string]int{},
 		MaxOccupancy: make([]int, cfg.Threads),
 		Units: []tso.UnitCheckpoint{{
@@ -356,6 +358,7 @@ func shardCheckpoint(cfg tso.Config, model string, reorder int, u tso.UnitCheckp
 			RootFanout: append([]int(nil), u.RootFanout...),
 			Prefix:     append([]int(nil), u.Prefix...),
 			Fanout:     append([]int(nil), u.Fanout...),
+			Done:       append([]uint64(nil), u.Done...),
 		}},
 	}
 }
@@ -388,10 +391,11 @@ func (s *Server) explore(ctx context.Context, id string, uid int) error {
 		return nil
 	}
 	j.budget -= take
-	cp := shardCheckpoint(j.cfg, j.cfg.Model.String(), j.spec.MaxReorderings, unit)
+	cp := shardCheckpoint(j.cfg, j.cfg.Model.String(), j.spec.MaxReorderings, j.spec.DPOR, unit)
 	mk, out, cfg := j.mk, j.out, j.cfg
-	prune := !j.spec.NoPrune
+	prune := !j.spec.NoPrune && !j.spec.DPOR
 	reorder := j.spec.MaxReorderings
+	dpor := j.spec.DPOR
 	s.mu.Unlock()
 	if ctx.Err() != nil {
 		s.mu.Lock()
@@ -405,6 +409,7 @@ func (s *Server) explore(ctx context.Context, id string, uid int) error {
 		ExploreOptions: tso.ExploreOptions{MaxRuns: take, MaxStepsPerRun: s.cfg.MaxStepsPerRun},
 		Prune:          prune,
 		MaxReorderings: reorder,
+		DPOR:           dpor,
 		Resume:         cp,
 		Interrupt:      s.stopCh,
 	})
@@ -454,6 +459,9 @@ func (s *Server) foldMetrics(set tso.OutcomeSet, res tso.ExploreResult) {
 	s.metrics.pruneDeduped.Add(res.Prune.StatesDeduped)
 	s.metrics.schedulesSaved.Add(res.Prune.SchedulesSaved)
 	s.metrics.reorderSkips.Add(res.Prune.ReorderSkips)
+	s.metrics.dporRaces.Add(res.Prune.DPORRaces)
+	s.metrics.dporBacktracks.Add(res.Prune.DPORBacktracks)
+	s.metrics.dporSleepSkips.Add(res.Prune.DPORSleepSkips)
 	s.metrics.memoAdmitted.Add(res.Memo.Admitted)
 	s.metrics.memoEvicted.Add(res.Memo.Evicted)
 	s.metrics.memoContended.Add(res.Memo.Contended)
@@ -674,6 +682,7 @@ func (s *Server) resume() error {
 		}
 		if err := rec.Checkpoint.CompatibleWithOptions(j.cfg, tso.ExhaustiveOptions{
 			MaxReorderings: j.spec.MaxReorderings,
+			DPOR:           j.spec.DPOR,
 		}); err != nil {
 			return fmt.Errorf("serve: resuming %s: %w", rec.ID, err)
 		}

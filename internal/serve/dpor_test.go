@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobSpecDPORRejectsReorder pins the intake rule: a DPOR job with a
+// reorder bound classifies under ErrBadDPOR, distinct from the other
+// envelope sentinels.
+func TestJobSpecDPORRejectsReorder(t *testing.T) {
+	js := smallSpec()
+	js.DPOR = true
+	js.MaxReorderings = 2
+	if _, _, err := js.Compile(); !errors.Is(err, ErrBadDPOR) {
+		t.Fatalf("Compile = %v, want ErrBadDPOR", err)
+	}
+	js.MaxReorderings = 0
+	if _, _, err := js.Compile(); err != nil {
+		t.Fatalf("DPOR alone must compile: %v", err)
+	}
+}
+
+// TestDPORJobPreservesVerdictSet runs the same workload as a plain job
+// and a DPOR job and requires the same completeness, the same verdict
+// *set*, and the same violation existence. Counts are not compared: a
+// DPOR job tallies class representatives. The DPOR engine statistics
+// must also surface in the job result and the Prometheus exposition.
+func TestDPORJobPreservesVerdictSet(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, SliceRuns: 1 << 20})
+	defer s.Drain()
+
+	plain, err := s.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec()
+	spec.DPOR = true
+	dpor, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst := waitServer(t, s, plain.ID, 120*time.Second)
+	dst := waitServer(t, s, dpor.ID, 120*time.Second)
+	if pst.State != StateDone || dst.State != StateDone {
+		t.Fatalf("jobs did not finish: plain=%+v dpor=%+v", pst, dst)
+	}
+	pr, dr := pst.Result, dst.Result
+	if !pr.Complete || !dr.Complete {
+		t.Fatalf("incomplete: plain=%v dpor=%v", pr.Complete, dr.Complete)
+	}
+	for o := range pr.Outcomes {
+		if dr.Outcomes[o] == 0 {
+			t.Errorf("verdict %q lost under DPOR (got %v)", o, dr.Outcomes)
+		}
+	}
+	for o := range dr.Outcomes {
+		if pr.Outcomes[o] == 0 {
+			t.Errorf("verdict %q invented under DPOR", o)
+		}
+	}
+	if (pr.Violating > 0) != (dr.Violating > 0) {
+		t.Errorf("violation existence diverged: plain %d, DPOR %d", pr.Violating, dr.Violating)
+	}
+	if dr.Prune.DPORRaces == 0 || dr.Prune.DPORBacktracks == 0 {
+		t.Errorf("DPOR job folded no engine stats: %+v", dr.Prune)
+	}
+	if pr.Prune.DPORRaces != 0 {
+		t.Errorf("plain job reports DPOR races: %+v", pr.Prune)
+	}
+
+	var b strings.Builder
+	s.Metrics().WritePrometheus(&b)
+	exp := b.String()
+	for _, series := range []string{
+		"tsoserve_dpor_races_detected_total",
+		"tsoserve_dpor_backtracks_total",
+		"tsoserve_dpor_sleep_skips_total",
+	} {
+		if !strings.Contains(exp, series) {
+			t.Errorf("metrics exposition missing %s", series)
+		}
+	}
+	if strings.Contains(exp, "tsoserve_dpor_races_detected_total 0\n") {
+		t.Error("dpor race counter never moved")
+	}
+}
+
+// TestDPORJobDrainResume spools a mid-flight DPOR job and resumes it on
+// a second server: the checkpoint carries the DPOR stamp, so the resumed
+// engine re-enters DPOR mode (rather than silently exploring unreduced
+// or refusing), and the job still completes with the plain job's verdict
+// set.
+func TestDPORJobDrainResume(t *testing.T) {
+	spool := t.TempDir()
+	cfg := Config{SpoolDir: spool, Workers: 2, SliceRuns: 16, CheckpointInterval: Duration(time.Hour)}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mediumSpec()
+	spec.DPOR = true
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := s.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateDone {
+			t.Fatalf("job finished before the drain; shrink SliceRuns")
+		}
+		if cur.State == StateRunning && cur.Executed >= 64 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never got going: %+v", cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain()
+
+	rec, err := s.store.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || !rec.Checkpoint.DPOR {
+		t.Fatalf("spooled checkpoint lost the DPOR stamp: %+v", rec.Checkpoint)
+	}
+
+	s2, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	final := waitServer(t, s2, st.ID, 120*time.Second)
+	if final.State != StateDone || final.Result == nil || !final.Result.Complete {
+		t.Fatalf("resumed DPOR job did not complete: %+v", final)
+	}
+	want := directReport(t, mediumSpec())
+	for o := range want.Outcomes {
+		if final.Result.Outcomes[o] == 0 {
+			t.Errorf("verdict %q lost across DPOR drain/resume", o)
+		}
+	}
+	for o := range final.Result.Outcomes {
+		if want.Outcomes[o] == 0 {
+			t.Errorf("verdict %q invented across DPOR drain/resume", o)
+		}
+	}
+}

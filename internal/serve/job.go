@@ -23,6 +23,10 @@ var (
 	ErrBadBudget = errors.New("serve: max schedules must be >= 0")
 	// ErrBadReorder rejects a negative reorder bound.
 	ErrBadReorder = errors.New("serve: max reorderings must be >= 0")
+	// ErrBadDPOR rejects a DPOR job that also sets a reorder bound: the
+	// bound is not closed under the commuting swaps DPOR prunes by, so
+	// the combination could drop reachable verdicts.
+	ErrBadDPOR = errors.New("serve: dpor cannot combine with max reorderings")
 )
 
 // JobState is a job's position in its lifecycle.
@@ -86,6 +90,18 @@ type JobSpec struct {
 	// into spooled checkpoints, so a restarted server resumes the job
 	// under the same bound or refuses loudly.
 	MaxReorderings int `json:"max_reorderings,omitempty"`
+	// DPOR runs the job under source-set dynamic partial-order reduction
+	// (tso.ExhaustiveOptions.DPOR): one executed schedule per
+	// Mazurkiewicz class. The verdict set, Complete, and the existence
+	// of violations are preserved; per-verdict Outcomes tallies collapse
+	// to class representatives, so they are not comparable to an
+	// unreduced job's. Mutually exclusive with MaxReorderings
+	// (ErrBadDPOR); NoPrune is implied — memoization is superseded. The
+	// mode is stamped into spooled checkpoints, so a restarted server
+	// resumes the job under the same mode or refuses loudly. Slice
+	// resumes re-derive backtracking conservatively, so a heavily sliced
+	// DPOR job keeps soundness but sheds part of the reduction.
+	DPOR bool `json:"dpor,omitempty"`
 }
 
 // Compile validates the spec and lowers it to the oracle types: the
@@ -105,6 +121,9 @@ func (js JobSpec) Compile() (oracle.Program, oracle.Spec, error) {
 	}
 	if js.MaxReorderings < 0 {
 		return oracle.Program{}, nil, fmt.Errorf("%w: got %d", ErrBadReorder, js.MaxReorderings)
+	}
+	if js.DPOR && js.MaxReorderings > 0 {
+		return oracle.Program{}, nil, fmt.Errorf("%w: got max_reorderings %d", ErrBadDPOR, js.MaxReorderings)
 	}
 	p := oracle.Program{
 		Algo:      algo,

@@ -49,6 +49,13 @@ type Metrics struct {
 	// reorderSkips accumulates PruneStats.ReorderSkips — subtrees cut by a
 	// job's reorder bound.
 	reorderSkips atomic.Int64
+	// dporRaces, dporBacktracks, and dporSleepSkips accumulate the
+	// dependence layer's PruneStats across DPOR-mode slices: reversible
+	// races detected on executed runs, branches added to frame backtrack
+	// sets, and branches skipped by dependence-derived sleep sets.
+	dporRaces      atomic.Int64
+	dporBacktracks atomic.Int64
+	dporSleepSkips atomic.Int64
 
 	// memoEntries is the number of entries resident in the memo arena at
 	// the end of the most recently folded slice (gauge; each slice runs
@@ -107,6 +114,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("tsoserve_prune_schedules_saved_total", "Schedules credited from the memo table without execution.", m.schedulesSaved.Load())
 	gauge("tsoserve_prune_hit_rate", "StatesDeduped / StatesSeen over the process lifetime.", hitRate)
 	counter("tsoserve_reorder_skips_total", "Subtrees cut by jobs' reorder bounds.", m.reorderSkips.Load())
+	counter("tsoserve_dpor_races_detected_total", "Reversible races DPOR detected on executed runs.", m.dporRaces.Load())
+	counter("tsoserve_dpor_backtracks_total", "Branches DPOR race handling added to backtrack sets.", m.dporBacktracks.Load())
+	counter("tsoserve_dpor_sleep_skips_total", "Branches skipped by DPOR dependence-derived sleep sets.", m.dporSleepSkips.Load())
 	gauge("tsoserve_memo_entries", "Memo-arena entries resident at the end of the most recent slice.", float64(m.memoEntries.Load()))
 	counter("tsoserve_memo_admitted_total", "Memo-arena entries admitted across all slices.", m.memoAdmitted.Load())
 	counter("tsoserve_memo_evicted_total", "Memo-arena entries evicted by the per-stripe FIFO clock.", m.memoEvicted.Load())

@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -85,8 +86,23 @@ func (JSONCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 // binMagic opens every binary checkpoint: four tag bytes plus one wire
 // format version byte. The tag cannot collide with JSON (which starts
 // with whitespace or '{'), which is what DecodeCheckpoint's sniffing
-// relies on.
-var binMagic = [5]byte{'T', 'S', 'O', 'F', 1}
+// relies on. Version 1 is the original layout; version 2 added the
+// DPOR mode flag, the three DPOR prune counters, and the per-unit
+// explored-branch masks. The encoder always writes the current
+// version; the decoder reads both (a v1 spool decodes with the new
+// fields zero, exactly its meaning).
+var binMagic = [5]byte{'T', 'S', 'O', 'F', binVersion}
+
+const (
+	binVersion   = 2
+	binVersionV1 = 1
+)
+
+// ErrCodecVersion is the sentinel DecodeCheckpoint wraps when a binary
+// checkpoint carries the TSOF tag but a wire version this build does
+// not speak — the codec axis of resume refusal (compare with
+// errors.Is).
+var ErrCodecVersion = errors.New("tso: unsupported binary checkpoint format version")
 
 // Decoder sanity caps: lengths beyond these are corruption, not data
 // (the deepest real frontier prefixes are a few thousand choices, and
@@ -156,6 +172,13 @@ func (b *binWriter) ints(xs []int) {
 	}
 }
 
+func (b *binWriter) uints64(xs []uint64) {
+	b.uvint(uint64(len(xs)))
+	for _, x := range xs {
+		b.uvint(x)
+	}
+}
+
 // EncodeCheckpoint writes cp in the binary wire format.
 func (BinaryCodec) EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
 	bw := &binWriter{w: bufio.NewWriter(w)}
@@ -169,6 +192,7 @@ func (BinaryCodec) EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
 	bw.bool(cp.DrainBuffer)
 	bw.str(cp.Label)
 	bw.vint(int64(cp.Reorder))
+	bw.bool(cp.DPOR)
 	bw.vint(int64(cp.Runs))
 	bw.vint(int64(cp.StepLimited))
 	bw.vint(int64(cp.Tree.MaxDepth))
@@ -180,6 +204,9 @@ func (BinaryCodec) EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
 	bw.vint(cp.Prune.SchedulesSaved)
 	bw.vint(cp.Prune.SleepSkips)
 	bw.vint(cp.Prune.ReorderSkips)
+	bw.vint(cp.Prune.DPORRaces)
+	bw.vint(cp.Prune.DPORBacktracks)
+	bw.vint(cp.Prune.DPORSleepSkips)
 	// The outcome table: sorted keys make the encoding canonical, so two
 	// equal checkpoints are byte-equal on the wire (spool diffing, test
 	// golden files).
@@ -201,6 +228,7 @@ func (BinaryCodec) EncodeCheckpoint(w io.Writer, cp *Checkpoint) error {
 		bw.ints(u.RootFanout)
 		bw.ints(u.Prefix)
 		bw.ints(u.Fanout)
+		bw.uints64(u.Done)
 	}
 	if bw.err == nil {
 		bw.err = bw.w.Flush()
@@ -283,6 +311,21 @@ func (b *binReader) ints() []int {
 	return xs
 }
 
+func (b *binReader) uints64() []uint64 {
+	n := b.length(binMaxSlice)
+	if b.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = b.uvint()
+	}
+	if b.err != nil {
+		return nil
+	}
+	return xs
+}
+
 // DecodeCheckpoint reads one binary checkpoint and validates it.
 func (BinaryCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	br, ok := r.(*bufio.Reader)
@@ -293,11 +336,12 @@ func (BinaryCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
 	}
-	if magic != binMagic {
-		if magic[0] == binMagic[0] && magic[1] == binMagic[1] && magic[2] == binMagic[2] && magic[3] == binMagic[3] {
-			return nil, fmt.Errorf("tso: unsupported binary checkpoint format version %d", magic[4])
-		}
+	if [4]byte(magic[:4]) != [4]byte(binMagic[:4]) {
 		return nil, fmt.Errorf("tso: not a binary checkpoint (bad magic)")
+	}
+	ver := magic[4]
+	if ver != binVersionV1 && ver != binVersion {
+		return nil, fmt.Errorf("%w %d", ErrCodecVersion, ver)
 	}
 	b := &binReader{r: br}
 	cp := &Checkpoint{}
@@ -308,6 +352,9 @@ func (BinaryCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	cp.DrainBuffer = b.bool()
 	cp.Label = b.str()
 	cp.Reorder = int(b.vint())
+	if ver >= binVersion {
+		cp.DPOR = b.bool()
+	}
 	cp.Runs = int(b.vint())
 	cp.StepLimited = int(b.vint())
 	cp.Tree.MaxDepth = int(b.vint())
@@ -319,6 +366,11 @@ func (BinaryCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	cp.Prune.SchedulesSaved = b.vint()
 	cp.Prune.SleepSkips = b.vint()
 	cp.Prune.ReorderSkips = b.vint()
+	if ver >= binVersion {
+		cp.Prune.DPORRaces = b.vint()
+		cp.Prune.DPORBacktracks = b.vint()
+		cp.Prune.DPORSleepSkips = b.vint()
+	}
 	nCounts := b.length(binMaxSlice)
 	cp.Counts = make(map[string]int, nCounts)
 	for i := 0; i < nCounts && b.err == nil; i++ {
@@ -331,12 +383,16 @@ func (BinaryCodec) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	nUnits := b.length(binMaxSlice)
 	for i := 0; i < nUnits && b.err == nil; i++ {
-		cp.Units = append(cp.Units, UnitCheckpoint{
+		u := UnitCheckpoint{
 			Root:       b.ints(),
 			RootFanout: b.ints(),
 			Prefix:     b.ints(),
 			Fanout:     b.ints(),
-		})
+		}
+		if ver >= binVersion {
+			u.Done = b.uints64()
+		}
+		cp.Units = append(cp.Units, u)
 	}
 	if b.err != nil {
 		return nil, fmt.Errorf("tso: decoding checkpoint: %w", b.err)
@@ -361,7 +417,10 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err != nil && len(head) == 0 {
 		return nil, fmt.Errorf("tso: decoding checkpoint: %w", err)
 	}
-	if len(head) == len(binMagic) && [5]byte(head) == binMagic {
+	if len(head) == len(binMagic) && [4]byte(head[:4]) == [4]byte(binMagic[:4]) {
+		// Any TSOF-tagged stream is the binary codec's to judge — an
+		// unknown version byte must surface as ErrCodecVersion, not fall
+		// through to a JSON parse error.
 		return BinaryCodec{}.DecodeCheckpoint(br)
 	}
 	return JSONCodec{}.DecodeCheckpoint(br)

@@ -1,0 +1,521 @@
+package tso
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Source-set dynamic partial-order reduction (ExhaustiveOptions.DPOR),
+// built on the dependence layer in depend.go.
+//
+// The algorithm is Abdulla/Aronis/Jonsson/Sagonas source-DPOR
+// specialized to the TSO[S] machine's two proc kinds (threads and
+// store buffers):
+//
+//   - Every executed run records one event per choice point, carrying
+//     the chosen action's proc and footprint plus a vector clock over
+//     the 2T procs. Happens-before is per-proc order plus a
+//     dependence edge between every ordered conflicting pair.
+//   - Race detection: while extending the run, each fresh event e is
+//     checked against the last writer of every address it touches and
+//     the readers since (a sound over-approximation of "dependent and
+//     adjacent in happens-before"); a pair (i, e) with different procs
+//     and no intermediate happens-before path is a reversible race.
+//   - For each race the engine ensures the backtrack set of the frame
+//     where i was chosen contains some initial of the reversing
+//     sequence v = (events after i not ordered after i) · e — the
+//     source-set condition. Frames explore exactly their backtrack set
+//     minus their sleep set.
+//   - Sleep sets are re-derived from the same dependence relation
+//     (full footprints, not just drain/drain), so the legacy SleepSets
+//     mode is a strict special case and is superseded under DPOR.
+//
+// What DPOR preserves and what it rejects:
+//
+//   - The outcome *set* (and Complete, and MaxOccupancy — a thread's
+//     own-buffer push/drain order is invariant within a Mazurkiewicz
+//     class because store_t and drain_t conflict on bufAddr(t)) is
+//     preserved; per-outcome counts collapse to one representative per
+//     class, so canonical-state memoization's count-preserving credit
+//     would be wrong above a DPOR node and Prune is auto-disabled
+//     (withDefaults) — DPOR's race detection must see every executed
+//     suffix anyway, which a memo cut would hide.
+//   - MaxStepsPerRun composes soundly: equivalent runs are
+//     permutations of the same events, hence equal length, so uniform
+//     truncation at the step budget cuts whole classes, never part of
+//     one. This is what upgrades the spin-lock duel to a completed
+//     bounded proof (core/laws_test.go).
+//   - ModelPSO is rejected: PSO drains of one buffer are not mutually
+//     ordered (per-address FIFO only), which breaks the buffer-as-proc
+//     abstraction. MaxReorderings >= 1 is rejected: the bound is not
+//     closed under commuting swaps (a class's representative can carry
+//     a different reorder count than the member that witnessed it), so
+//     bounded outcome sets would not be preserved. Bounded POR à la
+//     Coons/Musuvathi (BPOR) is the documented open follow-up.
+
+// dporCheck validates a DPOR-mode exploration's configuration. It is
+// the single gate every entry point (ExploreExhaustive, ShardFrontier)
+// consults.
+func dporCheck(c Config, o ExhaustiveOptions) error {
+	if c.Model == ModelPSO {
+		return errors.New("tso: DPOR requires ModelTSO: PSO drains of one buffer are not serialized, which breaks the dependence layer's buffer-as-proc abstraction")
+	}
+	if o.MaxReorderings > 0 {
+		return errors.New("tso: DPOR cannot combine with MaxReorderings: the reorder bound is not closed under commuting swaps, so a class representative may be pruned while the class stays reachable")
+	}
+	if c.Threads > 31 {
+		return errors.New("tso: DPOR supports at most 31 threads (checkpoint done-masks hold one bit per branch, fanout <= 2*threads <= 62)")
+	}
+	return nil
+}
+
+// dsleepEntry is one member of a dependence-derived sleep set: the proc
+// whose action was fully explored at an ancestor and found independent
+// of everything chosen since, plus the footprint it had there (needed
+// to test independence against later chosen actions).
+type dsleepEntry struct {
+	proc int32
+	fp   footprint
+}
+
+// dporVCap bounds the reversing-sequence window race handling analyzes
+// exactly; beyond it the handler falls back to the first-event initial,
+// which is always sound (merely adds backtrack points it could have
+// proven redundant).
+const dporVCap = 128
+
+// dporState is one runner's per-run DPOR bookkeeping: the executed
+// events (one per choice point, so event index == depth), their vector
+// clocks, and per-address last-writer/readers tables driving race
+// detection. Everything is arena-backed and reset per run.
+type dporState struct {
+	threads int
+	nProcs  int // 2*threads: thread procs then buffer procs
+	base    int // real-address slot count this run; buffer t maps to base+t
+
+	nEvents int
+	procs   []int32   // per event
+	clocks  []int32   // nEvents × nProcs, row-major; clocks[e][q] = index of q's latest event happening-before e, or -1
+	evFP    [][4]int32 // per event: reads offset/len, writes offset/len into arena
+	arena   []fpAddr
+
+	lastOfProc []int32   // latest event per proc, -1 if none
+	lastW      []int32   // per slot: latest writer event, -1
+	readers    [][]int32 // per slot: reader events since the latest write
+
+	// scratch
+	fpR, fpW []fpAddr
+	vbuf     []int32
+	initBuf  []int32
+	seenBuf  []int32
+}
+
+func newDPORState(threads int) *dporState {
+	dp := &dporState{threads: threads, nProcs: 2 * threads}
+	dp.lastOfProc = make([]int32, dp.nProcs)
+	return dp
+}
+
+// begin resets the per-run tables. Called after the run's programs are
+// built (all addresses allocated) and before the first step.
+func (dp *dporState) begin(m *Machine) {
+	dp.base = int(m.next)
+	slots := dp.base + dp.threads
+	if cap(dp.lastW) < slots {
+		dp.lastW = make([]int32, slots)
+		dp.readers = make([][]int32, slots)
+	}
+	dp.lastW = dp.lastW[:slots]
+	dp.readers = dp.readers[:slots]
+	for i := range dp.lastW {
+		dp.lastW[i] = -1
+		dp.readers[i] = dp.readers[i][:0]
+	}
+	for i := range dp.lastOfProc {
+		dp.lastOfProc[i] = -1
+	}
+	dp.nEvents = 0
+	dp.procs = dp.procs[:0]
+	dp.clocks = dp.clocks[:0]
+	dp.evFP = dp.evFP[:0]
+	dp.arena = dp.arena[:0]
+}
+
+// slot maps an extended address to its table index.
+func (dp *dporState) slot(x fpAddr) int {
+	if x >= 0 {
+		if int(x) >= dp.base {
+			panic("tso: DPOR saw an address allocated after the run started; allocate all addresses in the program factory")
+		}
+		return int(x)
+	}
+	return dp.base + int(-x) - 1
+}
+
+func (dp *dporState) clockOf(ev int32) []int32 {
+	off := int(ev) * dp.nProcs
+	return dp.clocks[off : off+dp.nProcs]
+}
+
+func (dp *dporState) eventFP(ev int32) footprint {
+	f := dp.evFP[ev]
+	return footprint{
+		reads:  dp.arena[f[0] : f[0]+f[1]],
+		writes: dp.arena[f[2] : f[2]+f[3]],
+	}
+}
+
+// dporRecord appends the event for executing act at the current depth,
+// updating clocks and — when the event is fresh (not a replay of an
+// already-scanned prefix) — running race detection, which may add
+// backtrack points to ancestor frames.
+func (r *mcRunner) dporRecord(act action, fresh bool) {
+	dp := r.dp
+	fp := footprintInto(r.m, act, dp.fpR, dp.fpW)
+	dp.fpR, dp.fpW = fp.reads, fp.writes // keep grown scratch
+	p := procFor(dp.threads, act)
+	n := dp.nEvents
+
+	// Materialize the event's clock row: program order from the proc's
+	// previous event, then joins for every conflict edge found below.
+	need := (n + 1) * dp.nProcs
+	if cap(dp.clocks) < need {
+		nc := make([]int32, len(dp.clocks), need*2)
+		copy(nc, dp.clocks)
+		dp.clocks = nc
+	}
+	dp.clocks = dp.clocks[:need]
+	clk := dp.clocks[n*dp.nProcs : need]
+	if lp := dp.lastOfProc[p]; lp >= 0 {
+		copy(clk, dp.clockOf(lp))
+	} else {
+		for i := range clk {
+			clk[i] = -1
+		}
+	}
+	clk[p] = int32(n)
+
+	join := func(w int32) {
+		for i, v := range dp.clockOf(w) {
+			if v > clk[i] {
+				clk[i] = v
+			}
+		}
+	}
+	// A partner i races with the new event iff it belongs to another
+	// proc and no happens-before path reaches it through the edges
+	// accumulated so far (program order plus conflicts already joined):
+	// such a path would pass through an intermediate event, and races
+	// are exactly the conflict pairs with no intermediate.
+	check := func(w int32) {
+		if fresh && dp.procs[w] != p && clk[dp.procs[w]] < w {
+			r.dporRace(w, p, fp)
+		}
+	}
+	for _, x := range fp.reads {
+		s := dp.slot(x)
+		if w := dp.lastW[s]; w >= 0 {
+			check(w)
+			join(w)
+		}
+	}
+	for _, x := range fp.writes {
+		s := dp.slot(x)
+		if w := dp.lastW[s]; w >= 0 {
+			check(w)
+			join(w)
+		}
+		for _, rd := range dp.readers[s] {
+			check(rd)
+			join(rd)
+		}
+	}
+	for _, x := range fp.writes {
+		s := dp.slot(x)
+		dp.lastW[s] = int32(n)
+		dp.readers[s] = dp.readers[s][:0]
+	}
+	for _, x := range fp.reads {
+		s := dp.slot(x)
+		dp.readers[s] = append(dp.readers[s], int32(n))
+	}
+	dp.lastOfProc[p] = int32(n)
+	dp.procs = append(dp.procs, p)
+	rOff := int32(len(dp.arena))
+	dp.arena = append(dp.arena, fp.reads...)
+	wOff := int32(len(dp.arena))
+	dp.arena = append(dp.arena, fp.writes...)
+	dp.evFP = append(dp.evFP, [4]int32{rOff, int32(len(fp.reads)), wOff, int32(len(fp.writes))})
+	dp.nEvents = n + 1
+}
+
+// dporRace handles one reversible race between event i and the event
+// being appended (proc eProc, footprint eFP, index dp.nEvents): it
+// ensures the backtrack set of the frame that chose i schedules some
+// initial of the reversing sequence v = (events after i not ordered
+// after i) · e. Races whose frame sits in the unit's fixed root prefix
+// are ignored — sibling units own those reversals — as are races into
+// resumed frames, which already explore every remaining branch.
+func (r *mcRunner) dporRace(i int32, eProc int32, eFP footprint) {
+	u, dp := r.u, r.dp
+	rootLen := len(u.root)
+	d := int(i) // event index == tree depth: one event per choice point
+	if d < rootLen {
+		return
+	}
+	fi := d - rootLen
+	if fi >= len(u.frames) {
+		return
+	}
+	f := u.frames[fi]
+	if f.procs == nil {
+		return // resumed frame: bt == all, nothing to add
+	}
+	u.res.Prune.DPORRaces++
+
+	ip := dp.procs[i]
+	n := int32(dp.nEvents)
+	v := dp.vbuf[:0]
+	for k := i + 1; k < n; k++ {
+		if dp.clockOf(k)[ip] >= i {
+			continue // i happens-before k: not part of the reversal
+		}
+		v = append(v, k)
+	}
+	dp.vbuf = v
+
+	// Initials of v·e: procs whose first event in the sequence has no
+	// dependent predecessor in it. The first event of the sequence is
+	// always an initial; when the window is too large for the exact
+	// O(|v|²) computation, using that single initial is sound (the
+	// skip check below just fires less often).
+	initProcs := dp.initBuf[:0]
+	seen := dp.seenBuf[:0]
+	exact := len(v) <= dporVCap
+	for idx, k := range v {
+		kp := dp.procs[k]
+		if procsContain(seen, kp) {
+			continue
+		}
+		seen = append(seen, kp)
+		dep := false
+		if exact {
+			kfp := dp.eventFP(k)
+			for _, j := range v[:idx] {
+				if fpConflict(dp.eventFP(j), kfp) {
+					dep = true
+					break
+				}
+			}
+		} else {
+			dep = idx > 0
+		}
+		if !dep {
+			initProcs = append(initProcs, kp)
+		}
+	}
+	if !procsContain(seen, eProc) {
+		dep := false
+		if exact {
+			for _, j := range v {
+				if fpConflict(dp.eventFP(j), eFP) {
+					dep = true
+					break
+				}
+			}
+		} else {
+			dep = len(v) > 0
+		}
+		if !dep {
+			initProcs = append(initProcs, eProc)
+		}
+	}
+	dp.initBuf, dp.seenBuf = initProcs, seen
+
+	// Source-set condition: if the backtrack set already schedules an
+	// initial, this race's reversal is covered.
+	for b := 0; b < f.fanout; b++ {
+		if f.bt[b] && procsContain(initProcs, f.procs[b]) {
+			return
+		}
+	}
+	for _, q := range initProcs {
+		for b := 0; b < f.fanout; b++ {
+			if f.procs[b] == q {
+				if !f.bt[b] {
+					f.bt[b] = true
+					u.res.Prune.DPORBacktracks++
+				}
+				return
+			}
+		}
+	}
+	// No initial has a branch at the frame. The enabledness argument in
+	// depend.go's model says this cannot happen; schedule everything as
+	// a sound fallback rather than trusting it.
+	for b := 0; b < f.fanout; b++ {
+		if !f.bt[b] {
+			f.bt[b] = true
+			u.res.Prune.DPORBacktracks++
+		}
+	}
+}
+
+func procsContain(s []int32, p int32) bool {
+	for _, v := range s {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+// childSleepD computes the dependence-derived sleep set arriving at the
+// child reached from the unit's deepest frame via its current branch:
+// inherited entries still independent of the chosen action, plus every
+// fully explored sibling that commutes with it.
+func (u *mcUnit) childSleepD() []dsleepEntry {
+	if len(u.frames) == 0 {
+		return nil
+	}
+	p := u.frames[len(u.frames)-1]
+	if p.procs == nil {
+		return nil // resumed frame: action identities unknown
+	}
+	chosen := u.prefix[p.depth]
+	cp, cfp := p.procs[chosen], p.fps[chosen]
+	var out []dsleepEntry
+	for _, t := range p.dsleep {
+		if !dependent(t.proc, t.fp, cp, cfp) {
+			out = append(out, t)
+		}
+	}
+	for b := 0; b < p.fanout; b++ {
+		if b == chosen || !p.done[b] {
+			continue
+		}
+		if p.skip != nil && p.skip[b] {
+			continue // never explored here; covered via an ancestor
+		}
+		if !dependent(p.procs[b], p.fps[b], cp, cfp) {
+			out = append(out, dsleepEntry{proc: p.procs[b], fp: p.fps[b]})
+		}
+	}
+	return out
+}
+
+// chooseDPOR is the DPOR-mode new-node path of mcRunner.choose: build
+// the frame's dependence bookkeeping (per-branch procs and footprints,
+// arriving sleep set, sleep-blocked branches), seed the backtrack set
+// with the first runnable branch, and record the event.
+func (r *mcRunner) chooseDPOR(acts []action) int {
+	e, u, m := r.e, r.u, r.m
+	d := r.depth
+	n := len(acts)
+	f := &mcFrame{depth: d, fanout: n}
+	u.res.Tree.node(d, n)
+	f.procs = make([]int32, n)
+	f.fps = make([]footprint, n)
+	for i, a := range acts {
+		f.procs[i] = procFor(e.cfg.Threads, a)
+		f.fps[i] = footprintAlloc(m, a)
+	}
+	f.bt = make([]bool, n)
+	f.done = make([]bool, n)
+	f.dsleep = u.childSleepD()
+	if len(f.dsleep) > 0 {
+		f.skip = make([]bool, n)
+		for i := range acts {
+			for _, t := range f.dsleep {
+				if t.proc == f.procs[i] {
+					f.skip[i] = true
+					u.res.Prune.DPORSleepSkips++
+					u.res.Prune.SubtreesCut++
+					break
+				}
+			}
+		}
+	}
+	b := -1
+	for i := 0; i < n; i++ {
+		if f.skip == nil || !f.skip[i] {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		// Every branch is asleep: the node's whole subtree is covered by
+		// commuting explorations elsewhere.
+		r.cutHW = machineHWInto(m, r.cutHW)
+		r.cut = true
+		r.pol.cancel = true
+		return 0
+	}
+	f.bt[b] = true
+	r.dporRecord(acts[b], true)
+	u.frames = append(u.frames, f)
+	u.prefix = append(u.prefix, b)
+	u.fanout = append(u.fanout, n)
+	r.depth++
+	return b
+}
+
+// nextBT returns the smallest runnable branch of a DPOR frame — in the
+// backtrack set (or any branch, for resumed frames), not yet fully
+// explored, not asleep — or -1. Unlike the plain engine's ascending
+// nextAllowed, race handling can schedule branches below the current
+// one, so the scan restarts from zero and done-marking tracks coverage.
+func (f *mcFrame) nextBT() int {
+	for b := 0; b < f.fanout; b++ {
+		if f.done[b] {
+			continue
+		}
+		if f.all {
+			// A truncated run crossed this node: explore every branch,
+			// sleep skips included (see mcFrame.all).
+			return b
+		}
+		if f.skip != nil && f.skip[b] {
+			continue
+		}
+		if f.bt == nil || f.bt[b] {
+			return b
+		}
+	}
+	return -1
+}
+
+// advanceDPOR is the DPOR-mode advance: mark the retreating branch
+// done, then resume at the deepest frame whose backtrack set still
+// holds unexplored branches.
+func (e *mcEngine) advanceDPOR(u *mcUnit, rootLen int) bool {
+	for i := len(u.prefix) - 1; i >= rootLen; i-- {
+		f := u.frames[i-rootLen]
+		f.done[u.prefix[i]] = true
+		if nb := f.nextBT(); nb >= 0 {
+			e.finalizeFrames(u, i+1)
+			u.prefix = u.prefix[:i+1]
+			u.fanout = u.fanout[:i+1]
+			u.prefix[i] = nb
+			u.freshFrom = i
+			return true
+		}
+	}
+	e.finalizeFrames(u, rootLen)
+	u.complete = true
+	return false
+}
+
+// doneMaskOf packs a frame's done set into a checkpoint bitmask.
+func doneMaskOf(done []bool) uint64 {
+	if len(done) > 64 {
+		panic(fmt.Sprintf("tso: DPOR fanout %d exceeds the checkpoint done-mask width", len(done)))
+	}
+	var m uint64
+	for b, d := range done {
+		if d {
+			m |= 1 << b
+		}
+	}
+	return m
+}

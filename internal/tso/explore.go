@@ -97,6 +97,17 @@ type PruneStats struct {
 	// (ExhaustiveOptions.MaxReorderings): loads that would have pushed
 	// their schedule past k store→load reorderings.
 	ReorderSkips int64
+	// DPORRaces counts reversible races source-set DPOR detected on
+	// executed runs (ExhaustiveOptions.DPOR). A race may be counted
+	// again when later runs re-execute the same conflicting suffix.
+	DPORRaces int64
+	// DPORBacktracks counts branches race handling added to frame
+	// backtrack sets — the schedules DPOR decided it must explore.
+	DPORBacktracks int64
+	// DPORSleepSkips counts branches skipped because the
+	// dependence-derived sleep set already covers them (DPOR's
+	// generalization of SleepSkips).
+	DPORSleepSkips int64
 }
 
 func (p *PruneStats) merge(o PruneStats) {
@@ -106,6 +117,9 @@ func (p *PruneStats) merge(o PruneStats) {
 	p.SchedulesSaved += o.SchedulesSaved
 	p.SleepSkips += o.SleepSkips
 	p.ReorderSkips += o.ReorderSkips
+	p.DPORRaces += o.DPORRaces
+	p.DPORBacktracks += o.DPORBacktracks
+	p.DPORSleepSkips += o.DPORSleepSkips
 }
 
 // ExploreResult summarizes an exploration.

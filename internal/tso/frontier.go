@@ -33,7 +33,12 @@ type Checkpoint struct {
 	// unbounded — the only value legacy checkpoints carry). Resume
 	// requires the same bound: a frontier pruned at k is not a valid
 	// position of any other exploration.
-	Reorder      int              `json:"reorder,omitempty"`
+	Reorder int `json:"reorder,omitempty"`
+	// DPOR records whether the exploration ran under source-set DPOR
+	// (always false in legacy checkpoints). Resume requires agreement:
+	// a DPOR frontier's unexplored remainder is meaningful only with
+	// the per-unit Done masks and vice versa.
+	DPOR         bool             `json:"dpor,omitempty"`
 	Runs         int              `json:"runs"`
 	StepLimited  int              `json:"step_limited,omitempty"`
 	Counts       map[string]int   `json:"counts"`
@@ -52,6 +57,11 @@ type UnitCheckpoint struct {
 	RootFanout []int `json:"root_fanout,omitempty"`
 	Prefix     []int `json:"prefix,omitempty"`
 	Fanout     []int `json:"fanout,omitempty"`
+	// Done is DPOR mode's per-frame explored-branch bitmask, one per
+	// prefix depth past the unit root. DPOR backtracking visits
+	// branches out of ascending order, so "everything before the
+	// current choice" does not describe what finished; these masks do.
+	Done []uint64 `json:"done,omitempty"`
 }
 
 // Encode writes the checkpoint in the default wire format (the binary
@@ -146,6 +156,19 @@ func (uc *UnitCheckpoint) validate() error {
 			return fmt.Errorf("prefix choice %d at depth %d outside fanout %d", b, d, uc.Fanout[d])
 		}
 	}
+	if len(uc.Done) > 0 {
+		if len(uc.Done) != len(uc.Prefix)-len(uc.Root) {
+			return fmt.Errorf("unit has %d done-masks for %d resumable depths",
+				len(uc.Done), len(uc.Prefix)-len(uc.Root))
+		}
+		for di, mask := range uc.Done {
+			fan := uc.Fanout[len(uc.Root)+di]
+			if fan < 64 && mask>>fan != 0 {
+				return fmt.Errorf("done-mask %#x at depth %d marks branches past fanout %d",
+					mask, len(uc.Root)+di, fan)
+			}
+		}
+	}
 	return nil
 }
 
@@ -175,6 +198,20 @@ func (cp *Checkpoint) CompatibleWithOptions(c Config, o ExhaustiveOptions) error
 	return cp.validateOptions(o.withDefaults())
 }
 
+// Resume-refusal sentinels. Each axis resume must agree on gets its own
+// sentinel so callers (and the mutation-matrix test) can tell exactly
+// which mismatch refused a frontier; wrap-compare with errors.Is.
+var (
+	// ErrResumeReorder: the checkpoint's reorder bound differs from the
+	// resuming options'.
+	ErrResumeReorder = errors.New("tso: checkpoint reorder bound mismatch")
+	// ErrResumeDPOR: the checkpoint's DPOR mode differs from the
+	// resuming options'.
+	ErrResumeDPOR = errors.New("tso: checkpoint DPOR mode mismatch")
+	// ErrResumeLabel: both sides carry a phase label and they differ.
+	ErrResumeLabel = errors.New("tso: checkpoint label mismatch")
+)
+
 // validateOptions rejects resuming under options the frontier was not
 // explored with. o must be defaulted.
 func (cp *Checkpoint) validateOptions(o ExhaustiveOptions) error {
@@ -189,11 +226,22 @@ func (cp *Checkpoint) validateOptions(o ExhaustiveOptions) error {
 			}
 			return fmt.Sprintf("k=%d", k)
 		}
-		return fmt.Errorf("tso: checkpoint was explored with reorder bound %s, options say %s",
-			name(cp.Reorder), name(want))
+		return fmt.Errorf("%w: checkpoint was explored with reorder bound %s, options say %s",
+			ErrResumeReorder, name(cp.Reorder), name(want))
+	}
+	if cp.DPOR != o.DPOR {
+		name := func(b bool) string {
+			if b {
+				return "source-set DPOR"
+			}
+			return "no DPOR"
+		}
+		return fmt.Errorf("%w: checkpoint was explored with %s, options say %s",
+			ErrResumeDPOR, name(cp.DPOR), name(o.DPOR))
 	}
 	if cp.Label != "" && o.Label != "" && cp.Label != o.Label {
-		return fmt.Errorf("tso: checkpoint is labeled %q, options say %q", cp.Label, o.Label)
+		return fmt.Errorf("%w: checkpoint is labeled %q, options say %q",
+			ErrResumeLabel, cp.Label, o.Label)
 	}
 	return nil
 }
@@ -234,6 +282,11 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 		panic(err)
 	}
 	o := opts.withDefaults()
+	if o.DPOR {
+		if err := dporCheck(c, o); err != nil {
+			panic(err)
+		}
+	}
 	e := &mcEngine{cfg: c, mk: mkProgs, outcome: outcome, opts: o, bound: o.MaxReorderings}
 	if o.Prune {
 		e.memo = newMemoTable(o.MemoStripes, o.MemoLimit)
@@ -270,6 +323,7 @@ func ExploreExhaustive(cfg Config, mkProgs func(m *Machine) []func(Context), out
 				u.prefix = append([]int(nil), uc.Prefix...)
 				u.fanout = append([]int(nil), uc.Fanout...)
 				u.resumed = true
+				u.doneMask = append([]uint64(nil), uc.Done...)
 			}
 			units = append(units, u)
 		}
@@ -382,6 +436,7 @@ func buildCheckpoint(c Config, o ExhaustiveOptions, units []*mcUnit, set Outcome
 		DrainBuffer:  c.DrainBuffer,
 		Label:        o.Label,
 		Reorder:      reorder,
+		DPOR:         o.DPOR,
 		Runs:         agg.Runs,
 		StepLimited:  agg.StepLimited,
 		Counts:       map[string]int{},
@@ -400,6 +455,13 @@ func buildCheckpoint(c Config, o ExhaustiveOptions, units []*mcUnit, set Outcome
 		if u.started {
 			uc.Prefix = u.prefix
 			uc.Fanout = u.fanout
+			uc.Done = u.doneMask
+		} else if u.resumed {
+			// Never picked up in this slice: its resumed position (and
+			// DPOR masks) carry over unchanged.
+			uc.Prefix = u.prefix
+			uc.Fanout = u.fanout
+			uc.Done = u.doneMask
 		}
 		cp.Units = append(cp.Units, uc)
 	}

@@ -81,6 +81,14 @@ type Machine struct {
 	// tracer, when non-nil, receives every executed action in schedule
 	// order (see trace.go).
 	tracer Tracer
+
+	// flushHook, when non-nil, is called before each end-of-run forced
+	// drain (flushBuffered), while the buffer still holds the entry. The
+	// DPOR engine uses it to record the flush suffix as dependence
+	// events: those drains perform the run's remaining memory writes, and
+	// races against them are what schedule a buffer's drain before
+	// another thread's load.
+	flushHook func(tid int)
 }
 
 // action is one scheduler decision: execute a thread's pending request or
@@ -592,6 +600,9 @@ func (m *Machine) execBuffered(r *request) response {
 func (m *Machine) flushBuffered() {
 	for tid, b := range m.bufs {
 		for !b.empty() {
+			if m.flushHook != nil {
+				m.flushHook(tid)
+			}
 			if m.tracer != nil {
 				var e entry
 				if len(b.entries) > 0 {

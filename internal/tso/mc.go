@@ -36,6 +36,15 @@ package tso
 //     ("is this outcome reachable?"); leave it off when exact schedule
 //     counts matter.
 //
+//   - Source-set DPOR (optional, DPOR): the strongest reduction. The
+//     dependence layer (depend.go) classifies every action by read/write
+//     footprint; race detection over each executed run (dpor.go) adds
+//     backtrack points only where dependent actions actually met, so the
+//     engine explores one representative per Mazurkiewicz class instead
+//     of enumerating the tree. Same preservation contract as SleepSets
+//     (outcome set, Complete, MaxOccupancy — not counts), typically
+//     orders of magnitude fewer executed runs.
+//
 // A thread's local state (registers, loop counters) lives in its program
 // closure and cannot be inspected, so the canonical state instead hashes
 // the thread's full request/response history: a replay-deterministic
@@ -71,6 +80,25 @@ type ExhaustiveOptions struct {
 	// commutation class. Implies Prune's bookkeeping but not its memo
 	// table; the two compose.
 	SleepSets bool
+
+	// DPOR switches the engine to source-set dynamic partial-order
+	// reduction over the dependence layer (depend.go, dpor.go): races
+	// detected on each executed run add backtrack points, and only one
+	// schedule per Mazurkiewicz class is explored. The outcome set,
+	// Complete, and MaxOccupancy are preserved exactly; per-outcome
+	// counts are not (one representative per class), so Prune's
+	// count-preserving memoization is auto-disabled under DPOR — a memo
+	// credit would also hide the executed suffixes race detection needs.
+	// SleepSets is likewise superseded by the dependence-derived sleep
+	// sets DPOR maintains itself. Requires ModelTSO and is mutually
+	// exclusive with MaxReorderings (see dporCheck for why). Composes
+	// with MaxStepsPerRun — which is what makes spin-lock duels
+	// tractable as bounded proofs — but not for free: a truncated run
+	// never exhibits its post-horizon races, so every frame such a run
+	// crosses is tainted to explore all branches (mcFrame.all). Within
+	// the truncated region the exploration is unreduced; reduction
+	// survives only in subtrees whose runs all complete.
+	DPOR bool
 
 	// Units is the target number of frontier work units (default
 	// 4×Parallel when parallel, 1 when sequential).
@@ -148,48 +176,15 @@ func (o ExhaustiveOptions) withDefaults() ExhaustiveOptions {
 	if o.MaxReorderings <= 0 {
 		o.MaxReorderings = -1
 	}
+	if o.DPOR {
+		// See the DPOR field comment: memo credits are count-preserving,
+		// DPOR counts are per-class, and a memo cut would hide executed
+		// suffixes from race detection; the legacy sleep sets are a strict
+		// subset of the dependence-derived ones DPOR maintains itself.
+		o.Prune = false
+		o.SleepSets = false
+	}
 	return o
-}
-
-// actID identifies a schedulable action for the commutativity analysis:
-// a drain is named by its thread and the memory address its next step
-// writes (-1 when the step is internal to the buffer: a move into the
-// drain stage, or a same-address coalesce). Thread actions never commute
-// under this conservative analysis and carry drain=false.
-type actID struct {
-	drain bool
-	tid   int
-	addr  Addr
-}
-
-// independent reports whether two actions commute: drains by different
-// threads whose memory effects cannot conflict. Everything else is
-// conservatively dependent.
-func independent(a, b actID) bool {
-	return a.drain && b.drain && a.tid != b.tid &&
-		(a.addr < 0 || b.addr < 0 || a.addr != b.addr)
-}
-
-// drainEffect mirrors storeBuffer.drainOne/drainAt: the address the drain
-// writes to memory, or -1 for buffer-internal steps.
-func drainEffect(m *Machine, act action) Addr {
-	b := m.bufs[act.id]
-	if m.cfg.Model == ModelPSO {
-		return b.entries[act.idx].addr
-	}
-	if !b.useStage {
-		return b.entries[0].addr
-	}
-	switch {
-	case len(b.entries) == 0 && b.hasStage:
-		return b.stage.addr
-	case !b.hasStage:
-		return -1 // head moves into the empty stage
-	case b.entries[0].addr == b.stage.addr:
-		return -1 // same-address coalesce
-	default:
-		return b.stage.addr
-	}
 }
 
 // stateKey is a 2×64-bit canonical-state fingerprint. Collisions would be
@@ -293,10 +288,31 @@ type mcFrame struct {
 	// be published to the memo table.
 	noMemo bool
 	// acts/sleep/skip: commutativity bookkeeping (SleepSets mode). skip[b]
-	// marks branch b as covered by an earlier commuting exploration.
+	// marks branch b as covered by an earlier commuting exploration. DPOR
+	// mode reuses skip for its sleep-blocked branches.
 	acts  []actID
 	sleep []actID
 	skip  []bool
+
+	// DPOR bookkeeping (nil otherwise). procs/fps classify each branch's
+	// action by dependence proc and footprint; bt is the backtrack set
+	// (race handling grows it; nil on resumed frames, meaning every
+	// branch); done marks fully explored branches — unlike the plain
+	// engine's ascending scan, backtracking can revisit lower indices;
+	// dsleep is the dependence-derived sleep set arriving at this node.
+	procs  []int32
+	fps    []footprint
+	bt     []bool
+	done   []bool
+	dsleep []dsleepEntry
+	// all marks a DPOR node a step-limited run passed through. A
+	// truncated run never exhibits its post-horizon races, so the
+	// backtrack sets of the frames it crossed may be missing reversals
+	// whose runs would themselves have completed within the limit.
+	// Every branch of such a node is explored (and its sleep skips
+	// ignored) — the unreduced behavior, restored exactly where the
+	// reduction's completeness argument breaks.
+	all bool
 }
 
 // firstAllowed returns the smallest non-skipped branch, or -1.
@@ -337,6 +353,16 @@ type mcUnit struct {
 	res      ExploreResult
 	complete bool
 	started  bool
+
+	// DPOR bookkeeping. freshFrom is the depth the current run first
+	// diverges from already-race-scanned prefixes (race detection skips
+	// replayed events below it; clock maintenance never does). doneMask
+	// carries the per-frame explored-branch bitmasks across a
+	// checkpoint: collected by snapshot, serialized per unit, and
+	// restored into the rebuilt frames on resume so out-of-order
+	// backtracking never re-runs or loses a subtree.
+	freshFrom int
+	doneMask  []uint64
 }
 
 // mcRunner is one worker's reusable execution state: a machine (Reset
@@ -365,8 +391,13 @@ type mcRunner struct {
 	// may evict the slot after the lookup, so credit never aliases it.
 	creditBuf memoEntry
 
-	hw      []int  // leaf high-water-mark scratch
-	scratch []byte // serialization buffer for state hashing
+	// dp is the per-run DPOR state (events, clocks, race tables); nil
+	// unless ExhaustiveOptions.DPOR.
+	dp *dporState
+
+	hw       []int   // leaf high-water-mark scratch
+	scratch  []byte  // serialization buffer for state hashing
+	sleepIDs []actID // stateKeyFor's sorted-sleep-set scratch
 }
 
 // newRunner builds a worker's runner: the one machine and policy it will
@@ -406,6 +437,17 @@ func (e *mcEngine) newRunner() *mcRunner {
 			}
 			h = fnvMix(h, ok)
 			r.hist[req.tid] = h
+		}
+	}
+	if e.opts.DPOR {
+		r.dp = newDPORState(c.Threads)
+		// End-of-run forced drains are part of the run for dependence
+		// purposes: they carry the remaining memory writes, so races
+		// against them must still add backtrack points. Their events sit
+		// past the last choice point, so they are never race *targets*
+		// (dporRace's depth check rejects them) — only sources.
+		r.m.flushHook = func(tid int) {
+			r.dporRecord(action{drain: true, id: tid}, true)
 		}
 	}
 	r.m.pol = r.pol
@@ -485,10 +527,13 @@ func (r *mcRunner) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKe
 		put(hist[tid])
 	}
 	if len(sleep) > 0 {
-		ids := append([]actID(nil), sleep...)
+		// Sort into the runner's scratch: this runs once per visited
+		// state, so a per-key copy would dominate the allocation profile.
+		ids := append(r.sleepIDs[:0], sleep...)
 		sort.Slice(ids, func(i, j int) bool {
 			return ids[i].tid < ids[j].tid || (ids[i].tid == ids[j].tid && ids[i].addr < ids[j].addr)
 		})
+		r.sleepIDs = ids
 		for _, id := range ids {
 			put(uint64(id.tid)<<32 ^ uint64(id.addr))
 		}
@@ -508,20 +553,6 @@ func (r *mcRunner) stateKeyFor(m *Machine, hist []uint64, sleep []actID) stateKe
 		kb = (kb ^ uint64(c)) * fnvPrime
 	}
 	return stateKey{ka, kb}
-}
-
-// actIDsFor names every action at a choice point for the commutativity
-// analysis.
-func actIDsFor(m *Machine, acts []action) []actID {
-	ids := make([]actID, len(acts))
-	for i, a := range acts {
-		if a.drain {
-			ids[i] = actID{drain: true, tid: a.id, addr: drainEffect(m, a)}
-		} else {
-			ids[i] = actID{tid: a.id}
-		}
-	}
-	return ids
 }
 
 // childSleep computes the sleep set arriving at the child reached from
@@ -579,10 +610,23 @@ func (e *mcEngine) exploreUnit(r *mcRunner, u *mcUnit) {
 		// Rebuild empty frames for the checkpointed path. Their subtrees
 		// were partially counted before the checkpoint, so they must not
 		// be memoized, and sleep-set identities are gone: the remaining
-		// branches are all explored (sound, merely less pruned).
+		// branches are all explored (sound, merely less pruned). Under
+		// DPOR the checkpoint's done-masks say which branches finished
+		// before the interruption; bt stays nil (= every branch), since
+		// the backtrack reasoning that pruned the rest is gone too.
 		for d := rootLen; d < len(u.prefix); d++ {
-			u.frames = append(u.frames, &mcFrame{depth: d, fanout: u.fanout[d], noMemo: true})
+			f := &mcFrame{depth: d, fanout: u.fanout[d], noMemo: true}
+			if e.opts.DPOR {
+				f.done = make([]bool, f.fanout)
+				if di := d - rootLen; di < len(u.doneMask) {
+					for b := range f.done {
+						f.done[b] = u.doneMask[di]&(1<<b) != 0
+					}
+				}
+			}
+			u.frames = append(u.frames, f)
 		}
+		u.doneMask = nil
 	}
 	for {
 		if e.stopped.Load() {
@@ -624,8 +668,16 @@ func (r *mcRunner) choose(acts []action) int {
 		if u.fanout[d] != n {
 			r.mismatch = true
 		}
+		if r.dp != nil {
+			// Clocks are maintained over the whole run; race detection
+			// only fires from the depth this run first diverges at.
+			r.dporRecord(acts[u.prefix[d]], d >= u.freshFrom)
+		}
 		r.depth++
 		return u.prefix[d]
+	}
+	if r.dp != nil {
+		return r.chooseDPOR(acts)
 	}
 	if e.bound >= 0 && r.reorder > e.bound {
 		// The node itself sits past the bound. Reachable only through
@@ -730,6 +782,9 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 	m := r.m
 	m.Reset()
 	progs := e.mk(m)
+	if r.dp != nil {
+		r.dp.begin(m) // after mk: every address is allocated
+	}
 	err := m.Run(progs...)
 	if r.mismatch {
 		panic("tso: Explore program is not replay-deterministic (fanout changed under an identical choice prefix)")
@@ -737,6 +792,14 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 	if r.cut {
 		if !errors.Is(err, errRunCut) && err != nil && !errors.Is(err, ErrStepLimit) {
 			panic(fmt.Sprintf("tso: litmus program failed: %v", err))
+		}
+		if e.opts.DPOR && errors.Is(err, ErrStepLimit) {
+			// A cut run that also hit the step limit still crossed its
+			// frames without exhibiting post-horizon races; taint them
+			// like any truncated leaf (mcFrame.all).
+			for _, f := range u.frames {
+				f.all = true
+			}
 		}
 		u.res.Runs++ // the aborted pass-through still ran on a machine
 		if r.credit != nil {
@@ -782,6 +845,16 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 	u.res.Runs++
 	if stepLimited {
 		u.res.StepLimited++
+		if e.opts.DPOR {
+			// Bounded-DPOR soundness: the truncated run never exhibited
+			// its post-horizon races, so the backtrack sets of the
+			// frames it crossed may be missing reversals whose own runs
+			// would have completed within the limit. Re-open every
+			// branch of every node on its path (mcFrame.all).
+			for _, f := range u.frames {
+				f.all = true
+			}
+		}
 	}
 	acc := &u.acc
 	if len(u.frames) > 0 {
@@ -796,6 +869,9 @@ func (e *mcEngine) runOne(r *mcRunner, u *mcUnit) (int, bool) {
 // or below the unit root, finalizing (and memoizing) every node it
 // retreats past. It reports false when the unit's subtree is exhausted.
 func (e *mcEngine) advance(u *mcUnit, rootLen int) bool {
+	if e.opts.DPOR {
+		return e.advanceDPOR(u, rootLen)
+	}
 	for i := len(u.prefix) - 1; i >= rootLen; i-- {
 		f := u.frames[i-rootLen]
 		if nb := f.nextAllowed(u.prefix[i]); nb >= 0 {
@@ -834,11 +910,23 @@ func (e *mcEngine) finalizeFrames(u *mcUnit, downTo int) {
 // snapshot flushes partial frame accumulators into the unit result (they
 // are part of the counts already reported via the checkpoint) and leaves
 // prefix/fanout as the resumable position. Nothing is memoized: the
-// flushed subtrees are incomplete.
+// flushed subtrees are incomplete. DPOR frames additionally deposit
+// their explored-branch bitmasks in doneMask so the checkpoint can
+// restore them — without this, an out-of-order backtrack schedule would
+// make the resumed ascending sweep unsound.
 func (u *mcUnit) snapshot() {
+	rootLen := len(u.root)
 	for len(u.frames) > 0 {
 		f := u.frames[len(u.frames)-1]
 		u.frames = u.frames[:len(u.frames)-1]
+		if f.done != nil {
+			if u.doneMask == nil {
+				u.doneMask = make([]uint64, len(u.prefix)-rootLen)
+			}
+			if di := f.depth - rootLen; di >= 0 && di < len(u.doneMask) {
+				u.doneMask[di] = doneMaskOf(f.done)
+			}
+		}
 		if len(u.frames) > 0 {
 			u.frames[len(u.frames)-1].acc.fold(&f.acc)
 		} else {

@@ -30,6 +30,11 @@ func ShardFrontier(cfg Config, mkProgs func(m *Machine) []func(Context), opts Ex
 		return nil, err
 	}
 	o := opts.withDefaults()
+	if o.DPOR {
+		if err := dporCheck(c, o); err != nil {
+			return nil, err
+		}
+	}
 	e := &mcEngine{cfg: c, mk: mkProgs, opts: o, bound: o.MaxReorderings}
 	units := e.split()
 	reorder := 0
@@ -44,6 +49,7 @@ func ShardFrontier(cfg Config, mkProgs func(m *Machine) []func(Context), opts Ex
 		DrainBuffer:  c.DrainBuffer,
 		Label:        o.Label,
 		Reorder:      reorder,
+		DPOR:         o.DPOR,
 		Counts:       map[string]int{},
 		MaxOccupancy: make([]int, c.Threads),
 		Tree:         e.splitTree,
@@ -61,6 +67,7 @@ func cloneUnit(u UnitCheckpoint) UnitCheckpoint {
 		RootFanout: append([]int(nil), u.RootFanout...),
 		Prefix:     append([]int(nil), u.Prefix...),
 		Fanout:     append([]int(nil), u.Fanout...),
+		Done:       append([]uint64(nil), u.Done...),
 	}
 }
 
@@ -81,6 +88,7 @@ func (cp *Checkpoint) Shards() (base *Checkpoint, shards []*Checkpoint) {
 		DrainBuffer:  cp.DrainBuffer,
 		Label:        cp.Label,
 		Reorder:      cp.Reorder,
+		DPOR:         cp.DPOR,
 		Runs:         cp.Runs,
 		StepLimited:  cp.StepLimited,
 		Counts:       map[string]int{},
@@ -100,6 +108,7 @@ func (cp *Checkpoint) Shards() (base *Checkpoint, shards []*Checkpoint) {
 			DrainBuffer:  cp.DrainBuffer,
 			Label:        cp.Label,
 			Reorder:      cp.Reorder,
+			DPOR:         cp.DPOR,
 			Counts:       map[string]int{},
 			MaxOccupancy: make([]int, cp.Threads),
 			Units:        []UnitCheckpoint{cloneUnit(u)},
@@ -126,6 +135,7 @@ type Fold struct {
 	memo        MemoStats
 	label       string
 	reorder     int
+	dpor        bool
 }
 
 // NewFold returns an empty fold for a machine with the given thread
@@ -150,10 +160,11 @@ func (f *Fold) AddBase(cp *Checkpoint) {
 	f.tree.merge(cp.Tree)
 	f.prune.merge(cp.Prune)
 	// The base's identity metadata carries into every checkpoint the fold
-	// writes, so sliced explorations keep the phase label and reorder
-	// bound their shards were cut under.
+	// writes, so sliced explorations keep the phase label, reorder bound
+	// and DPOR mode their shards were cut under.
 	f.label = cp.Label
 	f.reorder = cp.Reorder
+	f.dpor = cp.DPOR
 }
 
 // Add folds one shard exploration's delta — the OutcomeSet and
@@ -222,6 +233,7 @@ func (f *Fold) Checkpoint(cfg Config, units []UnitCheckpoint) (*Checkpoint, erro
 		DrainBuffer:  c.DrainBuffer,
 		Label:        f.label,
 		Reorder:      f.reorder,
+		DPOR:         f.dpor,
 		Runs:         f.runs,
 		StepLimited:  f.stepLimited,
 		Counts:       map[string]int{},
