@@ -1,0 +1,100 @@
+// Command servebench runs the serving-regime scheduler sweep: an
+// open-loop latency workload (Poisson arrivals with bursts, fork/join
+// request trees entering at worker 0) over the algorithm × scheduler-
+// knob × arrival-rate × grain cross product, reporting tail latency and
+// steal-path mix per cell. The default sweep is load.ReferenceSweep,
+// the configuration behind results/BENCH_sched.json.
+//
+// Usage:
+//
+//	servebench [-requests 256] [-seeds 3] [-json] [-p N] [-cache dir] [-nocache]
+//
+// Cells are cached under -cache keyed by (cell config, code version),
+// so an interrupted sweep (SIGINT) resumes where it stopped on the next
+// invocation; -nocache forces recomputation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/load"
+	"repro/internal/runner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servebench: ")
+	requests := flag.Int("requests", 0, "requests per cell per seed (0 = reference sweep's 256)")
+	seeds := flag.Int("seeds", 0, "seeded runs merged per cell (0 = reference sweep's 3)")
+	jsonOut := flag.Bool("json", false, "emit the BENCH_sched.json report instead of a table")
+	workers := flag.Int("p", 0, "worker-pool size for the sweep (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", runner.DefaultCacheDir, "cell cache directory")
+	nocache := flag.Bool("nocache", false, "recompute every cell, ignoring the cache")
+	flag.Parse()
+
+	sc := load.ReferenceSweep()
+	if *requests > 0 {
+		sc.Requests = *requests
+	}
+	if *seeds > 0 {
+		sc.Seeds = *seeds
+	}
+
+	var cache *runner.Cache
+	if !*nocache {
+		var err error
+		if cache, err = runner.OpenCache(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, stop := runner.SignalContext(context.Background())
+	defer stop()
+	start := time.Now()
+	prog := runner.NewProgress(os.Stderr, "serving sweep", 0)
+	rows, err := load.Sweep(ctx, &runner.Runner{Workers: *workers, Progress: prog}, cache, sc)
+	prog.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		if err := load.WriteReport(os.Stdout, load.Report{Requests: sc.Requests, Seeds: sc.Seeds, Rows: rows}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	render(rows)
+	fmt.Printf("(%d cells, %d requests x %d seeds each, %v)\n",
+		len(rows), sc.Requests, sc.Seeds, time.Since(start).Round(time.Millisecond))
+}
+
+// render prints the sweep as one aligned table, gap-major like the row
+// order.
+func render(rows []load.Row) {
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%g", r.Gap),
+			fmt.Sprintf("%d", r.Grain),
+			r.Algo,
+			r.Knob,
+			fmt.Sprintf("%d", r.P50),
+			fmt.Sprintf("%d", r.P99),
+			fmt.Sprintf("%d", r.P999),
+			fmt.Sprintf("%.2f", r.StealsPerReq),
+			fmt.Sprintf("%.2f", r.StolenPerReq),
+			fmt.Sprintf("%.2f", r.AbortsPerReq),
+		})
+	}
+	expt.WriteTable(os.Stdout, []string{
+		"gap", "grain", "algorithm", "knob", "p50", "p99", "p99.9",
+		"steals/req", "stolen/req", "aborts/req",
+	}, table)
+}

@@ -1,0 +1,93 @@
+package core
+
+import "repro/internal/tso"
+
+// BatchStealer is an optional Deque extension: a thief extracts several
+// tasks from the head of the victim's queue in one visit. The Chase-Lev
+// family implements it (their Steal path is already CAS-arbitrated per
+// task, so a batch is just consecutive claims in one visit); the THE
+// family and the idempotent queues deliberately do not — those are the
+// paper's algorithms under test, and they stay exactly as transcribed —
+// so callers must fall back to single Steal when the assertion fails.
+type BatchStealer interface {
+	// StealBatch steals up to len(out) tasks into out, head-first (out[0]
+	// is the oldest), and returns how many were taken. It never takes
+	// more than half of the victim's visible queue, so a victim is never
+	// emptied under the worker. The status is OK when at least one task
+	// was taken, otherwise Empty or (FF-CL only) Abort, exactly as Steal
+	// would have answered; a batch cut short by a lost CAS race keeps
+	// what it already claimed.
+	StealBatch(c tso.Context, out []uint64) (int, Status)
+}
+
+// stealBatch claims up to len(out) tasks head-first, one CAS per claim,
+// re-reading H and T before every claim.
+//
+// One CAS per task is not an implementation shortcut — a single wide
+// CAS H: h → h+k is unsound against the worker's take. take() claims
+// task T-1 without touching H whenever it reads T-1 > H, so between the
+// thief's read of T and its CAS the worker can take T-1, T-2, … down
+// into [h, h+k) while H still holds h; the wide CAS then succeeds and
+// re-delivers those tasks. Per-claim CASes keep the single-steal safety
+// argument intact: each claim takes the task at the *current* head or
+// fails. The batching win is not fewer CASes but fewer visits — the
+// loot seeds the thief's own queue, turning would-be steals (victim
+// selection, lock/CAS traffic, backoff) into cheap fence-free takes.
+func (q *clBase) stealBatch(c tso.Context, out []uint64, delta int64) (int, Status) {
+	n := 0
+	target := len(out)
+	for n < target {
+		h := i64(c.Load(q.h))
+		t := i64(c.Load(q.t))
+		if h >= t {
+			break // drained (possibly mid-batch by the worker or a rival)
+		}
+		if delta > 0 && t-delta <= h {
+			// FF-CL's certification failed: the worker's T-stores may be
+			// buffered. Abort only if nothing was claimed yet; a partial
+			// batch is a success.
+			if n == 0 {
+				return 0, Abort
+			}
+			break
+		}
+		if n == 0 {
+			// Size the batch off the first consistent snapshot: half the
+			// visible queue rounded up (a lone task is stealable, but a
+			// victim is never emptied), clamped under δ to the certified
+			// region.
+			half := (t - h + 1) / 2
+			if delta > 0 && half > t-delta-h {
+				half = t - delta - h
+			}
+			if half < int64(target) {
+				target = int(half)
+			}
+		}
+		task := c.Load(q.slot(h))
+		if _, ok := c.CAS(q.h, u64(h), u64(h+1)); !ok {
+			if n > 0 {
+				break // lost a race mid-batch: keep the claims we hold
+			}
+			continue // first claim retries from scratch, like Steal
+		}
+		out[n] = task
+		n++
+	}
+	if n == 0 {
+		return 0, Empty
+	}
+	return n, OK
+}
+
+// StealBatch implements BatchStealer for the fenced Chase-Lev deque.
+func (q *ChaseLev) StealBatch(c tso.Context, out []uint64) (int, Status) {
+	return q.stealBatch(c, out, 0)
+}
+
+// StealBatch implements BatchStealer for FF-CL: every claim individually
+// satisfies the T - δ > H certification, so the batch never touches a
+// task whose ownership could be decided by a buffered take().
+func (q *FFCL) StealBatch(c tso.Context, out []uint64) (int, Status) {
+	return q.stealBatch(c, out, q.delta)
+}

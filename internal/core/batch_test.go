@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// batchAlgos are the queues that implement BatchStealer.
+var batchAlgos = []struct {
+	algo  Algo
+	delta int
+}{
+	{AlgoChaseLev, 0},
+	{AlgoFFCL, 2},
+}
+
+// TestBatchStealerAssertions pins which queues batch-steal: the
+// Chase-Lev family does, the paper's THE family and the idempotent
+// comparators fall back to single steal.
+func TestBatchStealerAssertions(t *testing.T) {
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4})
+	for _, algo := range AllAlgos {
+		q := New(algo, m, 16, 2)
+		_, ok := q.(BatchStealer)
+		want := algo == AlgoChaseLev || algo == AlgoFFCL
+		if ok != want {
+			t.Errorf("%v: BatchStealer = %v, want %v", algo, ok, want)
+		}
+	}
+}
+
+// runBatchSolo prefights a queue with n tasks and batch-steals once from
+// a lone thread, returning the count and status.
+func runBatchSolo(t *testing.T, algo Algo, n, delta, cap int) (got []uint64, st Status) {
+	t.Helper()
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4, Seed: 1})
+	q := New(algo, m, 2*n+4, delta)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) + 1
+	}
+	q.(Prefiller).Prefill(m, vals)
+	out := make([]uint64, cap)
+	var k int
+	if err := m.Run(func(c tso.Context) {
+		k, st = q.(BatchStealer).StealBatch(c, out)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out[:k], st
+}
+
+// TestStealBatchHalf checks the sizing rule: at most half the visible
+// queue (rounded up), clamped by the out buffer and, for FF-CL, by the
+// δ-certified region; tasks arrive head-first.
+func TestStealBatchHalf(t *testing.T) {
+	cases := []struct {
+		algo          Algo
+		n, delta, cap int
+		want          int
+		wantSt        Status
+	}{
+		{AlgoChaseLev, 8, 0, 8, 4, OK}, // half of 8
+		{AlgoChaseLev, 7, 0, 8, 4, OK}, // ceil(7/2)
+		{AlgoChaseLev, 1, 0, 8, 1, OK}, // a lone task is stealable
+		{AlgoChaseLev, 8, 0, 2, 2, OK}, // out buffer clamps
+		{AlgoChaseLev, 0, 0, 4, 0, Empty},
+		{AlgoFFCL, 8, 2, 8, 4, OK},    // certified region 6, half 4
+		{AlgoFFCL, 8, 6, 8, 2, OK},    // certified region clamps to 2
+		{AlgoFFCL, 2, 2, 8, 0, Abort}, // nothing certifiable
+		{AlgoFFCL, 0, 2, 8, 0, Empty},
+	}
+	for _, tc := range cases {
+		got, st := runBatchSolo(t, tc.algo, tc.n, tc.delta, tc.cap)
+		if st != tc.wantSt || len(got) != tc.want {
+			t.Errorf("%v n=%d delta=%d cap=%d: got %d tasks st=%v, want %d st=%v",
+				tc.algo, tc.n, tc.delta, tc.cap, len(got), st, tc.want, tc.wantSt)
+			continue
+		}
+		for i, v := range got {
+			if v != uint64(i)+1 {
+				t.Errorf("%v n=%d: out[%d] = %d, want %d (head-first order)", tc.algo, tc.n, i, v, i+1)
+			}
+		}
+	}
+}
+
+// TestStealBatchSafety drains a prefilled queue with a taking worker
+// racing a batch-stealing thief over many chaos schedules and checks
+// exact-once delivery: no task lost, none delivered twice.
+func TestStealBatchSafety(t *testing.T) {
+	for _, ba := range batchAlgos {
+		for seed := int64(1); seed <= 40; seed++ {
+			const n = 24
+			cfg := tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.25}
+			m := tso.NewMachine(cfg)
+			q := New(ba.algo, m, 2*n, ba.delta)
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i) + 1
+			}
+			q.(Prefiller).Prefill(m, vals)
+			scratch := m.Alloc(8)
+
+			counts := make([]int, n+1)
+			workerDone := false
+			loot := make([]uint64, 6)
+			err := m.Run(
+				func(c tso.Context) { // worker: take until empty
+					defer func() { workerDone = true }()
+					for {
+						v, st := q.Take(c)
+						if st != OK {
+							return
+						}
+						counts[v]++
+						c.Store(scratch, v)
+					}
+				},
+				func(c tso.Context) { // thief: batch-steal until drained
+					idle := 0
+					for idle <= 3 {
+						k, st := q.(BatchStealer).StealBatch(c, loot)
+						switch st {
+						case OK:
+							for _, v := range loot[:k] {
+								counts[v]++
+							}
+							idle = 0
+						default:
+							if workerDone {
+								idle++
+							}
+						}
+						c.Work(1)
+					}
+				},
+			)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", ba.algo, seed, err)
+			}
+			for id := 1; id <= n; id++ {
+				if counts[id] != 1 {
+					t.Fatalf("%v seed %d: task %d delivered %d times", ba.algo, seed, id, counts[id])
+				}
+			}
+		}
+	}
+}
+
+// TestStealBatchRivalThieves races two batch thieves (no worker) over a
+// prefilled queue: between them they must extract every task exactly
+// once — a lost CAS mid-batch keeps prior claims and forfeits the rest.
+func TestStealBatchRivalThieves(t *testing.T) {
+	for _, ba := range batchAlgos {
+		for seed := int64(1); seed <= 40; seed++ {
+			const n = 24
+			cfg := tso.Config{Threads: 2, BufferSize: 4, Seed: seed, DrainBias: 0.25}
+			m := tso.NewMachine(cfg)
+			q := New(ba.algo, m, 2*n, ba.delta)
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = uint64(i) + 1
+			}
+			q.(Prefiller).Prefill(m, vals)
+
+			counts := make([]int, n+1)
+			thief := func(c tso.Context) {
+				loot := make([]uint64, 8)
+				empties := 0
+				for empties <= 3 {
+					k, st := q.(BatchStealer).StealBatch(c, loot)
+					switch st {
+					case OK:
+						for _, v := range loot[:k] {
+							counts[v]++
+						}
+						empties = 0
+					case Empty:
+						empties++
+					case Abort:
+						// δ never certifies the last δ tasks with no
+						// worker draining its buffer; the remainder is
+						// checked below.
+						return
+					}
+					c.Work(1)
+				}
+			}
+			if err := m.Run(thief, thief); err != nil {
+				t.Fatalf("%v seed %d: %v", ba.algo, seed, err)
+			}
+			for id := 1; id <= n; id++ {
+				if counts[id] > 1 {
+					t.Fatalf("%v seed %d: task %d delivered %d times", ba.algo, seed, id, counts[id])
+				}
+				// FF-CL thieves legitimately leave the uncertifiable tail.
+				if ba.delta == 0 && counts[id] == 0 {
+					t.Fatalf("%v seed %d: task %d lost", ba.algo, seed, id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// TestBenchSched runs the canonical serving sweep (ReferenceSweep): the
+// open-loop latency workload over the algorithm × scheduler-knob ×
+// arrival-rate × grain cross product. It only runs when BENCH_SCHED_OUT
+// names an output file, where it writes the Report JSON (CI uploads it
+// as the BENCH_sched.json artifact). The checked-in copy under results/
+// doubles as a regression gate: every quantity is a deterministic
+// function of the simulated machine, so a p99 or steals-per-request
+// more than 25% above its reference value fails the bench.
+func TestBenchSched(t *testing.T) {
+	out := os.Getenv("BENCH_SCHED_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SCHED_OUT=path to run the serving-scheduler bench")
+	}
+
+	sc := ReferenceSweep()
+	start := time.Now()
+	rows, err := Sweep(context.Background(), runner.New(0), nil, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d cells in %v", len(rows), time.Since(start).Round(time.Millisecond))
+
+	rep := Report{Requests: sc.Requests, Seeds: sc.Seeds, Rows: rows}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper-fidelity invariant, asserted on fresh data rather than the
+	// reference: on an algorithm without batch support (the THE family)
+	// the batch knob must be completely inert — identical measurements,
+	// not merely close ones.
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Key()] = r
+	}
+	for _, r := range rows {
+		if r.Knob != "batch8" || r.Algo != "THE" && r.Algo != "FF-THE" {
+			continue
+		}
+		base := r
+		base.Knob, base.Victim, base.Batch = "base", "uniform", 1
+		b, ok := byKey[base.Key()]
+		if !ok {
+			t.Fatalf("no base row for %s", r.Key())
+		}
+		b.Knob, b.Victim, b.Batch = r.Knob, r.Victim, r.Batch
+		if b != r {
+			t.Errorf("batch knob changed a non-batchable run:\nbase  %+v\nbatch %+v", byKey[base.Key()], r)
+		}
+	}
+	// And batching must actually batch where it is supported: on the
+	// Chase-Lev family some cell moves more tasks than it makes visits.
+	batchedWorks := false
+	for _, r := range rows {
+		if r.Batch > 1 && (r.Algo == "Chase-Lev" || r.Algo == "FF-CL") && r.StolenPerReq > r.StealsPerReq {
+			batchedWorks = true
+		}
+	}
+	if !batchedWorks {
+		t.Error("no Chase-Lev-family cell ever took more than one task per steal visit")
+	}
+
+	// Regression gate against the checked-in reference.
+	ref, err := os.ReadFile("../../results/BENCH_sched.json")
+	if err != nil {
+		t.Fatalf("no checked-in reference to gate against: %v", err)
+	}
+	var refRep Report
+	if err := json.Unmarshal(ref, &refRep); err != nil {
+		t.Fatalf("results/BENCH_sched.json: %v", err)
+	}
+	refRows := map[string]Row{}
+	for _, r := range refRep.Rows {
+		refRows[r.Key()] = r
+	}
+	for _, r := range rows {
+		want, ok := refRows[r.Key()]
+		if !ok {
+			t.Errorf("reference BENCH_sched.json lacks row %q; regenerate it", r.Key())
+			continue
+		}
+		if float64(r.P99) > float64(want.P99)*1.25 {
+			t.Errorf("%s: p99 regressed >25%%: %d cycles, reference %d", r.Key(), r.P99, want.P99)
+		}
+		// The absolute slack keeps near-zero steal rates from gating on
+		// noise-scale shifts (0.01 → 0.02 is not a regression story).
+		if r.StealsPerReq > want.StealsPerReq*1.25+0.1 {
+			t.Errorf("%s: steals/request regressed >25%%: %.3f, reference %.3f",
+				r.Key(), r.StealsPerReq, want.StealsPerReq)
+		}
+	}
+}

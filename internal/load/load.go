@@ -1,0 +1,196 @@
+// Package load is the serving-regime workload layer: an open-loop
+// request generator over the timed machine and the work-stealing
+// scheduler, measuring tail latency instead of makespan.
+//
+// The paper's evaluation (§8) is throughput-shaped: a fixed task DAG,
+// makespan as the metric. A server runs the other regime — requests
+// arrive on their own clock whether or not the runtime keeps up, and
+// the metric is the latency distribution, dominated by its tail. The
+// generator here is open-loop for exactly that reason: arrival times
+// are drawn up front from the arrival process and a request's latency
+// is measured from its *scheduled* arrival, so when the runtime falls
+// behind, the backlog shows up as growing latency rather than being
+// silently absorbed by a slowed-down generator (the coordinated-
+// omission mistake of closed-loop load generators).
+//
+// The model is a network thread: worker 0 runs a dispatcher task that
+// sleeps (Worker.Work) until each arrival and Spawns the request onto
+// its own queue. Every request therefore enters the system at one
+// queue, and the only mechanism spreading it across cores is work
+// stealing — which is what makes the steal path a serving-latency
+// concern and the scheduler's victim-selection and batching knobs
+// (sched.Options.Victim, sched.Options.BatchSteal) worth measuring.
+// Requests are Cilk-style fork/join trees: a root costing RootWork
+// forks Fanout leaves costing Grain each, and the join continuation
+// stamps the completion time, playing the role of the reply write.
+// All timestamps are virtual cycles from sched.Worker.Now.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tso"
+)
+
+// Workload describes one open-loop serving run.
+type Workload struct {
+	// Requests is the number of requests to dispatch (>= 1).
+	Requests int
+	// MeanGap is the mean inter-arrival gap in virtual cycles; arrivals
+	// are Poisson (exponential gaps). The offered rate is 1/MeanGap
+	// regardless of Burst.
+	MeanGap float64
+	// Burst groups arrivals: every Burst consecutive requests share one
+	// arrival instant, with the gaps between instants scaled by Burst so
+	// the mean rate is unchanged. 0 or 1 means no bursting.
+	Burst int
+	// Fanout is the number of parallel leaf tasks a request forks; 0
+	// means the request is a single sequential task.
+	Fanout int
+	// Grain is the computation per leaf in cycles.
+	Grain uint64
+	// RootWork is the sequential work a request does before forking
+	// (parsing, routing) in cycles.
+	RootWork uint64
+	// Seed drives the arrival process. The same (Workload, machine
+	// config, scheduler options) triple reproduces a run exactly.
+	Seed int64
+}
+
+// withDefaults normalizes the degenerate field encodings.
+func (wl Workload) withDefaults() Workload {
+	if wl.Burst < 1 {
+		wl.Burst = 1
+	}
+	return wl
+}
+
+// arrivals precomputes the open-loop arrival timetable: Poisson group
+// instants (first group at 0), Burst requests per group.
+func (wl Workload) arrivals() []uint64 {
+	rng := rand.New(rand.NewSource(wl.Seed))
+	out := make([]uint64, wl.Requests)
+	var at float64
+	for i := 0; i < wl.Requests; i += wl.Burst {
+		if i > 0 {
+			at += rng.ExpFloat64() * wl.MeanGap * float64(wl.Burst)
+		}
+		for j := i; j < i+wl.Burst && j < wl.Requests; j++ {
+			out[j] = uint64(at)
+		}
+	}
+	return out
+}
+
+// Result is one serving run's measurement.
+type Result struct {
+	// Requests echoes the workload size.
+	Requests int
+	// Hist is the request-latency histogram in virtual cycles.
+	Hist *stats.Histogram
+	// P50, P99 and P999 are latency quantiles from Hist (conservative
+	// upper bounds, see stats.Histogram.Quantile); Max is exact.
+	P50, P99, P999, Max uint64
+	// Mean is the exact mean latency.
+	Mean float64
+	// Sched carries the scheduler's counters for the run.
+	Sched sched.Stats
+	// StealsPerReq is successful steal visits per request — the
+	// steal-path pressure the knobs aim at.
+	StealsPerReq float64
+	// StolenPerReq is tasks moved between queues per request (differs
+	// from StealsPerReq only under batching).
+	StolenPerReq float64
+	// AbortsPerReq is fence-free steal aborts per request.
+	AbortsPerReq float64
+	// Elapsed is the virtual-cycle makespan of the whole run.
+	Elapsed uint64
+}
+
+// Run executes one open-loop serving run of wl on a fresh timed machine
+// built from cfg, under the scheduler options opt. Idempotent queue
+// algorithms are rejected: a request is a fork/join tree, and a
+// duplicate delivery would fire its join early (sched.Worker.Fork
+// documents the same restriction).
+func Run(cfg tso.Config, opt sched.Options, wl Workload) (Result, error) {
+	wl = wl.withDefaults()
+	if wl.Requests < 1 {
+		return Result{}, fmt.Errorf("load: workload needs at least 1 request, got %d", wl.Requests)
+	}
+	if opt.Algo.Idempotent() {
+		return Result{}, fmt.Errorf("load: %s may duplicate deliveries; serving requests are fork/join trees and need an exact queue", opt.Algo)
+	}
+	m := tso.NewTimedMachine(cfg)
+	defer m.Close()
+	pool := sched.NewPool(m, opt)
+
+	arr := wl.arrivals()
+	hist := &stats.Histogram{}
+	// record stamps request i's completion. Task bodies run with the
+	// machine's one-thread-at-a-time guarantee, so the shared histogram
+	// needs no locking.
+	record := func(w *sched.Worker, i int) {
+		var lat uint64
+		if now := w.Now(); now > arr[i] {
+			lat = now - arr[i]
+		}
+		hist.Record(lat)
+	}
+	request := func(i int) sched.TaskFunc {
+		return func(w *sched.Worker) {
+			if wl.RootWork > 0 {
+				w.Work(wl.RootWork)
+			}
+			if wl.Fanout == 0 {
+				record(w, i)
+				return
+			}
+			leaves := make([]sched.TaskFunc, wl.Fanout)
+			for j := range leaves {
+				leaves[j] = func(w *sched.Worker) { w.Work(wl.Grain) }
+			}
+			w.Fork(func(w *sched.Worker) { record(w, i) }, leaves...)
+		}
+	}
+	dispatcher := func(w *sched.Worker) {
+		for i := range arr {
+			if now := w.Now(); now < arr[i] {
+				w.Work(arr[i] - now) // idle until the next scheduled arrival
+			}
+			w.Spawn(request(i))
+		}
+	}
+
+	st, err := pool.Run(dispatcher)
+	if err != nil {
+		return Result{}, fmt.Errorf("load: %s: %w", opt.Algo, err)
+	}
+	if got := hist.Count(); got != uint64(wl.Requests) {
+		return Result{}, fmt.Errorf("load: %d of %d requests completed", got, wl.Requests)
+	}
+	return NewResult(wl.Requests, hist, st), nil
+}
+
+// NewResult assembles a Result from a latency histogram and scheduler
+// counters, deriving the quantiles and per-request rates; the sweep
+// uses it to re-derive merged results across seeds.
+func NewResult(requests int, hist *stats.Histogram, st sched.Stats) Result {
+	n := float64(requests)
+	return Result{
+		Requests:     requests,
+		Hist:         hist,
+		P50:          hist.Quantile(0.50),
+		P99:          hist.Quantile(0.99),
+		P999:         hist.Quantile(0.999),
+		Max:          hist.MaxValue(),
+		Mean:         hist.Mean(),
+		Sched:        st,
+		StealsPerReq: float64(st.Steals) / n,
+		StolenPerReq: float64(st.StolenTasks) / n,
+		AbortsPerReq: float64(st.Aborts) / n,
+		Elapsed:      st.Elapsed,
+	}
+}

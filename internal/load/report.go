@@ -1,0 +1,30 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the BENCH_sched.json schema: the sweep's rows plus the
+// request volume behind each cell, so a reader can judge how much data
+// is under the quantiles.
+type Report struct {
+	// Requests is requests per cell per seed; Seeds the merged runs.
+	Requests int `json:"requests"`
+	// Seeds is how many seeded runs each row merges.
+	Seeds int `json:"seeds"`
+	// Rows are the sweep cells in sweep order.
+	Rows []Row `json:"rows"`
+}
+
+// WriteReport writes the report as indented JSON with a trailing
+// newline — the exact bytes of results/BENCH_sched.json.
+func WriteReport(w io.Writer, r Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

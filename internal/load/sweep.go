@@ -1,0 +1,265 @@
+package load
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tso"
+)
+
+// AlgoCase is one queue-algorithm column of a sweep.
+type AlgoCase struct {
+	// Algo is the queue algorithm.
+	Algo core.Algo
+	// Delta is δ for the fence-free algorithms (ignored otherwise).
+	Delta int
+}
+
+// Knob is one scheduler-ablation column of a sweep: a named
+// (victim policy, batch width) pair.
+type Knob struct {
+	// Name labels the knob combination in rows and reports.
+	Name string
+	// Victim is the victim-selection policy.
+	Victim sched.VictimPolicy
+	// Batch is sched.Options.BatchSteal (<= 1: single steal).
+	Batch int
+}
+
+// SweepConfig spans a serving sweep: the cross product of arrival rate
+// (Gaps) × task grain (Grains) × algorithm (Algos) × scheduler knobs
+// (Knobs), each cell averaged over Seeds independent runs.
+type SweepConfig struct {
+	// Cfg is the simulated platform; every cell runs on a fresh timed
+	// machine built from it.
+	Cfg tso.Config
+	// Requests, Fanout, Burst and RootWork fix the non-swept Workload
+	// fields (see Workload).
+	Requests, Fanout, Burst int
+	// RootWork is the per-request sequential prelude in cycles.
+	RootWork uint64
+	// Gaps lists the mean inter-arrival gaps to sweep (cycles).
+	Gaps []float64
+	// Grains lists the per-leaf computation grains to sweep (cycles).
+	Grains []uint64
+	// Algos lists the queue algorithms to sweep.
+	Algos []AlgoCase
+	// Knobs lists the scheduler-knob combinations to sweep.
+	Knobs []Knob
+	// Seeds is how many seeded runs each cell merges (>= 1); run s uses
+	// workload seed s+1 and scheduler seed 1000+s.
+	Seeds int
+}
+
+// Row is one sweep cell's merged measurement, in a flat JSON-friendly
+// shape (the BENCH_sched.json schema).
+type Row struct {
+	Algo   string  `json:"algo"`   // algorithm display name
+	Delta  int     `json:"delta"`  // δ for the fence-free algorithms (0 unused)
+	Knob   string  `json:"knob"`   // scheduler-knob combination name
+	Victim string  `json:"victim"` // victim-selection policy name
+	Batch  int     `json:"batch"`  // batch-steal width (<= 1: single)
+	Gap    float64 `json:"gap"`    // mean inter-arrival gap, cycles
+	Grain  uint64  `json:"grain"`  // per-leaf computation, cycles
+	P50    uint64  `json:"p50"`    // median latency, cycles (merged seeds)
+	P99    uint64  `json:"p99"`    // 99th-percentile latency, cycles
+	P999   uint64  `json:"p999"`   // 99.9th-percentile latency, cycles
+	Max    uint64  `json:"max"`    // worst latency, cycles (exact)
+	Mean   float64 `json:"mean"`   // mean latency, cycles (exact)
+	// StealsPerReq is successful steal visits per request.
+	StealsPerReq float64 `json:"steals_per_req"`
+	// StolenPerReq is tasks moved cross-queue per request.
+	StolenPerReq float64 `json:"stolen_per_req"`
+	// AbortsPerReq is fence-free steal aborts per request.
+	AbortsPerReq float64 `json:"aborts_per_req"`
+}
+
+// Key identifies the row's cell within a sweep: the comparison key the
+// regression gate joins on.
+func (r Row) Key() string {
+	return fmt.Sprintf("%s/d%d/%s/gap%g/grain%d", r.Algo, r.Delta, r.Knob, r.Gap, r.Grain)
+}
+
+// cellKey is the cache key for one sweep cell: everything the cell's
+// result depends on. Any change recomputes the cell; unchanged cells
+// are served from the cache, which is what gives an interrupted sweep
+// checkpoint/resume at cell granularity.
+type cellKey struct {
+	Cfg                     tso.Config
+	Requests, Fanout, Burst int
+	RootWork                uint64
+	Gap                     float64
+	Grain                   uint64
+	Algo                    string
+	Delta                   int
+	Victim                  string
+	Batch                   int
+	Seeds                   int
+}
+
+// cellValue is the cached per-cell aggregate: the merged histogram plus
+// summed scheduler counters, from which the Row is re-derived (so the
+// cache stays valid if only presentation changes).
+type cellValue struct {
+	// Hist is the latency histogram merged across the cell's seeds.
+	Hist *stats.Histogram `json:"hist"`
+	// Sched is the sum of the per-seed scheduler counters.
+	Sched sched.Stats `json:"sched"`
+}
+
+// cell pairs a key with its position so results keep sweep order.
+type cell struct {
+	key cellKey
+	sc  SweepConfig
+}
+
+// Sweep runs the full cross product of sc on r's worker pool, one job
+// per cell, caching each cell in cache (nil: no caching). Row order is
+// gap-major, then grain, algorithm, knob. A cancelled context returns
+// the context error; completed cells stay cached for the next attempt.
+func Sweep(ctx context.Context, r *runner.Runner, cache *runner.Cache, sc SweepConfig) ([]Row, error) {
+	if sc.Seeds < 1 {
+		sc.Seeds = 1
+	}
+	var cells []cell
+	for _, gap := range sc.Gaps {
+		for _, grain := range sc.Grains {
+			for _, ac := range sc.Algos {
+				for _, k := range sc.Knobs {
+					delta := ac.Delta
+					if !ac.Algo.UsesDelta() {
+						delta = 0
+					}
+					cells = append(cells, cell{sc: sc, key: cellKey{
+						Cfg: sc.Cfg, Requests: sc.Requests, Fanout: sc.Fanout,
+						Burst: sc.Burst, RootWork: sc.RootWork,
+						Gap: gap, Grain: grain,
+						Algo: ac.Algo.String(), Delta: delta,
+						Victim: k.Victim.String(), Batch: k.Batch,
+						Seeds: sc.Seeds,
+					}})
+				}
+			}
+		}
+	}
+	name := func(i int, c cell) string {
+		return fmt.Sprintf("serve %s d=%d %s/b%d gap=%g grain=%d",
+			c.key.Algo, c.key.Delta, c.key.Victim, c.key.Batch, c.key.Gap, c.key.Grain)
+	}
+	return runner.Map(ctx, r, cells, name, func(ctx context.Context, c cell) (Row, error) {
+		v, _, err := runner.Cached(cache, "serve", c.key, func() (cellValue, error) {
+			return runCell(ctx, c.key)
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		res := NewResult(c.key.Requests*c.key.Seeds, v.Hist, v.Sched)
+		return Row{
+			Algo: c.key.Algo, Delta: c.key.Delta,
+			Knob: knobName(c.sc.Knobs, c.key), Victim: c.key.Victim, Batch: c.key.Batch,
+			Gap: c.key.Gap, Grain: c.key.Grain,
+			P50: res.P50, P99: res.P99, P999: res.P999, Max: res.Max, Mean: res.Mean,
+			StealsPerReq: res.StealsPerReq, StolenPerReq: res.StolenPerReq,
+			AbortsPerReq: res.AbortsPerReq,
+		}, nil
+	})
+}
+
+// knobName recovers the display name of the key's knob combination.
+func knobName(knobs []Knob, k cellKey) string {
+	for _, kn := range knobs {
+		if kn.Victim.String() == k.Victim && kn.Batch == k.Batch {
+			return kn.Name
+		}
+	}
+	return fmt.Sprintf("%s/b%d", k.Victim, k.Batch)
+}
+
+// runCell computes one cell: Seeds independent runs, histograms merged
+// and scheduler counters summed.
+func runCell(ctx context.Context, k cellKey) (cellValue, error) {
+	algo, ok := core.ParseAlgo(k.Algo)
+	if !ok {
+		return cellValue{}, fmt.Errorf("load: unknown algorithm %q", k.Algo)
+	}
+	victim, ok := sched.ParseVictimPolicy(k.Victim)
+	if !ok {
+		return cellValue{}, fmt.Errorf("load: unknown victim policy %q", k.Victim)
+	}
+	agg := cellValue{Hist: &stats.Histogram{}}
+	for s := 0; s < k.Seeds; s++ {
+		if err := ctx.Err(); err != nil {
+			return cellValue{}, err
+		}
+		res, err := Run(k.Cfg, sched.Options{
+			Algo: algo, Delta: k.Delta,
+			Victim: victim, BatchSteal: k.Batch,
+			Seed: int64(1000 + s),
+		}, Workload{
+			Requests: k.Requests, MeanGap: k.Gap, Burst: k.Burst,
+			Fanout: k.Fanout, Grain: k.Grain, RootWork: k.RootWork,
+			Seed: int64(s + 1),
+		})
+		if err != nil {
+			return cellValue{}, err
+		}
+		agg.Hist.Merge(res.Hist)
+		addStats(&agg.Sched, res.Sched)
+	}
+	return agg, nil
+}
+
+// addStats accumulates one run's scheduler counters into the aggregate
+// (the derived StolenFrac is re-computed from the sums).
+func addStats(dst *sched.Stats, s sched.Stats) {
+	dst.Executed += s.Executed
+	dst.Duplicates += s.Duplicates
+	dst.Spawned += s.Spawned
+	dst.Steals += s.Steals
+	dst.StolenTasks += s.StolenTasks
+	dst.Aborts += s.Aborts
+	dst.FailedSteal += s.FailedSteal
+	if s.Elapsed > dst.Elapsed {
+		dst.Elapsed = s.Elapsed
+	}
+	if dst.Executed > 0 {
+		dst.StolenFrac = float64(dst.StolenTasks) / float64(dst.Executed)
+	}
+}
+
+// ReferenceSweep is the canonical serving sweep: cmd/servebench's
+// default and the configuration behind results/BENCH_sched.json and the
+// CI perf-smoke gate. Platform: a scaled Westmere-EX-style machine
+// (8 cores, observable bound 12, default δ 6 — see expt.ScaledWestmere
+// for the scaling rationale). Workload: 256 requests of 6×grain leaves,
+// bursts of 4, at a saturating and a moderate arrival rate.
+func ReferenceSweep() SweepConfig {
+	cfg := tso.Config{Threads: 8, BufferSize: 11, DrainBuffer: true}
+	delta := core.DefaultDelta(cfg.ObservableBound())
+	return SweepConfig{
+		Cfg:      cfg,
+		Requests: 256,
+		Fanout:   6,
+		Burst:    4,
+		RootWork: 32,
+		Gaps:     []float64{200, 800},
+		Grains:   []uint64{64, 512},
+		Algos: []AlgoCase{
+			{Algo: core.AlgoTHE},
+			{Algo: core.AlgoFFTHE, Delta: delta},
+			{Algo: core.AlgoChaseLev},
+			{Algo: core.AlgoFFCL, Delta: delta},
+		},
+		Knobs: []Knob{
+			{Name: "base", Victim: sched.VictimUniform, Batch: 1},
+			{Name: "batch8", Victim: sched.VictimUniform, Batch: 8},
+			{Name: "last", Victim: sched.VictimLastSuccess, Batch: 1},
+			{Name: "p2c", Victim: sched.VictimPowerOfTwo, Batch: 1},
+		},
+		Seeds: 3,
+	}
+}

@@ -2,7 +2,10 @@
 // CilkPlus-equivalent substrate of §8. Each worker owns one task queue
 // (any algorithm from internal/core); workers drain their own queue with
 // Take and, when it empties, become thieves that Steal from uniformly
-// random victims.
+// random victims — or, under the serving-regime ablation knobs, from
+// victims picked by affinity (VictimLastSuccess) or two-choice occupancy
+// sampling (VictimPowerOfTwo), optionally taking several tasks per visit
+// (Options.BatchSteal over core.BatchStealer queues).
 //
 // Tasks are continuation-passing fork/join closures (Cilk-style): a task
 // may call Worker.Fork once, handing the scheduler child tasks and a
@@ -46,6 +49,54 @@ type Machine interface {
 // most once, as its logically last action), Spawn, and Work.
 type TaskFunc func(w *Worker)
 
+// VictimPolicy selects how a thief picks its next victim. The policies
+// are serving-regime ablation knobs (see internal/load): they change
+// where steal traffic lands, not any queue protocol.
+type VictimPolicy int
+
+const (
+	// VictimUniform draws victims uniformly at random — the paper's
+	// runtime and the default.
+	VictimUniform VictimPolicy = iota
+	// VictimLastSuccess returns to the last victim this thief stole
+	// from successfully, falling back to a uniform draw after any
+	// failed visit. Under bursty single-source load the queue that fed
+	// a thief once usually still has work.
+	VictimLastSuccess
+	// VictimPowerOfTwo samples two distinct victims and attacks the one
+	// whose queue looks longer. The occupancy reads are real simulated
+	// loads charged to the thief — the information is paid for, and may
+	// be stale exactly as it would be on hardware.
+	VictimPowerOfTwo
+)
+
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimUniform:
+		return "uniform"
+	case VictimLastSuccess:
+		return "last"
+	case VictimPowerOfTwo:
+		return "p2c"
+	default:
+		return fmt.Sprintf("VictimPolicy(%d)", int(v))
+	}
+}
+
+// VictimPolicies lists every implemented policy in flag order.
+var VictimPolicies = []VictimPolicy{VictimUniform, VictimLastSuccess, VictimPowerOfTwo}
+
+// ParseVictimPolicy resolves a policy by its String name. The boolean
+// reports whether the name was recognized.
+func ParseVictimPolicy(name string) (VictimPolicy, bool) {
+	for _, v := range VictimPolicies {
+		if v.String() == name {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // Options configures a pool.
 type Options struct {
 	// Algo selects the queue algorithm; Delta parameterizes the
@@ -54,6 +105,16 @@ type Options struct {
 	Delta int
 	// QueueCap is each queue's task-array capacity (default 1<<14).
 	QueueCap int
+	// Victim selects the victim-selection policy (default
+	// VictimUniform, the paper's runtime).
+	Victim VictimPolicy
+	// BatchSteal caps how many tasks a thief takes in one successful
+	// steal visit when the victim's queue implements core.BatchStealer
+	// (the Chase-Lev family). Values <= 1 mean single steal — the paper
+	// behaviour and the default — and queues without batch support
+	// always fall back to single steal. Stolen tasks beyond the first
+	// are Put on the thief's own queue.
+	BatchSteal int
 	// PostTakeStores is the number of scratch stores the worker performs
 	// after each successful Take; 0 means the default of 1 (CilkPlus
 	// behaviour). Pass a negative value for literally zero stores, which
@@ -63,7 +124,9 @@ type Options struct {
 	// StealBackoff is the Work charged between failed steal attempts
 	// (default 4 cycles).
 	StealBackoff uint64
-	// Seed drives victim selection.
+	// Seed drives victim selection and backoff dither. Each worker
+	// derives its own RNG from (Seed, worker id), so victim sequences
+	// are deterministic per seed regardless of how workers interleave.
 	Seed int64
 	// TolerateDuplicates suppresses the double-execution panic; it is
 	// implied by idempotent algorithms and required by their clients.
@@ -90,11 +153,14 @@ type Stats struct {
 	Executed    int64 // task executions (including duplicate deliveries)
 	Duplicates  int64 // executions beyond the first delivery of a task
 	Spawned     int64 // tasks enqueued (root included)
-	Steals      int64 // successful steals
+	Steals      int64 // successful steal visits
+	StolenTasks int64 // tasks obtained by stealing (== Steals without batching)
 	Aborts      int64 // fence-free steal aborts
 	FailedSteal int64 // empty/lost-race steals
-	// StolenFrac is Steals / Executed: the fraction of work obtained by
-	// stealing (Figure 11b's metric).
+	// StolenFrac is StolenTasks / Executed: the fraction of work
+	// obtained by stealing (Figure 11b's metric). Tasks a batched steal
+	// moves onto the thief's queue count as stolen even though the
+	// thief later Takes them — they crossed queues via the steal path.
 	StolenFrac float64
 	// Elapsed is the virtual-cycle makespan when run on a TimedMachine, 0
 	// on the chaos engine.
@@ -112,8 +178,11 @@ type Stats struct {
 type WorkerStats struct {
 	// Takes counts tasks the worker took from its own queue.
 	Takes int64
-	// Steals counts its successful steals.
+	// Steals counts its successful steal visits.
 	Steals int64
+	// Batched counts tasks it obtained beyond the first in batched
+	// steal visits (0 without batching).
+	Batched int64
 	// Aborts counts fence-free steal aborts it hit.
 	Aborts int64
 	// Empties counts steal attempts that found the victim empty or lost
@@ -142,13 +211,18 @@ type join struct {
 
 // Pool schedules tasks over the workers of one machine run.
 type Pool struct {
-	opts    Options
-	m       Machine
-	queues  []core.Deque
-	sizers  []core.MetaSizer
-	scratch []tso.Addr
-	tasks   []task
-	rng     *rand.Rand
+	opts       Options
+	m          Machine
+	queues     []core.Deque
+	sizers     []core.MetaSizer
+	scratch    []tso.Addr
+	tasks      []task
+	rngs       []*rand.Rand // per-worker, derived from (Seed, worker id)
+	lastVictim []int        // per-worker VictimLastSuccess memory (-1 none)
+	// loot holds per-worker batched-steal scratch (nil when BatchSteal
+	// <= 1). Per worker because steal visits interleave: two thieves
+	// can be mid-batch at once, each parked inside a simulated op.
+	loot    [][]uint64
 	idle    []bool
 	stats   Stats
 	failure error
@@ -169,6 +243,17 @@ func (w *Worker) ID() int { return w.id }
 // Work charges cycles of computation to the worker (see tso.Context.Work).
 func (w *Worker) Work(cycles uint64) { w.ctx.Work(cycles) }
 
+// Now returns the worker's current virtual clock when the pool runs on
+// a timed machine, and 0 otherwise. The machine computes one simulated
+// thread at a time, so the read is race-free; serving workloads (see
+// internal/load) use it to stamp request arrivals and completions.
+func (w *Worker) Now() uint64 {
+	if tm, ok := w.pool.m.(interface{ ThreadCycles(int) uint64 }); ok {
+		return tm.ThreadCycles(w.id)
+	}
+	return 0
+}
+
 // NewPool builds a pool with one queue per machine thread. Queues and
 // scratch space are allocated on m; call before m runs.
 func NewPool(m Machine, opts Options) *Pool {
@@ -178,13 +263,26 @@ func NewPool(m Machine, opts Options) *Pool {
 		panic("sched: machine has no threads")
 	}
 	p := &Pool{
-		opts:    opts,
-		m:       m,
-		queues:  make([]core.Deque, n),
-		sizers:  make([]core.MetaSizer, n),
-		scratch: make([]tso.Addr, n),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		idle:    make([]bool, n),
+		opts:       opts,
+		m:          m,
+		queues:     make([]core.Deque, n),
+		sizers:     make([]core.MetaSizer, n),
+		scratch:    make([]tso.Addr, n),
+		rngs:       make([]*rand.Rand, n),
+		lastVictim: make([]int, n),
+		idle:       make([]bool, n),
+	}
+	for i := range p.rngs {
+		// Distinct deterministic per-worker streams: a worker's victim
+		// and dither sequence depends only on (Seed, i), never on how
+		// the workers' steal attempts interleave.
+		p.rngs[i] = rand.New(rand.NewSource(opts.Seed + int64(i)*0x6A09E667F3BCC909))
+	}
+	if opts.BatchSteal > 1 {
+		p.loot = make([][]uint64, n)
+		for i := range p.loot {
+			p.loot[i] = make([]uint64, opts.BatchSteal)
+		}
 	}
 	if opts.Algo.Idempotent() {
 		p.opts.TolerateDuplicates = true
@@ -213,6 +311,9 @@ func (p *Pool) Run(root TaskFunc) (Stats, error) {
 	}
 	p.failure = nil
 	p.tasks = p.tasks[:0]
+	for i := range p.lastVictim {
+		p.lastVictim[i] = -1
+	}
 	rootID := p.addTask(root, nil)
 
 	n := len(p.queues)
@@ -232,7 +333,7 @@ func (p *Pool) Run(root TaskFunc) (Stats, error) {
 		err = p.failure
 	}
 	if p.stats.Executed > 0 {
-		p.stats.StolenFrac = float64(p.stats.Steals) / float64(p.stats.Executed)
+		p.stats.StolenFrac = float64(p.stats.StolenTasks) / float64(p.stats.Executed)
 	}
 	if tm, ok := p.m.(interface{ Elapsed() uint64 }); ok {
 		p.stats.Elapsed = tm.Elapsed()
@@ -314,26 +415,26 @@ func (p *Pool) postTake(w *Worker) {
 // runs reproducible per seed.
 func (p *Pool) stealLoop(w *Worker) bool {
 	n := len(p.queues)
+	rng := p.rngs[w.id]
 	streak := 0
 	for {
 		if p.done() || p.failure != nil {
 			return false
 		}
-		victim := p.rng.Intn(n)
-		if victim == w.id && n > 1 {
-			continue
-		}
-		if victim == w.id {
+		if n == 1 {
 			// Single-worker pool: nothing to steal; spin until done.
 			w.ctx.Work(p.opts.StealBackoff)
 			continue
 		}
-		v, st := p.queues[victim].Steal(w.ctx)
+		victim := p.pickVictim(w, rng)
+		v, extra, st := p.stealFrom(w, victim)
+		p.noteVictim(w, victim, st)
 		if p.stats.Workers != nil {
 			ws := &p.stats.Workers[w.id]
 			switch st {
 			case core.OK:
 				ws.Steals++
+				ws.Batched += int64(extra)
 			case core.Abort:
 				ws.Aborts++
 			default:
@@ -344,6 +445,7 @@ func (p *Pool) stealLoop(w *Worker) bool {
 		case core.OK:
 			p.idle[w.id] = false
 			p.stats.Steals++
+			p.stats.StolenTasks += int64(1 + extra)
 			p.exec(w, v, true)
 			return true
 		case core.Abort:
@@ -355,8 +457,96 @@ func (p *Pool) stealLoop(w *Worker) bool {
 			streak++
 		}
 		backoff := p.opts.StealBackoff << streak
-		w.ctx.Work(backoff + uint64(p.rng.Intn(int(backoff)+1)))
+		w.ctx.Work(backoff + uint64(rng.Intn(int(backoff)+1)))
 	}
+}
+
+// pickVictim chooses a victim != w.id under the configured policy.
+// Callers guarantee n > 1. The uniform draw samples [0, n-1) and remaps
+// past the thief's own id, so a single draw suffices — no Work-free
+// re-roll on a self-draw.
+func (p *Pool) pickVictim(w *Worker, rng *rand.Rand) int {
+	n := len(p.queues)
+	uniform := func() int {
+		v := rng.Intn(n - 1)
+		if v >= w.id {
+			v++
+		}
+		return v
+	}
+	switch p.opts.Victim {
+	case VictimLastSuccess:
+		if lv := p.lastVictim[w.id]; lv >= 0 {
+			return lv
+		}
+	case VictimPowerOfTwo:
+		a := uniform()
+		if n == 2 {
+			return a
+		}
+		// Draw b from the n-2 queues that are neither the thief nor a,
+		// remapping upward past both in ascending order.
+		b := rng.Intn(n - 2)
+		lo, hi := w.id, a
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if b >= lo {
+			b++
+		}
+		if b >= hi {
+			b++
+		}
+		// Read both occupancies through the thief's own context: the
+		// loads cost real cycles on the timed machine and may observe
+		// memory that lags the owners' buffered updates, exactly like a
+		// hardware thief peeking at H and T.
+		peek := func(a tso.Addr) uint64 { return w.ctx.Load(a) }
+		if p.sizers[b].MetaSize(peek) > p.sizers[a].MetaSize(peek) {
+			return b
+		}
+		return a
+	}
+	return uniform()
+}
+
+// noteVictim updates the last-successful-victim memory after a visit.
+// Any failed visit (empty, lost race, δ-abort) clears the affinity so
+// the thief does not fixate on a drained or uncertain queue.
+func (p *Pool) noteVictim(w *Worker, victim int, st core.Status) {
+	if p.opts.Victim != VictimLastSuccess {
+		return
+	}
+	if st == core.OK {
+		p.lastVictim[w.id] = victim
+	} else if p.lastVictim[w.id] == victim {
+		p.lastVictim[w.id] = -1
+	}
+}
+
+// stealFrom performs one steal visit against victim. A batched visit
+// (Options.BatchSteal > 1 against a core.BatchStealer queue) delivers
+// the oldest stolen task for immediate execution and Puts the rest of
+// the loot on the thief's own queue — seeding it so the thief's next
+// tasks are cheap fence-free takes and rival thieves spread the burst
+// further; extra is that loot count. Every other configuration is a
+// plain single Steal.
+func (p *Pool) stealFrom(w *Worker, victim int) (v uint64, extra int, st core.Status) {
+	if p.loot != nil {
+		if bs, ok := p.queues[victim].(core.BatchStealer); ok {
+			loot := p.loot[w.id]
+			k, st := bs.StealBatch(w.ctx, loot)
+			if st != core.OK {
+				return 0, 0, st
+			}
+			for _, task := range loot[1:k] {
+				p.queues[w.id].Put(w.ctx, task)
+			}
+			return loot[0], k - 1, core.OK
+		}
+	}
+	v, st = p.queues[victim].Steal(w.ctx)
+	return v, 0, st
 }
 
 // exec runs a delivered task and settles its completion.

@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tso"
+)
+
+// errStopProbe is the sentinel the probe context uses to stop stealLoop.
+var errStopProbe = errors.New("sched: steal probe done")
+
+// probeCtx is a white-box tso.Context for driving stealLoop outside a
+// machine run: loads read committed memory via Peek, Work calls are
+// recorded (stopping the loop after limit of them), stores and fences
+// are dropped, CAS is out of bounds for the paths under test.
+type probeCtx struct {
+	p     *Pool
+	tid   int
+	works []uint64
+	limit int
+}
+
+func (c *probeCtx) Load(a tso.Addr) uint64     { return c.p.m.Peek(a) }
+func (c *probeCtx) Store(a tso.Addr, v uint64) {}
+func (c *probeCtx) Fence()                     {}
+func (c *probeCtx) ThreadID() int              { return c.tid }
+func (c *probeCtx) CAS(a tso.Addr, old, new uint64) (uint64, bool) {
+	panic("probeCtx: unexpected CAS")
+}
+func (c *probeCtx) Work(cycles uint64) {
+	c.works = append(c.works, cycles)
+	if len(c.works) >= c.limit {
+		c.p.failure = errStopProbe
+	}
+}
+
+// probePool builds a pool around empty Chase-Lev queues (whose empty
+// Steal path is pure loads) plus a probe context on worker 0.
+func probePool(t *testing.T, threads int, opts Options) (*Pool, *Worker, *probeCtx) {
+	t.Helper()
+	opts.Algo = core.AlgoChaseLev
+	m := chaosMachine(threads, 1)
+	p := NewPool(m, opts)
+	ctx := &probeCtx{p: p, limit: 1 << 30}
+	return p, &Worker{pool: p, id: 0, ctx: ctx}, ctx
+}
+
+// TestStealBackoffCapAndDither drives stealLoop against empty queues and
+// checks the failed-steal backoff contract: attempt i waits within
+// [base, 2·base] for base = StealBackoff << min(i+1, 8) — exponential
+// growth, a hard cap at streak 8, and random dither inside the window.
+func TestStealBackoffCapAndDither(t *testing.T) {
+	const backoff = 4
+	p, w, ctx := probePool(t, 3, Options{StealBackoff: backoff, Seed: 9})
+	ctx.limit = 40
+	if got := p.stealLoop(w); got {
+		t.Fatal("stealLoop reported a successful steal against empty queues")
+	}
+	if len(ctx.works) != 40 {
+		t.Fatalf("recorded %d backoff waits, want 40", len(ctx.works))
+	}
+	dithered := false
+	for i, wk := range ctx.works {
+		streak := i + 1
+		if streak > 8 {
+			streak = 8
+		}
+		base := uint64(backoff) << streak
+		if wk < base || wk > 2*base {
+			t.Fatalf("wait %d = %d outside [%d, %d]", i, wk, base, 2*base)
+		}
+		if wk != base {
+			dithered = true
+		}
+	}
+	if !dithered {
+		t.Fatal("every wait hit the window's floor; dither is inert")
+	}
+	// The cap: late waits stay within the streak-8 window.
+	capBase := uint64(backoff) << 8
+	for _, wk := range ctx.works[8:] {
+		if wk > 2*capBase {
+			t.Fatalf("wait %d exceeds the capped window %d", wk, 2*capBase)
+		}
+	}
+}
+
+// TestPickVictimNeverSelfAndUnbiased checks the single-draw uniform
+// victim pick: never the thief itself, and — because the draw samples
+// n-1 values and remaps past the thief's id instead of re-rolling — all
+// other workers come up equally often with every draw charged.
+func TestPickVictimNeverSelfAndUnbiased(t *testing.T) {
+	p, w, _ := probePool(t, 4, Options{Seed: 3})
+	counts := make([]int, 4)
+	const draws = 9000
+	for i := 0; i < draws; i++ {
+		counts[p.pickVictim(w, p.rngs[w.id])]++
+	}
+	if counts[w.id] != 0 {
+		t.Fatalf("thief picked itself %d times", counts[w.id])
+	}
+	for v, c := range counts {
+		if v == w.id {
+			continue
+		}
+		if c < draws/3-draws/20 || c > draws/3+draws/20 {
+			t.Errorf("victim %d drawn %d times, want ~%d", v, c, draws/3)
+		}
+	}
+}
+
+// TestPickVictimPolicies exercises the non-uniform policies through the
+// probe: last-success returns to a remembered victim until a failed
+// visit clears it, and power-of-two never picks the thief.
+func TestPickVictimPolicies(t *testing.T) {
+	p, w, _ := probePool(t, 4, Options{Victim: VictimLastSuccess, Seed: 3})
+	p.noteVictim(w, 2, core.OK)
+	for i := 0; i < 5; i++ {
+		if v := p.pickVictim(w, p.rngs[w.id]); v != 2 {
+			t.Fatalf("last-success pick = %d, want remembered victim 2", v)
+		}
+	}
+	p.noteVictim(w, 2, core.Empty)
+	if p.lastVictim[w.id] != -1 {
+		t.Fatal("failed visit did not clear the remembered victim")
+	}
+	for i := 0; i < 100; i++ {
+		if v := p.pickVictim(w, p.rngs[w.id]); v == w.id {
+			t.Fatal("last-success fallback picked the thief itself")
+		}
+	}
+
+	p2, w2, _ := probePool(t, 5, Options{Victim: VictimPowerOfTwo, Seed: 4})
+	for i := 0; i < 200; i++ {
+		if v := p2.pickVictim(w2, p2.rngs[w2.id]); v == w2.id {
+			t.Fatal("power-of-two picked the thief itself")
+		}
+	}
+}
+
+// TestPerWorkerRNGDeterminism checks the per-worker RNG satellite: a
+// worker's victim sequence is a function of (Seed, worker id) alone —
+// equal across pools with the same seed, distinct across workers.
+func TestPerWorkerRNGDeterminism(t *testing.T) {
+	seq := func(p *Pool, id int) []int {
+		w := &Worker{pool: p, id: id, ctx: &probeCtx{p: p, limit: 1 << 30}}
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = p.pickVictim(w, p.rngs[id])
+		}
+		return out
+	}
+	pa, _, _ := probePool(t, 4, Options{Seed: 7})
+	pb, _, _ := probePool(t, 4, Options{Seed: 7})
+	for id := 0; id < 4; id++ {
+		a, b := seq(pa, id), seq(pb, id)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("worker %d: victim sequences diverge at %d despite equal seeds", id, i)
+			}
+		}
+	}
+	a0, a1 := seq(pa, 0), seq(pa, 1)
+	same := true
+	for i := range a0 {
+		// Compare the raw draws modulo the self-remap: distinct streams
+		// disagree somewhere in 50 draws with overwhelming probability.
+		if a0[i] != a1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("workers 0 and 1 share a victim stream; per-worker seeding is broken")
+	}
+}
+
+// TestTwoThreadTHETimedNoLivelock pins the regression the dithered
+// exponential backoff exists to prevent: on the timed engine a THE
+// thief's lock-CAS drains its own buffered unlock and can re-acquire
+// the victim's queue lock in the same instant, so with a constant
+// inter-attempt gap a two-thread run can starve the worker's take()
+// forever. The watchdog turns the livelock into a loud failure instead
+// of a test-suite timeout.
+func TestTwoThreadTHETimedNoLivelock(t *testing.T) {
+	guard := time.AfterFunc(60*time.Second, func() {
+		panic("sched: two-thread THE timed run livelocked — the steal backoff regressed")
+	})
+	defer guard.Stop()
+	for seed := int64(0); seed < 5; seed++ {
+		m := tso.NewTimedMachine(tso.Config{Threads: 2, BufferSize: 33})
+		p := NewPool(m, Options{Algo: core.AlgoTHE, Seed: seed})
+		var out uint64
+		st, err := p.Run(fibTask(12, &out))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if want := fibSerial(12); out != want {
+			t.Fatalf("seed %d: fib(12) = %d want %d", seed, out, want)
+		}
+		if st.Elapsed == 0 {
+			t.Fatalf("seed %d: no elapsed cycles recorded", seed)
+		}
+	}
+}
+
+// TestBatchStealSeedsThiefQueue checks the pool-level batching path on
+// a timed Chase-Lev run: batching must deliver more tasks than visits
+// (StolenTasks > Steals) and cut the number of visits versus the same
+// run with single steals.
+func TestBatchStealSeedsThiefQueue(t *testing.T) {
+	run := func(batch int) Stats {
+		m := timedMachine(4)
+		p := NewPool(m, Options{Algo: core.AlgoChaseLev, BatchSteal: batch, Seed: 6})
+		st, err := p.Run(func(w *Worker) {
+			for i := 0; i < 200; i++ {
+				w.Spawn(func(w *Worker) { w.Work(200) })
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	single, batched := run(1), run(8)
+	if single.StolenTasks != single.Steals {
+		t.Fatalf("single steal: %d stolen tasks over %d visits", single.StolenTasks, single.Steals)
+	}
+	if batched.StolenTasks <= batched.Steals {
+		t.Fatalf("batching never took more than one task per visit (%d over %d)", batched.StolenTasks, batched.Steals)
+	}
+	if batched.Steals >= single.Steals {
+		t.Errorf("batched visits %d not below single-steal visits %d", batched.Steals, single.Steals)
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
+
+// histSubBits sets the histogram's resolution: 1<<histSubBits sub-buckets
+// per power of two, i.e. a relative quantile error below 1/2^histSubBits
+// (12.5% at 3). Values below 1<<histSubBits are recorded exactly.
+const histSubBits = 3
+
+// histBuckets is the fixed bucket count for 64-bit values under the
+// scheme in bucketOf: 1<<histSubBits exact small buckets plus
+// (64-histSubBits) octaves of 1<<histSubBits sub-buckets each.
+const histBuckets = (64 - histSubBits + 1) << histSubBits
+
+// Histogram is a streaming log-bucketed histogram of uint64 samples —
+// the latency accumulator of the serving benchmarks (internal/load).
+// Memory is a fixed 496-bucket array regardless of sample count, Record
+// is O(1) with no allocation, and the bucketing is a pure function of
+// the value, so histograms from independent runs Merge bucket-by-bucket
+// (pooling seeds or shards) without rebinning. Quantiles come back as
+// bucket upper bounds: conservative (never below the true quantile) and
+// within 2^-histSubBits relative error. The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucketOf maps a value to its bucket: values below 1<<histSubBits map
+// to themselves; larger values map to (octave, top histSubBits mantissa
+// bits), HDR-histogram style. The mapping is monotone and contiguous.
+func bucketOf(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	sub := (v >> (uint(exp) - histSubBits)) & (1<<histSubBits - 1)
+	return (exp-histSubBits+1)<<histSubBits + int(sub)
+}
+
+// bucketMax returns the largest value mapping to bucket b — the value
+// reported for quantiles landing in b.
+func bucketMax(b int) uint64 {
+	if b < 1<<histSubBits {
+		return uint64(b)
+	}
+	exp := uint(b>>histSubBits) + histSubBits - 1
+	sub := uint64(b & (1<<histSubBits - 1))
+	return (1<<histSubBits+sub+1)<<(exp-histSubBits) - 1
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact arithmetic mean of the samples (0 when empty);
+// the sum is tracked outside the buckets, so no bucketing error.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// MaxValue returns the exact largest recorded sample (0 when empty).
+func (h *Histogram) MaxValue() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-th quantile (q in [0, 1]):
+// the upper edge of the bucket holding the ceil(q·n)-th smallest sample,
+// except the exact maximum for any q landing on the last sample. It
+// panics on an empty histogram or q outside [0, 1].
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		panic("stats: quantile of empty histogram")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range [0,1]", q))
+	}
+	rank := uint64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if seen == h.n && c > 0 && b == h.lastBucket() {
+				return h.max
+			}
+			return bucketMax(b)
+		}
+	}
+	return h.max
+}
+
+// lastBucket returns the highest non-empty bucket index (-1 when empty).
+func (h *Histogram) lastBucket() int {
+	for b := histBuckets - 1; b >= 0; b-- {
+		if h.counts[b] > 0 {
+			return b
+		}
+	}
+	return -1
+}
+
+// Merge adds other's samples into h. Buckets are value-determined and
+// identical across instances, so merging then querying is equivalent to
+// recording both sample streams into one histogram.
+func (h *Histogram) Merge(other *Histogram) {
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// histogramJSON is the wire form: the dense count array is run-length
+// trimmed to the sparse non-zero entries to keep cached sweep results
+// small.
+type histogramJSON struct {
+	// Buckets maps bucket index to count, sparse.
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+	// N is the total sample count.
+	N uint64 `json:"n"`
+	// Sum is the exact sample sum.
+	Sum uint64 `json:"sum"`
+	// Max is the exact sample maximum.
+	Max uint64 `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler with a sparse bucket encoding,
+// so histograms survive the runner cache and sweep artifacts byte-for-
+// byte (map key order does not matter: decoding is order-insensitive,
+// and encoding/json sorts keys for determinism).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{N: h.n, Sum: h.sum, Max: h.max}
+	if h.n > 0 {
+		out.Buckets = make(map[int]uint64)
+		for b, c := range h.counts {
+			if c > 0 {
+				out.Buckets[b] = c
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Histogram{n: in.N, sum: in.Sum, max: in.Max}
+	for b, c := range in.Buckets {
+		if b < 0 || b >= histBuckets {
+			return fmt.Errorf("stats: histogram bucket %d out of range", b)
+		}
+		h.counts[b] = c
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketRoundTrip checks the bucket mapping is monotone, contiguous,
+// and that bucketMax is the exact upper edge: bucketOf(bucketMax(b)) == b
+// and bucketOf(bucketMax(b)+1) == b+1.
+func TestBucketRoundTrip(t *testing.T) {
+	for b := 0; b < histBuckets; b++ {
+		top := bucketMax(b)
+		if got := bucketOf(top); got != b {
+			t.Fatalf("bucketOf(bucketMax(%d)=%d) = %d", b, top, got)
+		}
+		if b+1 < histBuckets {
+			if got := bucketOf(top + 1); got != b+1 {
+				t.Fatalf("bucketOf(%d) = %d, want %d", top+1, got, b+1)
+			}
+		}
+	}
+	if got := bucketOf(^uint64(0)); got != histBuckets-1 {
+		t.Fatalf("bucketOf(max uint64) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+// TestHistogramSmallExact checks values below 2^histSubBits are recorded
+// and quantiled exactly.
+func TestHistogramSmallExact(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 1<<histSubBits; v++ {
+		h.Record(v)
+	}
+	for v := uint64(0); v < 1<<histSubBits; v++ {
+		q := (float64(v) + 1) / float64(1<<histSubBits)
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%v) = %d, want %d", q, got, v)
+		}
+	}
+}
+
+// TestHistogramQuantileBounds draws random samples and checks every
+// quantile estimate is an upper bound on the true quantile and within
+// the promised 2^-histSubBits relative error.
+func TestHistogramQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		v := uint64(rng.Int63n(1 << uint(4+rng.Intn(30))))
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		rank := int(q * float64(len(samples)))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact %d", q, got, exact)
+		}
+		// Upper bound within one bucket: relative error < 2^-histSubBits.
+		limit := exact + exact>>histSubBits + 1
+		if got > limit {
+			t.Errorf("Quantile(%v) = %d, exact %d: error beyond bucket width (limit %d)", q, got, exact, limit)
+		}
+	}
+	if h.Quantile(1) != h.MaxValue() {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1), h.MaxValue())
+	}
+	mean := h.Mean()
+	var sum float64
+	for _, v := range samples {
+		sum += float64(v)
+	}
+	if want := sum / float64(len(samples)); mean != want {
+		t.Errorf("Mean = %v, want exact %v", mean, want)
+	}
+}
+
+// TestHistogramMerge checks merging two histograms equals recording the
+// concatenated stream into one.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, all Histogram
+	for i := 0; i < 1000; i++ {
+		v := uint64(rng.Int63n(1 << 20))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatal("merged histogram differs from single-stream histogram")
+	}
+}
+
+// TestHistogramJSONRoundTrip checks the sparse JSON codec reproduces the
+// histogram exactly, including through a Merge after decoding.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Record(uint64(rng.Int63n(1 << 24)))
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("JSON round trip changed the histogram")
+	}
+	var empty Histogram
+	data, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backEmpty Histogram
+	if err := json.Unmarshal(data, &backEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if backEmpty != empty {
+		t.Fatal("empty histogram JSON round trip mismatch")
+	}
+	if err := json.Unmarshal([]byte(`{"buckets":{"9999":1},"n":1}`), &back); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
+	}
+}

@@ -78,7 +78,11 @@ func (m *TimedMachine) Reset() {
 	m.tp.elapsed = 0
 }
 
-// ThreadCycles returns the finishing clock of thread tid after the last Run.
+// ThreadCycles returns the finishing clock of thread tid after the last
+// Run. During a run it reads tid's live clock, which is safe from tid's
+// own program code: the machine computes one simulated thread at a time,
+// and the gate handoff orders the engine's clock writes before the
+// thread resumes (sched.Worker.Now relies on this).
 func (m *TimedMachine) ThreadCycles(tid int) uint64 { return m.tp.clocks[tid] }
 
 // reset zeroes the virtual clocks and drain-pipeline state. Thread clocks
