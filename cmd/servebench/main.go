@@ -1,9 +1,12 @@
-// Command servebench runs the serving-regime scheduler sweep: an
+// Command servebench runs the serving-regime scheduler sweeps: an
 // open-loop latency workload (Poisson arrivals with bursts, fork/join
 // request trees entering at worker 0) over the algorithm × scheduler-
 // knob × arrival-rate × grain cross product, reporting tail latency and
-// steal-path mix per cell. The default sweep is load.ReferenceSweep,
-// the configuration behind results/BENCH_sched.json.
+// steal-path mix per cell, followed by the multiplicity companion sweep
+// (sequential requests, where the relaxed WS-MULT family is legal and
+// duplicate executions are priced as dups/req). The defaults are
+// load.ReferenceSweep and load.ReferenceMultSweep, the two grids behind
+// results/BENCH_sched.json.
 //
 // Usage:
 //
@@ -39,11 +42,14 @@ func main() {
 	flag.Parse()
 
 	sc := load.ReferenceSweep()
+	mc := load.ReferenceMultSweep()
 	if *requests > 0 {
 		sc.Requests = *requests
+		mc.Requests = *requests
 	}
 	if *seeds > 0 {
 		sc.Seeds = *seeds
+		mc.Seeds = *seeds
 	}
 
 	var cache *runner.Cache
@@ -58,7 +64,13 @@ func main() {
 	defer stop()
 	start := time.Now()
 	prog := runner.NewProgress(os.Stderr, "serving sweep", 0)
-	rows, err := load.Sweep(ctx, &runner.Runner{Workers: *workers, Progress: prog}, cache, sc)
+	r := &runner.Runner{Workers: *workers, Progress: prog}
+	rows, err := load.Sweep(ctx, r, cache, sc)
+	if err == nil {
+		var mrows []load.Row
+		mrows, err = load.Sweep(ctx, r, cache, mc)
+		rows = append(rows, mrows...)
+	}
 	prog.Finish()
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +95,7 @@ func render(rows []load.Row) {
 		table = append(table, []string{
 			fmt.Sprintf("%g", r.Gap),
 			fmt.Sprintf("%d", r.Grain),
+			fmt.Sprintf("%d", r.Fanout),
 			r.Algo,
 			r.Knob,
 			fmt.Sprintf("%d", r.P50),
@@ -91,10 +104,11 @@ func render(rows []load.Row) {
 			fmt.Sprintf("%.2f", r.StealsPerReq),
 			fmt.Sprintf("%.2f", r.StolenPerReq),
 			fmt.Sprintf("%.2f", r.AbortsPerReq),
+			fmt.Sprintf("%.2f", r.DupsPerReq),
 		})
 	}
 	expt.WriteTable(os.Stdout, []string{
-		"gap", "grain", "algorithm", "knob", "p50", "p99", "p99.9",
-		"steals/req", "stolen/req", "aborts/req",
+		"gap", "grain", "fanout", "algorithm", "knob", "p50", "p99", "p99.9",
+		"steals/req", "stolen/req", "aborts/req", "dups/req",
 	}, table)
 }

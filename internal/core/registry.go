@@ -29,38 +29,95 @@ const (
 	// part of the paper's §8.2 evaluation (which uses LIFO and
 	// double-ended), so it is excluded from Algos but fully supported.
 	AlgoIdempotentFIFO
+	// AlgoWSMult is the fully read/write bounded-multiplicity queue
+	// (Castañeda & Piña's relaxation): no CAS and no fence anywhere, with
+	// per-task duplicate deliveries bounded by the extractor count via
+	// the announce/collect protocol (see wsmult.go).
+	AlgoWSMult
+	// AlgoWSMultRelaxed is AlgoWSMult without the announce slots:
+	// fully read/write with *unbounded* multiplicity.
+	AlgoWSMultRelaxed
 )
 
-// Algos lists every implemented algorithm.
-var Algos = []Algo{AlgoTHE, AlgoFFTHE, AlgoTHEP, AlgoChaseLev, AlgoFFCL, AlgoIdempotentLIFO, AlgoIdempotentDE}
+// algoInfo is one algorithm's registry row: the single source of truth
+// for its display name, capability predicates, and constructor.
+type algoInfo struct {
+	name string
+	// evaluated marks the paper's §8 evaluation set (Algos).
+	evaluated bool
+	// fenceFree: take() issues no fence.
+	fenceFree bool
+	// exactlyOnce: the queue never delivers a task twice.
+	exactlyOnce bool
+	// usesDelta: the algorithm is parameterized by δ.
+	usesDelta bool
+	make      func(a tso.Allocator, capacity, delta int) Deque
+}
 
-// AllAlgos is Algos plus the variants excluded from the paper's §8
-// evaluation set (currently AlgoIdempotentFIFO). The semantic oracle's
-// differential fuzzing harness cross-checks every implemented algorithm,
-// not just the evaluated ones.
-var AllAlgos = []Algo{AlgoTHE, AlgoFFTHE, AlgoTHEP, AlgoChaseLev, AlgoFFCL, AlgoIdempotentLIFO, AlgoIdempotentDE, AlgoIdempotentFIFO}
+// algoInfos is indexed by Algo. The declaration order above is
+// load-bearing: AllAlgos derives from it, and the fuzz decoders index
+// AllAlgos by byte — append new algorithms, never reorder.
+var algoInfos = []algoInfo{
+	AlgoTHE: {name: "THE", evaluated: true, exactlyOnce: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewTHE(a, capacity) }},
+	AlgoFFTHE: {name: "FF-THE", evaluated: true, fenceFree: true, exactlyOnce: true, usesDelta: true,
+		make: func(a tso.Allocator, capacity, delta int) Deque { return NewFFTHE(a, capacity, delta) }},
+	AlgoTHEP: {name: "THEP", evaluated: true, fenceFree: true, exactlyOnce: true, usesDelta: true,
+		make: func(a tso.Allocator, capacity, delta int) Deque { return NewTHEP(a, capacity, delta) }},
+	AlgoChaseLev: {name: "Chase-Lev", evaluated: true, exactlyOnce: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewChaseLev(a, capacity) }},
+	AlgoFFCL: {name: "FF-CL", evaluated: true, fenceFree: true, exactlyOnce: true, usesDelta: true,
+		make: func(a tso.Allocator, capacity, delta int) Deque { return NewFFCL(a, capacity, delta) }},
+	AlgoIdempotentLIFO: {name: "Idempotent LIFO", evaluated: true, fenceFree: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewIdempotentLIFO(a, capacity) }},
+	AlgoIdempotentDE: {name: "Idempotent DE", evaluated: true, fenceFree: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewIdempotentDE(a, capacity) }},
+	AlgoIdempotentFIFO: {name: "Idempotent FIFO", fenceFree: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewIdempotentFIFO(a, capacity) }},
+	AlgoWSMult: {name: "WS-MULT", fenceFree: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewWSMult(a, capacity) }},
+	AlgoWSMultRelaxed: {name: "WS-MULT-R", fenceFree: true,
+		make: func(a tso.Allocator, capacity, _ int) Deque { return NewWSMultRelaxed(a, capacity) }},
+}
+
+// info resolves the registry row, tolerating out-of-range values.
+func (a Algo) info() (algoInfo, bool) {
+	if a < 0 || int(a) >= len(algoInfos) {
+		return algoInfo{}, false
+	}
+	return algoInfos[a], true
+}
+
+// Algos lists the paper's §8 evaluation set.
+var Algos = func() []Algo {
+	var out []Algo
+	for a := range algoInfos {
+		if algoInfos[a].evaluated {
+			out = append(out, Algo(a))
+		}
+	}
+	return out
+}()
+
+// AllAlgos is every implemented algorithm, in registry (declaration)
+// order — Algos plus the variants outside the paper's §8 evaluation set
+// (the idempotent FIFO and the WS-MULT multiplicity family). The
+// semantic oracle's differential fuzzing harness cross-checks every
+// implemented algorithm, not just the evaluated ones, and indexes this
+// slice by fuzz byte, so the order is append-only.
+var AllAlgos = func() []Algo {
+	out := make([]Algo, len(algoInfos))
+	for a := range algoInfos {
+		out[a] = Algo(a)
+	}
+	return out
+}()
 
 func (a Algo) String() string {
-	switch a {
-	case AlgoTHE:
-		return "THE"
-	case AlgoFFTHE:
-		return "FF-THE"
-	case AlgoTHEP:
-		return "THEP"
-	case AlgoChaseLev:
-		return "Chase-Lev"
-	case AlgoFFCL:
-		return "FF-CL"
-	case AlgoIdempotentLIFO:
-		return "Idempotent LIFO"
-	case AlgoIdempotentDE:
-		return "Idempotent DE"
-	case AlgoIdempotentFIFO:
-		return "Idempotent FIFO"
-	default:
-		return fmt.Sprintf("Algo(%d)", int(a))
+	if inf, ok := a.info(); ok {
+		return inf.name
 	}
+	return fmt.Sprintf("Algo(%d)", int(a))
 }
 
 // ParseAlgo resolves an algorithm by its String name, ignoring case and
@@ -85,40 +142,42 @@ func ParseAlgo(name string) (Algo, bool) {
 
 // FenceFree reports whether the algorithm's take() issues no fence.
 func (a Algo) FenceFree() bool {
-	return a != AlgoTHE && a != AlgoChaseLev
+	inf, _ := a.info()
+	return inf.fenceFree
 }
 
-// Idempotent reports whether the algorithm may deliver a task twice.
+// ExactlyOnce reports whether the algorithm guarantees each task is
+// delivered at most once. Clients whose tasks must not re-execute —
+// fork/join trees, the serving workload — must gate on this predicate
+// rather than naming algorithms, so new relaxed families cannot slip
+// into exact-semantics harnesses.
+func (a Algo) ExactlyOnce() bool {
+	inf, _ := a.info()
+	return inf.exactlyOnce
+}
+
+// Idempotent reports whether the algorithm may deliver a task twice:
+// the complement of ExactlyOnce (the idempotent comparators' at-least-
+// once contract and the WS-MULT family's multiplicity relaxation).
 func (a Algo) Idempotent() bool {
-	return a == AlgoIdempotentLIFO || a == AlgoIdempotentDE || a == AlgoIdempotentFIFO
+	if _, ok := a.info(); !ok {
+		return false
+	}
+	return !a.ExactlyOnce()
 }
 
 // UsesDelta reports whether the algorithm is parameterized by δ.
 func (a Algo) UsesDelta() bool {
-	return a == AlgoFFTHE || a == AlgoTHEP || a == AlgoFFCL
+	inf, _ := a.info()
+	return inf.usesDelta
 }
 
 // New constructs a queue of the given algorithm on alloc. delta is ignored
 // by algorithms that do not use it.
 func New(algo Algo, alloc tso.Allocator, capacity, delta int) Deque {
-	switch algo {
-	case AlgoTHE:
-		return NewTHE(alloc, capacity)
-	case AlgoFFTHE:
-		return NewFFTHE(alloc, capacity, delta)
-	case AlgoTHEP:
-		return NewTHEP(alloc, capacity, delta)
-	case AlgoChaseLev:
-		return NewChaseLev(alloc, capacity)
-	case AlgoFFCL:
-		return NewFFCL(alloc, capacity, delta)
-	case AlgoIdempotentLIFO:
-		return NewIdempotentLIFO(alloc, capacity)
-	case AlgoIdempotentDE:
-		return NewIdempotentDE(alloc, capacity)
-	case AlgoIdempotentFIFO:
-		return NewIdempotentFIFO(alloc, capacity)
-	default:
+	inf, ok := algo.info()
+	if !ok {
 		panic(fmt.Sprintf("core: unknown algorithm %d", int(algo)))
 	}
+	return inf.make(alloc, capacity, delta)
 }

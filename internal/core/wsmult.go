@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tso"
+)
+
+// This file implements the fully read/write work-stealing queues in the
+// style of Castañeda & Piña ("Fully Read/Write Fence-Free Work-Stealing
+// with Multiplicity", arXiv:2008.04424): no CAS anywhere — not even in
+// Steal — and no fence, at the price of the *multiplicity* relaxation:
+// a task may be extracted more than once, but never lost. This goes one
+// step past the source paper's contribution (which elides the fence
+// from take() but keeps the thief's CAS) and two past the idempotent
+// comparators (whose Steal still CASes the anchor).
+//
+// Both variants are single-ended FIFO queues over plain loads and
+// stores: the owner Puts at the tail; owner and thieves alike extract
+// from the head. Head and tail are separate words, so the only racing
+// writes are the competing head advances of concurrent extractors —
+// which is exactly where multiplicity comes from.
+//
+// The no-loss invariant is write-local: the only instruction that
+// writes head is the final store of an extraction, and an extractor
+// that stores head = h+1 has itself returned task h. By induction any
+// value h readable from head certifies that every task below h was
+// returned by someone, so skipping to h never skips an unextracted
+// task. TSO's per-thread FIFO drain order supplies phantom-freedom: the
+// owner stores tasks[t] before tail = t+1, so any extractor that reads
+// t' from the tail word finds every slot below t' already initialized.
+//
+// What differs between the variants is how far duplication can go:
+//
+//   - WSMult bounds it. Each extractor owns an announce slot; an
+//     extraction first *collects* h = max(head, all announce slots),
+//     then *announces* h+1 before reading the task. A thread always
+//     sees its own announce store (TSO forwards a thread's own buffered
+//     stores), so its successive claims are strictly increasing and it
+//     can extract any given index at most once: per-task multiplicity
+//     is bounded by the number of extracting threads, on every TSO[S]
+//     schedule, for every S. The bound is tight — the announce stores
+//     themselves sit in store buffers, so n extractors whose announces
+//     are all still buffered can each claim the same index once.
+//   - WSMultRelaxed drops the announce slots and reads head alone. A
+//     slow extractor's stale head store, draining after faster
+//     extractors have moved on, rewinds the memory head and re-opens
+//     already-extracted indices; the rewind can recur, so no fixed
+//     per-task bound exists (internal/oracle's boundary tests pin the
+//     smallest schedules that exceed k=2).
+//
+// Like the idempotent comparators, these queues only suit clients that
+// tolerate re-execution (Algo.ExactlyOnce() is false): the scheduler
+// allows Spawn-style task graphs and internal/load's fork/join serving
+// path rejects them.
+
+// wsMultDefaultExtractors sizes the announce array when the allocator
+// does not reveal the machine's thread count.
+const wsMultDefaultExtractors = 8
+
+// wsMultBase is the memory layout shared by both variants: head, tail,
+// and a cyclic task array with non-wrapping indices (Chase-Lev style).
+type wsMultBase struct {
+	head, tail tso.Addr
+	tasks      tso.Addr
+	w          int64
+}
+
+func newWSMultBase(a tso.Allocator, capacity int) wsMultBase {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: queue capacity %d < 1", capacity))
+	}
+	return wsMultBase{
+		head:  a.Alloc(1),
+		tail:  a.Alloc(1),
+		tasks: a.Alloc(capacity),
+		w:     int64(capacity),
+	}
+}
+
+func (q *wsMultBase) slot(i int64) tso.Addr {
+	i %= q.w
+	if i < 0 {
+		i += q.w
+	}
+	return q.tasks + tso.Addr(i)
+}
+
+// put enqueues at the tail with two plain stores. TSO drains them in
+// order, so the tail advance publishes an already-visible task.
+func (q *wsMultBase) put(c tso.Context, v uint64) {
+	t := i64(c.Load(q.tail))
+	if t-i64(c.Load(q.head)) >= q.w {
+		panic(fmt.Sprintf("core: WS-MULT overflow (capacity %d)", q.w))
+	}
+	c.Store(q.slot(t), v)
+	c.Store(q.tail, u64(t+1))
+}
+
+// prefill implements Prefiller for both variants.
+func (q *wsMultBase) prefill(p Poker, vals []uint64) {
+	if int64(len(vals)) > q.w {
+		panic("core: prefill exceeds capacity")
+	}
+	for i, v := range vals {
+		p.Poke(q.slot(int64(i)), v)
+	}
+	p.Poke(q.head, 0)
+	p.Poke(q.tail, u64(int64(len(vals))))
+}
+
+// WSMult is the announce/collect variant: fully read/write with
+// per-task multiplicity bounded by the number of extracting threads.
+type WSMult struct {
+	wsMultBase
+	ann  tso.Addr
+	nann int
+}
+
+// NewWSMult allocates a bounded-multiplicity queue. The announce array
+// has one slot per machine thread when a reveals its configuration
+// (both tso engines do); otherwise wsMultDefaultExtractors slots.
+func NewWSMult(a tso.Allocator, capacity int) *WSMult {
+	n := wsMultDefaultExtractors
+	if m, ok := a.(interface{ Config() tso.Config }); ok {
+		if t := m.Config().Threads; t > 0 {
+			n = t
+		}
+	}
+	return &WSMult{
+		wsMultBase: newWSMultBase(a, capacity),
+		ann:        a.Alloc(n),
+		nann:       n,
+	}
+}
+
+// Name implements Deque.
+func (q *WSMult) Name() string { return "WS-MULT" }
+
+// Put implements Deque.
+func (q *WSMult) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// collect reads head and every announce slot and returns the maximum:
+// the lowest index no extractor is known to have claimed. Reading the
+// caller's own slot through c forwards its own buffered announce, which
+// is what makes a thread's claims strictly increasing.
+func (q *WSMult) collect(c tso.Context) int64 {
+	h := i64(c.Load(q.head))
+	for i := 0; i < q.nann; i++ {
+		if a := i64(c.Load(q.ann + tso.Addr(i))); a > h {
+			h = a
+		}
+	}
+	return h
+}
+
+// extract is the shared owner/thief removal: collect, claim by
+// announcing h+1, read the task, then advance head — all plain
+// loads and stores.
+func (q *WSMult) extract(c tso.Context) (uint64, Status) {
+	h := q.collect(c)
+	t := i64(c.Load(q.tail))
+	if h >= t {
+		return 0, Empty
+	}
+	tid := c.ThreadID()
+	if tid >= q.nann {
+		panic(fmt.Sprintf("core: WS-MULT announce array has %d slots, thread %d extracting", q.nann, tid))
+	}
+	c.Store(q.ann+tso.Addr(tid), u64(h+1))
+	v := c.Load(q.slot(h))
+	c.Store(q.head, u64(h+1))
+	return v, OK
+}
+
+// Take implements Deque.
+func (q *WSMult) Take(c tso.Context) (uint64, Status) { return q.extract(c) }
+
+// Steal implements Deque: identical to Take — there is no owner
+// privilege and no CAS arbitration, only the announce protocol.
+func (q *WSMult) Steal(c tso.Context) (uint64, Status) { return q.extract(c) }
+
+// Prefill implements Prefiller.
+func (q *WSMult) Prefill(p Poker, vals []uint64) { q.prefill(p, vals) }
+
+// MetaSize implements MetaSizer. The size must be computed against the
+// collected maximum, not the head word alone: a stale head store
+// landing late can leave memory head below an announce forever, and a
+// size derived from it would keep the scheduler's termination detector
+// waiting on tasks every extractor already considers claimed.
+func (q *WSMult) MetaSize(peek func(tso.Addr) uint64) int64 {
+	h := i64(peek(q.head))
+	for i := 0; i < q.nann; i++ {
+		if a := i64(peek(q.ann + tso.Addr(i))); a > h {
+			h = a
+		}
+	}
+	return i64(peek(q.tail)) - h
+}
+
+// WSMultRelaxed is the announce-free variant: the same fully read/write
+// queue with unbounded multiplicity. Extractions race on the head word
+// alone, so a stale head store draining late re-opens already-extracted
+// indices and duplication can cascade without bound.
+type WSMultRelaxed struct {
+	wsMultBase
+}
+
+// NewWSMultRelaxed allocates an unbounded-multiplicity queue.
+func NewWSMultRelaxed(a tso.Allocator, capacity int) *WSMultRelaxed {
+	return &WSMultRelaxed{newWSMultBase(a, capacity)}
+}
+
+// Name implements Deque.
+func (q *WSMultRelaxed) Name() string { return "WS-MULT-R" }
+
+// Put implements Deque.
+func (q *WSMultRelaxed) Put(c tso.Context, v uint64) { q.put(c, v) }
+
+// extract removes from the head with plain operations only. The head
+// re-advance after a stale rewind is what lets the scheduler's
+// termination detector converge: re-extractions push the memory head
+// back up to the tail (at the price of duplicate deliveries).
+func (q *WSMultRelaxed) extract(c tso.Context) (uint64, Status) {
+	h := i64(c.Load(q.head))
+	t := i64(c.Load(q.tail))
+	if h >= t {
+		return 0, Empty
+	}
+	v := c.Load(q.slot(h))
+	c.Store(q.head, u64(h+1))
+	return v, OK
+}
+
+// Take implements Deque.
+func (q *WSMultRelaxed) Take(c tso.Context) (uint64, Status) { return q.extract(c) }
+
+// Steal implements Deque.
+func (q *WSMultRelaxed) Steal(c tso.Context) (uint64, Status) { return q.extract(c) }
+
+// Prefill implements Prefiller.
+func (q *WSMultRelaxed) Prefill(p Poker, vals []uint64) { q.prefill(p, vals) }
+
+// MetaSize implements MetaSizer (T - H).
+func (q *WSMultRelaxed) MetaSize(peek func(tso.Addr) uint64) int64 {
+	return i64(peek(q.tail)) - i64(peek(q.head))
+}

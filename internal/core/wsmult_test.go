@@ -1,0 +1,208 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tso"
+)
+
+// wsMultVariants builds both family members on m for table-driven tests.
+func wsMultVariants(m *tso.Machine, capacity int) []Deque {
+	return []Deque{NewWSMult(m, capacity), NewWSMultRelaxed(m, capacity)}
+}
+
+// TestWSMultSequentialFIFO pins the family's single-ended FIFO order:
+// unlike the paper's deques (owner-LIFO at the tail), owner and thieves
+// alike remove from the head, so a lone thread sees queue order from
+// both Take and Steal.
+func TestWSMultSequentialFIFO(t *testing.T) {
+	m := newChaos(1, 1)
+	for _, q := range wsMultVariants(m, 64) {
+		q := q
+		runSolo(t, m, func(c tso.Context) {
+			for i := uint64(1); i <= 20; i++ {
+				q.Put(c, i)
+			}
+			for i := uint64(1); i <= 20; i++ {
+				var v uint64
+				var st Status
+				if i%2 == 0 {
+					v, st = q.Steal(c)
+				} else {
+					v, st = q.Take(c)
+				}
+				if st != OK || v != i {
+					t.Errorf("%s: remove = %d,%v want %d,OK", q.Name(), v, st, i)
+					return
+				}
+			}
+			if _, st := q.Take(c); st != Empty {
+				t.Errorf("%s: take on empty = %v want Empty", q.Name(), st)
+			}
+			if _, st := q.Steal(c); st != Empty {
+				t.Errorf("%s: steal on empty = %v want Empty", q.Name(), st)
+			}
+		})
+	}
+}
+
+// TestWSMultWrapAround drives the cyclic array through several laps to
+// check the non-wrapping index / modular slot arithmetic.
+func TestWSMultWrapAround(t *testing.T) {
+	m := newChaos(1, 2)
+	for _, q := range wsMultVariants(m, 4) {
+		q := q
+		runSolo(t, m, func(c tso.Context) {
+			next, expect := uint64(0), uint64(0)
+			for lap := 0; lap < 5; lap++ {
+				for i := 0; i < 3; i++ {
+					next++
+					q.Put(c, next)
+				}
+				for i := 0; i < 3; i++ {
+					expect++
+					if v, st := q.Take(c); st != OK || v != expect {
+						t.Fatalf("%s lap %d: take = %d,%v want %d,OK", q.Name(), lap, v, st, expect)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWSMultPrefillAndMetaSize checks the Prefiller seeding and the
+// termination detector's size view before and after a drain.
+func TestWSMultPrefillAndMetaSize(t *testing.T) {
+	m := newChaos(1, 3)
+	for _, q := range wsMultVariants(m, 8) {
+		q := q
+		q.(Prefiller).Prefill(m, []uint64{7, 8, 9})
+		if sz := q.(MetaSizer).MetaSize(m.Peek); sz != 3 {
+			t.Errorf("%s: prefilled MetaSize = %d, want 3", q.Name(), sz)
+		}
+		runSolo(t, m, func(c tso.Context) {
+			for want := uint64(7); want <= 9; want++ {
+				if v, st := q.Take(c); st != OK || v != want {
+					t.Fatalf("%s: take = %d,%v want %d,OK", q.Name(), v, st, want)
+				}
+			}
+		})
+		if sz := q.(MetaSizer).MetaSize(m.Peek); sz != 0 {
+			t.Errorf("%s: drained MetaSize = %d, want 0", q.Name(), sz)
+		}
+	}
+}
+
+// TestWSMultMetaSizeUsesAnnounces pins the detail the scheduler's
+// termination detector depends on: WS-MULT's size is computed against
+// the collected maximum of head and the announce slots, so a claimed
+// index counts as removed even while the claimant's head store is
+// stuck in its buffer (where the raw head word would report a stale,
+// larger size — harmless, conservative) or lost to a crash model.
+func TestWSMultMetaSizeUsesAnnounces(t *testing.T) {
+	m := tso.NewMachine(tso.Config{Threads: 1, BufferSize: 4, Seed: 4})
+	q := NewWSMult(m, 8)
+	q.Prefill(m, []uint64{1, 2})
+	// Claim both tasks by hand: announce 2 without ever storing head.
+	m.Poke(q.ann+tso.Addr(0), 2)
+	if sz := q.MetaSize(m.Peek); sz != 0 {
+		t.Errorf("MetaSize = %d, want 0 (announce covers both tasks)", sz)
+	}
+}
+
+// TestWSMultOverflowPanics checks the capacity guard on Put (the
+// machine surfaces a simulated thread's panic as a Run error).
+func TestWSMultOverflowPanics(t *testing.T) {
+	m := newChaos(1, 5)
+	for _, q := range wsMultVariants(m, 2) {
+		q := q
+		err := m.Run(func(c tso.Context) {
+			for i := uint64(1); i <= 3; i++ {
+				q.Put(c, i)
+			}
+		})
+		if err == nil || !strings.Contains(err.Error(), "overflow") {
+			t.Errorf("%s: overflowing Put: err = %v, want overflow panic", q.Name(), err)
+		}
+		m.Reset()
+	}
+}
+
+// bareAllocator allocates without revealing a machine configuration,
+// exercising NewWSMult's announce-array fallback sizing.
+type bareAllocator struct {
+	next tso.Addr
+	m    *tso.Machine
+}
+
+func (b *bareAllocator) Alloc(n int) tso.Addr { return b.m.Alloc(n) }
+
+// TestWSMultAnnounceSizing checks the announce array tracks the
+// machine's thread count when the allocator reveals it and falls back
+// to wsMultDefaultExtractors otherwise.
+func TestWSMultAnnounceSizing(t *testing.T) {
+	m := tso.NewMachine(tso.Config{Threads: 3, BufferSize: 2, Seed: 6})
+	if q := NewWSMult(m, 4); q.nann != 3 {
+		t.Errorf("config-aware announce slots = %d, want 3", q.nann)
+	}
+	if q := NewWSMult(&bareAllocator{m: m}, 4); q.nann != wsMultDefaultExtractors {
+		t.Errorf("fallback announce slots = %d, want %d", q.nann, wsMultDefaultExtractors)
+	}
+}
+
+// TestWSMultRegistry pins the family's registry rows: fence-free,
+// relaxed (not exactly-once), δ-free, parseable under the usual
+// spelling variants, excluded from the paper's evaluation set but
+// present in AllAlgos for the oracle harnesses.
+func TestWSMultRegistry(t *testing.T) {
+	for _, a := range []Algo{AlgoWSMult, AlgoWSMultRelaxed} {
+		if !a.FenceFree() {
+			t.Errorf("%v: FenceFree = false, want true", a)
+		}
+		if a.ExactlyOnce() {
+			t.Errorf("%v: ExactlyOnce = true, want false", a)
+		}
+		if !a.Idempotent() {
+			t.Errorf("%v: Idempotent = false, want true", a)
+		}
+		if a.UsesDelta() {
+			t.Errorf("%v: UsesDelta = true, want false", a)
+		}
+		for _, evaluated := range Algos {
+			if evaluated == a {
+				t.Errorf("%v: in Algos, but the paper's §8 evaluation set must not grow", a)
+			}
+		}
+		var found bool
+		for _, all := range AllAlgos {
+			found = found || all == a
+		}
+		if !found {
+			t.Errorf("%v: missing from AllAlgos", a)
+		}
+	}
+	for spelling, want := range map[string]Algo{
+		"WS-MULT":   AlgoWSMult,
+		"ws mult":   AlgoWSMult,
+		"wsmult":    AlgoWSMult,
+		"WS-MULT-R": AlgoWSMultRelaxed,
+		"ws_mult_r": AlgoWSMultRelaxed,
+		"wsmultr":   AlgoWSMultRelaxed,
+	} {
+		if got, ok := ParseAlgo(spelling); !ok || got != want {
+			t.Errorf("ParseAlgo(%q) = %v,%v want %v,true", spelling, got, ok, want)
+		}
+	}
+}
+
+// TestWSMultExactlyOnceComplement pins that every algorithm answers
+// exactly one of ExactlyOnce/Idempotent — the predicate pair clients
+// gate on instead of naming algorithms.
+func TestWSMultExactlyOnceComplement(t *testing.T) {
+	for _, a := range AllAlgos {
+		if a.ExactlyOnce() == a.Idempotent() {
+			t.Errorf("%v: ExactlyOnce = Idempotent = %v", a, a.ExactlyOnce())
+		}
+	}
+}

@@ -18,14 +18,19 @@ type Fig11Algo struct {
 	Algo  core.Algo
 }
 
-// Figure11Algos returns the four queues compared in Figure 11 (Chase-Lev
-// is the normalization baseline).
+// Figure11Algos returns the queues compared in Figure 11 (Chase-Lev is
+// the normalization baseline): the paper's four, plus the fully
+// read/write WS-MULT family as extra series — the same graph workloads
+// priced without CAS anywhere, duplication bounded (WS-MULT) or merely
+// finite (WS-MULT-R).
 func Figure11Algos() []Fig11Algo {
 	return []Fig11Algo{
 		{"Chase-Lev", core.AlgoChaseLev},
 		{"Idempotent DE", core.AlgoIdempotentDE},
 		{"Idempotent LIFO", core.AlgoIdempotentLIFO},
 		{"FF-CL", core.AlgoFFCL},
+		{"WS-MULT", core.AlgoWSMult},
+		{"WS-MULT-R", core.AlgoWSMultRelaxed},
 	}
 }
 

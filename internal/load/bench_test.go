@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/runner"
 )
 
@@ -31,6 +32,14 @@ func TestBenchSched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The multiplicity companion sweep (sequential requests, relaxed
+	// queues legal) merges into the same report; Fanout in Row.Key keeps
+	// the two grids from colliding.
+	mrows, err := Sweep(context.Background(), runner.New(0), nil, ReferenceMultSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = append(rows, mrows...)
 	t.Logf("%d cells in %v", len(rows), time.Since(start).Round(time.Millisecond))
 
 	rep := Report{Requests: sc.Requests, Seeds: sc.Seeds, Rows: rows}
@@ -75,6 +84,17 @@ func TestBenchSched(t *testing.T) {
 	}
 	if !batchedWorks {
 		t.Error("no Chase-Lev-family cell ever took more than one task per steal visit")
+	}
+	// The duplication cost model: exactly-once rows price duplication at
+	// zero everywhere; only the relaxed rows may pay DupsPerReq > 0.
+	for _, r := range rows {
+		algo, ok := core.ParseAlgo(r.Algo)
+		if !ok {
+			t.Fatalf("row names unknown algorithm %q", r.Algo)
+		}
+		if algo.ExactlyOnce() && r.DupsPerReq != 0 {
+			t.Errorf("%s: exact queue with dups/request %v", r.Key(), r.DupsPerReq)
+		}
 	}
 
 	// Regression gate against the checked-in reference.

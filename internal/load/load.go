@@ -50,7 +50,8 @@ type Workload struct {
 	// Fanout is the number of parallel leaf tasks a request forks; 0
 	// means the request is a single sequential task.
 	Fanout int
-	// Grain is the computation per leaf in cycles.
+	// Grain is the computation per leaf in cycles; with Fanout == 0 it
+	// is the sequential request's computation instead.
 	Grain uint64
 	// RootWork is the sequential work a request does before forking
 	// (parsing, routing) in cycles.
@@ -106,22 +107,31 @@ type Result struct {
 	StolenPerReq float64
 	// AbortsPerReq is fence-free steal aborts per request.
 	AbortsPerReq float64
+	// DupsPerReq is duplicate task executions per request — the relaxed
+	// queues' cost model: a redelivered request re-runs its body
+	// (burning RootWork again) before the first-completion filter drops
+	// the repeat measurement. Always 0 for exactly-once algorithms.
+	DupsPerReq float64
 	// Elapsed is the virtual-cycle makespan of the whole run.
 	Elapsed uint64
 }
 
 // Run executes one open-loop serving run of wl on a fresh timed machine
-// built from cfg, under the scheduler options opt. Idempotent queue
-// algorithms are rejected: a request is a fork/join tree, and a
-// duplicate delivery would fire its join early (sched.Worker.Fork
-// documents the same restriction).
+// built from cfg, under the scheduler options opt. The queue contract is
+// checked by capability, not by name: fork/join requests (Fanout > 0)
+// require an exactly-once algorithm, because a duplicate delivery would
+// fire the join early (sched.Worker.Fork documents the same
+// restriction). Sequential requests (Fanout == 0) run on any algorithm;
+// a relaxed queue may redeliver a request, which re-executes its body —
+// the duplication cost the sweep measures as DupsPerReq — while the
+// latency histogram counts only the first completion.
 func Run(cfg tso.Config, opt sched.Options, wl Workload) (Result, error) {
 	wl = wl.withDefaults()
 	if wl.Requests < 1 {
 		return Result{}, fmt.Errorf("load: workload needs at least 1 request, got %d", wl.Requests)
 	}
-	if opt.Algo.Idempotent() {
-		return Result{}, fmt.Errorf("load: %s may duplicate deliveries; serving requests are fork/join trees and need an exact queue", opt.Algo)
+	if wl.Fanout > 0 && !opt.Algo.ExactlyOnce() {
+		return Result{}, fmt.Errorf("load: %s may duplicate deliveries; fork/join requests (fanout %d) need an exact queue", opt.Algo, wl.Fanout)
 	}
 	m := tso.NewTimedMachine(cfg)
 	defer m.Close()
@@ -129,10 +139,16 @@ func Run(cfg tso.Config, opt sched.Options, wl Workload) (Result, error) {
 
 	arr := wl.arrivals()
 	hist := &stats.Histogram{}
-	// record stamps request i's completion. Task bodies run with the
-	// machine's one-thread-at-a-time guarantee, so the shared histogram
-	// needs no locking.
+	// record stamps request i's first completion; a redelivered request
+	// (relaxed queues, Fanout == 0) re-runs its body but must not count
+	// twice. Task bodies run with the machine's one-thread-at-a-time
+	// guarantee, so the shared state needs no locking.
+	done := make([]bool, wl.Requests)
 	record := func(w *sched.Worker, i int) {
+		if done[i] {
+			return
+		}
+		done[i] = true
 		var lat uint64
 		if now := w.Now(); now > arr[i] {
 			lat = now - arr[i]
@@ -145,6 +161,9 @@ func Run(cfg tso.Config, opt sched.Options, wl Workload) (Result, error) {
 				w.Work(wl.RootWork)
 			}
 			if wl.Fanout == 0 {
+				if wl.Grain > 0 {
+					w.Work(wl.Grain)
+				}
 				record(w, i)
 				return
 			}
@@ -191,6 +210,7 @@ func NewResult(requests int, hist *stats.Histogram, st sched.Stats) Result {
 		StealsPerReq: float64(st.Steals) / n,
 		StolenPerReq: float64(st.StolenTasks) / n,
 		AbortsPerReq: float64(st.Aborts) / n,
+		DupsPerReq:   float64(st.Duplicates) / n,
 		Elapsed:      st.Elapsed,
 	}
 }

@@ -70,12 +70,52 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
-// TestRunRejectsIdempotent checks the fork/join serving workload refuses
-// queues that may duplicate deliveries.
-func TestRunRejectsIdempotent(t *testing.T) {
-	_, err := Run(testCfg(), sched.Options{Algo: core.AlgoIdempotentLIFO}, testWL())
-	if err == nil {
-		t.Fatal("idempotent algorithm accepted")
+// TestRunCapabilityGate is the regression test for the queue-contract
+// check: Run must gate on the ExactlyOnce capability predicate, not on a
+// hard-coded algorithm list, so every algorithm in the registry —
+// including ones added later — is classified by what it guarantees.
+// Fork/join workloads (Fanout > 0) reject exactly the non-exact
+// algorithms; sequential workloads (Fanout == 0) accept everything.
+func TestRunCapabilityGate(t *testing.T) {
+	forked := testWL()
+	seq := testWL()
+	seq.Fanout = 0
+	for _, algo := range core.AllAlgos {
+		opt := sched.Options{Algo: algo, Delta: 6, Seed: 3}
+		_, err := Run(testCfg(), opt, forked)
+		if algo.ExactlyOnce() && err != nil {
+			t.Errorf("%v: exact algorithm rejected from fork/join workload: %v", algo, err)
+		}
+		if !algo.ExactlyOnce() && err == nil {
+			t.Errorf("%v: relaxed algorithm accepted for a fork/join workload", algo)
+		}
+		if _, err := Run(testCfg(), opt, seq); err != nil {
+			t.Errorf("%v: sequential workload failed: %v", algo, err)
+		}
+	}
+}
+
+// TestRunSequentialRelaxed pins the relaxed-queue serving semantics: on
+// a sequential workload over WS-MULT every request completes and is
+// measured exactly once — duplicate deliveries re-execute the body
+// (surfacing as DupsPerReq) but never inflate the latency histogram.
+func TestRunSequentialRelaxed(t *testing.T) {
+	wl := testWL()
+	wl.Fanout = 0
+	for _, algo := range []core.Algo{core.AlgoWSMult, core.AlgoWSMultRelaxed} {
+		res, err := Run(testCfg(), sched.Options{Algo: algo, Seed: 3}, wl)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if got := res.Hist.Count(); got != uint64(wl.Requests) {
+			t.Fatalf("%v: %d latencies for %d requests", algo, got, wl.Requests)
+		}
+		if res.DupsPerReq < 0 {
+			t.Fatalf("%v: negative DupsPerReq %v", algo, res.DupsPerReq)
+		}
+		if res.DupsPerReq > 0 {
+			t.Logf("%v: observed %.4f duplicate executions per request", algo, res.DupsPerReq)
+		}
 	}
 }
 

@@ -65,6 +65,7 @@ type Row struct {
 	Batch  int     `json:"batch"`  // batch-steal width (<= 1: single)
 	Gap    float64 `json:"gap"`    // mean inter-arrival gap, cycles
 	Grain  uint64  `json:"grain"`  // per-leaf computation, cycles
+	Fanout int     `json:"fanout"` // leaves per request (0: sequential requests)
 	P50    uint64  `json:"p50"`    // median latency, cycles (merged seeds)
 	P99    uint64  `json:"p99"`    // 99th-percentile latency, cycles
 	P999   uint64  `json:"p999"`   // 99.9th-percentile latency, cycles
@@ -76,12 +77,17 @@ type Row struct {
 	StolenPerReq float64 `json:"stolen_per_req"`
 	// AbortsPerReq is fence-free steal aborts per request.
 	AbortsPerReq float64 `json:"aborts_per_req"`
+	// DupsPerReq is duplicate request executions per request — the
+	// relaxed queues' duplication cost (always 0 under exact queues).
+	DupsPerReq float64 `json:"dups_per_req"`
 }
 
 // Key identifies the row's cell within a sweep: the comparison key the
-// regression gate joins on.
+// regression gate joins on. Fanout is part of the key so the fork/join
+// reference sweep and the sequential multiplicity sweep can merge into
+// one report without colliding.
 func (r Row) Key() string {
-	return fmt.Sprintf("%s/d%d/%s/gap%g/grain%d", r.Algo, r.Delta, r.Knob, r.Gap, r.Grain)
+	return fmt.Sprintf("%s/d%d/%s/f%d/gap%g/grain%d", r.Algo, r.Delta, r.Knob, r.Fanout, r.Gap, r.Grain)
 }
 
 // cellKey is the cache key for one sweep cell: everything the cell's
@@ -161,10 +167,10 @@ func Sweep(ctx context.Context, r *runner.Runner, cache *runner.Cache, sc SweepC
 		return Row{
 			Algo: c.key.Algo, Delta: c.key.Delta,
 			Knob: knobName(c.sc.Knobs, c.key), Victim: c.key.Victim, Batch: c.key.Batch,
-			Gap: c.key.Gap, Grain: c.key.Grain,
+			Gap: c.key.Gap, Grain: c.key.Grain, Fanout: c.key.Fanout,
 			P50: res.P50, P99: res.P99, P999: res.P999, Max: res.Max, Mean: res.Mean,
 			StealsPerReq: res.StealsPerReq, StolenPerReq: res.StolenPerReq,
-			AbortsPerReq: res.AbortsPerReq,
+			AbortsPerReq: res.AbortsPerReq, DupsPerReq: res.DupsPerReq,
 		}, nil
 	})
 }
@@ -259,6 +265,40 @@ func ReferenceSweep() SweepConfig {
 			{Name: "batch8", Victim: sched.VictimUniform, Batch: 8},
 			{Name: "last", Victim: sched.VictimLastSuccess, Batch: 1},
 			{Name: "p2c", Victim: sched.VictimPowerOfTwo, Batch: 1},
+		},
+		Seeds: 3,
+	}
+}
+
+// ReferenceMultSweep is the multiplicity-cost companion sweep: the same
+// platform serving sequential requests (Fanout 0 — the only shape the
+// relaxed queues support, since a duplicated delivery would fire a
+// fork/join early). It puts the fully read/write WS-MULT family next to
+// the paper's exact queues on identical workloads, so the duplication
+// cost of giving up CAS shows up in the same report: DupsPerReq > 0 is
+// legal here and priced as re-executed request bodies, while the exact
+// rows pin it at 0.
+func ReferenceMultSweep() SweepConfig {
+	cfg := tso.Config{Threads: 8, BufferSize: 11, DrainBuffer: true}
+	delta := core.DefaultDelta(cfg.ObservableBound())
+	return SweepConfig{
+		Cfg:      cfg,
+		Requests: 256,
+		Fanout:   0,
+		Burst:    4,
+		RootWork: 32,
+		Gaps:     []float64{200, 800},
+		Grains:   []uint64{256},
+		Algos: []AlgoCase{
+			{Algo: core.AlgoTHE},
+			{Algo: core.AlgoChaseLev},
+			{Algo: core.AlgoFFCL, Delta: delta},
+			{Algo: core.AlgoWSMult},
+			{Algo: core.AlgoWSMultRelaxed},
+		},
+		Knobs: []Knob{
+			{Name: "base", Victim: sched.VictimUniform, Batch: 1},
+			{Name: "last", Victim: sched.VictimLastSuccess, Batch: 1},
 		},
 		Seeds: 3,
 	}

@@ -52,6 +52,27 @@ func corpusCases() []corpusCase {
 	stageFixed := stage
 	stageFixed.Delta = stage.Config().ObservableBound()
 
+	// The multiplicity relaxation made concrete: on the fully read/write
+	// WS-MULT queue a thief whose announce store is still buffered races
+	// the draining owner onto the same index, and a prefilled task is
+	// delivered twice — already at S=1. The repaired twin runs the same
+	// duel on the CAS-arbitrated Chase-Lev deque, which the recorded
+	// schedule (and the whole space) leaves clean: the duplicate is
+	// exactly the price of giving up CAS.
+	mult := Program{Algo: core.AlgoWSMult, S: 1, Delta: 1, Prefill: 2, Thieves: []int{1}, Drain: true}
+	multFixed := mult
+	multFixed.Algo = core.AlgoChaseLev
+
+	// The unbounded cascade: without announce slots a stale head store
+	// draining late rewinds the queue, and with just two steal attempts
+	// racing two owner takes the same task is delivered three times —
+	// beyond WS-MULT's k=2 budget for two extractors. Restoring the
+	// announce slots (the WS-MULT twin) provably re-establishes the
+	// bound on every schedule.
+	cascade := Program{Algo: core.AlgoWSMultRelaxed, S: 1, Delta: 1, Prefill: 3, WorkerOps: "TT", Thieves: []int{2}, Drain: true}
+	cascadeFixed := cascade
+	cascadeFixed.Algo = core.AlgoWSMult
+
 	return []corpusCase{
 		{
 			file:            "ffcl-delta-below-bound.json",
@@ -68,6 +89,22 @@ func corpusCases() []corpusCase {
 			spec:    "precise",
 			fixed:   stageFixed,
 			budget:  1 << 20,
+		},
+		{
+			file:            "wsmult-duplicate-reachable.json",
+			comment:         "WS-MULT duel at S=1: a buffered announce lets owner and thief extract the same task — the multiplicity relaxation is inhabited",
+			program:         mult,
+			spec:            "precise",
+			fixed:           multFixed,
+			exhaustiveFixed: true,
+		},
+		{
+			file:            "wsmultr-dup-bound-exceeded.json",
+			comment:         "WS-MULT-R cascade at S=1: stale head stores rewind the queue past the k=2 budget; announce slots (WS-MULT) restore the bound",
+			program:         cascade,
+			spec:            "multiplicity(k=2)",
+			fixed:           cascadeFixed,
+			exhaustiveFixed: true,
 		},
 	}
 }
@@ -139,7 +176,7 @@ func TestSeededCorpusFixedConfigsClean(t *testing.T) {
 			spec, _ := SpecByName(c.spec)
 			if c.exhaustiveFixed {
 				rep := Run(c.fixed.Scenario(), RunOptions{
-					Spec: spec, Prune: true, Parallel: 2, MaxSchedules: c.budget,
+					Spec: spec, Prune: true, SleepSets: true, Parallel: 2, MaxSchedules: c.budget,
 				})
 				if !rep.Complete {
 					t.Fatalf("exploration of fixed config incomplete after %d schedules", rep.Schedules)

@@ -39,41 +39,78 @@ func decodeHistory(data []byte) *History {
 
 // FuzzCheckerMetamorphic feeds the checker arbitrary histories and pins
 // its metamorphic invariants: Check never panics, verdicts are
-// deterministic, and Idempotent is a strict weakening of Precise — every
-// violation the relaxed spec reports must also be reported (same class,
-// same task or thread) by the strict one.
+// deterministic, and the specs form a weakening chain — every violation
+// a relaxed spec reports must also be reported (same or corresponding
+// class, same task or thread) by every stricter one. Concretely:
+// Idempotent ⊆ Multiplicity{K} ⊆ Precise (a dup-bound breach implies a
+// precise duplicate on the same task), and Multiplicity is monotone in
+// K (a k=3 breach is a fortiori a k=2 breach).
 func FuzzCheckerMetamorphic(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{2, 0, 0, 1, 0, 0, 1, 1, 0}) // prefill + begin/end pair
-	f.Add([]byte{1, 1, 2, 5, 0})             // steal begins, never ends
-	f.Add([]byte{3, 0, 3, 7, 1})             // end without begin
+	f.Add([]byte{2, 0, 0, 1, 0, 0, 1, 1, 0})             // prefill + begin/end pair
+	f.Add([]byte{1, 1, 2, 5, 0})                         // steal begins, never ends
+	f.Add([]byte{3, 0, 3, 7, 1})                         // end without begin
+	f.Add([]byte{2, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0}) // triple removal of task 1: dup-bound territory
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := decodeHistory(data)
 		precise := Precise{}.Check(h)
 		relaxed := Idempotent{}.Check(h)
+		mult2 := Multiplicity{K: 2}.Check(h)
+		mult3 := Multiplicity{K: 3}.Check(h)
 		if got, again := RenderVerdict(precise), RenderVerdict(Precise{}.Check(h)); got != again {
 			t.Fatalf("precise verdict unstable: %q then %q", got, again)
 		}
-		match := func(want Violation) bool {
-			for _, v := range precise {
-				if v.Verdict != want.Verdict {
+		if got, again := RenderVerdict(mult2), RenderVerdict(Multiplicity{K: 2}.Check(h)); got != again {
+			t.Fatalf("multiplicity verdict unstable: %q then %q", got, again)
+		}
+		// matches reports whether vs contains a violation of the given
+		// class on the same task (or, for torn, the same thread).
+		matches := func(vs []Violation, verdict Verdict, want Violation) bool {
+			for _, v := range vs {
+				if v.Verdict != verdict {
 					continue
 				}
-				if want.Verdict == VerdictTorn && v.Thread == want.Thread {
+				if verdict == VerdictTorn && v.Thread == want.Thread {
 					return true
 				}
-				if want.Verdict != VerdictTorn && v.Task == want.Task {
+				if verdict != VerdictTorn && v.Task == want.Task {
 					return true
 				}
 			}
 			return false
 		}
 		for _, v := range relaxed {
-			if v.Verdict == VerdictDuplicate {
+			if v.Verdict == VerdictDuplicate || v.Verdict == VerdictDupBound {
 				t.Fatalf("idempotent spec reported a duplicate: %v", v)
 			}
-			if !match(v) {
+			if !matches(precise, v.Verdict, v) {
 				t.Fatalf("idempotent violation %v has no precise counterpart %v", v, precise)
+			}
+			// Multiplicity extends Idempotent: everything the weaker spec
+			// flags, the budgeted one flags identically.
+			if !matches(mult2, v.Verdict, v) {
+				t.Fatalf("idempotent violation %v has no multiplicity counterpart %v", v, mult2)
+			}
+		}
+		for _, v := range mult2 {
+			if v.Verdict == VerdictDuplicate {
+				t.Fatalf("multiplicity spec reported a plain duplicate: %v", v)
+			}
+			want := v.Verdict
+			if want == VerdictDupBound {
+				// A budget breach is a fortiori a precise duplicate.
+				want = VerdictDuplicate
+			}
+			if !matches(precise, want, v) {
+				t.Fatalf("multiplicity violation %v has no precise counterpart %v", v, precise)
+			}
+		}
+		for _, v := range mult3 {
+			if v.Verdict != VerdictDupBound {
+				continue
+			}
+			if !matches(mult2, VerdictDupBound, v) {
+				t.Fatalf("k=3 breach %v not flagged under k=2: %v", v, mult2)
 			}
 		}
 	})
@@ -100,6 +137,8 @@ func FuzzDifferentialPrograms(f *testing.F) {
 	f.Add([]byte{4, 1, 3, 2, 3, 0, 1, 2})         // FF-CL, S=2, prefetched takes
 	f.Add([]byte{7, 0, 1, 1, 5, 3, 0, 1, 2, 3})   // idempotent FIFO duel
 	f.Add([]byte{2, 1, 0, 2, 4, 1, 1, 0, 0, 255}) // THEP with drain stage off
+	f.Add([]byte{8, 0, 2, 0, 2, 1, 2})            // WS-MULT drained duel (bounded-multiplicity contract)
+	f.Add([]byte{9, 1, 3, 2, 3, 1, 2, 1})         // WS-MULT-R, S=2, staged, two thieves
 	f.Fuzz(func(t *testing.T, data []byte) {
 		shape, ok := DecodeProgram(data)
 		if !ok {
@@ -123,16 +162,24 @@ func FuzzDifferentialPrograms(f *testing.F) {
 	})
 }
 
-// FuzzReplaySound replays arbitrary byte-derived schedules against a
-// soundly configured FF-CL duel: whatever interleaving the (clamped)
-// choices select, a completed run must satisfy the precise spec. This
-// drives ReplaySchedule's clamping through schedules no exploration order
+// FuzzReplaySound replays arbitrary byte-derived schedules against
+// soundly configured pinned programs: whatever interleaving the
+// (clamped) choices select, a completed run must satisfy the program's
+// contract — exactly-once for the FF-CL duel, the proved k=2
+// multiplicity budget for the WS-MULT duel. This drives
+// ReplaySchedule's clamping through schedules no exploration order
 // would produce.
 func FuzzReplaySound(f *testing.F) {
 	f.Add([]byte{0})
 	f.Add([]byte{1, 0, 2, 1, 1, 0, 3})
 	f.Add([]byte{255, 254, 253, 7, 9, 11, 13, 2, 1, 0})
-	p := Program{Algo: core.AlgoFFCL, S: 2, Delta: 2, Prefill: 2, WorkerOps: "T", Thieves: []int{1}}
+	pinned := []struct {
+		p    Program
+		spec Spec
+	}{
+		{Program{Algo: core.AlgoFFCL, S: 2, Delta: 2, Prefill: 2, WorkerOps: "T", Thieves: []int{1}}, Precise{}},
+		{Program{Algo: core.AlgoWSMult, S: 2, Delta: 1, Prefill: 2, WorkerOps: "T", Thieves: []int{1}, Drain: true}, Multiplicity{K: 2}},
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 64 {
 			t.Skip("choice prefix longer than any schedule of this program")
@@ -141,12 +188,14 @@ func FuzzReplaySound(f *testing.F) {
 		for i, b := range data {
 			choices[i] = int(b) - 128 // exercise negative clamping too
 		}
-		viols, _, err := Replay(p.Scenario(), Precise{}, choices)
-		if err != nil {
-			t.Fatalf("replay of a terminating program failed: %v", err)
-		}
-		if len(viols) != 0 {
-			t.Fatalf("sound FF-CL violated the precise spec under choices %v: %v", choices, viols)
+		for _, c := range pinned {
+			viols, _, err := Replay(c.p.Scenario(), c.spec, choices)
+			if err != nil {
+				t.Fatalf("replay of terminating program %s failed: %v", c.p, err)
+			}
+			if len(viols) != 0 {
+				t.Fatalf("sound %s violated %s under choices %v: %v", c.p, c.spec.Name(), choices, viols)
+			}
 		}
 	})
 }

@@ -52,7 +52,17 @@ func (p Program) String() string {
 }
 
 // Spec returns the specification the program's algorithm must meet.
-func (p Program) Spec() Spec { return SpecFor(p.Algo) }
+// For WS-MULT the generic SpecFor answer (Idempotent) is tightened to
+// the algorithm's actual claim: per-task multiplicity bounded by the
+// number of extracting threads, which the program shape fixes as the
+// worker plus its thieves. The relaxed variant keeps the unbounded
+// Idempotent contract — its whole point is that no such bound exists.
+func (p Program) Spec() Spec {
+	if p.Algo == core.AlgoWSMult {
+		return Multiplicity{K: 1 + len(p.Thieves)}
+	}
+	return SpecFor(p.Algo)
+}
 
 // Scenario compiles the program into a runnable oracle scenario. The
 // returned Build is safe for the exhaustive engine's parallel workers:
@@ -195,7 +205,8 @@ type CorpusEntry struct {
 	Comment string `json:"comment"`
 	// Program is the workload.
 	Program Program `json:"program"`
-	// Spec names the checked contract ("precise" or "idempotent").
+	// Spec names the checked contract ("precise", "idempotent", or
+	// "multiplicity(k=N)").
 	Spec string `json:"spec"`
 	// Choices is the violating schedule's decision prefix.
 	Choices []int `json:"choices"`
@@ -203,14 +214,21 @@ type CorpusEntry struct {
 	Outcome string `json:"outcome"`
 }
 
-// SpecByName resolves a corpus entry's spec name.
+// SpecByName resolves a corpus entry's spec name. Every Spec's Name()
+// round-trips: "precise", "idempotent", and "multiplicity(k=N)" for any
+// integer N ≥ 0.
 func SpecByName(name string) (Spec, bool) {
 	switch name {
 	case "precise":
 		return Precise{}, true
 	case "idempotent":
 		return Idempotent{}, true
-	default:
-		return nil, false
 	}
+	var k int
+	if n, err := fmt.Sscanf(name, "multiplicity(k=%d)", &k); err == nil && n == 1 && k >= 0 {
+		if s := (Multiplicity{K: k}); s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
 }

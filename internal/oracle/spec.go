@@ -25,6 +25,12 @@ const (
 	// without beginning, began twice, or never ended on a completed run.
 	// It indicates a broken harness or instrumentation, not a queue bug.
 	VerdictTorn
+	// VerdictDupBound flags a task removed more often than a Multiplicity
+	// spec's per-task duplicate budget allows — the failure class of the
+	// bounded-multiplicity relaxation (rendered "dup>k tN"). The plain
+	// VerdictDuplicate remains the precise-contract class (any removal
+	// beyond the puts).
+	VerdictDupBound
 )
 
 func (v Verdict) String() string {
@@ -37,6 +43,8 @@ func (v Verdict) String() string {
 		return "phantom"
 	case VerdictTorn:
 		return "torn"
+	case VerdictDupBound:
+		return "dup-bound"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
@@ -51,6 +59,9 @@ type Violation struct {
 	// Thread is the offending thread for torn interleavings, -1 when the
 	// violation is a property of the whole history.
 	Thread int
+	// Bound is the exceeded per-task removal budget for VerdictDupBound
+	// violations (0 otherwise).
+	Bound int `json:",omitempty"`
 	// Detail is a human-readable elaboration (counts, op kind).
 	Detail string
 }
@@ -58,6 +69,9 @@ type Violation struct {
 func (v Violation) String() string {
 	if v.Verdict == VerdictTorn {
 		return fmt.Sprintf("torn th%d: %s", v.Thread, v.Detail)
+	}
+	if v.Verdict == VerdictDupBound {
+		return fmt.Sprintf("dup>%d t%d: %s", v.Bound, v.Task, v.Detail)
 	}
 	return fmt.Sprintf("%s t%d: %s", v.Verdict, v.Task, v.Detail)
 }
@@ -138,8 +152,63 @@ func (Idempotent) Check(h *History) []Violation {
 	return sortViolations(viols)
 }
 
+// Multiplicity is the bounded-duplicates relaxation of Castañeda & Piña:
+// Idempotent's contract (no phantoms, no losses on a drained run) plus a
+// per-task removal budget. A task put p times may be removed at most
+// p·max(K, 1) times; exceeding the budget is a VerdictDupBound
+// violation. K ≤ 1 degenerates to the Precise spec's duplicate rule
+// (any removal beyond the puts violates), with losses still judged by
+// the relaxed at-least-once rule. Like every Spec, the check is a
+// function of order-insensitive multiset facts only, so it is sound
+// under the pruned exhaustive engines.
+type Multiplicity struct {
+	// K is the per-put removal budget (values below 1 behave as 1).
+	K int
+}
+
+// Name implements Spec.
+func (s Multiplicity) Name() string { return fmt.Sprintf("multiplicity(k=%d)", s.K) }
+
+// budget is the allowed removal count for a task put p times.
+func (s Multiplicity) budget(p int) int {
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	return p * k
+}
+
+// Check implements Spec.
+func (s Multiplicity) Check(h *History) []Violation {
+	puts, removals, viols := tally(h)
+	for task, r := range removals {
+		p := puts[task]
+		switch {
+		case p == 0:
+			viols = append(viols, Violation{Verdict: VerdictPhantom, Task: task, Thread: -1,
+				Detail: fmt.Sprintf("removed %dx but never put", r)})
+		case r > s.budget(p):
+			viols = append(viols, Violation{Verdict: VerdictDupBound, Task: task, Thread: -1,
+				Bound: s.budget(p),
+				Detail: fmt.Sprintf("removed %dx for %d put(s), budget %d", r, p, s.budget(p))})
+		}
+	}
+	if h.Drained() {
+		for task, p := range puts {
+			if removals[task] == 0 {
+				viols = append(viols, Violation{Verdict: VerdictLost, Task: task, Thread: -1,
+					Detail: fmt.Sprintf("put %dx, never removed, queue drained", p)})
+			}
+		}
+	}
+	return sortViolations(viols)
+}
+
 // SpecFor returns the specification the algorithm is expected to meet:
-// Idempotent for the idempotent comparators, Precise for everything else.
+// Idempotent for the duplicate-tolerant queues (the idempotent
+// comparators and the WS-MULT family), Precise for everything else.
+// WS-MULT's *bounded*-multiplicity claim depends on the extractor
+// count, which an Algo alone does not know — Program.Spec tightens it.
 func SpecFor(a core.Algo) Spec {
 	if a.Idempotent() {
 		return Idempotent{}
@@ -222,11 +291,14 @@ func RenderVerdict(viols []Violation) string {
 	}
 	parts := make([]string, 0, len(viols))
 	for _, v := range viols {
-		if v.Verdict == VerdictTorn {
+		switch v.Verdict {
+		case VerdictTorn:
 			parts = append(parts, fmt.Sprintf("torn th%d", v.Thread))
-			continue
+		case VerdictDupBound:
+			parts = append(parts, fmt.Sprintf("dup>%d t%d", v.Bound, v.Task))
+		default:
+			parts = append(parts, fmt.Sprintf("%s t%d", v.Verdict, v.Task))
 		}
-		parts = append(parts, fmt.Sprintf("%s t%d", v.Verdict, v.Task))
 	}
 	return strings.Join(parts, "; ")
 }

@@ -1,6 +1,8 @@
 package oracle
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -58,6 +60,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 		steps          []histStep
 		wantPrecise    string // RenderVerdict under Precise
 		wantIdempotent string // RenderVerdict under Idempotent
+		wantMult       string // RenderVerdict under Multiplicity{K: 2}
 	}{
 		{
 			name:    "ok: put-take-steal balance",
@@ -71,6 +74,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			),
 			wantPrecise:    "ok",
 			wantIdempotent: "ok",
+			wantMult:       "ok",
 		},
 		{
 			name:    "ok: undrained run may leave tasks behind",
@@ -81,6 +85,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			// neither spec may call it lost.
 			wantPrecise:    "ok",
 			wantIdempotent: "ok",
+			wantMult:       "ok",
 		},
 		{
 			name:    "lost: drained run with an unremoved task",
@@ -92,6 +97,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			),
 			wantPrecise:    "lost t1",
 			wantIdempotent: "lost t1",
+			wantMult:       "lost t1",
 		},
 		{
 			name:    "duplicate: precise fails, idempotent accepts",
@@ -103,6 +109,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			),
 			wantPrecise:    "duplicate t1",
 			wantIdempotent: "ok",
+			wantMult:       "ok",
 		},
 		{
 			name:    "phantom: removal of a task never put",
@@ -112,6 +119,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			// Garbage is a violation under both contracts.
 			wantPrecise:    "phantom t99",
 			wantIdempotent: "phantom t99",
+			wantMult:       "phantom t99",
 		},
 		{
 			name:    "torn: steal never ends",
@@ -122,6 +130,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			},
 			wantPrecise:    "torn th1",
 			wantIdempotent: "torn th1",
+			wantMult:       "torn th1",
 		},
 		{
 			name:    "torn: end without begin",
@@ -131,6 +140,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			},
 			wantPrecise:    "torn th0",
 			wantIdempotent: "torn th0",
+			wantMult:       "torn th0",
 		},
 		{
 			name:    "torn: op begins inside an open op",
@@ -145,6 +155,51 @@ func TestCheckerVerdictTable(t *testing.T) {
 			// the put's own end is then orphaned.
 			wantPrecise:    "torn th0; torn th0",
 			wantIdempotent: "torn th0; torn th0",
+			wantMult:       "torn th0; torn th0",
+		},
+		{
+			name:    "dup at budget: three removals of one put exceed k=2",
+			drained: true,
+			prefill: []uint64{1},
+			steps: cat(
+				op(0, OpTake, 1, core.OK),
+				op(1, OpSteal, 1, core.OK),
+				op(1, OpSteal, 1, core.OK),
+			),
+			wantPrecise:    "duplicate t1",
+			wantIdempotent: "ok",
+			wantMult:       "dup>2 t1",
+		},
+		{
+			name:    "dup budget scales with put count",
+			drained: true,
+			prefill: []uint64{1},
+			steps: cat(
+				op(0, OpPut, 1, core.OK), // task 1 put a second time
+				op(0, OpTake, 1, core.OK),
+				op(1, OpSteal, 1, core.OK),
+				op(1, OpSteal, 1, core.OK),
+				op(0, OpTake, 1, core.OK),
+			),
+			// Four removals of a twice-put task: within budget 2·2 for
+			// k=2, beyond the puts for Precise.
+			wantPrecise:    "duplicate t1",
+			wantIdempotent: "ok",
+			wantMult:       "ok",
+		},
+		{
+			name:    "empty and aborted attempts never count as removals",
+			drained: true,
+			prefill: []uint64{1},
+			steps: cat(
+				op(1, OpSteal, 0, core.Abort),
+				op(0, OpTake, 1, core.OK),
+				op(1, OpSteal, 0, core.Empty),
+				op(0, OpTake, 0, core.Empty),
+			),
+			wantPrecise:    "ok",
+			wantIdempotent: "ok",
+			wantMult:       "ok",
 		},
 		{
 			name:    "multiple violations render sorted",
@@ -159,6 +214,7 @@ func TestCheckerVerdictTable(t *testing.T) {
 			// verdict class then task.
 			wantPrecise:    "lost t1; duplicate t2; phantom t7",
 			wantIdempotent: "lost t1; phantom t7",
+			wantMult:       "lost t1; phantom t7",
 		},
 	}
 	for _, tc := range cases {
@@ -170,7 +226,108 @@ func TestCheckerVerdictTable(t *testing.T) {
 			if got := RenderVerdict(Idempotent{}.Check(h)); got != tc.wantIdempotent {
 				t.Errorf("idempotent: got %q want %q", got, tc.wantIdempotent)
 			}
+			if got := RenderVerdict(Multiplicity{K: 2}.Check(h)); got != tc.wantMult {
+				t.Errorf("multiplicity(k=2): got %q want %q", got, tc.wantMult)
+			}
 		})
+	}
+}
+
+// TestMultiplicityDegenerateK pins the low end of the budget rule: K=1
+// and K=0 both mean "removals may not exceed puts" — exactly Precise's
+// duplicate rule — while losses are still judged by the relaxed
+// at-least-once rule, and the verdict class stays dup-bound.
+func TestMultiplicityDegenerateK(t *testing.T) {
+	dup := mkHist(true, []uint64{1}, cat(
+		op(0, OpTake, 1, core.OK),
+		op(1, OpSteal, 1, core.OK),
+	))
+	for _, k := range []int{0, 1} {
+		if got := RenderVerdict(Multiplicity{K: k}.Check(dup)); got != "dup>1 t1" {
+			t.Errorf("k=%d on a double removal: got %q want %q", k, got, "dup>1 t1")
+		}
+	}
+	// A drained run where one of two puts of the same task is never
+	// matched: Precise counts puts, Multiplicity (any K) only requires
+	// at least one removal.
+	half := mkHist(true, []uint64{1, 1}, op(0, OpTake, 1, core.OK))
+	if got := RenderVerdict(Precise{}.Check(half)); got != "lost t1" {
+		t.Errorf("precise on half-removed double put: got %q want %q", got, "lost t1")
+	}
+	for _, k := range []int{0, 1, 2} {
+		if got := RenderVerdict(Multiplicity{K: k}.Check(half)); got != "ok" {
+			t.Errorf("k=%d on half-removed double put: got %q want ok", k, got)
+		}
+	}
+}
+
+// TestMultiplicityOrderInsensitive feeds the checker the same multiset
+// of operations in two different interleaved orders and requires the
+// same verdict — the property the pruned exhaustive engines rely on.
+func TestMultiplicityOrderInsensitive(t *testing.T) {
+	forward := mkHist(true, []uint64{1, 2}, cat(
+		op(0, OpTake, 1, core.OK),
+		op(1, OpSteal, 1, core.OK),
+		op(1, OpSteal, 1, core.OK),
+		op(0, OpTake, 2, core.OK),
+	))
+	backward := mkHist(true, []uint64{2, 1}, cat(
+		op(0, OpTake, 2, core.OK),
+		op(1, OpSteal, 1, core.OK),
+		op(0, OpTake, 1, core.OK),
+		op(1, OpSteal, 1, core.OK),
+	))
+	spec := Multiplicity{K: 2}
+	f, b := RenderVerdict(spec.Check(forward)), RenderVerdict(spec.Check(backward))
+	if f != b || f != "dup>2 t1" {
+		t.Errorf("order sensitivity: forward %q, backward %q, want both %q", f, b, "dup>2 t1")
+	}
+}
+
+// TestViolationJSONRoundTrip checks the Bound field survives the trip
+// through the corpus/service JSON encoding and stays omitted for the
+// classes that do not use it.
+func TestViolationJSONRoundTrip(t *testing.T) {
+	in := []Violation{
+		{Verdict: VerdictDupBound, Task: 3, Thread: -1, Bound: 2, Detail: "removed 3x for 1 put(s), budget 2"},
+		{Verdict: VerdictLost, Task: 1, Thread: -1, Detail: "put 1x, never removed, queue drained"},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Bound":2`) {
+		t.Errorf("dup-bound violation lost its bound: %s", data)
+	}
+	if strings.Count(string(data), "Bound") != 1 {
+		t.Errorf("zero Bound not omitted: %s", data)
+	}
+	var out []Violation
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip drifted: %+v != %+v", out, in)
+	}
+	if got := out[0].String(); got != "dup>2 t3: removed 3x for 1 put(s), budget 2" {
+		t.Errorf("rendered violation: %q", got)
+	}
+}
+
+// TestSpecByNameRoundTrip pins the corpus/service spec naming: every
+// spec's Name resolves back to an equivalent spec, multiplicity for
+// any k ≥ 0, and malformed names are rejected.
+func TestSpecByNameRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{Precise{}, Idempotent{}, Multiplicity{}, Multiplicity{K: 1}, Multiplicity{K: 2}, Multiplicity{K: 17}} {
+		got, ok := SpecByName(spec.Name())
+		if !ok || got.Name() != spec.Name() {
+			t.Errorf("SpecByName(%q) = %v,%v", spec.Name(), got, ok)
+		}
+	}
+	for _, bad := range []string{"", "exact", "multiplicity", "multiplicity(k=)", "multiplicity(k=-1)", "multiplicity(k=2x)", "Multiplicity(k=2)"} {
+		if got, ok := SpecByName(bad); ok {
+			t.Errorf("SpecByName(%q) = %v, want rejection", bad, got)
+		}
 	}
 }
 
